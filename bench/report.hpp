@@ -1,0 +1,33 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Each bench prints the corresponding paper table/figure as text, with the
+// paper's published numbers alongside ours where the paper gives them.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace tracemod::bench {
+
+inline void heading(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void rowf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Marks a comparison the way the paper's discussion does.
+inline const char* verdict(bool within) {
+  return within ? "within error" : "DIVERGES";
+}
+
+}  // namespace tracemod::bench

@@ -1,0 +1,118 @@
+// Shared machinery for Figures 2-5: collect N traversal traces of a
+// scenario, distill them, and report observed signal quality plus derived
+// model parameters along the path (or as histograms for the stationary
+// Chatterbox scenario).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/distiller.hpp"
+#include "report.hpp"
+#include "scenarios/experiment.hpp"
+#include "sim/stats.hpp"
+
+namespace tracemod::bench {
+
+struct TrialData {
+  trace::CollectedTrace raw;
+  core::ReplayTrace replay;
+};
+
+inline std::vector<TrialData> collect_trials(const scenarios::Scenario& s,
+                                             int trials,
+                                             std::uint64_t base_seed) {
+  std::vector<TrialData> out;
+  for (int t = 0; t < trials; ++t) {
+    TrialData d;
+    d.raw = scenarios::collect_raw_trace(
+        s, base_seed + static_cast<std::uint64_t>(t));
+    core::Distiller distiller;
+    d.replay = distiller.distill(d.raw);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+struct Range {
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  void add(double v) {
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+};
+
+/// Figures 2-4: per checkpoint interval, the range across trials of signal
+/// level (device records) and the distilled latency / bandwidth / loss.
+inline void print_path_figure(const scenarios::Scenario& s,
+                              const std::vector<TrialData>& trials) {
+  const auto mobility = s.mobility();
+  const auto& cps = mobility.checkpoints();
+
+  rowf("%-10s %-14s %-16s %-18s %-14s", "interval", "signal(lvl)",
+       "latency(ms)", "bandwidth(kb/s)", "loss(%)");
+  for (std::size_t c = 0; c + 1 <= cps.size(); ++c) {
+    const sim::TimePoint t0 = cps[c].at;
+    const sim::TimePoint t1 =
+        (c + 1 < cps.size()) ? cps[c + 1].at
+                             : t0 + sim::seconds(10);  // final dwell
+    Range sig, lat, bw, loss;
+    for (const TrialData& d : trials) {
+      for (const auto& rec : d.raw.device_records()) {
+        if (rec.at >= t0 && rec.at < t1) sig.add(rec.signal_level);
+      }
+      sim::Duration off{};
+      for (const auto& q : d.replay.tuples()) {
+        const sim::TimePoint at = sim::kEpoch + off;
+        off += q.d;
+        if (at < t0 || at >= t1) continue;
+        lat.add(q.latency_s * 1e3);
+        if (q.per_byte_bottleneck > 0) {
+          bw.add(8.0 / q.per_byte_bottleneck / 1e3);
+        }
+        loss.add(q.loss * 100.0);
+      }
+    }
+    const std::string label =
+        cps[c].label + (c + 1 < cps.size() ? ".." + cps[c + 1].label : "");
+    rowf("%-10s %5.1f..%-6.1f %6.2f..%-8.2f %7.0f..%-9.0f %5.1f..%-6.1f",
+         label.c_str(), sig.lo, sig.hi, lat.lo, lat.hi, bw.lo, bw.hi, loss.lo,
+         loss.hi);
+  }
+}
+
+/// Figure 5: histograms (no motion, so location is meaningless).
+inline void print_histogram_figure(const std::vector<TrialData>& trials) {
+  sim::RunningStats sig_stats;
+  std::vector<double> lats, bws, losses, sigs;
+  for (const TrialData& d : trials) {
+    for (const auto& rec : d.raw.device_records()) {
+      sigs.push_back(rec.signal_level);
+      sig_stats.add(rec.signal_level);
+    }
+    for (const auto& q : d.replay.tuples()) {
+      lats.push_back(q.latency_s * 1e3);
+      if (q.per_byte_bottleneck > 0) bws.push_back(8.0 / q.per_byte_bottleneck / 1e3);
+      losses.push_back(q.loss * 100.0);
+    }
+  }
+  auto hist = [](const std::vector<double>& xs, double lo, double hi,
+                 const char* label) {
+    sim::Histogram h(lo, hi, 10);
+    for (double x : xs) h.add(x);
+    std::printf("%s", h.render(label).c_str());
+  };
+  hist(sigs, 0, 30, "signal level (WaveLAN units)");
+  hist(lats, 0, sim::percentile_of(lats, 0.98) + 1, "latency (ms)");
+  hist(bws, 0, 2000, "bandwidth (kb/s)");
+  hist(losses, 0, std::max(10.0, sim::percentile_of(losses, 0.98)),
+       "loss rate (%)");
+}
+
+}  // namespace tracemod::bench

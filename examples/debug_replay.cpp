@@ -1,0 +1,121 @@
+// Deterministic bug reproduction (paper Section 6).
+//
+// "Tracing can play an important role in debugging by deterministically
+// reproducing the network conditions under which a subtle bug was
+// originally uncovered."
+//
+// The subtle bug here: an RPC client whose retransmission timer does NOT
+// back off.  On a healthy network it looks fine; in the Wean elevator's
+// loss burst it floods the link with retransmissions and livelocks long
+// after the outage ends.  Live, the bug strikes only on trials that ride
+// the elevator mid-transfer -- miserable to debug.  Under trace
+// modulation the elevator is a file: every run reproduces the conditions,
+// and the fix can be verified against the exact same network.
+#include <cstdio>
+
+#include "apps/nfs.hpp"
+#include "core/distiller.hpp"
+#include "core/emulator.hpp"
+#include "scenarios/live_testbed.hpp"
+
+using namespace tracemod;
+
+namespace {
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  std::uint64_t retransmissions = 0;
+  bool completed = false;
+};
+
+/// Issues 600 sequential getattr RPCs (a metadata-heavy workload) and
+/// reports how long they take with the given retransmission policy.
+RunResult run_workload(const core::ReplayTrace& trace, double backoff,
+                       std::uint64_t seed) {
+  core::EmulatorConfig cfg;
+  cfg.seed = seed;
+  core::Emulator emulator(trace, cfg);
+  apps::NfsServer server(emulator.server(), 2049);
+  server.add_file("f", 1024);
+
+  apps::NfsClientConfig nfs_cfg;
+  nfs_cfg.backoff = backoff;  // 1.0 = the bug: constant-rate retransmission
+  // The buggy build also ships an aggressive fixed timer.
+  nfs_cfg.initial_timeout =
+      backoff > 1.0 ? sim::milliseconds(700) : sim::milliseconds(150);
+  nfs_cfg.max_retries = 120;
+  apps::NfsClient client(emulator.mobile(),
+                         {cfg.server_addr, 2049}, nfs_cfg);
+
+  RunResult result;
+  int remaining = 600;
+  std::function<void()> next = [&] {
+    client.getattr("f", [&](const apps::NfsReply&, bool ok) {
+      if (!ok) return;  // give-up: leave completed=false
+      if (--remaining == 0) {
+        result.elapsed_s = sim::to_seconds(emulator.loop().now());
+        result.completed = true;
+        return;
+      }
+      next();
+    });
+  };
+  next();
+  const sim::TimePoint deadline = emulator.loop().now() + sim::seconds(3600);
+  while (!result.completed && emulator.loop().now() < deadline &&
+         emulator.loop().step()) {
+  }
+  result.retransmissions = client.stats().retransmissions;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Collecting one Wean trace (office -> elevator -> classroom)"
+              "...\n");
+  scenarios::LiveTestbed bed(scenarios::wean(), /*seed=*/4242);
+  core::Distiller distiller;
+  const core::ReplayTrace full = distiller.distill(bed.collect_trace());
+
+  // Traces are data: slice out the 50 s window around the worst segment
+  // (the elevator ride) so every run exercises the triggering conditions
+  // from the first RPC.
+  std::size_t worst_idx = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full.tuples()[i].loss > full.tuples()[worst_idx].loss) worst_idx = i;
+  }
+  const std::size_t begin = worst_idx > 2 ? worst_idx - 2 : 0;
+  const std::size_t end = std::min(full.size(), worst_idx + 48);
+  core::ReplayTrace trace(std::vector<core::QualityTuple>(
+      full.tuples().begin() + static_cast<std::ptrdiff_t>(begin),
+      full.tuples().begin() + static_cast<std::ptrdiff_t>(end)));
+  std::printf("sliced tuples %zu..%zu around the elevator; worst loss %.0f%%,"
+              " worst latency %.0f ms\n\n",
+              begin, end, full.tuples()[worst_idx].loss * 100.0, [&] {
+                double worst = 0;
+                for (const auto& t : trace.tuples())
+                  worst = std::max(worst, t.latency_s * 1e3);
+                return worst;
+              }());
+
+  std::printf("%-28s %12s %16s %10s\n", "client retransmission policy",
+              "elapsed(s)", "retransmissions", "status");
+  for (int run = 0; run < 3; ++run) {
+    const RunResult buggy = run_workload(trace, 1.0, 1000);  // same seed: deterministic
+    std::printf("%-28s %12.1f %16llu %10s   (run %d: identical every time)\n",
+                "no backoff (the bug)", buggy.elapsed_s,
+                static_cast<unsigned long long>(buggy.retransmissions),
+                buggy.completed ? "done" : "WEDGED", run);
+  }
+  const RunResult fixed = run_workload(trace, 2.0, 1000);
+  std::printf("%-28s %12.1f %16llu %10s\n", "exponential backoff (fix)",
+              fixed.elapsed_s,
+              static_cast<unsigned long long>(fixed.retransmissions),
+              fixed.completed ? "done" : "WEDGED");
+
+  std::printf("\nThe same replay trace and seed give bit-identical runs, so\n"
+              "the failure is reproducible on demand and the fix is verified\n"
+              "against the exact network conditions that exposed the bug.\n");
+  return 0;
+}

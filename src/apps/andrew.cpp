@@ -1,0 +1,201 @@
+#include "apps/andrew.hpp"
+
+#include "sim/assert.hpp"
+
+namespace tracemod::apps {
+
+namespace {
+
+std::string dir_name(std::size_t i) {
+  return "src/dir" + std::to_string(i);
+}
+
+std::string file_name(const AndrewConfig& cfg, std::size_t i) {
+  return dir_name(i % cfg.dirs) + "/file" + std::to_string(i) + ".c";
+}
+
+std::string object_name(std::size_t i) {
+  return "obj/file" + std::to_string(i) + ".o";
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> AndrewBenchmark::file_sizes() const {
+  // Deterministic sizes summing to ~total_bytes: a mild spread around the
+  // mean, from the benchmark seed so every trial sees the same tree.
+  sim::Rng rng(seed_ ^ 0xA9D3Eu);
+  std::vector<std::uint32_t> sizes(cfg_.files);
+  double sum = 0;
+  std::vector<double> raw(cfg_.files);
+  for (auto& r : raw) {
+    r = std::max(0.2, rng.normal(1.0, 0.5));
+    sum += r;
+  }
+  for (std::size_t i = 0; i < cfg_.files; ++i) {
+    sizes[i] = static_cast<std::uint32_t>(
+        raw[i] / sum * static_cast<double>(cfg_.total_bytes));
+    sizes[i] = std::max<std::uint32_t>(sizes[i], 64);
+  }
+  return sizes;
+}
+
+void populate_andrew_tree(NfsServer& server, const AndrewConfig& cfg,
+                          std::uint64_t seed) {
+  // Master copy the benchmark reads from (the Copy phase's source).
+  sim::Rng rng(seed ^ 0xA9D3Eu);
+  std::vector<double> raw(cfg.files);
+  double sum = 0;
+  for (auto& r : raw) {
+    r = std::max(0.2, rng.normal(1.0, 0.5));
+    sum += r;
+  }
+  for (std::size_t i = 0; i < cfg.files; ++i) {
+    auto size = static_cast<std::uint32_t>(
+        raw[i] / sum * static_cast<double>(cfg.total_bytes));
+    size = std::max<std::uint32_t>(size, 64);
+    server.add_file("master/file" + std::to_string(i) + ".c", size);
+  }
+  server.add_dir("obj");
+}
+
+AndrewBenchmark::AndrewBenchmark(transport::Host& client, net::Endpoint server,
+                                 AndrewConfig cfg, std::uint64_t seed)
+    : client_(client),
+      cfg_(cfg),
+      seed_(seed),
+      nfs_(client, server,
+           NfsClientConfig{sim::milliseconds(700), 2.0, sim::seconds(20), 15}) {
+}
+
+void AndrewBenchmark::build_phases() {
+  const auto sizes = file_sizes();
+  sim::Rng rng(seed_ ^ 0x5EEDF00Du);
+
+  // --- MakeDir: create the target tree.
+  Phase makedir{"MakeDir", {}, cfg_.cpu_makedir_s, &result_.makedir_s};
+  makedir.ops.push_back(Op{NfsOp::kMkdir, "src", 0, 0});
+  for (std::size_t i = 0; i < cfg_.dirs; ++i) {
+    makedir.ops.push_back(Op{NfsOp::kLookup, "src", 0, 0});
+    makedir.ops.push_back(Op{NfsOp::kMkdir, dir_name(i), 0, 0});
+    makedir.ops.push_back(Op{NfsOp::kGetAttr, dir_name(i), 0, 0});
+  }
+
+  // --- Copy: read the master copy, write into the tree.
+  Phase copy{"Copy", {}, cfg_.cpu_copy_s, &result_.copy_s};
+  for (std::size_t i = 0; i < cfg_.files; ++i) {
+    const std::string master = "master/file" + std::to_string(i) + ".c";
+    const std::string target = file_name(cfg_, i);
+    copy.ops.push_back(Op{NfsOp::kLookup, master, 0, 0});
+    copy.ops.push_back(Op{NfsOp::kCreate, target, 0, 0});
+    for (std::uint32_t off = 0; off < sizes[i]; off += cfg_.io_chunk) {
+      const std::uint32_t len = std::min(cfg_.io_chunk, sizes[i] - off);
+      copy.ops.push_back(Op{NfsOp::kRead, master, off, len});
+      copy.ops.push_back(Op{NfsOp::kWrite, target, off, len});
+    }
+    copy.ops.push_back(Op{NfsOp::kGetAttr, target, 0, 0});
+  }
+
+  // --- ScanDir: stat everything, repeatedly (cache revalidation traffic).
+  Phase scandir{"ScanDir", {}, cfg_.cpu_scandir_s, &result_.scandir_s};
+  for (std::size_t i = 0; i < cfg_.dirs; ++i) {
+    scandir.ops.push_back(Op{NfsOp::kReadDir, dir_name(i), 0, 0});
+  }
+  for (std::size_t k = 0; k < cfg_.scandir_status_ops; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg_.files) - 1));
+    scandir.ops.push_back(Op{NfsOp::kGetAttr, file_name(cfg_, i), 0, 0});
+  }
+
+  // --- ReadAll: read every file; caches are warm, so the bulk of the
+  // traffic is status checks plus the data reads themselves.
+  Phase readall{"ReadAll", {}, cfg_.cpu_readall_s, &result_.readall_s};
+  for (std::size_t i = 0; i < cfg_.files; ++i) {
+    const std::string target = file_name(cfg_, i);
+    readall.ops.push_back(Op{NfsOp::kGetAttr, target, 0, 0});
+    for (std::uint32_t off = 0; off < sizes[i]; off += cfg_.io_chunk) {
+      const std::uint32_t len = std::min(cfg_.io_chunk, sizes[i] - off);
+      readall.ops.push_back(Op{NfsOp::kRead, target, off, len});
+    }
+  }
+  for (std::size_t k = 0; k < cfg_.readall_status_ops; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg_.files) - 1));
+    readall.ops.push_back(Op{NfsOp::kGetAttr, file_name(cfg_, i), 0, 0});
+  }
+
+  // --- Make: compile: read sources, write objects, lots of stats between.
+  Phase make{"Make", {}, cfg_.cpu_make_s, &result_.make_s};
+  for (std::size_t i = 0; i < cfg_.files; ++i) {
+    const std::string target = file_name(cfg_, i);
+    make.ops.push_back(Op{NfsOp::kGetAttr, target, 0, 0});
+    make.ops.push_back(Op{NfsOp::kRead, target, 0, sizes[i]});
+  }
+  for (std::size_t i = 0; i < cfg_.objects_built; ++i) {
+    make.ops.push_back(Op{NfsOp::kCreate, object_name(i), 0, 0});
+    make.ops.push_back(Op{NfsOp::kWrite, object_name(i), 0, cfg_.io_chunk});
+  }
+  for (std::size_t k = 0; k < cfg_.make_status_ops; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg_.files) - 1));
+    make.ops.push_back(Op{NfsOp::kGetAttr, file_name(cfg_, i), 0, 0});
+  }
+
+  phases_ = {std::move(makedir), std::move(copy), std::move(scandir),
+             std::move(readall), std::move(make)};
+}
+
+void AndrewBenchmark::start(Done done) {
+  done_ = std::move(done);
+  result_ = AndrewResult{};
+  build_phases();
+  started_ = client_.loop().now();
+  run_phase(0);
+}
+
+void AndrewBenchmark::run_phase(std::size_t phase_idx) {
+  if (phase_idx >= phases_.size()) {
+    result_.total_s = sim::to_seconds(client_.loop().now() - started_);
+    result_.ok = true;
+    result_.rpc_calls = nfs_.stats().calls;
+    result_.rpc_retransmissions = nfs_.stats().retransmissions;
+    if (done_) done_(result_);
+    return;
+  }
+  run_op(phase_idx, 0, client_.loop().now());
+}
+
+void AndrewBenchmark::run_op(std::size_t phase_idx, std::size_t op_idx,
+                             sim::TimePoint phase_start) {
+  Phase& phase = phases_[phase_idx];
+  if (op_idx >= phase.ops.size()) {
+    *phase.result_slot = sim::to_seconds(client_.loop().now() - phase_start);
+    run_phase(phase_idx + 1);
+    return;
+  }
+  const Op& op = phase.ops[op_idx];
+  // CPU between RPCs: the per-op syscall cost plus this phase's share of
+  // compute (compilation, checksumming, directory walking).
+  const double cpu =
+      cfg_.cpu_per_op_s +
+      phase.cpu_budget_s / static_cast<double>(phase.ops.size());
+  nfs_.call(op.op, op.path, op.offset, op.length,
+            [this, phase_idx, op_idx, phase_start, cpu](const NfsReply&,
+                                                        bool ok) {
+              if (!ok) {
+                // An RPC that gave up after retries: a real hard-mounted
+                // NFS would wedge; we record failure and finish.
+                result_.ok = false;
+                result_.total_s =
+                    sim::to_seconds(client_.loop().now() - started_);
+                if (done_) done_(result_);
+                return;
+              }
+              client_.loop().schedule(sim::from_seconds(cpu), [this, phase_idx,
+                                                               op_idx,
+                                                               phase_start] {
+                run_op(phase_idx, op_idx + 1, phase_start);
+              });
+            });
+}
+
+}  // namespace tracemod::apps

@@ -1,0 +1,103 @@
+// The Andrew benchmark over NFS (paper Section 4.2, Figure 8).
+//
+// Five phases over a ~70-file / ~200 KB source tree stored on an NFS
+// server: MakeDir, Copy, ScanDir, ReadAll, Make.  ScanDir and ReadAll are
+// dominated by small status-check RPCs against warm caches (the messages
+// whose sub-threshold delays expose the 10 ms scheduling granularity);
+// Copy and Make mix data exchanges with local CPU time.  Phase CPU budgets
+// are calibrated against the paper's Ethernet baseline row.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/nfs.hpp"
+
+namespace tracemod::apps {
+
+struct AndrewConfig {
+  std::size_t dirs = 20;
+  std::size_t files = 70;
+  std::uint32_t total_bytes = 200 * 1024;
+  std::uint32_t io_chunk = 8192;
+
+  /// Client CPU cost charged per RPC (syscall + local bookkeeping).
+  double cpu_per_op_s = 0.0015;
+  /// Phase-level CPU budgets, spread uniformly across the phase's RPCs.
+  /// Calibrated so the Ethernet row of Figure 8 lands near the paper's.
+  double cpu_makedir_s = 2.14;
+  double cpu_copy_s = 11.54;
+  double cpu_scandir_s = 4.52;
+  double cpu_readall_s = 14.24;
+  double cpu_make_s = 82.24;
+
+  /// Status-check volumes for the cache-validation-heavy phases.
+  std::size_t scandir_status_ops = 1800;
+  std::size_t readall_status_ops = 1600;
+  std::size_t make_status_ops = 550;
+  std::size_t objects_built = 35;   ///< .o files written during Make
+};
+
+struct AndrewResult {
+  double makedir_s = 0;
+  double copy_s = 0;
+  double scandir_s = 0;
+  double readall_s = 0;
+  double make_s = 0;
+  double total_s = 0;
+  bool ok = false;
+  std::uint64_t rpc_calls = 0;
+  std::uint64_t rpc_retransmissions = 0;
+};
+
+/// Populates the server with the benchmark's source tree ("the input is a
+/// tree of about 70 source files occupying about 200KB").  The same seed
+/// yields the same tree, so trials are comparable.
+void populate_andrew_tree(NfsServer& server, const AndrewConfig& cfg,
+                          std::uint64_t seed);
+
+class AndrewBenchmark {
+ public:
+  using Done = std::function<void(AndrewResult)>;
+
+  /// The client issues RPCs through its own NfsClient; the caller is
+  /// responsible for having populated the source tree on the server side
+  /// with the same config/seed.
+  AndrewBenchmark(transport::Host& client, net::Endpoint server,
+                  AndrewConfig cfg, std::uint64_t seed);
+
+  void start(Done done);
+
+ private:
+  struct Op {
+    NfsOp op;
+    std::string path;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  struct Phase {
+    const char* name;
+    std::vector<Op> ops;
+    double cpu_budget_s;
+    double* result_slot;
+  };
+
+  void build_phases();
+  std::vector<std::uint32_t> file_sizes() const;
+  void run_phase(std::size_t phase_idx);
+  void run_op(std::size_t phase_idx, std::size_t op_idx,
+              sim::TimePoint phase_start);
+
+  transport::Host& client_;
+  AndrewConfig cfg_;
+  std::uint64_t seed_;
+  NfsClient nfs_;
+  std::vector<Phase> phases_;
+  AndrewResult result_;
+  Done done_;
+  sim::TimePoint started_{};
+};
+
+}  // namespace tracemod::apps

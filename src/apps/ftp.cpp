@@ -1,0 +1,114 @@
+#include "apps/ftp.hpp"
+
+#include <memory>
+
+namespace tracemod::apps {
+
+namespace {
+
+/// The control record sent by the client after connecting.
+struct FtpRequest {
+  bool store = false;       ///< true: client will upload; false: download
+  std::uint64_t bytes = 0;  ///< transfer size
+};
+constexpr std::uint32_t kRequestBytes = 64;
+constexpr std::uint32_t kCompleteBytes = 32;
+struct FtpComplete {};
+
+}  // namespace
+
+void ftp_stream_file(transport::TcpConnection& conn, std::uint64_t total,
+                     const FtpConfig& cfg, sim::EventLoop& loop) {
+  // Disk pacing: read and queue one chunk every chunk_time.
+  auto remaining = std::make_shared<std::uint64_t>(total);
+  const sim::Duration chunk_time = sim::from_seconds(
+      static_cast<double>(cfg.chunk_bytes) * 8.0 / cfg.disk_rate_bps);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&conn, remaining, chunk_time, pump, &loop, &cfg] {
+    if (*remaining == 0) return;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(cfg.chunk_bytes, *remaining);
+    *remaining -= n;
+    conn.send(n);
+    if (*remaining > 0) {
+      loop.schedule(chunk_time, [pump] { (*pump)(); });
+    } else {
+      conn.close();  // EOF after the last chunk
+    }
+  };
+  (*pump)();
+}
+
+FtpServer::FtpServer(transport::Host& host, FtpConfig cfg)
+    : host_(host), cfg_(cfg) {
+  host_.tcp().listen(cfg_.port, [this](transport::TcpConnection& conn) {
+    conn.set_on_record([this, &conn](const std::any& meta, std::uint64_t) {
+      if (const auto* req = std::any_cast<FtpRequest>(&meta)) {
+        if (!req->store) {
+          // RETR: stream the file to the client.
+          ftp_stream_file(conn, req->bytes, cfg_, host_.loop());
+        } else {
+          // STOR: count inbound bytes; confirm completion, then close.
+          auto got = std::make_shared<std::uint64_t>(0);
+          const std::uint64_t expect = req->bytes;
+          conn.set_on_bytes([&conn, got, expect](std::uint64_t n) {
+            *got += n;
+            if (*got >= expect) {
+              conn.send(kCompleteBytes, FtpComplete{});
+              conn.close();
+            }
+          });
+        }
+      }
+    });
+  });
+}
+
+FtpClient::FtpClient(transport::Host& host, net::Endpoint server,
+                     FtpConfig cfg)
+    : host_(host), server_(server), cfg_(cfg) {}
+
+void FtpClient::fetch(std::uint64_t bytes, Done done) {
+  auto& conn = host_.tcp().connect(server_);
+  const sim::TimePoint start = host_.loop().now();
+  auto got = std::make_shared<std::uint64_t>(0);
+  auto finished = std::make_shared<bool>(false);
+
+  conn.set_on_connected([&conn, bytes] {
+    conn.send(kRequestBytes, FtpRequest{false, bytes});
+  });
+  auto finish = [this, start, done, got, finished, bytes](bool ok) {
+    if (*finished) return;
+    *finished = true;
+    done(FtpResult{host_.loop().now() - start, *got, ok && *got >= bytes});
+  };
+  conn.set_on_bytes([got](std::uint64_t n) { *got += n; });
+  conn.set_on_peer_fin([&conn, finish] {
+    conn.close();
+    finish(true);
+  });
+  conn.set_on_closed([finish](bool error) { finish(!error); });
+}
+
+void FtpClient::store(std::uint64_t bytes, Done done) {
+  auto& conn = host_.tcp().connect(server_);
+  const sim::TimePoint start = host_.loop().now();
+  auto finished = std::make_shared<bool>(false);
+  auto finish = [this, start, done, finished, bytes](bool ok) {
+    if (*finished) return;
+    *finished = true;
+    done(FtpResult{host_.loop().now() - start, bytes, ok});
+  };
+
+  conn.set_on_connected([this, &conn, bytes] {
+    conn.send(kRequestBytes, FtpRequest{true, bytes});
+    ftp_stream_file(conn, bytes, cfg_, host_.loop());
+  });
+  // Completion: the server's confirmation record after it has every byte.
+  conn.set_on_record([finish](const std::any& meta, std::uint64_t) {
+    if (std::any_cast<FtpComplete>(&meta) != nullptr) finish(true);
+  });
+  conn.set_on_closed([finish](bool error) { finish(!error); });
+}
+
+}  // namespace tracemod::apps

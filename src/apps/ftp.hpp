@@ -1,0 +1,63 @@
+// FTP-style bulk transfer over TCP (paper Section 4.2, Figure 7).
+//
+// Transfers a file of a given size disk-to-disk, in either direction.  The
+// sending side paces injection at a disk/host service rate, which is what
+// bounds throughput on the fast Ethernet (the paper's 10 MB in ~20 s) while
+// the network bounds it over WaveLAN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "transport/host.hpp"
+
+namespace tracemod::apps {
+
+struct FtpConfig {
+  std::uint64_t chunk_bytes = 32 * 1024;
+  /// Disk + host service rate of the sending side, bits/second.
+  double disk_rate_bps = 4.1e6;
+  std::uint16_t port = 21;
+};
+
+/// Serves both STOR and RETR.  Lives as long as the host.
+class FtpServer {
+ public:
+  explicit FtpServer(transport::Host& host, FtpConfig cfg = {});
+
+  const FtpConfig& config() const { return cfg_; }
+
+ private:
+  transport::Host& host_;
+  FtpConfig cfg_;
+};
+
+struct FtpResult {
+  sim::Duration elapsed{};
+  std::uint64_t bytes = 0;
+  bool ok = false;
+};
+
+class FtpClient {
+ public:
+  using Done = std::function<void(FtpResult)>;
+
+  FtpClient(transport::Host& host, net::Endpoint server, FtpConfig cfg = {});
+
+  /// RETR: server -> client ("fetch" / "recv").
+  void fetch(std::uint64_t bytes, Done done);
+  /// STOR: client -> server ("store" / "send").
+  void store(std::uint64_t bytes, Done done);
+
+ private:
+  transport::Host& host_;
+  net::Endpoint server_;
+  FtpConfig cfg_;
+};
+
+/// Streams `total` bytes over an established connection in disk-paced
+/// chunks, then half-closes.  Shared by client (STOR) and server (RETR).
+void ftp_stream_file(transport::TcpConnection& conn, std::uint64_t total,
+                     const FtpConfig& cfg, sim::EventLoop& loop);
+
+}  // namespace tracemod::apps

@@ -1,0 +1,313 @@
+#include "apps/nfs.hpp"
+
+#include <sstream>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::apps {
+
+namespace {
+
+constexpr std::uint32_t kRpcRequestOverhead = 120;  ///< RPC + NFS headers
+constexpr std::uint32_t kRpcReplyOverhead = 96;
+constexpr std::uint32_t kDirEntryBytes = 24;
+constexpr std::size_t kReplyCacheCapacity = 256;
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* to_string(NfsOp op) {
+  switch (op) {
+    case NfsOp::kGetAttr: return "getattr";
+    case NfsOp::kLookup: return "lookup";
+    case NfsOp::kRead: return "read";
+    case NfsOp::kWrite: return "write";
+    case NfsOp::kCreate: return "create";
+    case NfsOp::kMkdir: return "mkdir";
+    case NfsOp::kReadDir: return "readdir";
+    case NfsOp::kRemove: return "remove";
+  }
+  return "?";
+}
+
+std::uint32_t request_wire_bytes(const NfsRequest& req) {
+  std::uint32_t bytes =
+      kRpcRequestOverhead + static_cast<std::uint32_t>(req.path.size());
+  if (req.op == NfsOp::kWrite) bytes += req.length;  // data rides the request
+  return bytes;
+}
+
+std::uint32_t reply_wire_bytes(const NfsReply& rep) {
+  std::uint32_t bytes = kRpcReplyOverhead + rep.data_bytes;
+  bytes += static_cast<std::uint32_t>(rep.entries.size()) * kDirEntryBytes;
+  return bytes;
+}
+
+// ------------------------------------------------------------- server ----
+
+NfsServer::NfsServer(transport::Host& host, std::uint16_t port)
+    : host_(host), socket_(host.udp(), port) {
+  root_.is_dir = true;
+  socket_.set_receive_callback(
+      [this](const net::Packet& pkt, net::Endpoint from) {
+        on_datagram(pkt, from);
+      });
+}
+
+NfsServer::INode* NfsServer::resolve(const std::string& path) {
+  INode* node = &root_;
+  for (const std::string& part : split_path(path)) {
+    if (!node->is_dir) return nullptr;
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+const NfsServer::INode* NfsServer::resolve(const std::string& path) const {
+  return const_cast<NfsServer*>(this)->resolve(path);
+}
+
+NfsServer::INode* NfsServer::resolve_parent(const std::string& path,
+                                            std::string* leaf) {
+  auto parts = split_path(path);
+  if (parts.empty()) return nullptr;
+  *leaf = parts.back();
+  INode* node = &root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!node->is_dir) return nullptr;
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node->is_dir ? node : nullptr;
+}
+
+void NfsServer::add_dir(const std::string& path) {
+  INode* node = &root_;
+  for (const std::string& part : split_path(path)) {
+    auto& child = node->children[part];
+    if (!child) {
+      child = std::make_unique<INode>();
+      child->is_dir = true;
+    }
+    node = child.get();
+  }
+}
+
+void NfsServer::add_file(const std::string& path, std::uint32_t size) {
+  auto parts = split_path(path);
+  TM_ASSERT(!parts.empty());
+  std::string dir;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    dir += parts[i];
+    dir += '/';
+  }
+  if (!dir.empty()) add_dir(dir);
+  std::string leaf;
+  INode* parent = resolve_parent(path, &leaf);
+  TM_ASSERT(parent != nullptr);
+  auto& child = parent->children[leaf];
+  child = std::make_unique<INode>();
+  child->is_dir = false;
+  child->size = size;
+}
+
+bool NfsServer::exists(const std::string& path) const {
+  return resolve(path) != nullptr;
+}
+
+NfsAttr NfsServer::getattr(const std::string& path) const {
+  const INode* node = resolve(path);
+  TM_ASSERT(node != nullptr);
+  return NfsAttr{node->is_dir, node->size, node->generation};
+}
+
+NfsReply NfsServer::execute(const NfsRequest& req) {
+  NfsReply rep;
+  rep.xid = req.xid;
+  rep.op = req.op;
+
+  auto fill_attr = [&rep](const INode& n) {
+    rep.attr = NfsAttr{n.is_dir, n.size, n.generation};
+  };
+
+  switch (req.op) {
+    case NfsOp::kGetAttr:
+    case NfsOp::kLookup: {
+      const INode* node = resolve(req.path);
+      if (node == nullptr) {
+        rep.status = NfsStatus::kNoEntry;
+      } else {
+        fill_attr(*node);
+      }
+      break;
+    }
+    case NfsOp::kRead: {
+      INode* node = resolve(req.path);
+      if (node == nullptr) {
+        rep.status = NfsStatus::kNoEntry;
+      } else if (node->is_dir) {
+        rep.status = NfsStatus::kIsDir;
+      } else {
+        fill_attr(*node);
+        if (req.offset < node->size) {
+          rep.data_bytes = std::min(req.length, node->size - req.offset);
+        }
+      }
+      break;
+    }
+    case NfsOp::kWrite: {
+      INode* node = resolve(req.path);
+      if (node == nullptr) {
+        rep.status = NfsStatus::kNoEntry;
+      } else if (node->is_dir) {
+        rep.status = NfsStatus::kIsDir;
+      } else {
+        node->size = std::max(node->size, req.offset + req.length);
+        ++node->generation;
+        fill_attr(*node);
+      }
+      break;
+    }
+    case NfsOp::kCreate:
+    case NfsOp::kMkdir: {
+      std::string leaf;
+      INode* parent = resolve_parent(req.path, &leaf);
+      if (parent == nullptr) {
+        rep.status = NfsStatus::kNoEntry;
+      } else if (parent->children.count(leaf) != 0) {
+        rep.status = NfsStatus::kExists;
+        fill_attr(*parent->children[leaf]);
+      } else {
+        auto node = std::make_unique<INode>();
+        node->is_dir = (req.op == NfsOp::kMkdir);
+        fill_attr(*node);
+        parent->children[leaf] = std::move(node);
+      }
+      break;
+    }
+    case NfsOp::kReadDir: {
+      const INode* node = resolve(req.path);
+      if (node == nullptr) {
+        rep.status = NfsStatus::kNoEntry;
+      } else if (!node->is_dir) {
+        rep.status = NfsStatus::kNotDir;
+      } else {
+        for (const auto& [name, child] : node->children) {
+          (void)child;
+          rep.entries.push_back(name);
+        }
+      }
+      break;
+    }
+    case NfsOp::kRemove: {
+      std::string leaf;
+      INode* parent = resolve_parent(req.path, &leaf);
+      if (parent == nullptr || parent->children.erase(leaf) == 0) {
+        rep.status = NfsStatus::kNoEntry;
+      }
+      break;
+    }
+  }
+  if (rep.status != NfsStatus::kOk) ++stats_.errors;
+  return rep;
+}
+
+void NfsServer::on_datagram(const net::Packet& pkt, net::Endpoint from) {
+  const auto* req = std::any_cast<NfsRequest>(&pkt.payload);
+  if (req == nullptr) return;
+  ++stats_.calls;
+
+  // Duplicate cache keyed on (client address, port, xid): two clients may
+  // legitimately use the same xid sequence.
+  const CacheKey key{from.addr.value, from.port, req->xid};
+  NfsReply rep;
+  auto cached = reply_cache_.find(key);
+  if (cached != reply_cache_.end()) {
+    ++stats_.duplicate_xids;
+    rep = cached->second;
+  } else {
+    rep = execute(*req);
+    reply_cache_[key] = rep;
+    reply_cache_order_.push_back(key);
+    if (reply_cache_order_.size() > kReplyCacheCapacity) {
+      reply_cache_.erase(reply_cache_order_.front());
+      reply_cache_order_.erase(reply_cache_order_.begin());
+    }
+  }
+  socket_.send_to(from, reply_wire_bytes(rep), rep);
+}
+
+// ------------------------------------------------------------- client ----
+
+NfsClient::NfsClient(transport::Host& host, net::Endpoint server,
+                     NfsClientConfig cfg)
+    : host_(host), server_(server), cfg_(cfg), socket_(host.udp()) {
+  socket_.set_receive_callback(
+      [this](const net::Packet& pkt, net::Endpoint) { on_datagram(pkt); });
+}
+
+void NfsClient::call(NfsOp op, const std::string& path, std::uint32_t offset,
+                     std::uint32_t length, Callback cb) {
+  const std::uint32_t xid = next_xid_++;
+  Pending p;
+  p.req = NfsRequest{xid, op, path, offset, length};
+  p.cb = std::move(cb);
+  p.timer = std::make_unique<sim::Timer>(host_.loop());
+  p.timeout = cfg_.initial_timeout;
+  auto [it, inserted] = pending_.emplace(xid, std::move(p));
+  TM_ASSERT(inserted);
+  ++stats_.calls;
+  transmit(it->second);
+}
+
+void NfsClient::transmit(Pending& p) {
+  socket_.send_to(server_, request_wire_bytes(p.req), p.req);
+  const std::uint32_t xid = p.req.xid;
+  p.timer->arm(p.timeout, [this, xid] { on_timeout(xid); });
+}
+
+void NfsClient::on_timeout(std::uint32_t xid) {
+  auto it = pending_.find(xid);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (++p.tries > cfg_.max_retries) {
+    ++stats_.failures;
+    Callback cb = std::move(p.cb);
+    pending_.erase(it);
+    NfsReply rep;
+    rep.xid = xid;
+    cb(rep, false);
+    return;
+  }
+  ++stats_.retransmissions;
+  p.timeout = std::min(
+      sim::Duration{static_cast<std::int64_t>(
+          static_cast<double>(p.timeout.count()) * cfg_.backoff)},
+      cfg_.max_timeout);
+  transmit(p);
+}
+
+void NfsClient::on_datagram(const net::Packet& pkt) {
+  const auto* rep = std::any_cast<NfsReply>(&pkt.payload);
+  if (rep == nullptr) return;
+  auto it = pending_.find(rep->xid);
+  if (it == pending_.end()) return;  // late duplicate
+  Callback cb = std::move(it->second.cb);
+  NfsReply copy = *rep;
+  pending_.erase(it);
+  cb(copy, true);
+}
+
+}  // namespace tracemod::apps

@@ -1,0 +1,190 @@
+// NFS-like RPC over UDP (the substrate for the Andrew benchmark and the
+// SynRGen interferers).
+//
+// Faithful in the ways that matter to the paper: status checks (GETATTR /
+// LOOKUP) are small datagrams, data exchanges (READ / WRITE) are large,
+// operations are synchronous with at-most-one outstanding call per client
+// stream, and lost datagrams are recovered by client-side retransmission
+// with exponential backoff -- which is what turns loss into multi-second
+// stalls in the Andrew results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/host.hpp"
+
+namespace tracemod::apps {
+
+enum class NfsOp : std::uint8_t {
+  kGetAttr,
+  kLookup,
+  kRead,
+  kWrite,
+  kCreate,
+  kMkdir,
+  kReadDir,
+  kRemove,
+};
+
+const char* to_string(NfsOp op);
+
+enum class NfsStatus : std::uint8_t { kOk, kNoEntry, kExists, kNotDir, kIsDir };
+
+struct NfsRequest {
+  std::uint32_t xid = 0;
+  NfsOp op = NfsOp::kGetAttr;
+  std::string path;          ///< slash-separated, relative to export root
+  std::uint32_t offset = 0;  ///< read/write
+  std::uint32_t length = 0;  ///< read/write byte count
+};
+
+struct NfsAttr {
+  bool is_dir = false;
+  std::uint32_t size = 0;
+  std::uint32_t generation = 0;  ///< bumped on every mutation
+};
+
+struct NfsReply {
+  std::uint32_t xid = 0;
+  NfsOp op = NfsOp::kGetAttr;
+  NfsStatus status = NfsStatus::kOk;
+  NfsAttr attr;
+  std::uint32_t data_bytes = 0;          ///< bytes of file data carried
+  std::vector<std::string> entries;      ///< readdir
+};
+
+/// Simulated wire sizes: header-ish cost plus any carried data.
+std::uint32_t request_wire_bytes(const NfsRequest& req);
+std::uint32_t reply_wire_bytes(const NfsReply& rep);
+
+// ---------------------------------------------------------------------------
+// Server: an in-memory filesystem exported over UDP port 2049.
+
+class NfsServer {
+ public:
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t duplicate_xids = 0;  ///< retransmitted requests absorbed
+    std::uint64_t errors = 0;
+  };
+
+  explicit NfsServer(transport::Host& host, std::uint16_t port = 2049);
+
+  /// Pre-populates the export with a file (creating parent directories).
+  void add_file(const std::string& path, std::uint32_t size);
+  void add_dir(const std::string& path);
+
+  /// Direct (non-RPC) inspection helpers for tests.
+  bool exists(const std::string& path) const;
+  NfsAttr getattr(const std::string& path) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct INode {
+    bool is_dir = false;
+    std::uint32_t size = 0;
+    std::uint32_t generation = 0;
+    std::map<std::string, std::unique_ptr<INode>> children;
+  };
+
+  void on_datagram(const net::Packet& pkt, net::Endpoint from);
+  NfsReply execute(const NfsRequest& req);
+  INode* resolve(const std::string& path);
+  const INode* resolve(const std::string& path) const;
+  INode* resolve_parent(const std::string& path, std::string* leaf);
+
+  transport::Host& host_;
+  transport::UdpSocket socket_;
+  INode root_;
+  Stats stats_;
+  // Duplicate-request cache: NFS servers answer retransmissions from
+  // cache.  Keyed per client endpoint so colliding xids don't cross-talk.
+  using CacheKey = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t>;
+  std::map<CacheKey, NfsReply> reply_cache_;
+  std::vector<CacheKey> reply_cache_order_;
+};
+
+// ---------------------------------------------------------------------------
+// Client: synchronous RPC with retransmission.
+
+struct NfsClientConfig {
+  sim::Duration initial_timeout = sim::milliseconds(700);  ///< BSD timeo=7
+  double backoff = 2.0;
+  sim::Duration max_timeout = sim::seconds(20);
+  int max_retries = 10;
+};
+
+class NfsClient {
+ public:
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t failures = 0;  ///< gave up after max_retries
+  };
+
+  using Callback = std::function<void(const NfsReply&, bool ok)>;
+
+  NfsClient(transport::Host& host, net::Endpoint server,
+            NfsClientConfig cfg = {});
+
+  /// Issues one RPC; invokes cb exactly once (ok=false on give-up).
+  void call(NfsOp op, const std::string& path, std::uint32_t offset,
+            std::uint32_t length, Callback cb);
+
+  // Convenience wrappers.
+  void getattr(const std::string& path, Callback cb) {
+    call(NfsOp::kGetAttr, path, 0, 0, std::move(cb));
+  }
+  void lookup(const std::string& path, Callback cb) {
+    call(NfsOp::kLookup, path, 0, 0, std::move(cb));
+  }
+  void read(const std::string& path, std::uint32_t off, std::uint32_t len,
+            Callback cb) {
+    call(NfsOp::kRead, path, off, len, std::move(cb));
+  }
+  void write(const std::string& path, std::uint32_t off, std::uint32_t len,
+             Callback cb) {
+    call(NfsOp::kWrite, path, off, len, std::move(cb));
+  }
+  void create(const std::string& path, Callback cb) {
+    call(NfsOp::kCreate, path, 0, 0, std::move(cb));
+  }
+  void mkdir(const std::string& path, Callback cb) {
+    call(NfsOp::kMkdir, path, 0, 0, std::move(cb));
+  }
+  void readdir(const std::string& path, Callback cb) {
+    call(NfsOp::kReadDir, path, 0, 0, std::move(cb));
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    NfsRequest req;
+    Callback cb;
+    std::unique_ptr<sim::Timer> timer;
+    sim::Duration timeout;
+    int tries = 0;
+  };
+
+  void transmit(Pending& p);
+  void on_datagram(const net::Packet& pkt);
+  void on_timeout(std::uint32_t xid);
+
+  transport::Host& host_;
+  net::Endpoint server_;
+  NfsClientConfig cfg_;
+  transport::UdpSocket socket_;
+  std::uint32_t next_xid_ = 1;
+  std::unordered_map<std::uint32_t, Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace tracemod::apps

@@ -1,0 +1,91 @@
+#include "apps/synrgen.hpp"
+
+namespace tracemod::apps {
+
+SynRGenUser::SynRGenUser(transport::Host& host, net::Endpoint server,
+                         std::string name, std::uint64_t seed,
+                         SynRGenConfig cfg)
+    : host_(host),
+      name_(std::move(name)),
+      cfg_(cfg),
+      rng_(seed),
+      nfs_(host, server) {}
+
+std::string SynRGenUser::file_path(std::size_t i) const {
+  return "home/" + name_ + "/f" + std::to_string(i);
+}
+
+void SynRGenUser::start() {
+  if (running_) return;
+  running_ = true;
+  nfs_.mkdir("home", [this](const NfsReply&, bool) {
+    nfs_.mkdir("home/" + name_, [this](const NfsReply&, bool) { setup(0); });
+  });
+}
+
+void SynRGenUser::setup(std::size_t next_file) {
+  if (!running_) return;
+  if (next_file >= cfg_.files) {
+    think();
+    return;
+  }
+  nfs_.create(file_path(next_file), [this, next_file](const NfsReply&, bool) {
+    nfs_.write(file_path(next_file), 0, cfg_.file_bytes,
+               [this, next_file](const NfsReply&, bool) {
+                 setup(next_file + 1);
+               });
+  });
+}
+
+void SynRGenUser::stop() { running_ = false; }
+
+void SynRGenUser::think() {
+  if (!running_) return;
+  host_.loop().schedule(
+      sim::from_seconds(rng_.exponential(cfg_.mean_think_s)), [this] {
+        if (!running_) return;
+        ++stats_.cycles;
+        std::vector<std::pair<NfsOp, std::uint32_t>> ops;
+        if (rng_.chance(cfg_.compile_fraction)) {
+          // "Debug": compile-ish burst -- heavier reads and object writes.
+          ++stats_.compiles;
+          const auto stats_n = rng_.uniform_int(12, 24);
+          for (std::int64_t i = 0; i < stats_n; ++i) {
+            ops.emplace_back(NfsOp::kGetAttr, 0);
+          }
+          for (int i = 0; i < 8; ++i) {
+            ops.emplace_back(NfsOp::kRead, cfg_.file_bytes);
+          }
+          for (int i = 0; i < 4; ++i) {
+            ops.emplace_back(NfsOp::kWrite, cfg_.file_bytes);
+          }
+        } else {
+          // "Edit": stat the tree, read a file, save a small change.
+          ++stats_.edits;
+          const auto stats_n = rng_.uniform_int(4, 10);
+          for (std::int64_t i = 0; i < stats_n; ++i) {
+            ops.emplace_back(NfsOp::kGetAttr, 0);
+          }
+          ops.emplace_back(NfsOp::kRead, cfg_.file_bytes / 2);
+          ops.emplace_back(NfsOp::kWrite, cfg_.file_bytes / 4);
+        }
+        run_burst(std::move(ops), 0);
+      });
+}
+
+void SynRGenUser::run_burst(std::vector<std::pair<NfsOp, std::uint32_t>> ops,
+                            std::size_t idx) {
+  if (!running_ || idx >= ops.size()) {
+    think();
+    return;
+  }
+  const auto [op, bytes] = ops[idx];
+  const auto file = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(cfg_.files) - 1));
+  nfs_.call(op, file_path(file), 0, bytes,
+            [this, ops = std::move(ops), idx](const NfsReply&, bool) mutable {
+              run_burst(std::move(ops), idx + 1);
+            });
+}
+
+}  // namespace tracemod::apps

@@ -1,0 +1,58 @@
+// SynRGen-style synthetic file-reference generator (paper Section 4.1.4).
+//
+// Models a user in an edit-debug cycle over NFS: bursts of status checks,
+// file reads, and writes separated by think times.  Five of these on
+// interfering laptops produce the Chatterbox scenario's cross traffic.
+#pragma once
+
+#include <string>
+
+#include "apps/nfs.hpp"
+#include "sim/random.hpp"
+
+namespace tracemod::apps {
+
+struct SynRGenConfig {
+  double mean_think_s = 1.8;
+  std::size_t files = 10;
+  std::uint32_t file_bytes = 12 * 1024;
+  /// Probability a cycle is a "compile" burst rather than an "edit" burst.
+  double compile_fraction = 0.5;
+};
+
+class SynRGenUser {
+ public:
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t edits = 0;
+    std::uint64_t compiles = 0;
+  };
+
+  /// The user's working files live under "home/<name>" on the server; they
+  /// are created (via RPC) when the user starts.
+  SynRGenUser(transport::Host& host, net::Endpoint server, std::string name,
+              std::uint64_t seed, SynRGenConfig cfg = {});
+
+  void start();
+  void stop();
+
+  const Stats& stats() const { return stats_; }
+  const NfsClient& nfs() const { return nfs_; }
+
+ private:
+  void setup(std::size_t next_file);
+  void think();
+  void run_burst(std::vector<std::pair<NfsOp, std::uint32_t>> ops,
+                 std::size_t idx);
+  std::string file_path(std::size_t i) const;
+
+  transport::Host& host_;
+  std::string name_;
+  SynRGenConfig cfg_;
+  sim::Rng rng_;
+  NfsClient nfs_;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace tracemod::apps

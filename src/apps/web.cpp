@@ -1,0 +1,115 @@
+#include "apps/web.hpp"
+
+#include <memory>
+
+namespace tracemod::apps {
+
+namespace {
+
+struct HttpRequest {
+  std::uint32_t object_bytes = 0;  ///< size of the object being asked for
+};
+constexpr std::uint32_t kRequestBytes = 300;   ///< GET + headers
+constexpr std::uint32_t kResponseHeaderBytes = 200;
+
+}  // namespace
+
+std::vector<WebReference> make_search_task_trace(sim::Rng& rng,
+                                                 std::size_t count) {
+  std::vector<WebReference> refs;
+  refs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WebReference ref;
+    // Heavy-tailed object sizes: mostly small pages/icons, occasional large
+    // images.  Bounded Pareto keeps trials comparable.
+    ref.object_bytes =
+        static_cast<std::uint32_t>(rng.pareto(1.2, 1500.0, 200000.0));
+    // Mosaic parse/render plus the user-driven pace of "as fast as
+    // possible" trace replay.
+    ref.processing = sim::from_seconds(std::max(0.02, rng.normal(0.245, 0.05)));
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+WebServer::WebServer(transport::Host& host, std::uint16_t port)
+    : host_(host) {
+  host_.tcp().listen(port, [this](transport::TcpConnection& conn) {
+    conn.set_on_record([this, &conn](const std::any& meta, std::uint64_t) {
+      const auto* req = std::any_cast<HttpRequest>(&meta);
+      if (req == nullptr) return;
+      ++stats_.requests;
+      stats_.bytes_served += req->object_bytes;
+      // Response: headers, then the body; HTTP/1.0 close marks the end.
+      conn.send(kResponseHeaderBytes + req->object_bytes);
+      conn.close();
+    });
+  });
+}
+
+WebBenchmark::WebBenchmark(transport::Host& client, net::Endpoint server,
+                           std::vector<WebReference> refs,
+                           sim::Duration object_timeout)
+    : client_(client),
+      server_(server),
+      refs_(std::move(refs)),
+      object_timeout_(object_timeout),
+      timer_(std::make_unique<sim::Timer>(client.loop())) {}
+
+void WebBenchmark::start(Done done) {
+  done_ = std::move(done);
+  started_ = client_.loop().now();
+  next_ = 0;
+  result_ = Result{};
+  fetch_next();
+}
+
+void WebBenchmark::finish(bool ok) {
+  result_.elapsed = client_.loop().now() - started_;
+  result_.ok = ok;
+  if (done_) done_(result_);
+}
+
+void WebBenchmark::fetch_next() {
+  if (next_ >= refs_.size()) {
+    finish(true);
+    return;
+  }
+  const WebReference ref = refs_[next_++];
+  auto& conn = client_.tcp().connect(server_);
+  auto advance = [this, ref](bool ok) {
+    // A failed fetch (connection reset / gave up retrying) is recorded and
+    // skipped; the browser moves on to the next reference.
+    if (ok) {
+      ++result_.objects_fetched;
+      result_.bytes_fetched += ref.object_bytes;
+    } else {
+      ++result_.objects_failed;
+    }
+    client_.loop().schedule(ref.processing, [this] { fetch_next(); });
+  };
+  auto finished = std::make_shared<bool>(false);
+  auto once = [finished, advance](bool ok) {
+    if (*finished) return;
+    *finished = true;
+    advance(ok);
+  };
+
+  conn.set_on_connected([&conn, ref] {
+    conn.send(kRequestBytes, HttpRequest{ref.object_bytes});
+  });
+  // Browser read timeout: abort a wedged fetch and move on.
+  timer_->arm(object_timeout_, [&conn] { conn.abort(); });
+  // The whole response has arrived when the server's FIN lands in order.
+  conn.set_on_peer_fin([this, &conn, once] {
+    timer_->cancel();
+    conn.close();
+    once(true);
+  });
+  conn.set_on_closed([this, once](bool error) {
+    timer_->cancel();
+    once(!error);
+  });
+}
+
+}  // namespace tracemod::apps

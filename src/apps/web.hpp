@@ -1,0 +1,83 @@
+// Web browsing benchmark (paper Section 4.2, Figure 6).
+//
+// Models Mosaic-era HTTP/1.0: one TCP connection per object, a small GET,
+// a response of the object's size, server-side close.  The client replays a
+// reference trace of objects "as fast as possible", separated only by the
+// browser's processing time per object.  Reference traces stand in for the
+// paper's five users' search-task traces: seeded synthetic lists with
+// heavy-tailed object sizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "transport/host.hpp"
+
+namespace tracemod::apps {
+
+struct WebReference {
+  std::uint32_t object_bytes = 0;
+  sim::Duration processing{};  ///< client think/render time after the fetch
+};
+
+/// A synthetic search-task reference trace: `count` objects, heavy-tailed
+/// sizes (median a few KB), ~0.2 s client processing per object.
+std::vector<WebReference> make_search_task_trace(sim::Rng& rng,
+                                                 std::size_t count);
+
+/// Serves any requested object size on the given port.
+class WebServer {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_served = 0;
+  };
+
+  explicit WebServer(transport::Host& host, std::uint16_t port = 80);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  transport::Host& host_;
+  Stats stats_;
+};
+
+/// Replays a reference trace against a server and reports the elapsed time.
+class WebBenchmark {
+ public:
+  struct Result {
+    sim::Duration elapsed{};
+    std::size_t objects_fetched = 0;
+    std::size_t objects_failed = 0;
+    std::uint64_t bytes_fetched = 0;
+    bool ok = false;
+  };
+  using Done = std::function<void(Result)>;
+
+  /// object_timeout: the browser's per-fetch read timeout; a fetch that
+  /// exceeds it is aborted (RST) and counted failed.
+  WebBenchmark(transport::Host& client, net::Endpoint server,
+               std::vector<WebReference> refs,
+               sim::Duration object_timeout = sim::seconds(30));
+
+  void start(Done done);
+
+ private:
+  void fetch_next();
+  void finish(bool ok);
+
+  transport::Host& client_;
+  net::Endpoint server_;
+  std::vector<WebReference> refs_;
+  sim::Duration object_timeout_;
+  std::unique_ptr<sim::Timer> timer_;
+  std::size_t next_ = 0;
+  sim::TimePoint started_{};
+  Done done_;
+  Result result_;
+};
+
+}  // namespace tracemod::apps

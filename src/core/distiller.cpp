@@ -1,0 +1,223 @@
+#include "core/distiller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::core {
+
+std::vector<Distiller::Group> Distiller::reconstruct_groups(
+    const trace::CollectedTrace& trace) {
+  const auto sent = trace.echoes_sent();
+  const auto replies = trace.echo_replies();
+  std::map<std::uint16_t, const trace::PacketRecord*> reply_by_seq;
+  for (const auto& r : replies) reply_by_seq[r.icmp_seq] = &r;
+
+  // Identify the workload's two packet sizes: the smallest observed size is
+  // stage 1, the largest is stage 2.
+  if (sent.size() < 3) return {};
+  double s_small = 1e18, s_large = 0;
+  for (const auto& e : sent) {
+    s_small = std::min(s_small, static_cast<double>(e.ip_bytes));
+    s_large = std::max(s_large, static_cast<double>(e.ip_bytes));
+  }
+  if (s_small >= s_large) return {};  // degenerate workload
+
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i + 2 < sent.size(); ++i) {
+    const auto& e1 = sent[i];
+    const auto& e2 = sent[i + 1];
+    const auto& e3 = sent[i + 2];
+    if (e1.ip_bytes != static_cast<std::uint32_t>(s_small)) continue;
+    if (e2.ip_bytes != static_cast<std::uint32_t>(s_large)) continue;
+    if (e3.ip_bytes != static_cast<std::uint32_t>(s_large)) continue;
+    if (e2.icmp_seq != static_cast<std::uint16_t>(e1.icmp_seq + 1)) continue;
+    if (e3.icmp_seq != static_cast<std::uint16_t>(e1.icmp_seq + 2)) continue;
+
+    const auto* r1 = reply_by_seq.count(e1.icmp_seq)
+                         ? reply_by_seq[e1.icmp_seq]
+                         : nullptr;
+    const auto* r2 = reply_by_seq.count(e2.icmp_seq)
+                         ? reply_by_seq[e2.icmp_seq]
+                         : nullptr;
+    const auto* r3 = reply_by_seq.count(e3.icmp_seq)
+                         ? reply_by_seq[e3.icmp_seq]
+                         : nullptr;
+    if (r1 == nullptr || r2 == nullptr || r3 == nullptr) continue;
+
+    Group g;
+    g.at = r3->at;
+    g.t1_s = sim::to_seconds(r1->rtt());
+    g.t2_s = sim::to_seconds(r2->rtt());
+    g.t3_s = sim::to_seconds(r3->rtt());
+    g.s1_bytes = s_small;
+    g.s2_bytes = s_large;
+    if (g.t1_s <= 0 || g.t2_s <= 0 || g.t3_s <= 0) continue;
+    groups.push_back(g);
+  }
+  return groups;
+}
+
+void Distiller::estimate_delays(const std::vector<Group>& groups) {
+  estimates_.clear();
+  std::optional<Estimate> last_good;  // correction baseline; never corrected
+  for (const Group& g : groups) {
+    ++stats_.groups_total;
+    // Equations (5)-(8).
+    const double v = (g.t2_s - g.t1_s) / (2.0 * (g.s2_bytes - g.s1_bytes));
+    double f = g.t1_s / 2.0 - g.s1_bytes * v;
+    double vb = (g.t3_s - g.t2_s) / g.s2_bytes;
+    double vr = v - vb;
+
+    // Floating-point cancellation can leave Vr (or Vb) a hair below zero
+    // when the true value is zero; that is not a "different conditions"
+    // signal, so clamp instead of correcting.
+    if (vr < 0.0 && -vr < 1e-3 * std::max(v, 1e-12)) vr = 0.0;
+    if (vb < 0.0 && -vb < 1e-3 * std::max(v, 1e-12)) vb = 0.0;
+
+    // A marginally negative F is a structural artifact of measuring over a
+    // shared medium (replies queue behind the probe's own later packets,
+    // inflating V slightly); clamp it rather than discarding the group.
+    // Substantially negative parameters still take the correction path.
+    if (f < 0.0 && f >= -0.1 * g.t1_s) f = 0.0;
+
+    if (f >= 0.0 && vb >= 0.0 && vr >= 0.0) {
+      Estimate e{g.at, f, vb, vr, false};
+      estimates_.push_back(e);
+      last_good = e;
+      continue;
+    }
+    if (!last_good) {
+      ++stats_.groups_skipped;
+      continue;
+    }
+    // Negative parameter: the packets saw different conditions.  Reuse the
+    // previous good Vb/Vr and fold the observed-vs-expected time difference
+    // into F, attributing short-term variation to media access delay
+    // (Section 3.2.2).  The difference is averaged over the whole group so
+    // a delay spike on any of the three packets is captured.  The baseline
+    // stays last_good so the correction cannot cascade.
+    const double v_prev =
+        last_good->per_byte_bottleneck + last_good->per_byte_residual;
+    const double t1_exp = 2.0 * (last_good->latency_s + g.s1_bytes * v_prev);
+    const double t2_exp = 2.0 * (last_good->latency_s + g.s2_bytes * v_prev);
+    const double t3_exp =
+        t2_exp + g.s2_bytes * last_good->per_byte_bottleneck;
+    // Media access delay strikes individual packets, so the group's worst
+    // round-trip deviation is the best instantaneous estimate of it.
+    const double diff = std::max({g.t1_s - t1_exp, g.t2_s - t2_exp,
+                                  g.t3_s - t3_exp}) /
+                        2.0;
+    const double f_corrected = std::max(0.0, last_good->latency_s + diff);
+    estimates_.push_back(Estimate{g.at, f_corrected,
+                                  last_good->per_byte_bottleneck,
+                                  last_good->per_byte_residual, true});
+    ++stats_.groups_corrected;
+  }
+}
+
+double Distiller::window_loss(const std::vector<trace::PacketRecord>& replies,
+                              std::uint64_t echoes_sent_total,
+                              sim::TimePoint w_begin, sim::TimePoint w_end,
+                              double previous) const {
+  if (replies.empty() || echoes_sent_total == 0) return previous;
+
+  // Sequence of the last reply strictly before the window, and of the first
+  // reply at/after the window's end; the workload's sequence numbers are
+  // dense, so the gap tells us how many ECHOs went unanswered.
+  std::int64_t seq_lo = -1;
+  std::int64_t seq_hi = static_cast<std::int64_t>(echoes_sent_total);
+  std::int64_t b = 0;
+  for (const auto& r : replies) {
+    if (r.at < w_begin) {
+      seq_lo = std::max<std::int64_t>(seq_lo, r.icmp_seq);
+    } else if (r.at >= w_end) {
+      seq_hi = std::min<std::int64_t>(seq_hi, r.icmp_seq);
+    } else {
+      ++b;
+    }
+  }
+  const std::int64_t a = seq_hi - seq_lo - 1;
+  if (a <= 0) return previous;
+  const double ratio =
+      std::min(1.0, static_cast<double>(b) / static_cast<double>(a));
+  const double loss = 1.0 - std::sqrt(ratio);
+  return std::clamp(loss, 0.0, cfg_.max_loss);
+}
+
+ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
+  stats_ = Stats{};
+  const auto groups = reconstruct_groups(trace);
+  estimate_delays(groups);
+
+  if (trace.records.empty()) return ReplayTrace{};
+  const sim::TimePoint t0 = trace::record_time(trace.records.front());
+  const sim::TimePoint t_end = trace::record_time(trace.records.back());
+  const auto replies = trace.echo_replies();
+  const std::uint64_t echoes_total = trace.echoes_sent().size();
+
+  struct WindowResult {
+    bool have_delay = false;
+    double f = 0, vb = 0, vr = 0;
+  };
+  std::vector<WindowResult> wins;
+  std::vector<double> losses;
+
+  double prev_loss = 0.0;
+  for (sim::TimePoint step_start = t0; step_start < t_end;
+       step_start += cfg_.step) {
+    const sim::TimePoint mid = step_start + cfg_.step / 2;
+    const sim::TimePoint w_begin = mid - cfg_.window / 2;
+    const sim::TimePoint w_end = mid + cfg_.window / 2;
+
+    WindowResult w;
+    double f_sum = 0, vb_sum = 0, vr_sum = 0;
+    std::size_t n = 0;
+    for (const Estimate& e : estimates_) {
+      if (e.at >= w_begin && e.at < w_end) {
+        f_sum += e.latency_s;
+        vb_sum += e.per_byte_bottleneck;
+        vr_sum += e.per_byte_residual;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      w.have_delay = true;
+      w.f = f_sum / static_cast<double>(n);
+      w.vb = vb_sum / static_cast<double>(n);
+      w.vr = vr_sum / static_cast<double>(n);
+    } else {
+      ++stats_.windows_empty;
+    }
+    wins.push_back(w);
+
+    prev_loss = window_loss(replies, echoes_total, w_begin, w_end, prev_loss);
+    losses.push_back(prev_loss);
+  }
+
+  // Fill windows with no delay estimate (deep outages) from neighbours:
+  // forward fill, then backward fill for a leading gap.
+  for (std::size_t i = 1; i < wins.size(); ++i) {
+    if (!wins[i].have_delay && wins[i - 1].have_delay) {
+      wins[i] = wins[i - 1];
+    }
+  }
+  for (std::size_t i = wins.size(); i-- > 1;) {
+    if (!wins[i - 1].have_delay && wins[i].have_delay) {
+      wins[i - 1] = wins[i];
+    }
+  }
+
+  std::vector<QualityTuple> tuples;
+  tuples.reserve(wins.size());
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    if (!wins[i].have_delay) continue;  // trace had no usable group at all
+    tuples.push_back(
+        QualityTuple{cfg_.step, wins[i].f, wins[i].vb, wins[i].vr, losses[i]});
+  }
+  return ReplayTrace(std::move(tuples));
+}
+
+}  // namespace tracemod::core

@@ -1,0 +1,79 @@
+// Trace distillation (paper Section 3.2.2).
+//
+// Transforms a collected trace into a replay trace:
+//   1. reconstruct the ping workload's packet groups (one small ECHO, two
+//      large back-to-back ECHOs) from the recorded stream;
+//   2. per complete group, solve equations (5)-(8) for F, Vb, Vr using only
+//      round-trip times taken on a single host;
+//   3. when a group yields negative parameters (the packets saw different
+//      network conditions), apply the paper's correction: keep the previous
+//      Vb/Vr, fold the observed/expected difference into F, and do not let
+//      the correction cascade;
+//   4. slide a window (default 5 s) over the estimates, emitting one delay
+//      tuple per step as the window average;
+//   5. per window, estimate the loss rate from ECHOREPLY sequence-number
+//      gaps in and immediately surrounding the window: L = 1 - sqrt(b/a).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "trace/records.hpp"
+
+namespace tracemod::core {
+
+struct DistillConfig {
+  sim::Duration window = sim::seconds(5);
+  sim::Duration step = sim::seconds(1);
+  double max_loss = 0.99;  ///< cap so modulation never fully blackholes
+};
+
+class Distiller {
+ public:
+  /// One per-group estimate of the instantaneous delay parameters.
+  struct Estimate {
+    sim::TimePoint at;  ///< completion time of the group (stage-1 reply)
+    double latency_s = 0.0;
+    double per_byte_bottleneck = 0.0;
+    double per_byte_residual = 0.0;
+    bool corrected = false;  ///< negative-parameter correction applied
+  };
+
+  struct Stats {
+    std::size_t groups_total = 0;      ///< complete 3-reply groups
+    std::size_t groups_corrected = 0;  ///< negative-parameter corrections
+    std::size_t groups_skipped = 0;    ///< unusable (no prior estimate)
+    std::size_t windows_empty = 0;     ///< windows with no delay estimate
+  };
+
+  explicit Distiller(DistillConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Runs the full single-pass distillation.
+  ReplayTrace distill(const trace::CollectedTrace& trace);
+
+  /// The per-group estimates from the last distill() call (for analysis
+  /// and the figure benches).
+  const std::vector<Estimate>& estimates() const { return estimates_; }
+  const Stats& stats() const { return stats_; }
+  const DistillConfig& config() const { return cfg_; }
+
+ private:
+  struct Group {
+    sim::TimePoint at;
+    double t1_s, t2_s, t3_s;   ///< round-trip times, seconds
+    double s1_bytes, s2_bytes; ///< packet sizes (IP bytes)
+  };
+
+  std::vector<Group> reconstruct_groups(const trace::CollectedTrace& trace);
+  void estimate_delays(const std::vector<Group>& groups);
+  double window_loss(const std::vector<trace::PacketRecord>& replies,
+                     std::uint64_t echoes_sent_total, sim::TimePoint w_begin,
+                     sim::TimePoint w_end, double previous) const;
+
+  DistillConfig cfg_;
+  std::vector<Estimate> estimates_;
+  Stats stats_;
+};
+
+}  // namespace tracemod::core

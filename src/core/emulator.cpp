@@ -1,0 +1,92 @@
+#include "core/emulator.hpp"
+
+#include "core/distiller.hpp"
+#include "sim/clock_model.hpp"
+#include "trace/ping.hpp"
+#include "trace/trace_tap.hpp"
+
+namespace tracemod::core {
+
+Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
+    : cfg_(cfg),
+      segment_(loop_, cfg.ethernet),
+      replay_device_(cfg.replay_buffer_capacity) {
+  mobile_ = std::make_unique<transport::Host>(loop_, "mobile", cfg.seed,
+                                              cfg.tcp);
+  server_ = std::make_unique<transport::Host>(loop_, "server", cfg.seed + 1,
+                                              cfg.tcp);
+
+  auto mobile_dev =
+      std::make_unique<net::EthernetDevice>(segment_, "mobile-eth0");
+  mobile_dev->claim_address(cfg.mobile_addr);
+  mobile_->node().add_interface(std::move(mobile_dev), cfg.mobile_addr);
+  mobile_->node().set_default_route(0);
+
+  auto server_dev =
+      std::make_unique<net::EthernetDevice>(segment_, "server-eth0");
+  server_dev->claim_address(cfg.server_addr);
+  server_->node().add_interface(std::move(server_dev), cfg.server_addr);
+  server_->node().set_default_route(0);
+
+  // Insert the modulation layer between the mobile's IP and Ethernet.
+  ModulationConfig mod_cfg = cfg.modulation;
+  mod_cfg.drop_seed ^= cfg.seed * 0x9e3779b97f4a7c15ULL;
+  // The endpoint-placement artifact scales with the physical network's
+  // serialization cost (see ModulationConfig::inbound_physical_vb).
+  mod_cfg.inbound_physical_vb = 8.0 / cfg.ethernet.bandwidth_bps;
+  mobile_->node().wrap_interface(
+      0, [&](std::unique_ptr<net::NetDevice> inner) {
+        auto layer = std::make_unique<ModulationLayer>(
+            std::move(inner), loop_, replay_device_, mod_cfg);
+        modulation_ = layer.get();
+        return layer;
+      });
+
+  daemon_ = std::make_unique<ModulationDaemon>(loop_, replay_device_,
+                                               std::move(trace),
+                                               cfg.loop_trace);
+  daemon_->start();
+}
+
+double Emulator::measure_physical_vb(const EmulatorConfig& cfg,
+                                     sim::Duration measure_for) {
+  // A plain (unmodulated) testbed on the same physical configuration,
+  // measured with the same tools: ping workload + trace tap + distillation.
+  sim::EventLoop loop;
+  net::EthernetSegment segment(loop, cfg.ethernet);
+  transport::Host mobile(loop, "mobile", cfg.seed, cfg.tcp);
+  transport::Host server(loop, "server", cfg.seed + 1, cfg.tcp);
+
+  auto mobile_dev = std::make_unique<net::EthernetDevice>(segment, "m-eth0");
+  mobile_dev->claim_address(cfg.mobile_addr);
+  mobile.node().add_interface(std::move(mobile_dev), cfg.mobile_addr);
+  mobile.node().set_default_route(0);
+
+  auto server_dev = std::make_unique<net::EthernetDevice>(segment, "s-eth0");
+  server_dev->claim_address(cfg.server_addr);
+  server.node().add_interface(std::move(server_dev), cfg.server_addr);
+  server.node().set_default_route(0);
+
+  sim::ClockModel clock;  // measurement host clock (ideal here)
+  trace::TraceTap* tap = nullptr;
+  mobile.node().wrap_interface(0, [&](std::unique_ptr<net::NetDevice> inner) {
+    auto t = std::make_unique<trace::TraceTap>(std::move(inner), loop, clock,
+                                               nullptr);
+    tap = t.get();
+    return t;
+  });
+  trace::CollectionDaemon collector(loop, *tap);
+  trace::PingWorkload ping(mobile, cfg.server_addr, clock);
+
+  collector.start();
+  ping.start();
+  loop.run_until(loop.now() + measure_for);
+  ping.stop();
+  collector.stop();
+
+  Distiller distiller;
+  const ReplayTrace measured = distiller.distill(collector.trace());
+  return measured.mean_bottleneck_per_byte();
+}
+
+}  // namespace tracemod::core

@@ -1,0 +1,64 @@
+// High-level facade: a complete modulated testbed.
+//
+// Reproduces the paper's modulation setup: a "mobile" host and a server on
+// an isolated Ethernet, with the mobile's protocol stack extended by a
+// modulation layer fed from a replay trace.  Unmodified application code
+// (anything speaking to the hosts' sockets) then experiences the traced
+// network.  Also provides the one-time physical-network measurement used
+// for inbound delay compensation.
+#pragma once
+
+#include <memory>
+
+#include "core/modulation.hpp"
+#include "core/replay_device.hpp"
+#include "net/ethernet.hpp"
+#include "transport/host.hpp"
+
+namespace tracemod::core {
+
+struct EmulatorConfig {
+  net::EthernetConfig ethernet{};
+  transport::TcpConfig tcp{};
+  ModulationConfig modulation{};
+  std::size_t replay_buffer_capacity = 64;
+  bool loop_trace = false;
+  std::uint64_t seed = 1;
+  net::IpAddress mobile_addr = net::IpAddress(10, 0, 0, 2);
+  net::IpAddress server_addr = net::IpAddress(10, 0, 0, 1);
+};
+
+class Emulator {
+ public:
+  explicit Emulator(ReplayTrace trace, EmulatorConfig cfg = {});
+
+  transport::Host& mobile() { return *mobile_; }
+  transport::Host& server() { return *server_; }
+  sim::EventLoop& loop() { return loop_; }
+  ModulationLayer& modulation() { return *modulation_; }
+  ModulationDaemon& daemon() { return *daemon_; }
+  const EmulatorConfig& config() const { return cfg_; }
+
+  void run_for(sim::Duration d) { loop_.run_until(loop_.now() + d); }
+  void run() { loop_.run(); }
+
+  /// Measures the physical modulating network's long-term mean bottleneck
+  /// per-byte cost using the same ping + distillation tools (Figure 1's
+  /// compensation constant).  Needs to run only once per modulation setup;
+  /// it is independent of the network being emulated.
+  static double measure_physical_vb(
+      const EmulatorConfig& cfg = {},
+      sim::Duration measure_for = sim::seconds(60));
+
+ private:
+  EmulatorConfig cfg_;
+  sim::EventLoop loop_;
+  net::EthernetSegment segment_;
+  std::unique_ptr<transport::Host> mobile_;
+  std::unique_ptr<transport::Host> server_;
+  ReplayPseudoDevice replay_device_;
+  ModulationLayer* modulation_ = nullptr;  // owned by the mobile's node
+  std::unique_ptr<ModulationDaemon> daemon_;
+};
+
+}  // namespace tracemod::core

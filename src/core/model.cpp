@@ -1,0 +1,134 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::core {
+
+sim::Duration ReplayTrace::total_duration() const {
+  sim::Duration total{};
+  for (const QualityTuple& t : tuples_) total += t.d;
+  return total;
+}
+
+const QualityTuple& ReplayTrace::at_offset(sim::Duration offset) const {
+  TM_ASSERT(!tuples_.empty());
+  sim::Duration acc{};
+  for (const QualityTuple& t : tuples_) {
+    acc += t.d;
+    if (offset < acc) return t;
+  }
+  return tuples_.back();
+}
+
+double ReplayTrace::mean_latency_s() const {
+  double num = 0.0, den = 0.0;
+  for (const QualityTuple& t : tuples_) {
+    num += t.latency_s * sim::to_seconds(t.d);
+    den += sim::to_seconds(t.d);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double ReplayTrace::mean_bottleneck_per_byte() const {
+  double num = 0.0, den = 0.0;
+  for (const QualityTuple& t : tuples_) {
+    num += t.per_byte_bottleneck * sim::to_seconds(t.d);
+    den += sim::to_seconds(t.d);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double ReplayTrace::mean_loss() const {
+  double num = 0.0, den = 0.0;
+  for (const QualityTuple& t : tuples_) {
+    num += t.loss * sim::to_seconds(t.d);
+    den += sim::to_seconds(t.d);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+void ReplayTrace::serialize(std::ostream& out) const {
+  out << "# tracemod replay v1\n";
+  out << "# d_seconds latency_s vb_s_per_byte vr_s_per_byte loss\n";
+  out.precision(12);
+  for (const QualityTuple& t : tuples_) {
+    out << sim::to_seconds(t.d) << ' ' << t.latency_s << ' '
+        << t.per_byte_bottleneck << ' ' << t.per_byte_residual << ' '
+        << t.loss << '\n';
+  }
+}
+
+ReplayTrace ReplayTrace::parse(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# tracemod replay v1", 0) != 0) {
+    throw std::runtime_error("replay trace: missing version header");
+  }
+  std::vector<QualityTuple> tuples;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double d_s, f, vb, vr, loss;
+    if (!(ls >> d_s >> f >> vb >> vr >> loss)) {
+      throw std::runtime_error("replay trace: malformed line: " + line);
+    }
+    if (d_s <= 0.0 || vb < 0.0 || vr < 0.0 || loss < 0.0 || loss > 1.0) {
+      throw std::runtime_error("replay trace: out-of-range values: " + line);
+    }
+    tuples.push_back(QualityTuple{sim::from_seconds(d_s), f, vb, vr, loss});
+  }
+  return ReplayTrace(std::move(tuples));
+}
+
+void ReplayTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  serialize(out);
+}
+
+ReplayTrace ReplayTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return parse(in);
+}
+
+ReplayTrace ReplayTrace::constant(sim::Duration total, sim::Duration step,
+                                  double latency_s, double bandwidth_bps,
+                                  double loss) {
+  TM_ASSERT(step.count() > 0 && bandwidth_bps > 0);
+  std::vector<QualityTuple> tuples;
+  const double vb = 8.0 / bandwidth_bps;
+  for (sim::Duration t{}; t < total; t += step) {
+    tuples.push_back(QualityTuple{step, latency_s, vb, vb * 0.05, loss});
+  }
+  return ReplayTrace(std::move(tuples));
+}
+
+ReplayTrace ReplayTrace::bandwidth_step(sim::Duration total,
+                                        sim::Duration step, double latency_s,
+                                        double low_bps, double high_bps,
+                                        sim::Duration period, double loss) {
+  TM_ASSERT(step.count() > 0 && period.count() > 0);
+  std::vector<QualityTuple> tuples;
+  for (sim::Duration t{}; t < total; t += step) {
+    const bool high = (t.count() / (period.count() / 2)) % 2 == 0;
+    const double bw = high ? high_bps : low_bps;
+    tuples.push_back(
+        QualityTuple{step, latency_s, 8.0 / bw, 0.0, loss});
+  }
+  return ReplayTrace(std::move(tuples));
+}
+
+ReplayTrace ReplayTrace::wavelan_like(sim::Duration total) {
+  // Typical WaveLAN figures from the paper's traces: ~3 ms latency,
+  // ~1.5 Mb/s bottleneck bandwidth, a few percent loss.
+  return constant(total, sim::seconds(1), 0.003, 1.5e6, 0.02);
+}
+
+}  // namespace tracemod::core

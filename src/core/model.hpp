@@ -1,0 +1,94 @@
+// The paper's simple, instantaneous network model (Section 3.2.1).
+//
+// Time-varying network quality is a sequence of invariant segments, each a
+// network quality tuple <d, F, Vb, Vr, L>:
+//   d  - segment duration
+//   F  - latency: fixed per-packet cost, seconds (one-way)
+//   Vb - bottleneck per-byte cost, seconds/byte (inverse bottleneck bandwidth)
+//   Vr - residual per-byte cost along the rest of the path, seconds/byte
+//   L  - probability a packet crossing the path in this segment is lost
+// A single unqueued packet of s bytes takes F + s(Vb + Vr) one way
+// (equation 4); only the bottleneck term serializes consecutive packets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tracemod::core {
+
+struct QualityTuple {
+  sim::Duration d{};
+  double latency_s = 0.0;        ///< F
+  double per_byte_bottleneck = 0.0;  ///< Vb, s/byte
+  double per_byte_residual = 0.0;    ///< Vr, s/byte
+  double loss = 0.0;             ///< L, one-way drop probability
+
+  /// One-way delay of an unqueued packet of the given size (equation 4).
+  double one_way_delay_s(std::uint32_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) *
+               (per_byte_bottleneck + per_byte_residual);
+  }
+
+  /// Bottleneck bandwidth implied by Vb, bits/second.
+  double bottleneck_bandwidth_bps() const {
+    return per_byte_bottleneck > 0.0 ? 8.0 / per_byte_bottleneck : 0.0;
+  }
+};
+
+/// The replay trace: a concise, time-varying description of network quality
+/// (the distillation output, the modulation input).
+class ReplayTrace {
+ public:
+  ReplayTrace() = default;
+  explicit ReplayTrace(std::vector<QualityTuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  const std::vector<QualityTuple>& tuples() const { return tuples_; }
+  std::vector<QualityTuple>& tuples() { return tuples_; }
+  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return tuples_.size(); }
+
+  sim::Duration total_duration() const;
+
+  /// The tuple active at the given offset from the trace start; clamps to
+  /// the last tuple past the end.
+  const QualityTuple& at_offset(sim::Duration offset) const;
+
+  /// Long-term (duration-weighted) averages, used for delay compensation
+  /// and reporting.
+  double mean_latency_s() const;
+  double mean_bottleneck_per_byte() const;
+  double mean_loss() const;
+
+  // --- text serialization ("# tracemod replay v1", one tuple per line) ---
+  void serialize(std::ostream& out) const;
+  static ReplayTrace parse(std::istream& in);
+  void save(const std::string& path) const;
+  static ReplayTrace load(const std::string& path);
+
+  // --- synthetic traces (paper Section 6) ---
+
+  /// Constant conditions for the given total duration.
+  static ReplayTrace constant(sim::Duration total, sim::Duration step,
+                              double latency_s, double bandwidth_bps,
+                              double loss);
+
+  /// A step function: bandwidth switches between two levels every half
+  /// period (used to explore adaptive systems, per the Odyssey reference).
+  static ReplayTrace bandwidth_step(sim::Duration total, sim::Duration step,
+                                    double latency_s, double low_bps,
+                                    double high_bps, sim::Duration period,
+                                    double loss = 0.0);
+
+  /// Roughly WaveLAN-like conditions (Figure 1's synthetic trace).
+  static ReplayTrace wavelan_like(sim::Duration total);
+
+ private:
+  std::vector<QualityTuple> tuples_;
+};
+
+}  // namespace tracemod::core

@@ -1,0 +1,45 @@
+#include "core/replay_device.hpp"
+
+namespace tracemod::core {
+
+ModulationDaemon::ModulationDaemon(sim::EventLoop& loop,
+                                   ReplayPseudoDevice& dev, ReplayTrace trace,
+                                   bool loop_trace, sim::Duration wakeup)
+    : loop_(loop),
+      dev_(dev),
+      trace_(std::move(trace)),
+      loop_trace_(loop_trace),
+      wakeup_(wakeup),
+      timer_(loop) {}
+
+void ModulationDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  pump();
+}
+
+void ModulationDaemon::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void ModulationDaemon::pump() {
+  if (!running_) return;
+  const auto& tuples = trace_.tuples();
+  while (next_ < tuples.size() || loop_trace_) {
+    if (next_ >= tuples.size()) next_ = 0;  // loop over the file
+    if (tuples.empty()) break;
+    if (!dev_.write(tuples[next_])) {
+      // Buffer full: "the daemon blocks until there is room"; wake up later.
+      timer_.arm(wakeup_, [this] { pump(); });
+      return;
+    }
+    ++next_;
+  }
+  // Wrote the file of tuples once: close the pseudo-device (Section 3.3).
+  dev_.close_writer();
+  finished_ = true;
+  running_ = false;
+}
+
+}  // namespace tracemod::core

@@ -1,0 +1,83 @@
+// The modulation pseudo-device and its user-level daemon (Section 3.3).
+//
+// The daemon reads quality tuples from a replay trace and writes them into
+// the pseudo-device's fixed-size in-kernel buffer; when the buffer is full
+// the daemon blocks (here: retries on its next wakeup).  The modulation
+// layer reads tuples out as segments of emulated time expire.  The daemon
+// may feed the trace once or loop over it until stopped.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/model.hpp"
+#include "sim/event_loop.hpp"
+
+namespace tracemod::core {
+
+class ReplayPseudoDevice {
+ public:
+  explicit ReplayPseudoDevice(std::size_t capacity = 64)
+      : capacity_(capacity) {}
+
+  /// Kernel-side: pop the next tuple; empty when the daemon has fallen
+  /// behind or the trace is exhausted.
+  std::optional<QualityTuple> read() {
+    if (buf_.empty()) return std::nullopt;
+    QualityTuple t = buf_.front();
+    buf_.pop_front();
+    return t;
+  }
+
+  /// Daemon-side: returns false when the buffer is full (caller blocks).
+  bool write(const QualityTuple& t) {
+    if (buf_.size() >= capacity_) return false;
+    buf_.push_back(t);
+    return true;
+  }
+
+  /// Daemon-side: no more tuples will ever be written (the daemon closed
+  /// the pseudo-device).  Once drained, the modulation layer reverts to
+  /// pass-through.
+  void close_writer() { writer_closed_ = true; }
+  bool writer_closed() const { return writer_closed_; }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buf_.empty(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<QualityTuple> buf_;
+  bool writer_closed_ = false;
+};
+
+class ModulationDaemon {
+ public:
+  /// loop_trace: feed the tuple file repeatedly until stop() (the paper's
+  /// "loop over the file until interrupted").
+  ModulationDaemon(sim::EventLoop& loop, ReplayPseudoDevice& dev,
+                   ReplayTrace trace, bool loop_trace = false,
+                   sim::Duration wakeup = sim::milliseconds(100));
+
+  void start();
+  void stop();
+
+  /// True once every tuple has been written (never true when looping).
+  bool finished() const { return finished_; }
+
+ private:
+  void pump();
+
+  sim::EventLoop& loop_;
+  ReplayPseudoDevice& dev_;
+  ReplayTrace trace_;
+  bool loop_trace_;
+  sim::Duration wakeup_;
+  sim::Timer timer_;
+  std::size_t next_ = 0;
+  bool running_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace tracemod::core

@@ -1,0 +1,89 @@
+// Network device abstraction.
+//
+// A NetDevice is the boundary between a host's protocol stack and a medium.
+// The stack calls transmit() for outbound packets; the medium (or an inner
+// device) calls deliver_up() for inbound ones, which invokes the callback
+// installed by the stack.
+//
+// DeviceShim is the decorator base used by both the trace-collection tap and
+// the modulation layer: it wraps an inner device and sees every packet in
+// both directions, exactly like the paper's hooks "between the IP and
+// Ethernet layers" (Section 3.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/assert.hpp"
+
+namespace tracemod::net {
+
+class NetDevice {
+ public:
+  using ReceiveCallback = std::function<void(Packet)>;
+
+  virtual ~NetDevice() = default;
+
+  /// Sends a packet toward the medium.
+  virtual void transmit(Packet pkt) = 0;
+
+  /// Installed by the protocol stack (or by an outer decorator).
+  void set_receive_callback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+
+  virtual std::string name() const = 0;
+
+  /// Bytes of link-layer framing this device adds to an IP datagram.
+  virtual std::uint32_t framing_bytes() const { return kEthernetHeaderBytes; }
+
+ protected:
+  /// Hands an inbound packet to whoever is stacked above this device.
+  void deliver_up(Packet pkt) {
+    if (receive_cb_) receive_cb_(std::move(pkt));
+  }
+
+ private:
+  ReceiveCallback receive_cb_;
+};
+
+/// Decorator base: wraps an inner device, forwarding both directions through
+/// overridable hooks.  Subclasses override on_outbound/on_inbound and call
+/// send_down/send_up when (and if) the packet should continue.
+class DeviceShim : public NetDevice {
+ public:
+  explicit DeviceShim(std::unique_ptr<NetDevice> inner)
+      : inner_(std::move(inner)) {
+    TM_ASSERT(inner_ != nullptr);
+    inner_->set_receive_callback(
+        [this](Packet pkt) { on_inbound(std::move(pkt)); });
+  }
+
+  void transmit(Packet pkt) final { on_outbound(std::move(pkt)); }
+
+  std::string name() const override { return inner_->name(); }
+  std::uint32_t framing_bytes() const override {
+    return inner_->framing_bytes();
+  }
+
+  NetDevice& inner() { return *inner_; }
+  const NetDevice& inner() const { return *inner_; }
+
+ protected:
+  /// Default behaviour is pass-through in both directions.
+  virtual void on_outbound(Packet pkt) { send_down(std::move(pkt)); }
+  virtual void on_inbound(Packet pkt) { send_up(std::move(pkt)); }
+
+  void send_down(Packet pkt) { inner_->transmit(std::move(pkt)); }
+  void send_up(Packet pkt) { deliver_up(std::move(pkt)); }
+
+ private:
+  std::unique_ptr<NetDevice> inner_;
+};
+
+/// Directly connects two stacks with a constant-rate, constant-delay pipe.
+/// Used in unit tests where full Ethernet/wireless media would be noise.
+class LoopbackPipe;
+
+}  // namespace tracemod::net

@@ -1,0 +1,30 @@
+#include "net/ip_address.hpp"
+
+#include <cstdio>
+
+namespace tracemod::net {
+
+IpAddress IpAddress::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("malformed IP address: '" + text + "'");
+  }
+  return IpAddress(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                   static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string IpAddress::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::string Endpoint::str() const {
+  return addr.str() + ":" + std::to_string(port);
+}
+
+}  // namespace tracemod::net

@@ -1,0 +1,74 @@
+// IPv4-style addressing for the simulated internetwork.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace tracemod::net {
+
+/// A 32-bit network address with dotted-quad parsing and printing.
+struct IpAddress {
+  std::uint32_t value = 0;
+
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t v) : value(v) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static IpAddress parse(const std::string& text);
+
+  std::string str() const;
+
+  constexpr bool is_unspecified() const { return value == 0; }
+
+  friend constexpr bool operator==(IpAddress a, IpAddress b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(IpAddress a, IpAddress b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(IpAddress a, IpAddress b) {
+    return a.value < b.value;
+  }
+};
+
+/// Transport endpoint: address + port.
+struct Endpoint {
+  IpAddress addr;
+  std::uint16_t port = 0;
+
+  std::string str() const;
+
+  friend constexpr bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.addr == b.addr && a.port == b.port;
+  }
+  friend constexpr bool operator!=(const Endpoint& a, const Endpoint& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Endpoint& a, const Endpoint& b) {
+    if (a.addr != b.addr) return a.addr < b.addr;
+    return a.port < b.port;
+  }
+};
+
+}  // namespace tracemod::net
+
+template <>
+struct std::hash<tracemod::net::IpAddress> {
+  std::size_t operator()(tracemod::net::IpAddress a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<tracemod::net::Endpoint> {
+  std::size_t operator()(const tracemod::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.addr.value} << 16) | e.port);
+  }
+};

@@ -1,0 +1,211 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tracemod::net {
+
+namespace {
+std::atomic<std::uint64_t> g_packet_id{1};
+
+bool prefix_match(IpAddress network, unsigned prefix_len, IpAddress dst) {
+  if (prefix_len == 0) return true;
+  const std::uint32_t mask =
+      prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1u);
+  return (network.value & mask) == (dst.value & mask);
+}
+}  // namespace
+
+std::uint64_t next_packet_id() {
+  return g_packet_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Node::Node(sim::EventLoop& loop, std::string name, std::uint64_t seed)
+    : loop_(loop), name_(std::move(name)), rng_(seed) {}
+
+std::size_t Node::add_interface(std::unique_ptr<NetDevice> dev,
+                                IpAddress addr) {
+  TM_ASSERT(dev != nullptr);
+  interfaces_.push_back(Interface{std::move(dev), addr});
+  const std::size_t index = interfaces_.size() - 1;
+  install_callback(index);
+  return index;
+}
+
+void Node::install_callback(std::size_t index) {
+  interfaces_[index].dev->set_receive_callback(
+      [this](Packet pkt) { on_receive(std::move(pkt)); });
+}
+
+void Node::wrap_interface(
+    std::size_t index,
+    std::function<std::unique_ptr<NetDevice>(std::unique_ptr<NetDevice>)>
+        factory) {
+  TM_ASSERT(index < interfaces_.size());
+  interfaces_[index].dev = factory(std::move(interfaces_[index].dev));
+  TM_ASSERT(interfaces_[index].dev != nullptr);
+  install_callback(index);
+}
+
+void Node::add_route(IpAddress network, unsigned prefix_len,
+                     std::size_t interface) {
+  TM_ASSERT(interface < interfaces_.size());
+  TM_ASSERT(prefix_len <= 32);
+  routes_.push_back(Route{network, prefix_len, interface});
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Route& a, const Route& b) {
+                     return a.prefix_len > b.prefix_len;
+                   });
+}
+
+void Node::register_protocol(Protocol proto, ProtocolHandler* handler) {
+  handlers_[static_cast<std::size_t>(proto)] = handler;
+}
+
+const Node::Route* Node::lookup_route(IpAddress dst) const {
+  for (const Route& r : routes_) {
+    if (prefix_match(r.network, r.prefix_len, dst)) return &r;
+  }
+  return nullptr;
+}
+
+void Node::transmit_via(std::size_t interface, Packet pkt) {
+  interfaces_[interface].dev->transmit(std::move(pkt));
+}
+
+bool Node::send(Packet pkt) {
+  const Route* route = lookup_route(pkt.dst);
+  if (route == nullptr) {
+    ++stats_.no_route;
+    return false;
+  }
+  if (pkt.src.is_unspecified()) pkt.src = interfaces_[route->interface].addr;
+  if (pkt.id == 0) pkt.id = next_packet_id();
+  pkt.created_at = loop_.now();
+  ++stats_.sent;
+
+  if (pkt.ip_size() <= kMtuBytes) {
+    transmit_via(route->interface, std::move(pkt));
+    return true;
+  }
+
+  // IP fragmentation: split the datagram into MTU-sized pieces.  Each
+  // fragment is a real packet on the wire (it is delayed, dropped, and
+  // traced individually); the destination reassembles, and losing any
+  // fragment loses the datagram.
+  ++stats_.datagrams_fragmented;
+  const std::uint32_t chunk =
+      kMtuBytes - kIpHeaderBytes - pkt.l4_header_bytes();
+  const std::uint32_t total = pkt.payload_size;
+  const auto count =
+      static_cast<std::uint16_t>((total + chunk - 1) / chunk);
+  auto original = std::make_shared<const Packet>(std::move(pkt));
+  const std::uint32_t frag_id = next_frag_id_++;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    Packet frag;
+    frag.id = next_packet_id();
+    frag.src = original->src;
+    frag.dst = original->dst;
+    frag.ttl = original->ttl;
+    frag.protocol = original->protocol;
+    frag.l4 = original->l4;
+    frag.payload_size =
+        std::min<std::uint32_t>(chunk, total - i * chunk);
+    frag.frag_id = frag_id;
+    frag.frag_index = i;
+    frag.frag_count = count;
+    frag.payload = original;  // carried for reassembly delivery
+    frag.created_at = loop_.now();
+    transmit_via(route->interface, std::move(frag));
+  }
+  return true;
+}
+
+bool Node::has_address(IpAddress addr) const {
+  for (const Interface& intf : interfaces_) {
+    if (intf.addr == addr) return true;
+  }
+  return false;
+}
+
+IpAddress Node::address(std::size_t interface) const {
+  TM_ASSERT(interface < interfaces_.size());
+  return interfaces_[interface].addr;
+}
+
+NetDevice& Node::device(std::size_t interface) {
+  TM_ASSERT(interface < interfaces_.size());
+  return *interfaces_[interface].dev;
+}
+
+void Node::deliver_local(const Packet& pkt) {
+  ProtocolHandler* handler = handlers_[static_cast<std::size_t>(pkt.protocol)];
+  if (handler != nullptr) {
+    handler->handle_packet(pkt);
+  } else {
+    ++stats_.unclaimed_protocol;
+  }
+}
+
+void Node::on_receive(Packet pkt) {
+  if (has_address(pkt.dst)) {
+    ++stats_.received;
+    if (!pkt.is_fragment()) {
+      deliver_local(pkt);
+      return;
+    }
+    // Reassembly.  Stale partial datagrams are evicted lazily.
+    const std::uint64_t key =
+        (std::uint64_t{pkt.src.value} << 32) | pkt.frag_id;
+    auto it = reassembly_.find(key);
+    if (it == reassembly_.end()) {
+      if (reassembly_.size() >= 256) {
+        // Evict anything older than a reassembly lifetime (30 s).
+        for (auto e = reassembly_.begin(); e != reassembly_.end();) {
+          if (loop_.now() - e->second.first_seen > sim::seconds(30)) {
+            ++stats_.reassembly_evictions;
+            e = reassembly_.erase(e);
+          } else {
+            ++e;
+          }
+        }
+      }
+      ReassemblyEntry entry;
+      entry.have.assign(pkt.frag_count, false);
+      entry.remaining = pkt.frag_count;
+      entry.first_seen = loop_.now();
+      it = reassembly_.emplace(key, std::move(entry)).first;
+    }
+    ReassemblyEntry& entry = it->second;
+    if (pkt.frag_index >= entry.have.size() || entry.have[pkt.frag_index]) {
+      return;  // duplicate or inconsistent fragment
+    }
+    entry.have[pkt.frag_index] = true;
+    if (auto original =
+            std::any_cast<std::shared_ptr<const Packet>>(&pkt.payload)) {
+      entry.original = *original;
+    }
+    if (--entry.remaining == 0 && entry.original != nullptr) {
+      ++stats_.datagrams_reassembled;
+      const Packet whole = *entry.original;
+      reassembly_.erase(it);
+      deliver_local(whole);
+    }
+    return;
+  }
+  if (!forwarding_) return;  // not ours, not a router: drop silently
+  if (pkt.ttl <= 1) {
+    ++stats_.ttl_expired;
+    return;
+  }
+  pkt.ttl -= 1;
+  const Route* route = lookup_route(pkt.dst);
+  if (route == nullptr) {
+    ++stats_.no_route;
+    return;
+  }
+  ++stats_.forwarded;
+  interfaces_[route->interface].dev->transmit(std::move(pkt));
+}
+
+}  // namespace tracemod::net

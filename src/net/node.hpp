@@ -1,0 +1,123 @@
+// L3 host / router.
+//
+// A Node owns its devices, an address per device, a routing table, and a
+// protocol dispatch table.  Transports (src/transport) register themselves
+// as ProtocolHandlers.  Routers enable forwarding; hosts leave it off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+
+namespace tracemod::net {
+
+/// Implemented by transports (ICMP/UDP/TCP demultiplexers).
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+  virtual void handle_packet(const Packet& pkt) = 0;
+};
+
+class Node {
+ public:
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t ttl_expired = 0;
+    std::uint64_t unclaimed_protocol = 0;
+    std::uint64_t datagrams_fragmented = 0;
+    std::uint64_t datagrams_reassembled = 0;
+    std::uint64_t reassembly_evictions = 0;
+  };
+
+  Node(sim::EventLoop& loop, std::string name, std::uint64_t seed = 1);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Adds a device with its interface address; returns the interface index.
+  /// The Node installs itself as the device's receive callback.
+  std::size_t add_interface(std::unique_ptr<NetDevice> dev, IpAddress addr);
+
+  /// Replaces the device at an interface, preserving the address.  Used to
+  /// wrap an existing device in a shim (trace tap, modulation layer) after
+  /// construction.  The old device is passed to the factory.
+  void wrap_interface(std::size_t index,
+                      std::function<std::unique_ptr<NetDevice>(
+                          std::unique_ptr<NetDevice>)> factory);
+
+  /// Route: destinations matching network/prefix_len go out interface index.
+  void add_route(IpAddress network, unsigned prefix_len, std::size_t interface);
+  void set_default_route(std::size_t interface) { add_route(IpAddress{}, 0, interface); }
+
+  void set_forwarding(bool on) { forwarding_ = on; }
+
+  void register_protocol(Protocol proto, ProtocolHandler* handler);
+
+  /// Routes and transmits a packet originating at this node.  Fills in the
+  /// source address from the egress interface when unspecified, stamps the
+  /// packet id and creation time, and fragments datagrams larger than the
+  /// MTU.  Returns false if no route matched.
+  bool send(Packet pkt);
+
+  bool has_address(IpAddress addr) const;
+
+  IpAddress address(std::size_t interface = 0) const;
+  NetDevice& device(std::size_t interface = 0);
+  std::size_t interface_count() const { return interfaces_.size(); }
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Rng& rng() { return rng_; }
+  const std::string& name() const { return name_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Interface {
+    std::unique_ptr<NetDevice> dev;
+    IpAddress addr;
+  };
+  struct Route {
+    IpAddress network;
+    unsigned prefix_len;
+    std::size_t interface;
+  };
+
+  void on_receive(Packet pkt);
+  void deliver_local(const Packet& pkt);
+  void transmit_via(std::size_t interface, Packet pkt);
+  const Route* lookup_route(IpAddress dst) const;
+  void install_callback(std::size_t index);
+
+  sim::EventLoop& loop_;
+  std::string name_;
+  sim::Rng rng_;
+  std::vector<Interface> interfaces_;
+  std::vector<Route> routes_;  // kept sorted by prefix length, longest first
+  std::vector<ProtocolHandler*> handlers_ = std::vector<ProtocolHandler*>(256, nullptr);
+  bool forwarding_ = false;
+  Stats stats_;
+
+  // --- IP reassembly ---
+  struct ReassemblyEntry {
+    std::shared_ptr<const Packet> original;
+    std::vector<bool> have;
+    std::uint16_t remaining = 0;
+    sim::TimePoint first_seen{};
+  };
+  std::unordered_map<std::uint64_t, ReassemblyEntry> reassembly_;
+  std::uint32_t next_frag_id_ = 1;
+};
+
+/// Process-wide packet id source (diagnostics and trace correlation).
+std::uint64_t next_packet_id();
+
+}  // namespace tracemod::net

@@ -1,0 +1,108 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace tracemod::net {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp:
+      return "icmp";
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdp:
+      return "udp";
+  }
+  return "?";
+}
+
+std::string TcpHeader::flags_str() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (ack_flag) s += 'A';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (s.empty()) return ".";
+  return s;
+}
+
+std::uint32_t Packet::l4_header_bytes() const {
+  switch (protocol) {
+    case Protocol::kIcmp:
+      return kIcmpHeaderBytes;
+    case Protocol::kUdp:
+      return kUdpHeaderBytes;
+    case Protocol::kTcp:
+      return kTcpHeaderBytes;
+  }
+  return 0;
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  switch (protocol) {
+    case Protocol::kIcmp: {
+      const auto& h = icmp();
+      std::snprintf(buf, sizeof(buf), "icmp %s %s->%s id=%u seq=%u len=%u",
+                    h.type == IcmpHeader::Type::kEchoRequest ? "echo" : "reply",
+                    src.str().c_str(), dst.str().c_str(), h.id, h.seq,
+                    payload_size);
+      break;
+    }
+    case Protocol::kUdp: {
+      const auto& h = udp();
+      std::snprintf(buf, sizeof(buf), "udp %s:%u->%s:%u len=%u",
+                    src.str().c_str(), h.src_port, dst.str().c_str(),
+                    h.dst_port, payload_size);
+      break;
+    }
+    case Protocol::kTcp: {
+      const auto& h = tcp();
+      std::snprintf(buf, sizeof(buf),
+                    "tcp %s:%u->%s:%u %s seq=%llu ack=%llu len=%u",
+                    src.str().c_str(), h.src_port, dst.str().c_str(),
+                    h.dst_port, h.flags_str().c_str(),
+                    static_cast<unsigned long long>(h.seq),
+                    static_cast<unsigned long long>(h.ack), payload_size);
+      break;
+    }
+    default:
+      std::snprintf(buf, sizeof(buf), "proto=%u", static_cast<unsigned>(protocol));
+  }
+  return buf;
+}
+
+Packet make_icmp_packet(IpAddress src, IpAddress dst, IcmpHeader hdr,
+                        std::uint32_t payload_size) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = Protocol::kIcmp;
+  p.l4 = hdr;
+  p.payload_size = payload_size;
+  return p;
+}
+
+Packet make_udp_packet(IpAddress src, IpAddress dst, std::uint16_t sport,
+                       std::uint16_t dport, std::uint32_t payload_size) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = Protocol::kUdp;
+  p.l4 = UdpHeader{sport, dport};
+  p.payload_size = payload_size;
+  return p;
+}
+
+Packet make_tcp_packet(IpAddress src, IpAddress dst, TcpHeader hdr,
+                       std::uint32_t payload_size) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = Protocol::kTcp;
+  p.l4 = hdr;
+  p.payload_size = payload_size;
+  return p;
+}
+
+}  // namespace tracemod::net

@@ -1,0 +1,116 @@
+// The simulated packet.
+//
+// Packets carry structured protocol headers (a variant over ICMP/UDP/TCP)
+// plus an opaque application payload handle and a payload byte count.  Wire
+// sizes are computed from real header sizes so that bandwidth and
+// serialization behaviour match what an instrumented kernel would see.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "net/ip_address.hpp"
+#include "sim/time.hpp"
+
+namespace tracemod::net {
+
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+const char* protocol_name(Protocol p);
+
+// Header wire sizes, bytes.
+inline constexpr std::uint32_t kEthernetHeaderBytes = 18;  // 14 hdr + 4 FCS
+inline constexpr std::uint32_t kIpHeaderBytes = 20;
+inline constexpr std::uint32_t kIcmpHeaderBytes = 8;
+inline constexpr std::uint32_t kUdpHeaderBytes = 8;
+inline constexpr std::uint32_t kTcpHeaderBytes = 20;
+/// Ethernet MTU governs transport segmentation (IP + L4 + payload <= MTU).
+inline constexpr std::uint32_t kMtuBytes = 1500;
+
+struct IcmpHeader {
+  enum class Type : std::uint8_t { kEchoReply = 0, kEchoRequest = 8 };
+  Type type = Type::kEchoRequest;
+  std::uint16_t id = 0;   ///< pid of the generating process (paper Sec 3.1.1)
+  std::uint16_t seq = 0;
+  /// The paper's ping writes the generation time into the ECHO payload and
+  /// the target copies it back; round-trip time needs no synchronized clock.
+  sim::TimePoint payload_timestamp{};
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  // Sequence numbers are kept in an unwrapped 64-bit space; a wire
+  // implementation would carry the low 32 bits.  The header still costs
+  // kTcpHeaderBytes on the simulated wire.
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+  std::uint32_t window = 0;
+
+  std::string flags_str() const;
+};
+
+struct Packet {
+  std::uint64_t id = 0;  ///< unique per simulation, assigned by Node/medium
+  IpAddress src;
+  IpAddress dst;
+  std::uint8_t ttl = 64;
+  /// IP fragmentation: datagrams larger than the MTU are split at the
+  /// sending node and reassembled at the destination.  Fragments share the
+  /// original datagram's frag_id; index/count locate this piece.  A
+  /// non-fragment has frag_count == 0.
+  std::uint32_t frag_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 0;
+  bool is_fragment() const { return frag_count != 0; }
+  Protocol protocol = Protocol::kUdp;
+  std::variant<IcmpHeader, UdpHeader, TcpHeader> l4;
+  /// Application payload byte count (contributes to wire size).
+  std::uint32_t payload_size = 0;
+  /// Structured payload for the simulated apps (RPC messages, HTTP bodies).
+  /// Copied by value; apps keep these small descriptor structs.
+  std::any payload;
+  /// When the packet entered the sender's stack (diagnostics only).
+  sim::TimePoint created_at{};
+
+  const IcmpHeader& icmp() const { return std::get<IcmpHeader>(l4); }
+  IcmpHeader& icmp() { return std::get<IcmpHeader>(l4); }
+  const UdpHeader& udp() const { return std::get<UdpHeader>(l4); }
+  UdpHeader& udp() { return std::get<UdpHeader>(l4); }
+  const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
+  TcpHeader& tcp() { return std::get<TcpHeader>(l4); }
+
+  std::uint32_t l4_header_bytes() const;
+  /// IP-layer size: IP header + L4 header + payload.
+  std::uint32_t ip_size() const { return kIpHeaderBytes + l4_header_bytes() + payload_size; }
+  /// Size on an Ethernet-framed wire.
+  std::uint32_t wire_size() const { return kEthernetHeaderBytes + ip_size(); }
+
+  std::string describe() const;
+};
+
+/// Convenience constructors used by the transports.
+Packet make_icmp_packet(IpAddress src, IpAddress dst, IcmpHeader hdr,
+                        std::uint32_t payload_size);
+Packet make_udp_packet(IpAddress src, IpAddress dst, std::uint16_t sport,
+                       std::uint16_t dport, std::uint32_t payload_size);
+Packet make_tcp_packet(IpAddress src, IpAddress dst, TcpHeader hdr,
+                       std::uint32_t payload_size);
+
+}  // namespace tracemod::net

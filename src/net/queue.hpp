@@ -1,0 +1,60 @@
+// Drop-tail FIFO packet queue with byte and packet limits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/assert.hpp"
+
+namespace tracemod::net {
+
+class DropTailQueue {
+ public:
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t dequeued = 0;
+  };
+
+  DropTailQueue(std::size_t max_packets, std::size_t max_bytes)
+      : max_packets_(max_packets), max_bytes_(max_bytes) {
+    TM_ASSERT(max_packets > 0 && max_bytes > 0);
+  }
+
+  /// Returns false (and counts a drop) if the packet does not fit.
+  bool push(Packet pkt) {
+    const std::size_t sz = pkt.wire_size();
+    if (queue_.size() >= max_packets_ || bytes_ + sz > max_bytes_) {
+      ++stats_.dropped;
+      return false;
+    }
+    bytes_ += sz;
+    queue_.push_back(std::move(pkt));
+    ++stats_.enqueued;
+    return true;
+  }
+
+  Packet pop() {
+    TM_ASSERT(!queue_.empty());
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= pkt.wire_size();
+    ++stats_.dequeued;
+    return pkt;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t max_packets_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::deque<Packet> queue_;
+  Stats stats_;
+};
+
+}  // namespace tracemod::net

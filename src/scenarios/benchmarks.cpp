@@ -1,0 +1,93 @@
+#include "scenarios/benchmarks.hpp"
+
+#include <optional>
+
+#include "apps/ftp.hpp"
+#include "apps/web.hpp"
+
+namespace tracemod::scenarios {
+
+const char* to_string(BenchmarkKind kind) {
+  switch (kind) {
+    case BenchmarkKind::kWeb: return "web";
+    case BenchmarkKind::kFtpSend: return "ftp-send";
+    case BenchmarkKind::kFtpRecv: return "ftp-recv";
+    case BenchmarkKind::kAndrew: return "andrew";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Steps the loop until the flag is set, the virtual deadline passes, or
+/// the event queue drains.  (run_until alone would simulate hours of idle
+/// interferer traffic after the benchmark finishes.)
+void run_until_done(sim::EventLoop& loop, const bool& done,
+                    sim::Duration timeout) {
+  const sim::TimePoint deadline = loop.now() + timeout;
+  while (!done && loop.now() < deadline) {
+    if (!loop.step()) break;
+  }
+}
+
+}  // namespace
+
+BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
+                               transport::Host& server_host,
+                               net::IpAddress server_addr,
+                               sim::EventLoop& loop, sim::Duration timeout) {
+  BenchmarkOutcome outcome;
+  bool done = false;
+
+  switch (kind) {
+    case BenchmarkKind::kWeb: {
+      apps::WebServer server(server_host, 80);
+      sim::Rng trace_rng(kWorkloadSeed);
+      apps::WebBenchmark bench(client, net::Endpoint{server_addr, 80},
+                               apps::make_search_task_trace(trace_rng,
+                                                            kWebObjects));
+      bench.start([&](apps::WebBenchmark::Result r) {
+        outcome.ok = r.ok;
+        outcome.elapsed_s = sim::to_seconds(r.elapsed);
+        done = true;
+      });
+      run_until_done(loop, done, timeout);
+      break;
+    }
+    case BenchmarkKind::kFtpSend:
+    case BenchmarkKind::kFtpRecv: {
+      apps::FtpServer server(server_host);
+      apps::FtpClient ftp(client, net::Endpoint{server_addr, 21});
+      auto on_done = [&](apps::FtpResult r) {
+        outcome.ok = r.ok;
+        outcome.elapsed_s = sim::to_seconds(r.elapsed);
+        done = true;
+      };
+      if (kind == BenchmarkKind::kFtpSend) {
+        ftp.store(kFtpBytes, on_done);
+      } else {
+        ftp.fetch(kFtpBytes, on_done);
+      }
+      run_until_done(loop, done, timeout);
+      break;
+    }
+    case BenchmarkKind::kAndrew: {
+      apps::AndrewConfig cfg;
+      apps::NfsServer server(server_host, 2049);
+      apps::populate_andrew_tree(server, cfg, kWorkloadSeed);
+      apps::AndrewBenchmark bench(client, net::Endpoint{server_addr, 2049},
+                                  cfg, kWorkloadSeed);
+      bench.start([&](apps::AndrewResult r) {
+        outcome.ok = r.ok;
+        outcome.elapsed_s = r.total_s;
+        outcome.andrew = r;
+        done = true;
+      });
+      run_until_done(loop, done, timeout);
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tracemod::scenarios

@@ -1,0 +1,45 @@
+// Benchmark runners (paper Section 4.2).
+//
+// Each runner stands up the needed server on the server host, drives the
+// client, and runs the event loop until the benchmark completes.  The same
+// code runs against a live wireless testbed and a modulated Ethernet one --
+// the transparency the paper's methodology promises.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/andrew.hpp"
+#include "net/ip_address.hpp"
+#include "transport/host.hpp"
+
+namespace tracemod::scenarios {
+
+enum class BenchmarkKind { kWeb, kFtpSend, kFtpRecv, kAndrew };
+
+const char* to_string(BenchmarkKind kind);
+
+struct BenchmarkOutcome {
+  bool ok = false;
+  double elapsed_s = 0.0;
+  apps::AndrewResult andrew;  ///< populated for kAndrew only
+};
+
+/// Workload seeds are fixed so every trial replays the identical workload
+/// (the paper replays the same Web reference traces and the same source
+/// tree); only the network varies between trials.
+inline constexpr std::uint64_t kWorkloadSeed = 7777;
+
+/// FTP transfers 10 MB disk-to-disk, as in Figure 7.
+inline constexpr std::uint64_t kFtpBytes = 10ull * 1000 * 1000;
+
+/// Number of objects in the replayed Web reference traces (five users'
+/// search tasks).
+inline constexpr std::size_t kWebObjects = 550;
+
+BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
+                               transport::Host& server_host,
+                               net::IpAddress server_addr,
+                               sim::EventLoop& loop,
+                               sim::Duration timeout = sim::seconds(7200));
+
+}  // namespace tracemod::scenarios

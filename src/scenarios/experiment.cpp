@@ -1,0 +1,124 @@
+#include "scenarios/experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/stats.hpp"
+
+namespace tracemod::scenarios {
+
+std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
+                                              BenchmarkKind kind,
+                                              const ExperimentConfig& cfg) {
+  std::vector<BenchmarkOutcome> outcomes;
+  for (int t = 0; t < cfg.trials; ++t) {
+    LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(t));
+    outcomes.push_back(run_benchmark(kind, bed.mobile(), bed.server(),
+                                     bed.server_addr(), bed.loop()));
+  }
+  return outcomes;
+}
+
+trace::CollectedTrace collect_raw_trace(const Scenario& scenario,
+                                        std::uint64_t seed) {
+  LiveTestbed bed(scenario, seed);
+  return bed.collect_trace();
+}
+
+std::vector<core::ReplayTrace> collect_replay_traces(
+    const Scenario& scenario, const ExperimentConfig& cfg) {
+  std::vector<core::ReplayTrace> traces;
+  for (int t = 0; t < cfg.trials; ++t) {
+    // Collection runs interleave with live trials in the paper; distinct
+    // seeds keep the traversals independent.
+    const std::uint64_t seed =
+        cfg.base_seed + 500 + static_cast<std::uint64_t>(t);
+    core::Distiller distiller;
+    traces.push_back(distiller.distill(collect_raw_trace(scenario, seed)));
+  }
+  return traces;
+}
+
+double compensation_vb() {
+  static const double vb = core::Emulator::measure_physical_vb();
+  return vb;
+}
+
+BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
+                                         BenchmarkKind kind,
+                                         std::uint64_t seed,
+                                         sim::Duration tick,
+                                         double inbound_vb_compensation) {
+  core::EmulatorConfig ecfg;
+  ecfg.seed = seed;
+  ecfg.modulation.tick = tick;
+  ecfg.modulation.inbound_vb_compensation = inbound_vb_compensation;
+  core::Emulator emulator(trace, ecfg);
+  return run_benchmark(kind, emulator.mobile(), emulator.server(),
+                       ecfg.server_addr, emulator.loop());
+}
+
+std::vector<BenchmarkOutcome> run_modulated_trials(
+    const std::vector<core::ReplayTrace>& traces, BenchmarkKind kind,
+    const ExperimentConfig& cfg) {
+  const double comp = cfg.compensate ? compensation_vb() : 0.0;
+  std::vector<BenchmarkOutcome> outcomes;
+  std::uint64_t t = 0;
+  for (const core::ReplayTrace& trace : traces) {
+    outcomes.push_back(run_modulated_benchmark(
+        trace, kind, cfg.base_seed + 900 + t++, cfg.tick, comp));
+  }
+  return outcomes;
+}
+
+std::vector<BenchmarkOutcome> run_ethernet_trials(
+    BenchmarkKind kind, const ExperimentConfig& cfg) {
+  std::vector<BenchmarkOutcome> outcomes;
+  for (int t = 0; t < cfg.trials; ++t) {
+    // An empty replay trace leaves the modulation layer transparent: this
+    // is the bare isolated Ethernet.
+    outcomes.push_back(run_modulated_benchmark(
+        core::ReplayTrace{}, kind,
+        cfg.base_seed + 1300 + static_cast<std::uint64_t>(t), cfg.tick, 0.0));
+  }
+  return outcomes;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.n = values.size();
+  s.mean = sim::mean_of(values);
+  s.stddev = sim::stddev_of(values);
+  return s;
+}
+
+Summary summarize_elapsed(const std::vector<BenchmarkOutcome>& outcomes) {
+  std::vector<double> values;
+  for (const auto& o : outcomes) values.push_back(o.elapsed_s);
+  return summarize(values);
+}
+
+std::string cell(const Summary& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f (%.2f)", s.mean, s.stddev);
+  return buf;
+}
+
+bool within_error(const Summary& a, const Summary& b) {
+  return std::abs(a.mean - b.mean) <= a.stddev + b.stddev;
+}
+
+double off_by_factor(const Summary& a, const Summary& b) {
+  const double sd_sum = a.stddev + b.stddev;
+  if (sd_sum <= 0.0) return std::abs(a.mean - b.mean) > 0 ? 1e9 : 0.0;
+  return std::abs(a.mean - b.mean) / sd_sum;
+}
+
+std::string check_label(const Summary& a, const Summary& b) {
+  if (within_error(a, b)) return "within error";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "off by %.2fx sd-sum", off_by_factor(a, b));
+  return buf;
+}
+
+}  // namespace tracemod::scenarios

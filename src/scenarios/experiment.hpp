@@ -1,0 +1,84 @@
+// The paper's full experimental procedure (Section 5.1).
+//
+// For each benchmark on each scenario: N live trials on the wireless
+// testbed, N trace-collection traversals, distillation of each trace, and
+// one modulated trial per distilled trace on the isolated-Ethernet testbed.
+// The Ethernet row of every table is the same benchmark on the modulation
+// Ethernet with no modulation active.
+#pragma once
+
+#include <vector>
+
+#include "core/distiller.hpp"
+#include "core/emulator.hpp"
+#include "scenarios/benchmarks.hpp"
+#include "scenarios/live_testbed.hpp"
+
+namespace tracemod::scenarios {
+
+struct ExperimentConfig {
+  int trials = 4;
+  std::uint64_t base_seed = 10'000;
+  sim::Duration tick = sim::milliseconds(10);  ///< modulation granularity
+  bool compensate = true;  ///< inbound delay compensation (Figure 1)
+};
+
+/// Live benchmark trials; trial t uses seed base_seed + t.
+std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
+                                              BenchmarkKind kind,
+                                              const ExperimentConfig& cfg);
+
+/// One collection traversal; returns the raw trace (Figures 2-5 plot these
+/// and their distillations).
+trace::CollectedTrace collect_raw_trace(const Scenario& scenario,
+                                        std::uint64_t seed);
+
+/// N collection traversals, each distilled to a replay trace.
+std::vector<core::ReplayTrace> collect_replay_traces(
+    const Scenario& scenario, const ExperimentConfig& cfg);
+
+/// One modulated benchmark trial per replay trace.
+std::vector<BenchmarkOutcome> run_modulated_trials(
+    const std::vector<core::ReplayTrace>& traces, BenchmarkKind kind,
+    const ExperimentConfig& cfg);
+
+/// The benchmark over the bare modulation Ethernet (the tables' last row).
+std::vector<BenchmarkOutcome> run_ethernet_trials(BenchmarkKind kind,
+                                                  const ExperimentConfig& cfg);
+
+/// The physical modulating network's mean bottleneck per-byte cost,
+/// measured once per process and cached (Section 3.3, Delay Compensation).
+double compensation_vb();
+
+/// A single modulated benchmark run over an explicit replay trace.
+BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
+                                         BenchmarkKind kind,
+                                         std::uint64_t seed,
+                                         sim::Duration tick,
+                                         double inbound_vb_compensation);
+
+// --- reporting helpers -----------------------------------------------------
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+Summary summarize_elapsed(const std::vector<BenchmarkOutcome>& outcomes);
+Summary summarize(const std::vector<double>& values);
+
+/// "161.47 (7.82)" -- the paper's table cell format.
+std::string cell(const Summary& s);
+
+/// The paper's accuracy criterion: |mean_a - mean_b| <= stddev_a + stddev_b.
+bool within_error(const Summary& a, const Summary& b);
+
+/// |mean_a - mean_b| as a multiple of (stddev_a + stddev_b) -- the paper's
+/// "off by 1.05 times the sum of the standard deviations" phrasing.
+double off_by_factor(const Summary& a, const Summary& b);
+
+/// "within error" or "off by N.NNx sd-sum".
+std::string check_label(const Summary& a, const Summary& b);
+
+}  // namespace tracemod::scenarios

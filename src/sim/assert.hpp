@@ -1,0 +1,28 @@
+// Internal invariant checking for the tracemod libraries.
+//
+// TM_ASSERT checks protocol and data-structure invariants that indicate a
+// programming error (never a configuration or input error; those throw
+// typed exceptions instead).  Assertions stay enabled in release builds:
+// this is a measurement tool, and a silently corrupted experiment is worse
+// than an aborted one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tracemod::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "tracemod: assertion failed: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace tracemod::detail
+
+#define TM_ASSERT(expr)                                            \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::tracemod::detail::assert_fail(#expr, __FILE__, __LINE__);  \
+  } while (0)

@@ -1,0 +1,45 @@
+// Imperfect host clocks.
+//
+// The paper's distillation uses only single-host timestamps because the
+// ThinkPad's clock drifted too much for one-way measurements (Section 3.2.2).
+// ClockModel turns true virtual time into what such a host would read:
+// a constant frequency skew plus bounded random jitter.  The symmetry-
+// assumption ablation uses two of these to show what synchronized low-drift
+// clocks would buy.
+#pragma once
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace tracemod::sim {
+
+class ClockModel {
+ public:
+  struct Config {
+    double skew_ppm = 0.0;        ///< constant frequency error, parts/million
+    Duration offset{};            ///< initial offset from true time
+    Duration jitter{};            ///< +/- uniform read jitter
+  };
+
+  ClockModel() : ClockModel(Config{}, Rng(1)) {}
+  ClockModel(const Config& cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  /// What this host's clock reads when true time is t.
+  TimePoint read(TimePoint t) {
+    const double skewed =
+        to_seconds(t) * (1.0 + cfg_.skew_ppm * 1e-6) + to_seconds(cfg_.offset);
+    Duration j{};
+    if (cfg_.jitter.count() > 0) {
+      j = Duration{rng_.uniform_int(-cfg_.jitter.count(), cfg_.jitter.count())};
+    }
+    return TimePoint{from_seconds(skewed) + j};
+  }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+};
+
+}  // namespace tracemod::sim

@@ -1,0 +1,68 @@
+#include "sim/event_loop.hpp"
+
+#include <cstdio>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::sim {
+
+std::string format_time(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(d));
+  return buf;
+}
+
+EventId EventLoop::schedule_at(TimePoint t, std::function<void()> fn) {
+  TM_ASSERT(fn != nullptr);
+  if (t < now_) t = now_;  // clamp: scheduling "in the past" fires at now
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  return id != 0 && live_.erase(id) != 0;
+}
+
+bool EventLoop::dispatch_one() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled
+    TM_ASSERT(e.at >= now_);
+    now_ = e.at;
+    ++dispatched_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::step() { return dispatch_one(); }
+
+void EventLoop::run() {
+  while (dispatch_one()) {
+  }
+}
+
+void EventLoop::run_until(TimePoint t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries to find the real next event time.
+    if (live_.count(queue_.top().id) == 0) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > t) break;
+    dispatch_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace tracemod::sim

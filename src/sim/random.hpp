@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (channel fading, loss draws, workload think
+// times, modulation drop decisions) takes an Rng so experiments are
+// reproducible from a single seed.  The generator is xoshiro256**, a small
+// fast PRNG whose output is identical across platforms and standard-library
+// implementations -- unlike std::uniform_*_distribution, whose algorithms
+// are unspecified.  All distribution code here is self-contained.
+#pragma once
+
+#include <cstdint>
+
+namespace tracemod::sim {
+
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds yield unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream; used to give each subsystem its
+  /// own generator (one trial seed fans out to channel, apps, modulation).
+  Rng fork();
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (cached second variate).
+  double normal(double mean, double stddev);
+
+  /// Bounded Pareto (shape alpha) on [lo, hi]; heavy-tailed object sizes.
+  double pareto(double alpha, double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace tracemod::sim

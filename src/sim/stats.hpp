@@ -1,0 +1,61 @@
+// Summary statistics used throughout the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tracemod::sim {
+
+/// Online mean / sample-standard-deviation accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator), as the paper reports.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a vector of samples.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile_of(std::vector<double> xs, double p);
+
+/// Fixed-bin histogram; renders as rows of "lo..hi: count  ###".
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into n bins; out-of-range samples clamp to the
+  /// first/last bin so nothing is silently dropped.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering with the given value label.
+  std::string render(const std::string& label, std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tracemod::sim

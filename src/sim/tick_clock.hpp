@@ -1,0 +1,42 @@
+// Clock-interrupt granularity model.
+//
+// The paper's NetBSD hosts could only schedule packet releases on 10 ms
+// clock ticks (Section 3.3, "Scheduling Granularity").  TickClock reproduces
+// that constraint: a desired release time is rounded to the *nearest* tick,
+// and delays shorter than half a tick are not scheduled at all (the packet
+// is sent immediately).  Tick resolution is configurable so the ablation
+// bench can sweep it; resolution zero means an ideal (continuous) clock.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace tracemod::sim {
+
+class TickClock {
+ public:
+  /// resolution == 0 models an ideal clock (no quantization).
+  explicit TickClock(Duration resolution = milliseconds(10))
+      : resolution_(resolution) {}
+
+  Duration resolution() const { return resolution_; }
+
+  /// True if a delay is too short to be scheduled (< half a tick); the
+  /// caller should deliver immediately.
+  bool below_threshold(Duration delay) const {
+    if (resolution_.count() == 0) return delay.count() <= 0;
+    return delay < resolution_ / 2;
+  }
+
+  /// Rounds an absolute time to the nearest schedulable instant.
+  TimePoint quantize(TimePoint t) const {
+    if (resolution_.count() == 0) return t;
+    const auto res = resolution_.count();
+    const auto ticks = (t.time_since_epoch().count() + res / 2) / res;
+    return TimePoint{Duration{ticks * res}};
+  }
+
+ private:
+  Duration resolution_;
+};
+
+}  // namespace tracemod::sim

@@ -1,0 +1,63 @@
+// Virtual time for the discrete-event simulator.
+//
+// All tracemod components run on a single virtual clock with nanosecond
+// resolution.  TimePoint/Duration are std::chrono types over a custom clock
+// tag, so the usual chrono arithmetic and literals work, but accidental
+// mixing with wall-clock time is a compile error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tracemod::sim {
+
+/// Tag type satisfying the Clock requirements for virtual simulation time.
+/// now() is intentionally absent: the current time is owned by EventLoop.
+struct VirtualClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<VirtualClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = VirtualClock::duration;
+using TimePoint = VirtualClock::time_point;
+
+/// Simulation epoch (t = 0).  Experiments start here.
+inline constexpr TimePoint kEpoch{};
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(std::int64_t n) {
+  return std::chrono::duration_cast<Duration>(std::chrono::microseconds{n});
+}
+constexpr Duration milliseconds(std::int64_t n) {
+  return std::chrono::duration_cast<Duration>(std::chrono::milliseconds{n});
+}
+constexpr Duration seconds(std::int64_t n) {
+  return std::chrono::duration_cast<Duration>(std::chrono::seconds{n});
+}
+
+/// Converts a duration in (possibly fractional) seconds to virtual time.
+constexpr Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+
+constexpr double to_seconds(TimePoint t) {
+  return to_seconds(t.time_since_epoch());
+}
+
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-6;
+}
+
+/// Renders a time point as seconds since the simulation epoch, e.g. "12.503s".
+std::string format_time(TimePoint t);
+std::string format_duration(Duration d);
+
+}  // namespace tracemod::sim

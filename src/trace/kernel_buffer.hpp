@@ -1,0 +1,61 @@
+// The in-kernel circular record buffer (paper Section 3.1.2).
+//
+// Fixed capacity; when full, new records are lost and counted by type so
+// the drained stream can carry explicit LostRecords markers.
+#pragma once
+
+#include <deque>
+
+#include "trace/records.hpp"
+
+namespace tracemod::trace {
+
+class KernelBuffer {
+ public:
+  explicit KernelBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false (and counts the loss) if the buffer is full.
+  bool push(TraceRecord rec) {
+    if (buf_.size() >= capacity_) {
+      if (std::holds_alternative<DeviceRecord>(rec)) {
+        ++lost_device_;
+      } else {
+        ++lost_packet_;
+      }
+      return false;
+    }
+    buf_.push_back(std::move(rec));
+    return true;
+  }
+
+  /// Drains up to max_records.  If records were lost since the last drain,
+  /// the drained stream begins with a LostRecords marker stamped at the
+  /// drain time.
+  std::vector<TraceRecord> drain(std::size_t max_records, sim::TimePoint now) {
+    std::vector<TraceRecord> out;
+    if (lost_packet_ > 0 || lost_device_ > 0) {
+      out.emplace_back(LostRecords{now, lost_packet_, lost_device_});
+      lost_packet_ = 0;
+      lost_device_ = 0;
+    }
+    while (!buf_.empty() && out.size() < max_records) {
+      out.push_back(std::move(buf_.front()));
+      buf_.pop_front();
+    }
+    return out;
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buf_.empty(); }
+  std::uint32_t pending_lost_packet() const { return lost_packet_; }
+  std::uint32_t pending_lost_device() const { return lost_device_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> buf_;
+  std::uint32_t lost_packet_ = 0;
+  std::uint32_t lost_device_ = 0;
+};
+
+}  // namespace tracemod::trace

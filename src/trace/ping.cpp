@@ -1,0 +1,55 @@
+#include "trace/ping.hpp"
+
+namespace tracemod::trace {
+
+PingWorkload::PingWorkload(transport::Host& host, net::IpAddress target,
+                           sim::ClockModel& clock, PingConfig cfg)
+    : host_(host), target_(target), clock_(clock), cfg_(cfg),
+      timer_(host.loop()) {
+  host_.icmp().set_reply_callback(
+      [this](const net::Packet& pkt) { on_reply(pkt); });
+}
+
+void PingWorkload::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void PingWorkload::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void PingWorkload::send_echo(std::uint32_t payload_size) {
+  host_.icmp().send_echo(target_, cfg_.id, next_seq_++, payload_size,
+                         clock_.read(host_.loop().now()));
+  ++stats_.echoes_sent;
+}
+
+void PingWorkload::tick() {
+  if (!running_) return;
+  ++stats_.groups_started;
+  // Stage 1: one small ECHO; stage 2 fires from its reply.  If the reply is
+  // lost, this group contributes only a loss observation.
+  pending_stage1_seq_ = next_seq_;
+  send_echo(cfg_.s1);
+  timer_.arm(cfg_.period, [this] { tick(); });
+}
+
+void PingWorkload::on_reply(const net::Packet& pkt) {
+  if (!running_) return;
+  const auto& h = pkt.icmp();
+  if (h.id != cfg_.id) return;
+  if (pending_stage1_seq_ && h.seq == *pending_stage1_seq_) {
+    pending_stage1_seq_.reset();
+    ++stats_.stage1_replies;
+    // Stage 2: two large ECHOs back-to-back.
+    send_echo(cfg_.s2);
+    send_echo(cfg_.s2);
+    return;
+  }
+  ++stats_.stage2_replies;
+}
+
+}  // namespace tracemod::trace

@@ -1,0 +1,65 @@
+// The paper's modified ping workload (Section 3.2.2).
+//
+// Each second the workload sends a group of three ICMP ECHOs in two stages:
+//   stage 1: one small ECHO of payload size s1;
+//   stage 2: on receiving stage 1's reply, two larger ECHOs of size s2
+//            back-to-back.
+// Round-trips of the small/large pair give F and V (equations 5-6); the
+// queueing of the back-to-back pair at the bottleneck separates Vb from Vr
+// (equations 7-8).  Sequence numbers increase monotonically across all
+// ECHOs so the distiller can count losses from reply gaps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/clock_model.hpp"
+#include "transport/host.hpp"
+
+namespace tracemod::trace {
+
+struct PingConfig {
+  std::uint32_t s1 = 32;      ///< small payload bytes
+  std::uint32_t s2 = 1024;    ///< large payload bytes
+  sim::Duration period = sim::seconds(1);
+  std::uint16_t id = 42;      ///< process id carried in the ICMP id field
+};
+
+class PingWorkload {
+ public:
+  struct Stats {
+    std::uint64_t groups_started = 0;
+    std::uint64_t echoes_sent = 0;
+    std::uint64_t stage1_replies = 0;
+    std::uint64_t stage2_replies = 0;
+  };
+
+  /// clock: the collection host's clock; its readings are embedded in the
+  /// ECHO payloads, so drift flows through to recorded RTTs exactly as on
+  /// real hardware.
+  PingWorkload(transport::Host& host, net::IpAddress target,
+               sim::ClockModel& clock, PingConfig cfg = {});
+
+  void start();
+  void stop();
+
+  const Stats& stats() const { return stats_; }
+  const PingConfig& config() const { return cfg_; }
+
+ private:
+  void tick();
+  void on_reply(const net::Packet& pkt);
+  void send_echo(std::uint32_t payload_size);
+
+  transport::Host& host_;
+  net::IpAddress target_;
+  sim::ClockModel& clock_;
+  PingConfig cfg_;
+  sim::Timer timer_;
+  bool running_ = false;
+  std::uint16_t next_seq_ = 0;
+  std::optional<std::uint16_t> pending_stage1_seq_;
+  Stats stats_;
+};
+
+}  // namespace tracemod::trace

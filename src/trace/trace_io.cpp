@@ -1,0 +1,214 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace tracemod::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'T', 'R'};
+
+enum class RecordTag : std::uint8_t {
+  kPacket = 1,
+  kDevice = 2,
+  kLost = 3,
+};
+
+struct SchemaEntry {
+  std::uint8_t tag;
+  const char* name;
+  std::vector<const char*> fields;
+};
+
+const std::vector<SchemaEntry>& schema() {
+  static const std::vector<SchemaEntry> s = {
+      {static_cast<std::uint8_t>(RecordTag::kPacket),
+       "packet",
+       {"at_ns", "dir", "protocol", "ip_bytes", "icmp_kind", "icmp_id",
+        "icmp_seq", "echo_origin_ns", "src_port", "dst_port", "tcp_seq",
+        "tcp_flags"}},
+      {static_cast<std::uint8_t>(RecordTag::kDevice),
+       "device",
+       {"at_ns", "signal_level", "signal_quality", "silence_level"}},
+      {static_cast<std::uint8_t>(RecordTag::kLost),
+       "lost_records",
+       {"at_ns", "lost_packet_records", "lost_device_records"}},
+  };
+  return s;
+}
+
+// --- primitive writers/readers (little-endian) ---
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  if (s.size() > 0xffff) throw TraceFormatError("string too long");
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char buf[sizeof(T)];
+  in.read(reinterpret_cast<char*>(buf), sizeof(T));
+  if (!in) throw TraceFormatError("unexpected end of stream");
+  T v;
+  std::memcpy(&v, buf, sizeof(T));
+  return v;
+}
+
+std::string get_string(std::istream& in) {
+  const auto n = get<std::uint16_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw TraceFormatError("unexpected end of stream in string");
+  return s;
+}
+
+void put_time(std::ostream& out, sim::TimePoint t) {
+  put<std::int64_t>(out, t.time_since_epoch().count());
+}
+
+sim::TimePoint get_time(std::istream& in) {
+  return sim::TimePoint{sim::Duration{get<std::int64_t>(in)}};
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const CollectedTrace& trace) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint16_t>(out, kTraceFormatVersion);
+
+  // Self-descriptive schema table.
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(schema().size()));
+  for (const SchemaEntry& e : schema()) {
+    put<std::uint8_t>(out, e.tag);
+    put_string(out, e.name);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(e.fields.size()));
+    for (const char* f : e.fields) put_string(out, f);
+  }
+
+  put<std::uint64_t>(out, trace.records.size());
+  for (const TraceRecord& r : trace.records) {
+    if (const auto* p = std::get_if<PacketRecord>(&r)) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordTag::kPacket));
+      put_time(out, p->at);
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(p->dir));
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(p->protocol));
+      put<std::uint32_t>(out, p->ip_bytes);
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(p->icmp_kind));
+      put<std::uint16_t>(out, p->icmp_id);
+      put<std::uint16_t>(out, p->icmp_seq);
+      put_time(out, p->echo_origin);
+      put<std::uint16_t>(out, p->src_port);
+      put<std::uint16_t>(out, p->dst_port);
+      put<std::uint64_t>(out, p->tcp_seq);
+      put<std::uint8_t>(out, p->tcp_flags);
+    } else if (const auto* d = std::get_if<DeviceRecord>(&r)) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordTag::kDevice));
+      put_time(out, d->at);
+      put<double>(out, d->signal_level);
+      put<double>(out, d->signal_quality);
+      put<double>(out, d->silence_level);
+    } else if (const auto* l = std::get_if<LostRecords>(&r)) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordTag::kLost));
+      put_time(out, l->at);
+      put<std::uint32_t>(out, l->lost_packet_records);
+      put<std::uint32_t>(out, l->lost_device_records);
+    }
+  }
+}
+
+CollectedTrace read_trace(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw TraceFormatError("bad magic");
+  }
+  const auto version = get<std::uint16_t>(in);
+  if (version != kTraceFormatVersion) {
+    throw TraceFormatError("unsupported version " + std::to_string(version));
+  }
+
+  // Parse (and sanity-check) the schema table.
+  const auto n_schemas = get<std::uint8_t>(in);
+  for (std::uint8_t i = 0; i < n_schemas; ++i) {
+    (void)get<std::uint8_t>(in);  // tag
+    (void)get_string(in);         // name
+    const auto n_fields = get<std::uint8_t>(in);
+    for (std::uint8_t f = 0; f < n_fields; ++f) (void)get_string(in);
+  }
+
+  CollectedTrace trace;
+  const auto count = get<std::uint64_t>(in);
+  trace.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto tag = static_cast<RecordTag>(get<std::uint8_t>(in));
+    switch (tag) {
+      case RecordTag::kPacket: {
+        PacketRecord p;
+        p.at = get_time(in);
+        p.dir = static_cast<PacketDirection>(get<std::uint8_t>(in));
+        p.protocol = static_cast<net::Protocol>(get<std::uint8_t>(in));
+        p.ip_bytes = get<std::uint32_t>(in);
+        p.icmp_kind = static_cast<IcmpKind>(get<std::uint8_t>(in));
+        p.icmp_id = get<std::uint16_t>(in);
+        p.icmp_seq = get<std::uint16_t>(in);
+        p.echo_origin = get_time(in);
+        p.src_port = get<std::uint16_t>(in);
+        p.dst_port = get<std::uint16_t>(in);
+        p.tcp_seq = get<std::uint64_t>(in);
+        p.tcp_flags = get<std::uint8_t>(in);
+        trace.records.emplace_back(p);
+        break;
+      }
+      case RecordTag::kDevice: {
+        DeviceRecord d;
+        d.at = get_time(in);
+        d.signal_level = get<double>(in);
+        d.signal_quality = get<double>(in);
+        d.silence_level = get<double>(in);
+        trace.records.emplace_back(d);
+        break;
+      }
+      case RecordTag::kLost: {
+        LostRecords l;
+        l.at = get_time(in);
+        l.lost_packet_records = get<std::uint32_t>(in);
+        l.lost_device_records = get<std::uint32_t>(in);
+        trace.records.emplace_back(l);
+        break;
+      }
+      default:
+        throw TraceFormatError("unknown record tag " +
+                               std::to_string(static_cast<int>(tag)));
+    }
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const CollectedTrace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace(out, trace);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+CollectedTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+}  // namespace tracemod::trace

@@ -1,0 +1,38 @@
+// Self-descriptive binary trace format (in the spirit of RFC 2041: flexible,
+// extensible, fully self-descriptive).
+//
+// Layout:
+//   magic "TMTR" | format version u16 | schema table | records...
+// The schema table names every record type and its fields, so a reader can
+// detect version skew and skip unknown record types instead of
+// misinterpreting bytes.  All integers little-endian fixed width.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/records.hpp"
+
+namespace tracemod::trace {
+
+/// Malformed or incompatible trace data.
+class TraceFormatError : public std::runtime_error {
+ public:
+  explicit TraceFormatError(const std::string& what)
+      : std::runtime_error("trace format error: " + what) {}
+};
+
+inline constexpr std::uint16_t kTraceFormatVersion = 1;
+
+/// Serializes a collected trace.
+void write_trace(std::ostream& out, const CollectedTrace& trace);
+
+/// Parses a trace; throws TraceFormatError on malformed input.
+CollectedTrace read_trace(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const CollectedTrace& trace);
+CollectedTrace load_trace(const std::string& path);
+
+}  // namespace tracemod::trace

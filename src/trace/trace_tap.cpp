@@ -1,0 +1,124 @@
+#include "trace/trace_tap.hpp"
+
+namespace tracemod::trace {
+
+TraceTap::TraceTap(std::unique_ptr<net::NetDevice> inner, sim::EventLoop& loop,
+                   sim::ClockModel& clock,
+                   std::function<wireless::SignalInfo()> signal_source,
+                   TraceTapConfig cfg)
+    : net::DeviceShim(std::move(inner)),
+      loop_(loop),
+      clock_(clock),
+      signal_source_(std::move(signal_source)),
+      cfg_(cfg),
+      buffer_(cfg.buffer_capacity),
+      sample_timer_(loop) {}
+
+void TraceTap::open() {
+  if (open_) return;
+  open_ = true;
+  if (signal_source_) sample_device();
+}
+
+void TraceTap::close() {
+  open_ = false;
+  sample_timer_.cancel();
+}
+
+std::vector<TraceRecord> TraceTap::read(std::size_t max_records) {
+  return buffer_.drain(max_records, clock_.read(loop_.now()));
+}
+
+void TraceTap::on_outbound(net::Packet pkt) {
+  if (open_) record_packet(pkt, PacketDirection::kOutgoing);
+  send_down(std::move(pkt));
+}
+
+void TraceTap::on_inbound(net::Packet pkt) {
+  if (open_) record_packet(pkt, PacketDirection::kIncoming);
+  send_up(std::move(pkt));
+}
+
+void TraceTap::record_packet(const net::Packet& pkt, PacketDirection dir) {
+  PacketRecord rec;
+  rec.at = clock_.read(loop_.now());
+  rec.dir = dir;
+  rec.protocol = pkt.protocol;
+  rec.ip_bytes = pkt.ip_size();
+  switch (pkt.protocol) {
+    case net::Protocol::kIcmp: {
+      const auto& h = pkt.icmp();
+      rec.icmp_kind = (h.type == net::IcmpHeader::Type::kEchoRequest)
+                          ? IcmpKind::kEcho
+                          : IcmpKind::kEchoReply;
+      rec.icmp_id = h.id;
+      rec.icmp_seq = h.seq;
+      rec.echo_origin = h.payload_timestamp;
+      break;
+    }
+    case net::Protocol::kUdp: {
+      rec.src_port = pkt.udp().src_port;
+      rec.dst_port = pkt.udp().dst_port;
+      break;
+    }
+    case net::Protocol::kTcp: {
+      const auto& h = pkt.tcp();
+      rec.src_port = h.src_port;
+      rec.dst_port = h.dst_port;
+      rec.tcp_seq = h.seq;
+      rec.tcp_flags = static_cast<std::uint8_t>(
+          (h.syn ? 1 : 0) | (h.ack_flag ? 2 : 0) | (h.fin ? 4 : 0) |
+          (h.rst ? 8 : 0));
+      break;
+    }
+  }
+  buffer_.push(std::move(rec));
+}
+
+void TraceTap::sample_device() {
+  if (!open_) return;
+  const wireless::SignalInfo info = signal_source_();
+  DeviceRecord rec;
+  rec.at = clock_.read(loop_.now());
+  rec.signal_level = info.level;
+  rec.signal_quality = info.quality;
+  rec.silence_level = info.silence;
+  buffer_.push(std::move(rec));
+  sample_timer_.arm(cfg_.device_sample_period, [this] { sample_device(); });
+}
+
+CollectionDaemon::CollectionDaemon(sim::EventLoop& loop, TraceTap& tap,
+                                   sim::Duration period, std::size_t read_chunk)
+    : loop_(loop),
+      tap_(tap),
+      period_(period),
+      read_chunk_(read_chunk),
+      timer_(loop) {}
+
+void CollectionDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  tap_.open();
+  timer_.arm(period_, [this] { drain(); });
+}
+
+void CollectionDaemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  timer_.cancel();
+  // Final drain: pull everything left, in chunks.
+  for (;;) {
+    auto chunk = tap_.read(read_chunk_);
+    if (chunk.empty()) break;
+    for (auto& r : chunk) trace_.records.push_back(std::move(r));
+  }
+  tap_.close();
+}
+
+void CollectionDaemon::drain() {
+  auto chunk = tap_.read(read_chunk_);
+  for (auto& r : chunk) trace_.records.push_back(std::move(r));
+  timer_.arm(period_, [this] { drain(); });
+}
+
+}  // namespace tracemod::trace

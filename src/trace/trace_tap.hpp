@@ -1,0 +1,92 @@
+// In-kernel trace collection (paper Section 3.1.2).
+//
+// TraceTap hooks the input and output routines of a traced device (it is a
+// DeviceShim between IP and the link layer), copies relevant header fields
+// of every traced packet into a fixed-size kernel buffer, and periodically
+// samples the wireless device's signal characteristics into the same
+// buffer.  It exposes the paper's pseudo-device interface: open() enables
+// tracing, close() disables it, read() extracts records.  A user-level
+// CollectionDaemon drains the pseudo-device periodically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/device.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/event_loop.hpp"
+#include "trace/kernel_buffer.hpp"
+
+namespace tracemod::trace {
+
+struct TraceTapConfig {
+  std::size_t buffer_capacity = 8192;
+  sim::Duration device_sample_period = sim::seconds(1);
+};
+
+class TraceTap : public net::DeviceShim {
+ public:
+  /// signal_source may be empty (wired device: no device records).
+  /// clock is the collection host's (possibly drifting) clock.
+  TraceTap(std::unique_ptr<net::NetDevice> inner, sim::EventLoop& loop,
+           sim::ClockModel& clock,
+           std::function<wireless::SignalInfo()> signal_source,
+           TraceTapConfig cfg = {});
+
+  // --- pseudo-device interface ---
+  void open();
+  void close();
+  bool is_open() const { return open_; }
+  /// Drains up to max_records; prefixes a LostRecords marker after overruns.
+  std::vector<TraceRecord> read(std::size_t max_records);
+
+  const KernelBuffer& buffer() const { return buffer_; }
+
+ protected:
+  void on_outbound(net::Packet pkt) override;
+  void on_inbound(net::Packet pkt) override;
+
+ private:
+  void record_packet(const net::Packet& pkt, PacketDirection dir);
+  void sample_device();
+
+  sim::EventLoop& loop_;
+  sim::ClockModel& clock_;
+  std::function<wireless::SignalInfo()> signal_source_;
+  TraceTapConfig cfg_;
+  KernelBuffer buffer_;
+  sim::Timer sample_timer_;
+  bool open_ = false;
+};
+
+/// User-level daemon: periodically extracts collected data from the
+/// pseudo-device and appends it to an in-memory trace (standing in for the
+/// paper's on-disk trace file; use trace_io to persist).
+class CollectionDaemon {
+ public:
+  CollectionDaemon(sim::EventLoop& loop, TraceTap& tap,
+                   sim::Duration period = sim::milliseconds(100),
+                   std::size_t read_chunk = 512);
+
+  /// Opens the pseudo-device and starts draining.
+  void start();
+  /// Final drain, then closes the pseudo-device.
+  void stop();
+
+  const CollectedTrace& trace() const { return trace_; }
+  CollectedTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void drain();
+
+  sim::EventLoop& loop_;
+  TraceTap& tap_;
+  sim::Duration period_;
+  std::size_t read_chunk_;
+  sim::Timer timer_;
+  CollectedTrace trace_;
+  bool running_ = false;
+};
+
+}  // namespace tracemod::trace

@@ -1,0 +1,47 @@
+// Umbrella header: the tracemod public API.
+//
+// The three-phase methodology (paper Sections 2.2, 3):
+//   collection   -> scenarios::LiveTestbed::collect_trace(), trace::*
+//   distillation -> core::Distiller
+//   modulation   -> core::Emulator / core::ModulationLayer
+// plus the substrates and benchmark applications used by the evaluation.
+#pragma once
+
+// Simulation substrate.
+#include "sim/clock_model.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/tick_clock.hpp"
+#include "sim/time.hpp"
+
+// Network and transport stacks.
+#include "net/ethernet.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "transport/host.hpp"
+
+// Wireless substrate.
+#include "wireless/channel.hpp"
+#include "wireless/mobility.hpp"
+#include "wireless/wavelan_device.hpp"
+#include "wireless/wavepoint.hpp"
+
+// Trace collection.
+#include "trace/ping.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_tap.hpp"
+
+// The paper's contribution.
+#include "core/distiller.hpp"
+#include "core/emulator.hpp"
+#include "core/model.hpp"
+#include "core/modulation.hpp"
+
+// Benchmarks and scenarios.
+#include "apps/andrew.hpp"
+#include "apps/ftp.hpp"
+#include "apps/nfs.hpp"
+#include "apps/synrgen.hpp"
+#include "apps/web.hpp"
+#include "scenarios/experiment.hpp"

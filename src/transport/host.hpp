@@ -1,0 +1,44 @@
+// A Host is a Node with the full transport suite attached.
+//
+// Everything above the network layer in the paper's testbeds -- the mobile
+// ThinkPad, the server workstation, the interfering laptops -- is a Host.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/node.hpp"
+#include "transport/icmp.hpp"
+#include "transport/tcp.hpp"
+#include "transport/udp.hpp"
+
+namespace tracemod::transport {
+
+class Host {
+ public:
+  Host(sim::EventLoop& loop, std::string name, std::uint64_t seed = 1,
+       TcpConfig tcp_cfg = {})
+      : node_(loop, std::move(name), seed),
+        icmp_(node_),
+        udp_(node_),
+        tcp_(node_, tcp_cfg) {}
+
+  net::Node& node() { return node_; }
+  Icmp& icmp() { return icmp_; }
+  Udp& udp() { return udp_; }
+  Tcp& tcp() { return tcp_; }
+
+  sim::EventLoop& loop() { return node_.loop(); }
+  net::IpAddress address(std::size_t interface = 0) const {
+    return node_.address(interface);
+  }
+  const std::string& name() const { return node_.name(); }
+
+ private:
+  net::Node node_;
+  Icmp icmp_;
+  Udp udp_;
+  Tcp tcp_;
+};
+
+}  // namespace tracemod::transport

@@ -1,0 +1,35 @@
+#include "transport/icmp.hpp"
+
+namespace tracemod::transport {
+
+void Icmp::send_echo(net::IpAddress dst, std::uint16_t id, std::uint16_t seq,
+                     std::uint32_t payload_size,
+                     sim::TimePoint payload_timestamp) {
+  net::IcmpHeader hdr;
+  hdr.type = net::IcmpHeader::Type::kEchoRequest;
+  hdr.id = id;
+  hdr.seq = seq;
+  hdr.payload_timestamp = payload_timestamp;
+  node_.send(net::make_icmp_packet(net::IpAddress{}, dst, hdr, payload_size));
+  ++stats_.echoes_sent;
+}
+
+void Icmp::handle_packet(const net::Packet& pkt) {
+  const auto& hdr = pkt.icmp();
+  if (hdr.type == net::IcmpHeader::Type::kEchoRequest) {
+    // Answer with an ECHOREPLY of the same size; the payload (and thus the
+    // embedded timestamp) is copied back verbatim.
+    net::IcmpHeader reply = hdr;
+    reply.type = net::IcmpHeader::Type::kEchoReply;
+    node_.send(
+        net::make_icmp_packet(net::IpAddress{}, pkt.src, reply, pkt.payload_size));
+    ++stats_.echoes_answered;
+    return;
+  }
+  if (hdr.type == net::IcmpHeader::Type::kEchoReply) {
+    ++stats_.replies_received;
+    if (reply_cb_) reply_cb_(pkt);
+  }
+}
+
+}  // namespace tracemod::transport

@@ -1,0 +1,49 @@
+// ICMP echo / echo-reply.
+//
+// The trace-collection workload (the paper's modified ping) is built on
+// this.  The echo payload carries the generation timestamp, which the
+// responder copies into the reply, so round-trip times need only the
+// sender's clock (paper Section 3.1.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+
+namespace tracemod::transport {
+
+class Icmp : public net::ProtocolHandler {
+ public:
+  struct Stats {
+    std::uint64_t echoes_sent = 0;
+    std::uint64_t echoes_answered = 0;
+    std::uint64_t replies_received = 0;
+  };
+
+  /// Called for every ECHOREPLY that reaches this host.
+  using ReplyCallback = std::function<void(const net::Packet&)>;
+
+  explicit Icmp(net::Node& node) : node_(node) {
+    node_.register_protocol(net::Protocol::kIcmp, this);
+  }
+
+  /// Sends an ECHO request.  payload_timestamp should be the sender's clock
+  /// reading (possibly drifted); it rides in the payload and comes back in
+  /// the reply.  payload_size includes the 8 timestamp bytes, matching ping.
+  void send_echo(net::IpAddress dst, std::uint16_t id, std::uint16_t seq,
+                 std::uint32_t payload_size, sim::TimePoint payload_timestamp);
+
+  void set_reply_callback(ReplyCallback cb) { reply_cb_ = std::move(cb); }
+
+  void handle_packet(const net::Packet& pkt) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  net::Node& node_;
+  ReplyCallback reply_cb_;
+  Stats stats_;
+};
+
+}  // namespace tracemod::transport

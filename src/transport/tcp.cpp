@@ -1,0 +1,628 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::transport {
+
+namespace {
+
+/// Metadata piggybacked on data segments: record boundaries whose last byte
+/// lies inside the segment.
+struct SegmentMeta {
+  std::vector<std::pair<std::uint64_t, std::any>> record_ends;
+};
+
+}  // namespace
+
+const char* to_string(TcpConnection::State s) {
+  using St = TcpConnection::State;
+  switch (s) {
+    case St::kClosed: return "CLOSED";
+    case St::kSynSent: return "SYN_SENT";
+    case St::kSynReceived: return "SYN_RCVD";
+    case St::kEstablished: return "ESTABLISHED";
+    case St::kFinWait1: return "FIN_WAIT_1";
+    case St::kFinWait2: return "FIN_WAIT_2";
+    case St::kClosing: return "CLOSING";
+    case St::kTimeWait: return "TIME_WAIT";
+    case St::kCloseWait: return "CLOSE_WAIT";
+    case St::kLastAck: return "LAST_ACK";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Tcp ----
+
+Tcp::Tcp(net::Node& node, TcpConfig cfg) : node_(node), cfg_(cfg) {
+  node_.register_protocol(net::Protocol::kTcp, this);
+}
+
+void Tcp::listen(std::uint16_t port, AcceptCallback cb) {
+  TM_ASSERT(cb != nullptr);
+  listeners_[port] = std::move(cb);
+}
+
+TcpConnection& Tcp::connect(net::Endpoint remote) {
+  std::uint16_t port;
+  ConnKey key;
+  do {
+    port = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 20000;
+    key = ConnKey{port, remote.addr.value, remote.port};
+  } while (conns_.count(key) != 0);
+
+  auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(
+      *this, net::Endpoint{node_.address(), port}, remote, /*passive=*/false));
+  TcpConnection& ref = *conn;
+  conns_[key] = std::move(conn);
+  ref.start_connect();
+  return ref;
+}
+
+void Tcp::handle_packet(const net::Packet& pkt) {
+  const auto& hdr = pkt.tcp();
+  const ConnKey key{hdr.dst_port, pkt.src.value, hdr.src_port};
+  auto it = conns_.find(key);
+  if (it != conns_.end()) {
+    it->second->on_segment(pkt);
+    return;
+  }
+  auto lit = listeners_.find(hdr.dst_port);
+  if (lit != listeners_.end() && hdr.syn && !hdr.ack_flag) {
+    auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(
+        *this, net::Endpoint{pkt.dst, hdr.dst_port},
+        net::Endpoint{pkt.src, hdr.src_port}, /*passive=*/true));
+    TcpConnection& ref = *conn;
+    // The listener's callback fires once the handshake completes.
+    AcceptCallback cb = lit->second;
+    ref.set_on_connected([cb, &ref] { cb(ref); });
+    conns_[key] = std::move(conn);
+    ref.on_segment(pkt);
+    return;
+  }
+  // No connection, no listener: a real stack would send RST; benchmarks
+  // never hit this path, so silently ignore.
+}
+
+// ------------------------------------------------------- TcpConnection ----
+
+TcpConnection::TcpConnection(Tcp& tcp, net::Endpoint local,
+                             net::Endpoint remote, bool passive)
+    : tcp_(tcp),
+      local_(local),
+      remote_(remote),
+      passive_(passive),
+      rto_timer_(tcp.node().loop()),
+      delack_timer_(tcp.node().loop()),
+      timewait_timer_(tcp.node().loop()),
+      rto_(tcp.config().initial_rto) {
+  const auto& cfg = tcp_.config();
+  cwnd_ = cfg.initial_cwnd_segments * cfg.mss;
+  ssthresh_ = 64 * 1024;
+  snd_wnd_ = cfg.recv_buffer;  // until the peer advertises
+}
+
+TcpConnection::~TcpConnection() = default;
+
+void TcpConnection::start_connect() {
+  TM_ASSERT(!passive_ && state_ == State::kClosed);
+  state_ = State::kSynSent;
+  snd_nxt_ = 1;
+  timed_at_ = tcp_.node().loop().now();
+  timing_ = true;
+  timed_ack_target_ = 1;
+  send_control(/*syn=*/true, /*ack=*/false, /*fin=*/false, /*rst=*/false, 0);
+  arm_rto();
+}
+
+std::uint32_t TcpConnection::receive_window() const {
+  std::uint64_t buffered = 0;
+  for (const OooRange& r : ooo_) buffered += r.end - r.begin;
+  const std::uint64_t buf = tcp_.config().recv_buffer;
+  return buffered >= buf ? 0 : static_cast<std::uint32_t>(buf - buffered);
+}
+
+void TcpConnection::send_control(bool syn, bool ack, bool fin, bool rst,
+                                 std::uint64_t seq) {
+  net::TcpHeader hdr;
+  hdr.src_port = local_.port;
+  hdr.dst_port = remote_.port;
+  hdr.seq = seq;
+  hdr.ack = rcv_nxt_;
+  hdr.syn = syn;
+  hdr.ack_flag = ack;
+  hdr.fin = fin;
+  hdr.rst = rst;
+  hdr.window = receive_window();
+  tcp_.send_packet(net::make_tcp_packet(local_.addr, remote_.addr, hdr, 0));
+  if (ack) {
+    delack_timer_.cancel();
+    segs_since_ack_ = 0;
+  }
+}
+
+void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len,
+                                 bool fin) {
+  net::TcpHeader hdr;
+  hdr.src_port = local_.port;
+  hdr.dst_port = remote_.port;
+  hdr.seq = seq;
+  hdr.ack = rcv_nxt_;
+  hdr.ack_flag = true;
+  hdr.fin = fin;
+  hdr.window = receive_window();
+
+  net::Packet pkt = net::make_tcp_packet(local_.addr, remote_.addr, hdr, len);
+  if (len > 0) {
+    // Attach boundaries of records whose last byte rides in this segment.
+    SegmentMeta meta;
+    for (std::size_t i = send_records_acked_; i < send_records_.size(); ++i) {
+      const RecordBoundary& rb = send_records_[i];
+      if (rb.end_seq < seq) continue;
+      if (rb.end_seq > seq + len - 1) break;
+      meta.record_ends.emplace_back(rb.end_seq, rb.meta);
+    }
+    if (!meta.record_ends.empty()) pkt.payload = std::move(meta);
+  }
+  tcp_.send_packet(std::move(pkt));
+  ++stats_.segments_sent;
+  if (seq < snd_max_) {
+    ++stats_.retransmits;
+    timing_ = false;  // Karn's rule: never time retransmitted data
+  }
+  snd_nxt_ = std::max(snd_nxt_, seq + len + (fin ? 1u : 0u));
+  snd_max_ = std::max(snd_max_, snd_nxt_);
+  delack_timer_.cancel();
+  segs_since_ack_ = 0;
+}
+
+std::uint64_t TcpConnection::send_limit() const {
+  // Usable window: min(congestion, advertised), from snd_una_.
+  const std::uint64_t wnd = std::min<std::uint64_t>(cwnd_, snd_wnd_);
+  return snd_una_ + wnd;
+}
+
+void TcpConnection::send(std::uint64_t bytes, std::any meta) {
+  TM_ASSERT(bytes > 0);
+  TM_ASSERT(!fin_queued_);
+  stream_len_ += bytes;
+  stats_.bytes_sent += bytes;
+  send_records_.push_back(RecordBoundary{stream_len_, std::move(meta)});
+  try_send();
+}
+
+void TcpConnection::close() {
+  if (fin_queued_) return;
+  fin_queued_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait) {
+    try_send();
+  } else if (state_ == State::kClosed || state_ == State::kSynSent) {
+    become_closed(false);
+  }
+}
+
+void TcpConnection::abort() {
+  if (state_ == State::kClosed) return;
+  send_control(false, false, false, /*rst=*/true, snd_nxt_);
+  become_closed(true);
+}
+
+void TcpConnection::try_send() {
+  // Data may be (re)sent in any synchronized state with unacked stream
+  // bytes: the closing states still retransmit after a go-back-N rollback.
+  switch (state_) {
+    case State::kEstablished:
+    case State::kCloseWait:
+    case State::kFinWait1:
+    case State::kLastAck:
+    case State::kClosing:
+      break;
+    default:
+      return;
+  }
+  const std::uint32_t mss = tcp_.config().mss;
+  const std::uint64_t data_end = stream_end_seq();
+  bool sent = false;
+  while (snd_nxt_ < data_end && snd_nxt_ < send_limit()) {
+    const std::uint64_t len64 = std::min<std::uint64_t>(
+        {mss, data_end - snd_nxt_, send_limit() - snd_nxt_});
+    if (len64 == 0) break;
+    const std::uint64_t seq = snd_nxt_;
+    send_segment(seq, static_cast<std::uint32_t>(len64), false);
+    if (!timing_) {
+      timing_ = true;
+      timed_ack_target_ = snd_nxt_;
+      timed_at_ = tcp_.node().loop().now();
+    }
+    sent = true;
+  }
+  if (sent && !rto_timer_.armed()) arm_rto();
+  maybe_send_fin();
+}
+
+void TcpConnection::maybe_send_fin() {
+  if (!fin_queued_) return;
+  if (snd_nxt_ != stream_end_seq()) return;  // data still unsent/unfilled
+  switch (state_) {
+    case State::kEstablished:
+    case State::kCloseWait:
+      send_control(false, true, /*fin=*/true, false, stream_end_seq());
+      fin_sent_ = true;
+      snd_nxt_ = stream_end_seq() + 1;
+      snd_max_ = std::max(snd_max_, snd_nxt_);
+      state_ = (state_ == State::kEstablished) ? State::kFinWait1
+                                               : State::kLastAck;
+      break;
+    case State::kFinWait1:
+    case State::kLastAck:
+    case State::kClosing:
+      // Refilling after a go-back-N rollback: the FIN goes again.
+      TM_ASSERT(fin_sent_);
+      send_control(false, true, /*fin=*/true, false, stream_end_seq());
+      snd_nxt_ = stream_end_seq() + 1;
+      break;
+    default:
+      return;
+  }
+  if (!rto_timer_.armed()) arm_rto();
+}
+
+void TcpConnection::arm_rto() {
+  rto_timer_.arm(rto_, [this] { handle_rto(); });
+}
+
+void TcpConnection::rtt_sample(sim::Duration sample) {
+  const auto& cfg = tcp_.config();
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+  } else {
+    const auto err = (sample > srtt_) ? (sample - srtt_) : (srtt_ - sample);
+    rttvar_ = (rttvar_ * 3 + err) / 4;
+    srtt_ = (srtt_ * 7 + sample) / 8;
+  }
+  rto_ = srtt_ + std::max(sim::milliseconds(10), rttvar_ * 4);
+  rto_ = std::clamp(rto_, cfg.min_rto, cfg.max_rto);
+}
+
+void TcpConnection::handle_rto() {
+  const auto& cfg = tcp_.config();
+  ++stats_.rto_events;
+  if (++retries_ > cfg.max_retries) {
+    // Give up.  Tell the peer (best effort) so it does not wait forever on
+    // a connection we will never service again.
+    send_control(false, false, false, /*rst=*/true, snd_nxt_);
+    become_closed(true);
+    return;
+  }
+  // Multiplicative backoff and congestion response.
+  rto_ = std::min(rto_ * 2, cfg.max_rto);
+  const std::uint64_t flight = snd_nxt_ - snd_una_;
+  ssthresh_ = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(flight / 2, 2ull * cfg.mss));
+  cwnd_ = cfg.mss;
+  in_fast_recovery_ = false;
+  dup_acks_ = 0;
+  timing_ = false;
+
+  // Retransmit the oldest unacknowledged thing.  For data, roll the send
+  // point back (Tahoe go-back-N): without selective acknowledgments,
+  // recovering a multi-segment hole one RTO at a time takes seconds per
+  // segment and wedges transfers across outage bursts.
+  if (snd_una_ == 0) {
+    if (passive_) {
+      send_control(true, true, false, false, 0);  // SYN|ACK
+    } else {
+      send_control(true, false, false, false, 0);  // SYN
+    }
+  } else if (fin_sent_ && snd_una_ == stream_end_seq()) {
+    send_control(false, true, true, false, stream_end_seq());
+  } else if (snd_una_ < stream_end_seq()) {
+    snd_nxt_ = snd_una_;
+    try_send();  // cwnd is one segment: retransmits exactly the oldest
+  }
+  arm_rto();
+}
+
+void TcpConnection::process_ack(std::uint64_t ack, std::uint32_t window) {
+  snd_wnd_ = window;
+  if (ack > snd_max_) return;  // acks something we never sent; ignore
+  if (ack > snd_una_) {
+    const std::uint64_t newly = ack - snd_una_;
+    // Count acked *data* bytes: exclude the SYN (seq 0) and FIN seqs.
+    std::uint64_t data_lo = std::max<std::uint64_t>(snd_una_, 1);
+    std::uint64_t data_hi = std::min<std::uint64_t>(ack, stream_end_seq());
+    if (data_hi > data_lo) stats_.bytes_acked += data_hi - data_lo;
+    (void)newly;
+    snd_una_ = ack;
+    // Old in-flight data can be acked past a go-back-N rollback point.
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    retries_ = 0;
+
+    if (timing_ && ack >= timed_ack_target_) {
+      timing_ = false;
+      rtt_sample(tcp_.node().loop().now() - timed_at_);
+    }
+
+    // Prune fully-acked record boundaries (their last byte is < snd_una_).
+    while (send_records_acked_ < send_records_.size() &&
+           send_records_[send_records_acked_].end_seq < snd_una_) {
+      ++send_records_acked_;
+    }
+
+    const std::uint32_t mss = tcp_.config().mss;
+    if (in_fast_recovery_) {
+      in_fast_recovery_ = false;
+      cwnd_ = ssthresh_;
+      dup_acks_ = 0;
+    } else {
+      dup_acks_ = 0;
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += mss;  // slow start
+      } else {
+        cwnd_ += std::max<std::uint32_t>(1, mss * mss / cwnd_);  // CA
+      }
+    }
+
+    if (snd_una_ == snd_nxt_) {
+      rto_timer_.cancel();
+    } else {
+      arm_rto();
+    }
+
+    // FIN acknowledged?
+    if (fin_sent_ && snd_una_ > stream_end_seq()) {
+      if (state_ == State::kFinWait1) {
+        state_ = State::kFinWait2;
+        timewait_timer_.arm(tcp_.config().fin_wait2_timeout,
+                            [this] { become_closed(false); });
+      } else if (state_ == State::kClosing) {
+        enter_time_wait();
+      } else if (state_ == State::kLastAck) {
+        become_closed(false);
+        return;
+      }
+    }
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK (only meaningful while data is outstanding).
+  if (ack == snd_una_ && snd_nxt_ > snd_una_) {
+    const std::uint32_t mss = tcp_.config().mss;
+    if (in_fast_recovery_) {
+      cwnd_ += mss;
+      try_send();
+      return;
+    }
+    if (++dup_acks_ == 3) {
+      const std::uint64_t flight = snd_nxt_ - snd_una_;
+      ssthresh_ = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(flight / 2, 2ull * mss));
+      // Retransmit the missing segment.
+      if (snd_una_ >= 1 && snd_una_ < stream_end_seq()) {
+        const std::uint64_t len64 =
+            std::min<std::uint64_t>(mss, stream_end_seq() - snd_una_);
+        send_segment(snd_una_, static_cast<std::uint32_t>(len64), false);
+      } else if (fin_sent_ && snd_una_ == stream_end_seq()) {
+        send_control(false, true, true, false, stream_end_seq());
+      }
+      cwnd_ = ssthresh_ + 3 * mss;
+      in_fast_recovery_ = true;
+      ++stats_.fast_retransmits;
+      arm_rto();
+    }
+  }
+}
+
+void TcpConnection::process_data(const net::Packet& pkt) {
+  const auto& hdr = pkt.tcp();
+  const std::uint64_t s = hdr.seq;
+  const std::uint64_t e = s + pkt.payload_size;  // exclusive
+
+  // Stash piggybacked record boundaries; they fire only once the stream
+  // reaches them.  Boundaries the stream has already passed were delivered
+  // from the original transmission -- re-stashing them from a retransmitted
+  // segment would deliver the record twice.
+  if (const auto* meta = std::any_cast<SegmentMeta>(&pkt.payload)) {
+    for (const auto& [end_seq, m] : meta->record_ends) {
+      if (end_seq >= rcv_nxt_) pending_records_.emplace(end_seq, m);
+    }
+  }
+
+  if (e <= rcv_nxt_) {
+    send_ack_now();  // stale duplicate: re-ack
+    return;
+  }
+  if (s > rcv_nxt_) {
+    // Out of order: remember the range, dup-ack immediately.
+    OooRange add{s, e};
+    std::vector<OooRange> merged;
+    for (const OooRange& r : ooo_) {
+      if (r.end < add.begin || r.begin > add.end) {
+        merged.push_back(r);
+      } else {
+        add.begin = std::min(add.begin, r.begin);
+        add.end = std::max(add.end, r.end);
+      }
+    }
+    merged.push_back(add);
+    std::sort(merged.begin(), merged.end(),
+              [](const OooRange& a, const OooRange& b) {
+                return a.begin < b.begin;
+              });
+    ooo_ = std::move(merged);
+    send_ack_now();
+    return;
+  }
+
+  // In-order (possibly overlapping) data: advance rcv_nxt_.
+  std::uint64_t new_next = e;
+  // Absorb any buffered ranges now contiguous.
+  while (!ooo_.empty() && ooo_.front().begin <= new_next) {
+    new_next = std::max(new_next, ooo_.front().end);
+    ooo_.erase(ooo_.begin());
+  }
+  const std::uint64_t delivered = new_next - rcv_nxt_;
+  rcv_nxt_ = new_next;
+  stats_.bytes_delivered += delivered;
+  if (on_bytes_) on_bytes_(delivered);
+  deliver_ready_records();
+
+  // ACK policy: every second segment, immediately if reassembly is pending,
+  // otherwise a delayed ACK.
+  ++segs_since_ack_;
+  if (segs_since_ack_ >= 2 || !ooo_.empty()) {
+    send_ack_now();
+  } else {
+    schedule_delayed_ack();
+  }
+}
+
+void TcpConnection::deliver_ready_records() {
+  while (!pending_records_.empty()) {
+    auto it = pending_records_.begin();
+    if (it->first >= rcv_nxt_) break;
+    // Record length is the gap from the previous boundary; apps that care
+    // already know it from their own protocol, so report the end offset.
+    std::any meta = std::move(it->second);
+    const std::uint64_t end_seq = it->first;
+    pending_records_.erase(it);
+    if (on_record_) on_record_(meta, end_seq);
+  }
+}
+
+void TcpConnection::send_ack_now() {
+  send_control(false, true, false, false, snd_nxt_);
+}
+
+void TcpConnection::schedule_delayed_ack() {
+  if (delack_timer_.armed()) return;
+  delack_timer_.arm(tcp_.config().delayed_ack, [this] { send_ack_now(); });
+}
+
+void TcpConnection::enter_time_wait() {
+  state_ = State::kTimeWait;
+  rto_timer_.cancel();
+  timewait_timer_.arm(tcp_.config().time_wait,
+                      [this] { become_closed(false); });
+}
+
+void TcpConnection::become_closed(bool error) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  timewait_timer_.cancel();
+  if (on_closed_) on_closed_(error);
+}
+
+void TcpConnection::on_segment(const net::Packet& pkt) {
+  const auto& hdr = pkt.tcp();
+  ++stats_.segments_received;
+
+  if (hdr.rst) {
+    become_closed(true);
+    return;
+  }
+
+  switch (state_) {
+    case State::kClosed:
+      if (passive_ && hdr.syn && !hdr.ack_flag) {
+        rcv_nxt_ = 1;
+        state_ = State::kSynReceived;
+        snd_nxt_ = 1;
+        send_control(true, true, false, false, 0);  // SYN|ACK
+        arm_rto();
+      }
+      return;
+
+    case State::kSynSent:
+      if (hdr.syn && hdr.ack_flag && hdr.ack == 1) {
+        rcv_nxt_ = 1;
+        snd_una_ = 1;
+        snd_wnd_ = hdr.window;
+        retries_ = 0;
+        rto_timer_.cancel();
+        if (timing_) {
+          timing_ = false;
+          rtt_sample(tcp_.node().loop().now() - timed_at_);
+        }
+        state_ = State::kEstablished;
+        send_ack_now();
+        if (on_connected_) on_connected_();
+        try_send();
+      }
+      return;
+
+    case State::kSynReceived:
+      if (hdr.syn && !hdr.ack_flag) {
+        send_control(true, true, false, false, 0);  // our SYN|ACK was lost
+        return;
+      }
+      if (hdr.ack_flag && hdr.ack >= 1) {
+        snd_una_ = std::max<std::uint64_t>(snd_una_, 1);
+        snd_wnd_ = hdr.window;
+        retries_ = 0;
+        rto_timer_.cancel();
+        state_ = State::kEstablished;
+        if (on_connected_) on_connected_();
+        // Fall through to normal processing for any piggybacked data.
+        break;
+      }
+      return;
+
+    default:
+      if (hdr.syn) {
+        // Retransmitted handshake segment: re-ack our current state.
+        send_ack_now();
+        return;
+      }
+      break;
+  }
+
+  // Normal processing (ESTABLISHED and later states).
+  if (hdr.ack_flag) process_ack(hdr.ack, hdr.window);
+  if (state_ == State::kClosed) return;  // process_ack may finish LAST_ACK
+  if (pkt.payload_size > 0) process_data(pkt);
+
+  if (hdr.fin) {
+    const std::uint64_t fin_seq = hdr.seq + pkt.payload_size;
+    if (!peer_fin_seen_) {
+      peer_fin_seen_ = true;
+      peer_fin_seq_ = fin_seq;
+    }
+  }
+  if (peer_fin_seen_ && rcv_nxt_ == peer_fin_seq_) {
+    // FIN is now in-order: consume it.
+    rcv_nxt_ = peer_fin_seq_ + 1;
+    peer_fin_seq_ = 0;  // consumed marker (rcv_nxt_ moved past)
+    peer_fin_seen_ = false;
+    peer_fin_consumed_ = true;
+    send_ack_now();
+    switch (state_) {
+      case State::kEstablished:
+        state_ = State::kCloseWait;
+        if (on_peer_fin_) on_peer_fin_();
+        break;
+      case State::kFinWait1:
+        state_ = State::kClosing;
+        if (on_peer_fin_) on_peer_fin_();
+        break;
+      case State::kFinWait2:
+        if (on_peer_fin_) on_peer_fin_();
+        enter_time_wait();
+        break;
+      default:
+        break;
+    }
+  } else if (peer_fin_consumed_ && hdr.fin) {
+    // Retransmitted FIN after we consumed it: re-ack.
+    send_ack_now();
+  }
+}
+
+}  // namespace tracemod::transport

@@ -1,0 +1,237 @@
+// TCP (Reno-style) over the simulated network.
+//
+// A deliberately faithful subset of 4.4BSD-era TCP: three-way handshake,
+// MSS segmentation, cumulative ACKs with delayed-ACK policy, sliding window
+// bounded by the peer's advertised window and the congestion window,
+// Jacobson/Karels RTT estimation with Karn's rule, exponential RTO backoff,
+// slow start / congestion avoidance / fast retransmit / fast recovery, and
+// FIN teardown with TIME_WAIT.  The Web and FTP benchmarks (paper Sections
+// 5.2-5.3) run on this.
+//
+// Application data model: connections carry *records* -- (byte count, opaque
+// meta) pairs.  The byte count drives real segmentation and window dynamics;
+// the meta rides on the segment containing the record's last byte and is
+// delivered to the receiver's on_record callback once every byte of the
+// record has arrived in order.  This keeps apps message-oriented while TCP
+// stays a byte stream.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/event_loop.hpp"
+
+namespace tracemod::transport {
+
+struct TcpConfig {
+  std::uint32_t mss = 1460;
+  std::uint32_t recv_buffer = 16 * 1024;  ///< 4.4BSD default socket buffer
+  sim::Duration min_rto = sim::milliseconds(500);
+  sim::Duration initial_rto = sim::milliseconds(1000);
+  sim::Duration max_rto = sim::seconds(64);
+  sim::Duration delayed_ack = sim::milliseconds(200);
+  sim::Duration time_wait = sim::seconds(2);
+  /// Give up waiting for the peer's FIN eventually (BSD's FIN_WAIT_2
+  /// timer); prevents half-closed connections from hanging forever when
+  /// the peer died under heavy loss.
+  sim::Duration fin_wait2_timeout = sim::seconds(30);
+  int max_retries = 12;
+  /// Two segments, so short responses don't stall on the receiver's
+  /// delayed-ACK timer (the BSD "ack every other segment" interplay).
+  std::uint32_t initial_cwnd_segments = 2;
+};
+
+class Tcp;
+
+class TcpConnection {
+ public:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kClosing,
+    kTimeWait,
+    kCloseWait,
+    kLastAck,
+  };
+
+  struct Stats {
+    std::uint64_t bytes_sent = 0;       ///< unique stream bytes queued
+    std::uint64_t bytes_acked = 0;
+    std::uint64_t bytes_delivered = 0;  ///< in-order bytes handed to the app
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_received = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t rto_events = 0;
+    std::uint64_t fast_retransmits = 0;
+  };
+
+  using OnConnected = std::function<void()>;
+  /// meta: the record's opaque tag; end_offset: wire seq of its last byte
+  /// (i.e. cumulative stream bytes through this record).
+  using OnRecord = std::function<void(const std::any& meta, std::uint64_t end_offset)>;
+  using OnBytes = std::function<void(std::uint64_t n)>;
+  using OnClosed = std::function<void(bool error)>;
+  using OnPeerFin = std::function<void()>;
+
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Appends a record to the send stream.  bytes > 0.
+  void send(std::uint64_t bytes, std::any meta = {});
+
+  /// Half-closes: a FIN follows the last queued byte.
+  void close();
+
+  /// Aborts: RST to peer, immediate CLOSED with error.
+  void abort();
+
+  void set_on_connected(OnConnected cb) { on_connected_ = std::move(cb); }
+  void set_on_record(OnRecord cb) { on_record_ = std::move(cb); }
+  void set_on_bytes(OnBytes cb) { on_bytes_ = std::move(cb); }
+  void set_on_closed(OnClosed cb) { on_closed_ = std::move(cb); }
+  /// Fires when the peer's FIN is consumed in order (end of peer's stream).
+  void set_on_peer_fin(OnPeerFin cb) { on_peer_fin_ = std::move(cb); }
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  const Stats& stats() const { return stats_; }
+  net::Endpoint local() const { return local_; }
+  net::Endpoint remote() const { return remote_; }
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  sim::Duration current_rto() const { return rto_; }
+
+ private:
+  friend class Tcp;
+
+  struct RecordBoundary {
+    std::uint64_t end_seq;  ///< wire seq of the record's last byte
+    std::any meta;
+  };
+  struct OooRange {
+    std::uint64_t begin;  ///< wire seq, inclusive
+    std::uint64_t end;    ///< wire seq, exclusive
+  };
+
+  TcpConnection(Tcp& tcp, net::Endpoint local, net::Endpoint remote,
+                bool passive);
+
+  void start_connect();
+  void on_segment(const net::Packet& pkt);
+  void try_send();
+  void send_segment(std::uint64_t seq, std::uint32_t len, bool fin);
+  void send_ack_now();
+  void schedule_delayed_ack();
+  void send_control(bool syn, bool ack, bool fin, bool rst, std::uint64_t seq);
+  void process_ack(std::uint64_t ack, std::uint32_t window);
+  void process_data(const net::Packet& pkt);
+  void maybe_send_fin();
+  void handle_rto();
+  void arm_rto();
+  void rtt_sample(sim::Duration sample);
+  void enter_time_wait();
+  void become_closed(bool error);
+  void deliver_ready_records();
+  std::uint32_t receive_window() const;
+  std::uint64_t send_limit() const;
+  std::uint64_t stream_end_seq() const { return 1 + stream_len_; }
+
+  Tcp& tcp_;
+  net::Endpoint local_;
+  net::Endpoint remote_;
+  State state_ = State::kClosed;
+  bool passive_ = false;
+
+  // --- send side (wire seq space: SYN=0, data bytes 1..stream_len_) ---
+  std::uint64_t stream_len_ = 0;  ///< application bytes queued so far
+  bool fin_queued_ = false;       ///< close() called
+  bool fin_sent_ = false;
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t snd_max_ = 0;  ///< highest seq ever sent (go-back-N aware)
+  std::uint32_t snd_wnd_ = 0;   ///< peer's advertised window
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = 0;
+  int dup_acks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::vector<RecordBoundary> send_records_;  // sorted by end_seq
+  std::size_t send_records_acked_ = 0;        // prefix fully acked (prunable)
+
+  // --- timers / RTT estimation ---
+  sim::Timer rto_timer_;
+  sim::Timer delack_timer_;
+  sim::Timer timewait_timer_;
+  sim::Duration srtt_{};
+  sim::Duration rttvar_{};
+  bool have_rtt_ = false;
+  sim::Duration rto_;
+  int retries_ = 0;
+  bool timing_ = false;
+  std::uint64_t timed_ack_target_ = 0;
+  sim::TimePoint timed_at_{};
+
+  // --- receive side ---
+  std::uint64_t rcv_nxt_ = 0;
+  bool peer_fin_seen_ = false;
+  bool peer_fin_consumed_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  std::vector<OooRange> ooo_;  // disjoint, sorted
+  std::map<std::uint64_t, std::any> pending_records_;  // end_seq -> meta
+  int segs_since_ack_ = 0;
+
+  OnConnected on_connected_;
+  OnRecord on_record_;
+  OnBytes on_bytes_;
+  OnClosed on_closed_;
+  OnPeerFin on_peer_fin_;
+  Stats stats_;
+};
+
+class Tcp : public net::ProtocolHandler {
+ public:
+  using AcceptCallback = std::function<void(TcpConnection&)>;
+
+  explicit Tcp(net::Node& node, TcpConfig cfg = {});
+
+  /// Registers a passive listener on a port.
+  void listen(std::uint16_t port, AcceptCallback cb);
+
+  /// Active open; returns the (Tcp-owned) connection in SYN_SENT.
+  TcpConnection& connect(net::Endpoint remote);
+
+  void handle_packet(const net::Packet& pkt) override;
+
+  const TcpConfig& config() const { return cfg_; }
+  net::Node& node() { return node_; }
+
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  friend class TcpConnection;
+
+  // Key: (local port, remote addr, remote port).
+  using ConnKey = std::tuple<std::uint16_t, std::uint32_t, std::uint16_t>;
+
+  void send_packet(net::Packet pkt) { node_.send(std::move(pkt)); }
+
+  net::Node& node_;
+  TcpConfig cfg_;
+  std::map<ConnKey, std::unique_ptr<TcpConnection>> conns_;
+  std::map<std::uint16_t, AcceptCallback> listeners_;
+  std::uint16_t next_ephemeral_ = 20000;
+};
+
+const char* to_string(TcpConnection::State s);
+
+}  // namespace tracemod::transport

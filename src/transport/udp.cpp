@@ -1,0 +1,45 @@
+#include "transport/udp.hpp"
+
+#include <stdexcept>
+
+namespace tracemod::transport {
+
+void Udp::handle_packet(const net::Packet& pkt) {
+  const auto& hdr = pkt.udp();
+  auto it = sockets_.find(hdr.dst_port);
+  if (it == sockets_.end()) return;  // no listener: silently dropped
+  UdpSocket* sock = it->second;
+  if (sock->cb_) sock->cb_(pkt, net::Endpoint{pkt.src, hdr.src_port});
+}
+
+std::uint16_t Udp::bind(UdpSocket* sock, std::uint16_t port) {
+  if (port == 0) {
+    while (sockets_.count(next_ephemeral_) != 0) {
+      ++next_ephemeral_;
+      if (next_ephemeral_ == 0) next_ephemeral_ = 32768;
+    }
+    port = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 32768;
+  } else if (sockets_.count(port) != 0) {
+    throw std::runtime_error("udp port already bound: " + std::to_string(port));
+  }
+  sockets_[port] = sock;
+  return port;
+}
+
+void Udp::unbind(std::uint16_t port) { sockets_.erase(port); }
+
+UdpSocket::UdpSocket(Udp& udp, std::uint16_t port)
+    : udp_(udp), port_(udp.bind(this, port)) {}
+
+UdpSocket::~UdpSocket() { udp_.unbind(port_); }
+
+void UdpSocket::send_to(net::Endpoint dst, std::uint32_t payload_size,
+                        std::any payload) {
+  net::Packet pkt = net::make_udp_packet(net::IpAddress{}, dst.addr, port_,
+                                         dst.port, payload_size);
+  pkt.payload = std::move(payload);
+  udp_.node().send(std::move(pkt));
+}
+
+}  // namespace tracemod::transport

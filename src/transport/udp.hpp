@@ -1,0 +1,70 @@
+// UDP sockets.
+//
+// Datagram transport used by the NFS substrate (the paper's Andrew
+// benchmark runs over NFS/UDP).  Sockets are RAII: construction binds,
+// destruction unbinds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/node.hpp"
+
+namespace tracemod::transport {
+
+class UdpSocket;
+
+class Udp : public net::ProtocolHandler {
+ public:
+  explicit Udp(net::Node& node) : node_(node) {
+    node_.register_protocol(net::Protocol::kUdp, this);
+  }
+
+  void handle_packet(const net::Packet& pkt) override;
+
+  net::Node& node() { return node_; }
+
+ private:
+  friend class UdpSocket;
+
+  std::uint16_t bind(UdpSocket* sock, std::uint16_t port);
+  void unbind(std::uint16_t port);
+
+  net::Node& node_;
+  std::unordered_map<std::uint16_t, UdpSocket*> sockets_;
+  std::uint16_t next_ephemeral_ = 32768;
+};
+
+class UdpSocket {
+ public:
+  /// from: the datagram's source endpoint.
+  using ReceiveCallback =
+      std::function<void(const net::Packet&, net::Endpoint from)>;
+
+  /// port == 0 binds an ephemeral port.  Throws std::runtime_error if the
+  /// requested port is taken.
+  UdpSocket(Udp& udp, std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Sends a datagram.  payload describes the application message (small
+  /// struct); payload_size is its simulated wire size in bytes.
+  void send_to(net::Endpoint dst, std::uint32_t payload_size,
+               std::any payload = {});
+
+  void set_receive_callback(ReceiveCallback cb) { cb_ = std::move(cb); }
+
+ private:
+  friend class Udp;
+
+  Udp& udp_;
+  std::uint16_t port_;
+  ReceiveCallback cb_;
+};
+
+}  // namespace tracemod::transport

@@ -1,0 +1,253 @@
+#include "wireless/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::wireless {
+
+WirelessChannel::WirelessChannel(sim::EventLoop& loop, SignalModel model,
+                                 ChannelConfig cfg, sim::Rng rng)
+    : loop_(loop), model_(std::move(model)), cfg_(cfg), rng_(rng) {}
+
+void WirelessChannel::add_wavepoint(BaseStation* wp) {
+  TM_ASSERT(wp != nullptr);
+  wavepoints_.push_back(wp);
+}
+
+void WirelessChannel::add_mobile(Transceiver* mobile, net::IpAddress addr) {
+  TM_ASSERT(mobile != nullptr);
+  // Registration is closed once the channel starts: pending handoff events
+  // hold pointers into mobiles_.
+  TM_ASSERT(!started_);
+  mobiles_.push_back(MobileEntry{mobile, addr, nullptr, false, {}});
+}
+
+void WirelessChannel::start() {
+  if (started_) return;
+  started_ = true;
+  poll_associations();  // immediate first pass, then periodic
+  if (cfg_.burst_extra_err > 0.0) schedule_burst_flip();
+}
+
+WirelessChannel::MobileEntry* WirelessChannel::find_mobile(
+    const Transceiver* radio) {
+  for (MobileEntry& e : mobiles_) {
+    if (e.radio == radio) return &e;
+  }
+  return nullptr;
+}
+
+const WirelessChannel::MobileEntry* WirelessChannel::find_mobile(
+    const Transceiver* radio) const {
+  for (const MobileEntry& e : mobiles_) {
+    if (e.radio == radio) return &e;
+  }
+  return nullptr;
+}
+
+WirelessChannel::MobileEntry* WirelessChannel::find_mobile_by_addr(
+    net::IpAddress addr) {
+  for (MobileEntry& e : mobiles_) {
+    if (e.addr == addr) return &e;
+  }
+  return nullptr;
+}
+
+BaseStation* WirelessChannel::associated(const Transceiver* mobile) const {
+  const MobileEntry* e = find_mobile(mobile);
+  return e != nullptr ? e->assoc : nullptr;
+}
+
+double WirelessChannel::rate_bps(double snr_db) const {
+  const double factor =
+      std::clamp(0.58 + 0.035 * (snr_db - 6.0), cfg_.min_rate_factor, 1.0);
+  return cfg_.effective_rate_bps * factor;
+}
+
+double WirelessChannel::frame_error_prob(double snr_db,
+                                         std::uint32_t bytes) const {
+  const double p_ref =
+      1.0 / (1.0 + std::exp((snr_db - cfg_.frame_err_mid_snr_db) /
+                            cfg_.frame_err_width_db));
+  const double scaled =
+      1.0 - std::pow(1.0 - p_ref, static_cast<double>(bytes) / 1000.0);
+  return std::clamp(scaled, 0.0, 1.0);
+}
+
+void WirelessChannel::transmit_from_mobile(Transceiver* mobile,
+                                           net::Packet pkt) {
+  MobileEntry* entry = find_mobile(mobile);
+  TM_ASSERT(entry != nullptr);
+  if (entry->in_handoff) {
+    // The driver buffers a few frames while the roaming protocol runs.
+    if (entry->deferred.size() < cfg_.handoff_defer_cap) {
+      entry->deferred.push_back(std::move(pkt));
+    } else {
+      ++stats_.frames_dropped_handoff;
+    }
+    return;
+  }
+  if (entry->assoc == nullptr) {
+    ++stats_.frames_dropped_unassociated;
+    return;
+  }
+  if (busy_until_ - loop_.now() > cfg_.backlog_cap) {
+    ++stats_.frames_dropped_backlog;
+    return;
+  }
+  start_attempt(Attempt{mobile, entry->assoc, std::move(pkt), 0});
+}
+
+void WirelessChannel::transmit_from_wavepoint(BaseStation* wp,
+                                              net::Packet pkt) {
+  MobileEntry* entry = find_mobile_by_addr(pkt.dst);
+  if (entry == nullptr || entry->assoc != wp) {
+    ++stats_.frames_dropped_unassociated;
+    return;
+  }
+  if (entry->in_handoff) {
+    ++stats_.frames_dropped_handoff;
+    return;
+  }
+  if (busy_until_ - loop_.now() > cfg_.backlog_cap) {
+    ++stats_.frames_dropped_backlog;
+    return;
+  }
+  start_attempt(Attempt{wp, entry->radio, std::move(pkt), 0});
+}
+
+void WirelessChannel::start_attempt(Attempt attempt) {
+  // Binary exponential backoff; the first attempt draws from a small window.
+  const int exp = std::min(attempt.tries + 1, cfg_.max_backoff_exp);
+  const auto slots = rng_.uniform_int(0, (std::int64_t{1} << exp) - 1);
+  const sim::Duration backoff = cfg_.slot * slots;
+
+  const sim::TimePoint start =
+      std::max(loop_.now(), busy_until_) + cfg_.difs + backoff;
+  // Duration uses the median SNR at reservation time: the radio picks its
+  // timing before knowing whether the frame will survive.
+  const double rx =
+      model_.median_rx_dbm(attempt.from->position(),
+                           attempt.from->tx_power_dbm(), attempt.to->position());
+  const double rate = rate_bps(model_.snr_db(rx));
+  const sim::Duration tx_time =
+      cfg_.preamble +
+      sim::from_seconds(attempt.pkt.wire_size() * 8.0 / rate);
+  busy_until_ = start + tx_time;
+  const sim::TimePoint done = busy_until_;
+  loop_.schedule_at(done, [this, attempt = std::move(attempt), start]() mutable {
+    finish_attempt(std::move(attempt), start);
+  });
+}
+
+void WirelessChannel::finish_attempt(Attempt attempt, sim::TimePoint) {
+  const double rx = model_.rx_dbm(attempt.from->position(),
+                                  attempt.from->tx_power_dbm(),
+                                  attempt.to->position(), loop_.now()) +
+                    model_.fast_fade_db();
+  double p_err = frame_error_prob(model_.snr_db(rx), attempt.pkt.wire_size());
+  if (burst_active_) p_err = std::min(1.0, p_err + cfg_.burst_extra_err);
+
+  if (!rng_.chance(p_err)) {
+    ++stats_.frames_delivered;
+    // Host/bridge processing happens off the air: it delays delivery but
+    // does not hold the channel.
+    Transceiver* to = attempt.to;
+    loop_.schedule(cfg_.processing,
+                   [to, pkt = std::move(attempt.pkt)]() mutable {
+                     to->receive_frame(std::move(pkt));
+                   });
+    return;
+  }
+  if (attempt.tries < cfg_.max_retries) {
+    ++attempt.tries;
+    ++stats_.retry_attempts;
+    start_attempt(std::move(attempt));
+    return;
+  }
+  ++stats_.frames_dropped_retries;
+}
+
+void WirelessChannel::associate(MobileEntry& entry, BaseStation* wp) {
+  if (entry.assoc != nullptr) entry.assoc->unclaim_mobile(entry.addr);
+  entry.assoc = wp;
+  if (wp != nullptr) wp->claim_mobile(entry.addr);
+}
+
+void WirelessChannel::poll_associations() {
+  for (MobileEntry& entry : mobiles_) {
+    if (entry.in_handoff) continue;
+    const Vec2 pos = entry.radio->position();
+    BaseStation* best = nullptr;
+    double best_rx = -1e9;
+    for (BaseStation* wp : wavepoints_) {
+      const double rx = model_.median_rx_dbm(wp->position(),
+                                             wp->tx_power_dbm(), pos);
+      if (rx > best_rx) {
+        best_rx = rx;
+        best = wp;
+      }
+    }
+    if (best == nullptr) continue;
+
+    if (entry.assoc == nullptr) {
+      if (best_rx >= cfg_.association_floor_dbm) associate(entry, best);
+      continue;
+    }
+    // Out of range of everything: the roaming protocol drops the
+    // association entirely (5 dB of hysteresis against flapping).
+    if (best_rx < cfg_.association_floor_dbm - 5.0) {
+      associate(entry, nullptr);
+      continue;
+    }
+    if (best == entry.assoc) continue;
+    const double cur_rx = model_.median_rx_dbm(
+        entry.assoc->position(), entry.assoc->tx_power_dbm(), pos);
+    if (best_rx > cur_rx + cfg_.handoff_hysteresis_db) {
+      // Roaming protocol: brief outage, then re-association (the paper's
+      // WavePoint handoffs).
+      entry.assoc->unclaim_mobile(entry.addr);
+      entry.assoc = nullptr;
+      entry.in_handoff = true;
+      ++stats_.handoffs;
+      MobileEntry* entry_ptr = &entry;
+      loop_.schedule(cfg_.handoff_outage, [this, entry_ptr, best] {
+        entry_ptr->in_handoff = false;
+        associate(*entry_ptr, best);
+        // Flush the frames the driver held back during the handoff.
+        std::vector<net::Packet> held = std::move(entry_ptr->deferred);
+        entry_ptr->deferred.clear();
+        for (net::Packet& pkt : held) {
+          start_attempt(Attempt{entry_ptr->radio, best, std::move(pkt), 0});
+        }
+      });
+    }
+  }
+  loop_.schedule(cfg_.association_poll, [this] { poll_associations(); });
+}
+
+void WirelessChannel::schedule_burst_flip() {
+  const double mean = burst_active_ ? sim::to_seconds(cfg_.burst_mean_on)
+                                    : sim::to_seconds(cfg_.burst_mean_off);
+  loop_.schedule(sim::from_seconds(rng_.exponential(mean)), [this] {
+    burst_active_ = !burst_active_;
+    schedule_burst_flip();
+  });
+}
+
+SignalInfo WirelessChannel::signal_info(const Transceiver* mobile) {
+  const MobileEntry* entry = find_mobile(mobile);
+  TM_ASSERT(entry != nullptr);
+  if (entry->assoc == nullptr) {
+    // No base station in range: the driver reads noise.
+    return model_.to_signal_info(model_.config().noise_floor_dbm);
+  }
+  const double rx =
+      model_.rx_dbm(entry->assoc->position(), entry->assoc->tx_power_dbm(),
+                    mobile->position(), loop_.now());
+  return model_.to_signal_info(rx);
+}
+
+}  // namespace tracemod::wireless

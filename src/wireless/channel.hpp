@@ -1,0 +1,158 @@
+// The WaveLAN-like shared wireless channel.
+//
+// One 2 Mb/s-class CSMA medium shared by every mobile and WavePoint in a
+// scenario.  The channel implements:
+//   - carrier-sense serialization with DIFS + random backoff,
+//   - SNR-dependent frame error with bounded link-layer retries (this is
+//     what turns deep fades into the paper's correlated latency spikes and
+//     loss),
+//   - SNR-dependent effective byte rate (distilled "bandwidth" of
+//     0.9-1.6 Mb/s in Figures 2-5),
+//   - association and WavePoint handoff with hysteresis and a short outage,
+//   - an optional bursty interference process,
+//   - a bounded transmit backlog; overflow drops model interface-queue
+//     overruns.
+//
+// Uplink and downlink differ in transmit power, so marginal links are
+// asymmetric -- the effect the paper's FTP benchmark exposes (Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+#include "wireless/signal_model.hpp"
+
+namespace tracemod::wireless {
+
+/// Anything with a radio: mobiles and WavePoints.
+class Transceiver {
+ public:
+  virtual ~Transceiver() = default;
+  virtual Vec2 position() const = 0;
+  virtual double tx_power_dbm() const = 0;
+  virtual void receive_frame(net::Packet pkt) = 0;
+  virtual std::string label() const = 0;
+};
+
+/// A base station radio; claims its associated mobiles' addresses on the
+/// wired side so bridged traffic finds them.
+class BaseStation : public Transceiver {
+ public:
+  virtual void claim_mobile(net::IpAddress addr) = 0;
+  virtual void unclaim_mobile(net::IpAddress addr) = 0;
+};
+
+struct ChannelConfig {
+  double effective_rate_bps = 1.9e6;   ///< byte rate at high SNR
+  double min_rate_factor = 0.5;        ///< rate floor at poor SNR
+  sim::Duration preamble = sim::microseconds(450);
+  sim::Duration difs = sim::microseconds(300);
+  sim::Duration slot = sim::microseconds(500);
+  /// Receiver-side store-and-forward / host processing per frame (486-class
+  /// bridges and laptops); adds latency, not per-byte cost.
+  sim::Duration processing = sim::microseconds(800);
+  int max_backoff_exp = 6;
+  int max_retries = 3;
+  double frame_err_mid_snr_db = 7.0;   ///< sigmoid center (1000-byte frame)
+  double frame_err_width_db = 2.2;
+  sim::Duration backlog_cap = sim::milliseconds(500);  ///< tx queue bound
+  sim::Duration association_poll = sim::milliseconds(250);
+  double handoff_hysteresis_db = 4.0;
+  sim::Duration handoff_outage = sim::milliseconds(150);
+  /// Frames the mobile's driver buffers while the roaming protocol runs;
+  /// they burst out after re-association (the latency spikes at cell
+  /// boundaries in Figure 2).  Overflow drops.
+  std::size_t handoff_defer_cap = 8;
+  double association_floor_dbm = -90.0;  ///< below this, no association
+  /// Bursty external interference: while a burst is active, every frame
+  /// suffers this much extra error probability.  0 disables the process.
+  double burst_extra_err = 0.0;
+  sim::Duration burst_mean_on = sim::milliseconds(200);
+  sim::Duration burst_mean_off = sim::seconds(4);
+};
+
+class WirelessChannel {
+ public:
+  struct Stats {
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_dropped_retries = 0;
+    std::uint64_t frames_dropped_unassociated = 0;
+    std::uint64_t frames_dropped_handoff = 0;
+    std::uint64_t frames_dropped_backlog = 0;
+    std::uint64_t retry_attempts = 0;
+    std::uint64_t handoffs = 0;
+  };
+
+  WirelessChannel(sim::EventLoop& loop, SignalModel model, ChannelConfig cfg,
+                  sim::Rng rng);
+
+  void add_wavepoint(BaseStation* wp);
+  void add_mobile(Transceiver* mobile, net::IpAddress addr);
+
+  /// Starts association polling and the interference process.  Call after
+  /// all stations are registered.
+  void start();
+
+  void transmit_from_mobile(Transceiver* mobile, net::Packet pkt);
+  void transmit_from_wavepoint(BaseStation* wp, net::Packet pkt);
+
+  /// Driver-style signal readings for a mobile (for device records).
+  SignalInfo signal_info(const Transceiver* mobile);
+
+  /// The WavePoint a mobile is currently associated with, or nullptr.
+  BaseStation* associated(const Transceiver* mobile) const;
+
+  const Stats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return cfg_; }
+  SignalModel& signal_model() { return model_; }
+  sim::EventLoop& loop() { return loop_; }
+
+  /// Effective byte rate for a given SNR (exposed for tests/benches).
+  double rate_bps(double snr_db) const;
+  /// Frame error probability for a frame of the given size at a given SNR.
+  double frame_error_prob(double snr_db, std::uint32_t bytes) const;
+
+ private:
+  struct MobileEntry {
+    Transceiver* radio = nullptr;
+    net::IpAddress addr;
+    BaseStation* assoc = nullptr;
+    bool in_handoff = false;
+    std::vector<net::Packet> deferred;  ///< held during handoff
+  };
+
+  struct Attempt {
+    Transceiver* from;
+    Transceiver* to;
+    net::Packet pkt;
+    int tries = 0;
+  };
+
+  void start_attempt(Attempt attempt);
+  void finish_attempt(Attempt attempt, sim::TimePoint started);
+  void poll_associations();
+  void associate(MobileEntry& entry, BaseStation* wp);
+  void schedule_burst_flip();
+  MobileEntry* find_mobile(const Transceiver* radio);
+  const MobileEntry* find_mobile(const Transceiver* radio) const;
+  MobileEntry* find_mobile_by_addr(net::IpAddress addr);
+
+  sim::EventLoop& loop_;
+  SignalModel model_;
+  ChannelConfig cfg_;
+  sim::Rng rng_;
+  std::vector<BaseStation*> wavepoints_;
+  std::vector<MobileEntry> mobiles_;
+  sim::TimePoint busy_until_ = sim::kEpoch;
+  bool burst_active_ = false;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace tracemod::wireless

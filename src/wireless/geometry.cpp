@@ -1,0 +1,51 @@
+#include "wireless/geometry.hpp"
+
+namespace tracemod::wireless {
+
+namespace {
+// Orientation of the ordered triplet (a, b, c):
+// >0 counterclockwise, <0 clockwise, 0 collinear.
+double cross(Vec2 a, Vec2 b, Vec2 c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+}  // namespace
+
+bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) {
+  const double d1 = cross(q1, q2, p1);
+  const double d2 = cross(q1, q2, p2);
+  const double d3 = cross(p1, p2, q1);
+  const double d4 = cross(p1, p2, q2);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && on_segment(q1, q2, p1)) return true;
+  if (d2 == 0 && on_segment(q1, q2, p2)) return true;
+  if (d3 == 0 && on_segment(p1, p2, q1)) return true;
+  if (d4 == 0 && on_segment(p1, p2, q2)) return true;
+  return false;
+}
+
+double wall_loss_db(const std::vector<Wall>& walls, Vec2 from, Vec2 to) {
+  double loss = 0.0;
+  for (const Wall& w : walls) {
+    if (segments_intersect(from, to, w.a, w.b)) loss += w.loss_db;
+  }
+  return loss;
+}
+
+double zone_loss_db(const std::vector<Zone>& zones, Vec2 from, Vec2 to) {
+  double loss = 0.0;
+  for (const Zone& z : zones) {
+    if (z.contains(from) || z.contains(to)) loss += z.extra_loss_db;
+  }
+  return loss;
+}
+
+}  // namespace tracemod::wireless

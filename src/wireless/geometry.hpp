@@ -1,0 +1,52 @@
+// 2-D campus geometry for the wireless propagation model.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace tracemod::wireless {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Linear interpolation between two points, t in [0,1].
+inline Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// A wall attenuates any radio path that crosses it.
+struct Wall {
+  Vec2 a;
+  Vec2 b;
+  double loss_db = 6.0;
+};
+
+/// A zone adds attenuation when either endpoint of a radio path lies inside
+/// (elevator shafts, stairwells, metal-clad rooms).
+struct Zone {
+  Vec2 center;
+  double radius = 1.0;
+  double extra_loss_db = 20.0;
+
+  bool contains(Vec2 p) const { return distance(center, p) <= radius; }
+};
+
+/// True if segments [p1,p2] and [q1,q2] intersect (proper or touching).
+bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2);
+
+/// Total wall attenuation along the straight path from -> to.
+double wall_loss_db(const std::vector<Wall>& walls, Vec2 from, Vec2 to);
+
+/// Total zone attenuation: sum of zones containing either endpoint.
+double zone_loss_db(const std::vector<Zone>& zones, Vec2 from, Vec2 to);
+
+}  // namespace tracemod::wireless

@@ -1,0 +1,55 @@
+#include "wireless/mobility.hpp"
+
+#include "sim/assert.hpp"
+
+namespace tracemod::wireless {
+
+MobilityModel::MobilityModel(std::vector<Waypoint> waypoints) {
+  TM_ASSERT(!waypoints.empty());
+  sim::TimePoint t = sim::kEpoch;
+  Vec2 prev = waypoints.front().pos;
+  knots_.push_back(Knot{t, prev});
+  checkpoints_.push_back(Checkpoint{waypoints.front().label, t, prev});
+  if (waypoints.front().pause.count() > 0) {
+    t += waypoints.front().pause;
+    knots_.push_back(Knot{t, prev});
+  }
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const Waypoint& wp = waypoints[i];
+    TM_ASSERT(wp.speed_mps > 0.0);
+    const double d = distance(prev, wp.pos);
+    t += sim::from_seconds(d / wp.speed_mps);
+    knots_.push_back(Knot{t, wp.pos});
+    checkpoints_.push_back(Checkpoint{wp.label, t, wp.pos});
+    if (wp.pause.count() > 0) {
+      t += wp.pause;
+      knots_.push_back(Knot{t, wp.pos});
+    }
+    prev = wp.pos;
+  }
+  duration_ = t - sim::kEpoch;
+}
+
+Vec2 MobilityModel::position(sim::TimePoint t) const {
+  if (t <= knots_.front().at) return knots_.front().pos;
+  if (t >= knots_.back().at) return knots_.back().pos;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (t <= knots_[i].at) {
+      const Knot& a = knots_[i - 1];
+      const Knot& b = knots_[i];
+      const auto span = b.at - a.at;
+      if (span.count() == 0) return b.pos;
+      const double frac = static_cast<double>((t - a.at).count()) /
+                          static_cast<double>(span.count());
+      return lerp(a.pos, b.pos, frac);
+    }
+  }
+  return knots_.back().pos;
+}
+
+MobilityModel MobilityModel::stationary(Vec2 pos, sim::Duration dwell,
+                                        const std::string& label) {
+  return MobilityModel({Waypoint{label, pos, 1.0, dwell}});
+}
+
+}  // namespace tracemod::wireless

@@ -1,0 +1,59 @@
+// Checkpointed mobility paths.
+//
+// The paper's scenarios are traversals of labeled checkpoints (Porter x0-x6,
+// Flagstaff y0-y9, Wean z0-z7).  A MobilityModel is a sequence of waypoints
+// with walking speeds and pauses; it yields position as a function of time
+// and the checkpoint schedule used for the figures' location axes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "wireless/geometry.hpp"
+
+namespace tracemod::wireless {
+
+class MobilityModel {
+ public:
+  struct Waypoint {
+    std::string label;      ///< checkpoint name, e.g. "x3"
+    Vec2 pos;
+    double speed_mps = 1.4; ///< speed of the leg *arriving* at this waypoint
+    sim::Duration pause{};  ///< dwell time at this waypoint
+  };
+
+  struct Checkpoint {
+    std::string label;
+    sim::TimePoint at;  ///< arrival time
+    Vec2 pos;
+  };
+
+  /// Requires at least one waypoint; the first waypoint's speed is unused.
+  explicit MobilityModel(std::vector<Waypoint> waypoints);
+
+  /// Position at time t; clamps to the endpoints outside [0, duration].
+  Vec2 position(sim::TimePoint t) const;
+
+  /// Total traversal time (travel + pauses).
+  sim::Duration duration() const { return duration_; }
+
+  /// Checkpoint arrival schedule, in order.
+  const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+
+  /// A model that never moves (Chatterbox).
+  static MobilityModel stationary(Vec2 pos, sim::Duration dwell,
+                                  const std::string& label = "s0");
+
+ private:
+  struct Knot {
+    sim::TimePoint at;
+    Vec2 pos;
+  };
+
+  std::vector<Knot> knots_;  // piecewise-linear position track
+  std::vector<Checkpoint> checkpoints_;
+  sim::Duration duration_{};
+};
+
+}  // namespace tracemod::wireless

@@ -1,0 +1,57 @@
+// WavePoint base stations.
+//
+// A WavePoint bridges the wireless channel to a backbone Ethernet: frames
+// received over the air are forwarded onto the wire, and wired frames
+// addressed to an associated mobile are transmitted over the air.  The
+// channel's roaming logic moves the mobile's wired-side address claim
+// between WavePoints on handoff.
+#pragma once
+
+#include <string>
+
+#include "net/ethernet.hpp"
+#include "wireless/channel.hpp"
+
+namespace tracemod::wireless {
+
+class WavePoint : public BaseStation {
+ public:
+  WavePoint(WirelessChannel& channel, net::EthernetSegment& backbone,
+            Vec2 pos, std::string name, double tx_power_dbm = 18.0)
+      : channel_(channel),
+        pos_(pos),
+        name_(std::move(name)),
+        tx_power_dbm_(tx_power_dbm),
+        eth_(backbone, name_ + "-eth") {
+    eth_.set_receive_callback([this](net::Packet pkt) {
+      channel_.transmit_from_wavepoint(this, std::move(pkt));
+    });
+    channel_.add_wavepoint(this);
+  }
+
+  // --- Transceiver ---
+  Vec2 position() const override { return pos_; }
+  double tx_power_dbm() const override { return tx_power_dbm_; }
+  void receive_frame(net::Packet pkt) override {
+    // Air -> wire.
+    eth_.transmit(std::move(pkt));
+  }
+  std::string label() const override { return name_; }
+
+  // --- BaseStation ---
+  void claim_mobile(net::IpAddress addr) override { eth_.claim_address(addr); }
+  void unclaim_mobile(net::IpAddress addr) override {
+    eth_.unclaim_address(addr);
+  }
+
+  net::EthernetDevice& ethernet() { return eth_; }
+
+ private:
+  WirelessChannel& channel_;
+  Vec2 pos_;
+  std::string name_;
+  double tx_power_dbm_;
+  net::EthernetDevice eth_;
+};
+
+}  // namespace tracemod::wireless

@@ -1,0 +1,98 @@
+#include "apps/andrew.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../transport/testbed.hpp"
+
+namespace tracemod::apps {
+namespace {
+
+using tracemod::testing::EthernetPair;
+
+TEST(Andrew, PopulatesDeterministicTree) {
+  EthernetPair net;
+  NfsServer a(net.server, 2049);
+  NfsServer b(net.client, 2049);
+  AndrewConfig cfg;
+  populate_andrew_tree(a, cfg, 7);
+  populate_andrew_tree(b, cfg, 7);
+  for (std::size_t i = 0; i < cfg.files; ++i) {
+    const std::string f = "master/file" + std::to_string(i) + ".c";
+    ASSERT_TRUE(a.exists(f));
+    EXPECT_EQ(a.getattr(f).size, b.getattr(f).size);
+  }
+  EXPECT_TRUE(a.exists("obj"));
+}
+
+TEST(Andrew, TreeSizeNearTwoHundredKb) {
+  EthernetPair net;
+  NfsServer server(net.server, 2049);
+  AndrewConfig cfg;
+  populate_andrew_tree(server, cfg, 7);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cfg.files; ++i) {
+    total += server.getattr("master/file" + std::to_string(i) + ".c").size;
+  }
+  EXPECT_NEAR(static_cast<double>(total), 200.0 * 1024, 10'000);
+}
+
+TEST(Andrew, RunsAllPhasesOnCleanNetwork) {
+  EthernetPair net;
+  NfsServer server(net.server, 2049);
+  AndrewConfig cfg;
+  populate_andrew_tree(server, cfg, 7);
+  AndrewBenchmark bench(net.client, {net.server_addr, 2049}, cfg, 7);
+
+  AndrewResult result;
+  bool done = false;
+  bench.start([&](AndrewResult r) {
+    result = r;
+    done = true;
+  });
+  while (!done && net.loop.step()) {
+  }
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok);
+  // Every phase ran and took positive time; totals are consistent.
+  EXPECT_GT(result.makedir_s, 0);
+  EXPECT_GT(result.copy_s, 0);
+  EXPECT_GT(result.scandir_s, 0);
+  EXPECT_GT(result.readall_s, 0);
+  EXPECT_GT(result.make_s, 0);
+  const double phase_sum = result.makedir_s + result.copy_s +
+                           result.scandir_s + result.readall_s +
+                           result.make_s;
+  EXPECT_NEAR(result.total_s, phase_sum, 0.1);
+  // The Make phase dominates, as in every published Andrew run.
+  EXPECT_GT(result.make_s, result.total_s / 2);
+  // The benchmark created the tree on the server.
+  EXPECT_TRUE(server.exists("src/dir0/file0.c"));
+  EXPECT_TRUE(server.exists("obj/file0.o"));
+  EXPECT_GT(result.rpc_calls, 1000u);
+}
+
+TEST(Andrew, StatusCheckPhasesAreRpcDominated) {
+  // ScanDir minus its CPU budget should be almost entirely small-RPC time:
+  // on the LAN that's well under a second per 1000 ops.
+  EthernetPair net;
+  NfsServer server(net.server, 2049);
+  AndrewConfig cfg;
+  populate_andrew_tree(server, cfg, 7);
+  AndrewBenchmark bench(net.client, {net.server_addr, 2049}, cfg, 7);
+  AndrewResult result;
+  bool done = false;
+  bench.start([&](AndrewResult r) {
+    result = r;
+    done = true;
+  });
+  while (!done && net.loop.step()) {
+  }
+  const double network_s =
+      result.scandir_s - cfg.cpu_scandir_s -
+      cfg.cpu_per_op_s * static_cast<double>(cfg.scandir_status_ops + cfg.dirs);
+  EXPECT_GT(network_s, 0.0);
+  EXPECT_LT(network_s, 2.0);
+}
+
+}  // namespace
+}  // namespace tracemod::apps

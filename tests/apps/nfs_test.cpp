@@ -1,0 +1,216 @@
+#include "apps/nfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../transport/testbed.hpp"
+
+namespace tracemod::apps {
+namespace {
+
+using tracemod::testing::EthernetPair;
+using tracemod::testing::LossyShim;
+
+struct NfsRig : EthernetPair {
+  NfsServer server_app{server, 2049};
+  NfsClient client_app{client, {server_addr, 2049}};
+};
+
+TEST(Nfs, MkdirCreateGetattrRoundTrip) {
+  NfsRig rig;
+  bool done = false;
+  rig.client_app.mkdir("dir", [&](const NfsReply& r, bool ok) {
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(r.status, NfsStatus::kOk);
+    rig.client_app.create("dir/file", [&](const NfsReply& r2, bool ok2) {
+      ASSERT_TRUE(ok2);
+      EXPECT_EQ(r2.status, NfsStatus::kOk);
+      rig.client_app.getattr("dir/file", [&](const NfsReply& r3, bool ok3) {
+        ASSERT_TRUE(ok3);
+        EXPECT_EQ(r3.status, NfsStatus::kOk);
+        EXPECT_FALSE(r3.attr.is_dir);
+        done = true;
+      });
+    });
+  });
+  rig.loop.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(rig.server_app.exists("dir/file"));
+}
+
+TEST(Nfs, WriteExtendsAndReadReturnsData) {
+  NfsRig rig;
+  rig.server_app.add_file("f", 10000);
+  bool done = false;
+  rig.client_app.write("f", 8000, 4000, [&](const NfsReply& r, bool ok) {
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(r.attr.size, 12000u);
+    rig.client_app.read("f", 0, 8192, [&](const NfsReply& r2, bool ok2) {
+      ASSERT_TRUE(ok2);
+      EXPECT_EQ(r2.data_bytes, 8192u);
+      done = true;
+    });
+  });
+  rig.loop.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Nfs, ReadPastEofReturnsShort) {
+  NfsRig rig;
+  rig.server_app.add_file("f", 1000);
+  std::uint32_t got = 12345;
+  rig.client_app.read("f", 900, 500,
+                      [&](const NfsReply& r, bool) { got = r.data_bytes; });
+  rig.loop.run();
+  EXPECT_EQ(got, 100u);
+}
+
+TEST(Nfs, ErrorsHaveStatusCodes) {
+  NfsRig rig;
+  rig.server_app.add_file("f", 10);
+  rig.server_app.add_dir("d");
+  NfsStatus noent{}, isdir{}, notdir{}, exists{};
+  rig.client_app.getattr("missing",
+                         [&](const NfsReply& r, bool) { noent = r.status; });
+  rig.client_app.read("d", 0, 10,
+                      [&](const NfsReply& r, bool) { isdir = r.status; });
+  rig.client_app.readdir("f",
+                         [&](const NfsReply& r, bool) { notdir = r.status; });
+  rig.client_app.create("f",
+                        [&](const NfsReply& r, bool) { exists = r.status; });
+  rig.loop.run();
+  EXPECT_EQ(noent, NfsStatus::kNoEntry);
+  EXPECT_EQ(isdir, NfsStatus::kIsDir);
+  EXPECT_EQ(notdir, NfsStatus::kNotDir);
+  EXPECT_EQ(exists, NfsStatus::kExists);
+}
+
+TEST(Nfs, ReaddirListsChildren) {
+  NfsRig rig;
+  rig.server_app.add_file("d/a", 1);
+  rig.server_app.add_file("d/b", 1);
+  rig.server_app.add_dir("d/sub");
+  std::vector<std::string> names;
+  rig.client_app.readdir("d",
+                         [&](const NfsReply& r, bool) { names = r.entries; });
+  rig.loop.run();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "sub"}));
+}
+
+TEST(Nfs, RemoveDeletes) {
+  NfsRig rig;
+  rig.server_app.add_file("f", 10);
+  bool done = false;
+  rig.client_app.call(NfsOp::kRemove, "f", 0, 0,
+                      [&](const NfsReply& r, bool ok) {
+                        EXPECT_TRUE(ok);
+                        EXPECT_EQ(r.status, NfsStatus::kOk);
+                        done = true;
+                      });
+  rig.loop.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(rig.server_app.exists("f"));
+}
+
+TEST(Nfs, WireSizesStatusVsData) {
+  // The paper's distinction: status checks are small, data exchanges big.
+  NfsRequest getattr{1, NfsOp::kGetAttr, "some/path", 0, 0};
+  NfsRequest write{2, NfsOp::kWrite, "some/path", 0, 8192};
+  EXPECT_LT(request_wire_bytes(getattr), 200u);
+  EXPECT_GT(request_wire_bytes(write), 8192u);
+
+  NfsReply small;
+  NfsReply data;
+  data.data_bytes = 8192;
+  EXPECT_LT(reply_wire_bytes(small), 200u);
+  EXPECT_GT(reply_wire_bytes(data), 8192u);
+}
+
+TEST(Nfs, RetransmissionRecoversLostRequest) {
+  NfsRig rig;
+  rig.server_app.add_file("f", 10);
+  rig.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<LossyShim>(std::move(d));
+  });
+  auto& shim = static_cast<LossyShim&>(rig.client.node().device(0));
+  shim.drop_outbound_at(0);  // the first request
+
+  bool ok_seen = false;
+  rig.client_app.getattr("f", [&](const NfsReply&, bool ok) { ok_seen = ok; });
+  rig.loop.run_for(sim::seconds(5));
+  EXPECT_TRUE(ok_seen);
+  EXPECT_EQ(rig.client_app.stats().retransmissions, 1u);
+}
+
+TEST(Nfs, DuplicateRequestAnsweredFromCacheWithoutReexecution) {
+  NfsRig rig;
+  rig.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<LossyShim>(std::move(d));
+  });
+  auto& shim = static_cast<LossyShim&>(rig.client.node().device(0));
+  // The *reply* to the first transmission is lost; the retransmission must
+  // not re-create the file (non-idempotent op) -- the duplicate cache
+  // answers it.
+  shim.drop_inbound_at(0);
+  NfsStatus status{};
+  rig.client_app.create("f", [&](const NfsReply& r, bool) { status = r.status; });
+  rig.loop.run_for(sim::seconds(5));
+  EXPECT_EQ(status, NfsStatus::kOk);  // not kExists
+  EXPECT_EQ(rig.server_app.stats().duplicate_xids, 1u);
+}
+
+TEST(Nfs, GivesUpAfterMaxRetries) {
+  sim::EventLoop loop;
+  net::EthernetSegment segment(loop);
+  transport::Host client(loop, "c", 1);
+  auto dev = std::make_unique<net::EthernetDevice>(segment, "c0");
+  dev->claim_address(net::IpAddress(10, 0, 0, 1));
+  client.node().add_interface(std::move(dev), net::IpAddress(10, 0, 0, 1));
+  client.node().set_default_route(0);
+
+  NfsClientConfig cfg;
+  cfg.max_retries = 3;
+  // No server at all.
+  NfsClient nfs(client, {net::IpAddress(10, 0, 0, 2), 2049}, cfg);
+  bool failed = false;
+  nfs.getattr("x", [&](const NfsReply&, bool ok) { failed = !ok; });
+  loop.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(nfs.stats().failures, 1u);
+  EXPECT_EQ(nfs.stats().retransmissions, 3u);
+}
+
+TEST(Nfs, TimeoutsBackOffExponentially) {
+  sim::EventLoop loop;
+  net::EthernetSegment segment(loop);
+  transport::Host client(loop, "c", 1);
+  auto dev = std::make_unique<net::EthernetDevice>(segment, "c0");
+  dev->claim_address(net::IpAddress(10, 0, 0, 1));
+  client.node().add_interface(std::move(dev), net::IpAddress(10, 0, 0, 1));
+  client.node().set_default_route(0);
+
+  NfsClientConfig cfg;
+  cfg.initial_timeout = sim::milliseconds(700);
+  cfg.max_retries = 3;
+  NfsClient nfs(client, {net::IpAddress(10, 0, 0, 2), 2049}, cfg);
+  sim::TimePoint failed_at{};
+  nfs.getattr("x", [&](const NfsReply&, bool) { failed_at = loop.now(); });
+  loop.run();
+  // 0.7 + 1.4 + 2.8 + 5.6 = 10.5 s.
+  EXPECT_NEAR(sim::to_seconds(failed_at), 10.5, 0.01);
+}
+
+TEST(Nfs, LargeTransfersFragmentOnTheWire) {
+  NfsRig rig;
+  rig.server_app.add_file("big", 64 * 1024);
+  bool done = false;
+  rig.client_app.read("big", 0, 8192,
+                      [&](const NfsReply&, bool ok) { done = ok; });
+  rig.loop.run();
+  EXPECT_TRUE(done);
+  // The 8 KB reply crossed as IP fragments and was reassembled.
+  EXPECT_GE(rig.server.node().stats().datagrams_fragmented, 1u);
+  EXPECT_GE(rig.client.node().stats().datagrams_reassembled, 1u);
+}
+
+}  // namespace
+}  // namespace tracemod::apps

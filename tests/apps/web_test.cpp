@@ -1,0 +1,98 @@
+#include "apps/web.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../transport/testbed.hpp"
+
+namespace tracemod::apps {
+namespace {
+
+using tracemod::testing::EthernetPair;
+
+TEST(Web, ReferenceTraceIsSeededAndPlausible) {
+  sim::Rng a(5), b(5), c(6);
+  const auto r1 = make_search_task_trace(a, 100);
+  const auto r2 = make_search_task_trace(b, 100);
+  const auto r3 = make_search_task_trace(c, 100);
+  ASSERT_EQ(r1.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(r1[i].object_bytes, r2[i].object_bytes);  // same seed
+    EXPECT_GE(r1[i].object_bytes, 1500u);
+    EXPECT_LE(r1[i].object_bytes, 200'000u);
+    EXPECT_GT(r1[i].processing.count(), 0);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    differs |= (r1[i].object_bytes != r3[i].object_bytes);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Web, BenchmarkFetchesEveryObject) {
+  EthernetPair net;
+  WebServer server(net.server, 80);
+  std::vector<WebReference> refs;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    refs.push_back(WebReference{i * 1000, sim::milliseconds(10)});
+  }
+  WebBenchmark bench(net.client, {net.server_addr, 80}, refs);
+  WebBenchmark::Result result;
+  bool done = false;
+  bench.start([&](WebBenchmark::Result r) {
+    result = r;
+    done = true;
+  });
+  net.loop.run_for(sim::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.objects_fetched, 10u);
+  EXPECT_EQ(result.objects_failed, 0u);
+  EXPECT_EQ(result.bytes_fetched, 55'000u);
+  EXPECT_EQ(server.stats().requests, 10u);
+}
+
+TEST(Web, ProcessingTimeDominatesOnFastNetwork) {
+  EthernetPair net;
+  WebServer server(net.server, 80);
+  std::vector<WebReference> refs(20, WebReference{2000, sim::milliseconds(100)});
+  WebBenchmark bench(net.client, {net.server_addr, 80}, refs);
+  double elapsed = 0;
+  bench.start([&](WebBenchmark::Result r) { elapsed = sim::to_seconds(r.elapsed); });
+  net.loop.run_for(sim::seconds(60));
+  EXPECT_GT(elapsed, 2.0);   // 20 x 100 ms
+  EXPECT_LT(elapsed, 2.6);   // fetches are cheap on the LAN
+}
+
+TEST(Web, DeadServerTimesOutAndCountsFailures) {
+  EthernetPair net;  // no WebServer at all
+  std::vector<WebReference> refs(3, WebReference{2000, sim::milliseconds(1)});
+  WebBenchmark bench(net.client, {net.server_addr, 80}, refs,
+                     /*object_timeout=*/sim::seconds(5));
+  WebBenchmark::Result result;
+  bool done = false;
+  bench.start([&](WebBenchmark::Result r) {
+    result = r;
+    done = true;
+  });
+  net.loop.run_for(sim::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.objects_failed, 3u);
+  EXPECT_EQ(result.objects_fetched, 0u);
+  // Each object cost about the 5 s timeout.
+  EXPECT_NEAR(sim::to_seconds(result.elapsed), 15.0, 1.5);
+}
+
+TEST(Web, LargeObjectSpansManySegments) {
+  EthernetPair net;
+  WebServer server(net.server, 80);
+  std::vector<WebReference> refs{WebReference{150'000, sim::milliseconds(1)}};
+  WebBenchmark bench(net.client, {net.server_addr, 80}, refs);
+  WebBenchmark::Result result;
+  bench.start([&](WebBenchmark::Result r) { result = r; });
+  net.loop.run_for(sim::seconds(60));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.bytes_fetched, 150'000u);
+}
+
+}  // namespace
+}  // namespace tracemod::apps

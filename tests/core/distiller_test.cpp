@@ -1,0 +1,251 @@
+#include "core/distiller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace tracemod::core {
+namespace {
+
+constexpr double kS1 = 60.0;    // small echo, IP bytes
+constexpr double kS2 = 1052.0;  // large echo, IP bytes
+
+/// Builds a ping-workload trace whose round-trips follow the paper's model
+/// exactly for the given ground-truth parameters.
+struct TraceBuilder {
+  trace::CollectedTrace trace;
+  std::uint16_t seq = 0;
+
+  void add_group(double at_s, double f, double vb, double vr,
+                 bool drop_reply1 = false, bool drop_reply2 = false,
+                 bool drop_reply3 = false) {
+    const double v = vb + vr;
+    const double t1 = 2 * (f + kS1 * v);
+    const double t2 = 2 * (f + kS2 * v);
+    const double t3 = t2 + kS2 * vb;
+    add_packet(at_s, kS1, t1, drop_reply1);
+    add_packet(at_s + 0.001, kS2, t2, drop_reply2);
+    add_packet(at_s + 0.002, kS2, t3, drop_reply3);
+  }
+
+  void add_packet(double at_s, double bytes, double rtt_s, bool drop_reply) {
+    trace::PacketRecord echo;
+    echo.at = sim::kEpoch + sim::from_seconds(at_s);
+    echo.dir = trace::PacketDirection::kOutgoing;
+    echo.protocol = net::Protocol::kIcmp;
+    echo.icmp_kind = trace::IcmpKind::kEcho;
+    echo.icmp_seq = seq;
+    echo.ip_bytes = static_cast<std::uint32_t>(bytes);
+    trace.records.emplace_back(echo);
+    if (!drop_reply) {
+      trace::PacketRecord reply = echo;
+      reply.dir = trace::PacketDirection::kIncoming;
+      reply.icmp_kind = trace::IcmpKind::kEchoReply;
+      reply.echo_origin = echo.at;
+      reply.at = echo.at + sim::from_seconds(rtt_s);
+      trace.records.emplace_back(reply);
+    }
+    ++seq;
+  }
+};
+
+TEST(Distiller, RecoversExactParametersFromCleanTrace) {
+  TraceBuilder b;
+  const double f = 0.0025, vb = 5e-6, vr = 1e-6;
+  for (int s = 0; s < 30; ++s) b.add_group(s, f, vb, vr);
+
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  ASSERT_GT(out.size(), 20u);
+  EXPECT_EQ(d.stats().groups_total, 30u);
+  EXPECT_EQ(d.stats().groups_corrected, 0u);
+  for (const auto& t : out.tuples()) {
+    EXPECT_NEAR(t.latency_s, f, 1e-9);
+    EXPECT_NEAR(t.per_byte_bottleneck, vb, 1e-12);
+    EXPECT_NEAR(t.per_byte_residual, vr, 1e-12);
+    EXPECT_DOUBLE_EQ(t.loss, 0.0);
+  }
+}
+
+TEST(Distiller, TracksAStepChangeWithinTheWindow) {
+  TraceBuilder b;
+  for (int s = 0; s < 20; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  for (int s = 20; s < 40; ++s) b.add_group(s, 0.010, 10e-6, 2e-6);
+
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  ASSERT_GT(out.size(), 30u);
+  // Early tuples at the old value, late tuples at the new one; the 5 s
+  // window smears only the transition region.
+  EXPECT_NEAR(out.tuples()[5].latency_s, 0.002, 1e-6);
+  EXPECT_NEAR(out.tuples()[32].latency_s, 0.010, 1e-6);
+  EXPECT_NEAR(out.tuples()[5].per_byte_bottleneck, 4e-6, 1e-9);
+  EXPECT_NEAR(out.tuples()[32].per_byte_bottleneck, 10e-6, 1e-9);
+}
+
+TEST(Distiller, NegativeParameterTakesCorrectionPath) {
+  TraceBuilder b;
+  for (int s = 0; s < 10; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  // A group whose small echo got stuck behind a media-access delay: its
+  // raw solution has negative V (t1 > t2's implied line).
+  {
+    const double v = 5e-6;
+    const double t1 = 2 * (0.002 + kS1 * v) + 0.080;  // +80 ms spike
+    const double t2 = 2 * (0.002 + kS2 * v);
+    const double t3 = t2 + kS2 * 4e-6;
+    b.add_packet(10.0, kS1, t1, false);
+    b.add_packet(10.001, kS2, t2, false);
+    b.add_packet(10.002, kS2, t3, false);
+  }
+  for (int s = 11; s < 20; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  EXPECT_EQ(d.stats().groups_corrected, 1u);
+  // The spike lands in F (divided by the window average), Vb/Vr stay.
+  double max_latency = 0;
+  for (const auto& t : out.tuples()) {
+    max_latency = std::max(max_latency, t.latency_s);
+    EXPECT_NEAR(t.per_byte_bottleneck, 4e-6, 1e-9);
+  }
+  EXPECT_GT(max_latency, 0.005);
+}
+
+TEST(Distiller, CorrectionDoesNotCascade) {
+  // After a corrected group, the baseline must still be the last *good*
+  // estimate: a second spike is corrected relative to 2 ms, not to the
+  // previous corrected value.
+  TraceBuilder b;
+  for (int s = 0; s < 6; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  for (int s = 6; s < 8; ++s) {
+    const double v = 5e-6;
+    b.add_packet(s, kS1, 2 * (0.002 + kS1 * v) + 0.050, false);
+    b.add_packet(s + 0.001, kS2, 2 * (0.002 + kS2 * v), false);
+    b.add_packet(s + 0.002, kS2, 2 * (0.002 + kS2 * v) + kS2 * 4e-6, false);
+  }
+  Distiller d;
+  d.distill(b.trace);
+  ASSERT_EQ(d.stats().groups_corrected, 2u);
+  const auto& estimates = d.estimates();
+  // Both corrected estimates sit near baseline + spike/2 (~27 ms), not
+  // baseline + spike (~52 ms) as cascading would produce.
+  const auto& e6 = estimates[6];
+  const auto& e7 = estimates[7];
+  ASSERT_TRUE(e6.corrected);
+  ASSERT_TRUE(e7.corrected);
+  EXPECT_NEAR(e6.latency_s, e7.latency_s, 1e-6);
+  EXPECT_LT(e7.latency_s, 0.040);
+}
+
+TEST(Distiller, SkipsGroupsBeforeFirstGoodEstimate) {
+  TraceBuilder b;
+  // Only pathological groups: t3 < t2 (negative Vb) with no prior good.
+  for (int s = 0; s < 5; ++s) {
+    b.add_packet(s, kS1, 0.004, false);
+    b.add_packet(s + 0.001, kS2, 0.014, false);
+    b.add_packet(s + 0.002, kS2, 0.013, false);  // t3 < t2
+  }
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  EXPECT_EQ(d.stats().groups_skipped, 5u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Distiller, IncompleteGroupsAreIgnoredForDelay) {
+  TraceBuilder b;
+  for (int s = 0; s < 10; ++s) {
+    b.add_group(s, 0.002, 4e-6, 1e-6, /*drop1=*/false, /*drop2=*/s % 3 == 0);
+  }
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  EXPECT_EQ(d.stats().groups_total, 6u);  // 4 of 10 lost a reply
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Distiller, LossFromSequenceGaps) {
+  TraceBuilder b;
+  // Drop the third reply of every other group: 1 of every 6 replies
+  // missing, while half the groups stay complete for delay estimation.
+  for (int s = 0; s < 40; ++s) {
+    b.add_group(s, 0.002, 4e-6, 1e-6, false, false, s % 2 == 0);
+  }
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  ASSERT_FALSE(out.empty());
+  // b/a = 5/6 => L = 1 - sqrt(5/6) ~ 0.0871.
+  const double expected = 1.0 - std::sqrt(5.0 / 6.0);
+  // Interior tuples (edge windows see partial data).
+  for (std::size_t i = 5; i + 5 < out.size(); ++i) {
+    EXPECT_NEAR(out.tuples()[i].loss, expected, 0.03);
+  }
+}
+
+TEST(Distiller, TotalOutageFillsForwardAndCapsLoss) {
+  TraceBuilder b;
+  for (int s = 0; s < 10; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  for (int s = 10; s < 20; ++s) {
+    b.add_group(s, 0.002, 4e-6, 1e-6, true, true, true);  // blackout
+  }
+  for (int s = 20; s < 30; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  Distiller d(DistillConfig{});
+  const ReplayTrace out = d.distill(b.trace);
+  ASSERT_GT(out.size(), 25u);
+  double worst = 0;
+  for (const auto& t : out.tuples()) {
+    worst = std::max(worst, t.loss);
+    // Delay parameters exist everywhere (forward fill).
+    EXPECT_GT(t.per_byte_bottleneck, 0.0);
+    EXPECT_LE(t.loss, d.config().max_loss);
+  }
+  EXPECT_GT(worst, 0.8);
+  EXPECT_GT(d.stats().windows_empty, 0u);
+}
+
+TEST(Distiller, EmptyTraceYieldsEmptyReplay) {
+  Distiller d;
+  EXPECT_TRUE(d.distill(trace::CollectedTrace{}).empty());
+}
+
+TEST(Distiller, TupleDurationsEqualStep) {
+  TraceBuilder b;
+  for (int s = 0; s < 10; ++s) b.add_group(s, 0.002, 4e-6, 1e-6);
+  DistillConfig cfg;
+  cfg.step = sim::milliseconds(500);
+  Distiller d(cfg);
+  const ReplayTrace out = d.distill(b.trace);
+  for (const auto& t : out.tuples()) EXPECT_EQ(t.d, sim::milliseconds(500));
+}
+
+// ---- property sweep: exact recovery over a parameter grid -----------------
+
+struct DistillParams {
+  double f, vb, vr;
+};
+
+class DistillerRecovery : public ::testing::TestWithParam<DistillParams> {};
+
+TEST_P(DistillerRecovery, RoundTripsGroundTruth) {
+  const auto [f, vb, vr] = GetParam();
+  TraceBuilder b;
+  for (int s = 0; s < 20; ++s) b.add_group(s, f, vb, vr);
+  Distiller d;
+  const ReplayTrace out = d.distill(b.trace);
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.mean_latency_s(), f, 1e-9 + f * 1e-6);
+  EXPECT_NEAR(out.mean_bottleneck_per_byte(), vb, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, DistillerRecovery,
+    ::testing::Values(
+        DistillParams{0.0005, 1e-6, 0.0},     // fast LAN
+        DistillParams{0.0030, 5e-6, 0.5e-6},  // WaveLAN-ish
+        DistillParams{0.0100, 40e-6, 4e-6},   // slow modem-ish
+        DistillParams{0.0800, 5e-6, 1e-6},    // satellite-ish latency
+        DistillParams{0.0000, 8e-6, 0.0},     // zero latency edge
+        DistillParams{0.0030, 5e-6, 20e-6})); // residual dominates
+
+}  // namespace
+}  // namespace tracemod::core

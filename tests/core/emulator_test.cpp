@@ -1,0 +1,185 @@
+// End-to-end tests for the modulated testbed facade: the paper's central
+// claims as executable checks.
+#include "core/emulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/ftp.hpp"
+#include "core/distiller.hpp"
+#include "trace/ping.hpp"
+#include "trace/trace_tap.hpp"
+
+namespace tracemod::core {
+namespace {
+
+double ping_rtt_through(Emulator& emulator, std::uint32_t payload) {
+  double rtt = -1;
+  emulator.mobile().icmp().set_reply_callback([&](const net::Packet& pkt) {
+    rtt = sim::to_seconds(emulator.loop().now() -
+                          pkt.icmp().payload_timestamp);
+  });
+  emulator.mobile().icmp().send_echo(emulator.config().server_addr, 1, 1,
+                                     payload, emulator.loop().now());
+  emulator.run_for(sim::seconds(5));
+  return rtt;
+}
+
+TEST(Emulator, EmptyTraceBehavesLikeBareEthernet) {
+  Emulator emulator(ReplayTrace{});
+  const double rtt = ping_rtt_through(emulator, 64);
+  EXPECT_GT(rtt, 0);
+  EXPECT_LT(rtt, 0.005);
+  EXPECT_EQ(emulator.modulation().stats().modulated_out, 0u);
+  EXPECT_GT(emulator.modulation().stats().passed_unmodulated, 0u);
+}
+
+TEST(Emulator, RttMatchesModelPrediction) {
+  ModulationConfig mod;
+  mod.tick = sim::Duration{0};
+  EmulatorConfig cfg;
+  cfg.modulation = mod;
+  const double f = 0.020, vb = 5e-6, vr = 1e-6;
+  Emulator emulator(
+      ReplayTrace({QualityTuple{sim::seconds(60), f, vb, vr, 0.0}}), cfg);
+
+  const std::uint32_t payload = 512;
+  const double rtt = ping_rtt_through(emulator, payload);
+  ASSERT_GT(rtt, 0);
+  // Round trip: both directions pay F + s(Vb+Vr); the echo and reply have
+  // the same size.  The physical Ethernet adds a little, the inbound
+  // artifact a little more.
+  const double s = payload + 28.0;
+  const double model = 2 * (f + s * (vb + vr));
+  EXPECT_NEAR(rtt, model, 0.004);
+}
+
+TEST(Emulator, LossRateIsExperiencedEndToEnd) {
+  EmulatorConfig cfg;
+  Emulator emulator(
+      ReplayTrace({QualityTuple{sim::seconds(3600), 0.0, 0.0, 0.0, 0.2}}),
+      cfg);
+  int replies = 0;
+  emulator.mobile().icmp().set_reply_callback(
+      [&](const net::Packet&) { ++replies; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    emulator.mobile().icmp().send_echo(cfg.server_addr, 1,
+                                       static_cast<std::uint16_t>(i), 64,
+                                       emulator.loop().now());
+    emulator.run_for(sim::milliseconds(5));
+  }
+  emulator.run_for(sim::seconds(2));
+  // Each round trip crosses the layer twice: survival ~ (1-L)^2 = 0.64.
+  EXPECT_NEAR(static_cast<double>(replies) / n, 0.64, 0.04);
+}
+
+TEST(Emulator, MeasurePhysicalVbIsNearEthernetCost) {
+  const double vb = Emulator::measure_physical_vb();
+  // 10 Mb/s Ethernet: 0.8 us/byte, plus bus-contention overhead.
+  EXPECT_GT(vb, 0.6e-6);
+  EXPECT_LT(vb, 1.2e-6);
+}
+
+TEST(Emulator, DistillOfModulatedNetworkRecoversTheTrace) {
+  // The fixed point the methodology implies: collecting a trace *on the
+  // emulated network* should distill back to (approximately) the original
+  // replay parameters.
+  const double f = 0.008, vb = 6e-6, vr = 0.5e-6;
+  ModulationConfig mod;
+  mod.tick = sim::Duration{0};  // granularity would bias short delays
+  EmulatorConfig cfg;
+  cfg.modulation = mod;
+  cfg.modulation.inbound_vb_compensation = Emulator::measure_physical_vb();
+  Emulator emulator(
+      ReplayTrace({QualityTuple{sim::seconds(3600), f, vb, vr, 0.0}}), cfg);
+
+  sim::ClockModel clock;
+  trace::TraceTap* tap = nullptr;
+  emulator.mobile().node().wrap_interface(
+      0, [&](std::unique_ptr<net::NetDevice> inner) {
+        auto t = std::make_unique<trace::TraceTap>(std::move(inner),
+                                                   emulator.loop(), clock,
+                                                   nullptr);
+        tap = t.get();
+        return t;
+      });
+  trace::CollectionDaemon daemon(emulator.loop(), *tap);
+  trace::PingWorkload ping(emulator.mobile(), cfg.server_addr, clock);
+  daemon.start();
+  ping.start();
+  emulator.run_for(sim::seconds(60));
+  ping.stop();
+  daemon.stop();
+
+  Distiller distiller;
+  const ReplayTrace recovered = distiller.distill(daemon.trace());
+  ASSERT_FALSE(recovered.empty());
+  EXPECT_NEAR(recovered.mean_latency_s(), f, f * 0.35);
+  EXPECT_NEAR(recovered.mean_bottleneck_per_byte(), vb, vb * 0.25);
+}
+
+TEST(Emulator, UnmodifiedFtpRunsOverEmulatedNetwork) {
+  // Transparency: the same FTP code from the live benchmarks, no changes.
+  EmulatorConfig cfg;
+  Emulator emulator(ReplayTrace::constant(sim::seconds(600), sim::seconds(1),
+                                          0.003, 1.5e6, 0.0),
+                    cfg);
+  apps::FtpServer server(emulator.server());
+  apps::FtpClient client(emulator.mobile(), {cfg.server_addr, 21});
+  apps::FtpResult result;
+  bool done = false;
+  client.fetch(1 * 1000 * 1000, [&](apps::FtpResult r) {
+    result = r;
+    done = true;
+  });
+  while (!done && emulator.loop().step()) {
+  }
+  ASSERT_TRUE(result.ok);
+  const double goodput = 8e6 / sim::to_seconds(result.elapsed) / 8.0 * 8.0;
+  // Goodput bounded by the emulated bottleneck, not the 10 Mb/s wire.
+  EXPECT_LT(goodput, 1.6e6);
+  EXPECT_GT(goodput, 0.9e6);
+}
+
+TEST(Emulator, SameSeedIsBitIdentical) {
+  auto run = [] {
+    EmulatorConfig cfg;
+    cfg.seed = 77;
+    Emulator emulator(ReplayTrace::wavelan_like(sim::seconds(120)), cfg);
+    apps::FtpServer server(emulator.server());
+    apps::FtpClient client(emulator.mobile(), {cfg.server_addr, 21});
+    double elapsed = 0;
+    bool done = false;
+    client.fetch(500 * 1000, [&](apps::FtpResult r) {
+      elapsed = sim::to_seconds(r.elapsed);
+      done = true;
+    });
+    while (!done && emulator.loop().step()) {
+    }
+    return elapsed;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Emulator, DifferentSeedsDiverge) {
+  auto run = [](std::uint64_t seed) {
+    EmulatorConfig cfg;
+    cfg.seed = seed;
+    Emulator emulator(ReplayTrace::wavelan_like(sim::seconds(300)), cfg);
+    apps::FtpServer server(emulator.server());
+    apps::FtpClient client(emulator.mobile(), {cfg.server_addr, 21});
+    double elapsed = 0;
+    bool done = false;
+    client.fetch(1000 * 1000, [&](apps::FtpResult r) {
+      elapsed = sim::to_seconds(r.elapsed);
+      done = true;
+    });
+    while (!done && emulator.loop().step()) {
+    }
+    return elapsed;
+  };
+  EXPECT_NE(run(1), run(2));  // loss draws differ
+}
+
+}  // namespace
+}  // namespace tracemod::core

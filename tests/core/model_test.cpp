@@ -1,0 +1,118 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace tracemod::core {
+namespace {
+
+TEST(QualityTuple, OneWayDelayIsLinearInSize) {
+  QualityTuple t{sim::seconds(1), 0.003, 5e-6, 1e-6, 0.0};
+  EXPECT_DOUBLE_EQ(t.one_way_delay_s(0), 0.003);
+  EXPECT_DOUBLE_EQ(t.one_way_delay_s(1000), 0.003 + 1000 * 6e-6);
+}
+
+TEST(QualityTuple, BottleneckBandwidthInverse) {
+  QualityTuple t{sim::seconds(1), 0.0, 4e-6, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(t.bottleneck_bandwidth_bps(), 2e6);
+  QualityTuple z{};
+  EXPECT_DOUBLE_EQ(z.bottleneck_bandwidth_bps(), 0.0);
+}
+
+TEST(ReplayTrace, AtOffsetWalksSegments) {
+  ReplayTrace trace({
+      QualityTuple{sim::seconds(2), 0.001, 1e-6, 0, 0},
+      QualityTuple{sim::seconds(3), 0.002, 2e-6, 0, 0},
+  });
+  EXPECT_DOUBLE_EQ(trace.at_offset(sim::seconds(0)).latency_s, 0.001);
+  EXPECT_DOUBLE_EQ(trace.at_offset(sim::milliseconds(1999)).latency_s, 0.001);
+  EXPECT_DOUBLE_EQ(trace.at_offset(sim::seconds(2)).latency_s, 0.002);
+  // Past the end: clamps to the last tuple.
+  EXPECT_DOUBLE_EQ(trace.at_offset(sim::seconds(100)).latency_s, 0.002);
+  EXPECT_EQ(trace.total_duration(), sim::seconds(5));
+}
+
+TEST(ReplayTrace, DurationWeightedMeans) {
+  ReplayTrace trace({
+      QualityTuple{sim::seconds(1), 0.001, 2e-6, 0, 0.0},
+      QualityTuple{sim::seconds(3), 0.005, 6e-6, 0, 0.4},
+  });
+  EXPECT_NEAR(trace.mean_latency_s(), (0.001 + 3 * 0.005) / 4.0, 1e-12);
+  EXPECT_NEAR(trace.mean_bottleneck_per_byte(), (2e-6 + 3 * 6e-6) / 4.0,
+              1e-18);
+  EXPECT_NEAR(trace.mean_loss(), 0.3, 1e-12);
+}
+
+TEST(ReplayTrace, TextRoundTrip) {
+  ReplayTrace trace({
+      QualityTuple{sim::seconds(1), 0.0031, 5.2e-6, 0.4e-6, 0.07},
+      QualityTuple{sim::milliseconds(1500), 0.0005, 1.1e-6, 0.0, 0.0},
+  });
+  std::stringstream ss;
+  trace.serialize(ss);
+  const ReplayTrace loaded = ReplayTrace::parse(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.tuples()[1].d, sim::milliseconds(1500));
+  EXPECT_NEAR(loaded.tuples()[0].latency_s, 0.0031, 1e-12);
+  EXPECT_NEAR(loaded.tuples()[0].per_byte_bottleneck, 5.2e-6, 1e-15);
+  EXPECT_NEAR(loaded.tuples()[0].loss, 0.07, 1e-12);
+}
+
+TEST(ReplayTrace, ParseRejectsGarbage) {
+  {
+    std::stringstream ss("not a trace\n");
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("# tracemod replay v1\n1.0 0.003 banana 0 0\n");
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error);
+  }
+  {
+    // Loss out of range.
+    std::stringstream ss("# tracemod replay v1\n1.0 0.003 1e-6 0 1.5\n");
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error);
+  }
+  {
+    // Negative duration.
+    std::stringstream ss("# tracemod replay v1\n-1.0 0.003 1e-6 0 0\n");
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error);
+  }
+}
+
+TEST(ReplayTrace, ParseSkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# tracemod replay v1\n# a comment\n\n1.0 0.003 1e-6 0 0\n");
+  EXPECT_EQ(ReplayTrace::parse(ss).size(), 1u);
+}
+
+TEST(ReplayTrace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "tracemod_model_test.rt";
+  ReplayTrace::wavelan_like(sim::seconds(10)).save(path);
+  EXPECT_EQ(ReplayTrace::load(path).size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTrace, SyntheticConstant) {
+  const auto trace =
+      ReplayTrace::constant(sim::seconds(5), sim::seconds(1), 0.002, 2e6, 0.01);
+  EXPECT_EQ(trace.size(), 5u);
+  for (const auto& t : trace.tuples()) {
+    EXPECT_DOUBLE_EQ(t.bottleneck_bandwidth_bps(), 2e6);
+    EXPECT_DOUBLE_EQ(t.loss, 0.01);
+  }
+}
+
+TEST(ReplayTrace, SyntheticStepAlternates) {
+  const auto trace = ReplayTrace::bandwidth_step(
+      sim::seconds(20), sim::seconds(1), 0.003, 200e3, 1.6e6, sim::seconds(10));
+  ASSERT_EQ(trace.size(), 20u);
+  EXPECT_DOUBLE_EQ(trace.tuples()[0].bottleneck_bandwidth_bps(), 1.6e6);
+  EXPECT_DOUBLE_EQ(trace.tuples()[5].bottleneck_bandwidth_bps(), 200e3);
+  EXPECT_DOUBLE_EQ(trace.tuples()[10].bottleneck_bandwidth_bps(), 1.6e6);
+  EXPECT_DOUBLE_EQ(trace.tuples()[15].bottleneck_bandwidth_bps(), 200e3);
+}
+
+}  // namespace
+}  // namespace tracemod::core

@@ -1,0 +1,292 @@
+#include "core/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/replay_device.hpp"
+#include "net/node.hpp"
+#include "net/device.hpp"
+
+namespace tracemod::core {
+namespace {
+
+/// A sink device that records transmitted packets and can inject inbound
+/// ones -- lets us test the modulation layer in isolation.
+class SinkDevice : public net::NetDevice {
+ public:
+  void transmit(net::Packet pkt) override {
+    sent.push_back(std::move(pkt));
+    sent_at.push_back(now ? *now : sim::kEpoch);
+  }
+  std::string name() const override { return "sink"; }
+  void inject(net::Packet pkt) { deliver_up(std::move(pkt)); }
+
+  std::vector<net::Packet> sent;
+  std::vector<sim::TimePoint> sent_at;
+  const sim::TimePoint* now = nullptr;
+};
+
+struct Rig {
+  sim::EventLoop loop;
+  ReplayPseudoDevice device{64};
+  SinkDevice* sink = nullptr;
+  std::unique_ptr<ModulationLayer> layer;
+  std::vector<net::Packet> delivered_up;
+  std::vector<sim::TimePoint> up_at;
+  sim::TimePoint now_snapshot{};
+
+  explicit Rig(ModulationConfig cfg = {}) {
+    auto sink_dev = std::make_unique<SinkDevice>();
+    sink = sink_dev.get();
+    layer = std::make_unique<ModulationLayer>(std::move(sink_dev), loop,
+                                              device, cfg);
+    layer->set_receive_callback([this](net::Packet p) {
+      delivered_up.push_back(std::move(p));
+      up_at.push_back(loop.now());
+    });
+  }
+
+  net::Packet packet(std::uint32_t payload) {
+    net::Packet p = net::make_udp_packet(net::IpAddress(10, 0, 0, 1),
+                                         net::IpAddress(10, 0, 0, 2), 1, 2,
+                                         payload);
+    p.id = net::next_packet_id();
+    return p;
+  }
+
+  void feed(QualityTuple t) { ASSERT_TRUE(device.write(t)); }
+};
+
+TEST(Modulation, PassThroughWithoutTuples) {
+  Rig rig;
+  rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  ASSERT_EQ(rig.sink->sent.size(), 1u);
+  EXPECT_EQ(rig.layer->stats().passed_unmodulated, 1u);
+}
+
+TEST(Modulation, OutboundDelayMatchesModel) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};  // ideal clock isolates the arithmetic
+  Rig rig(cfg);
+  // F=10 ms, Vb=5 us/B, Vr=1 us/B, no loss.
+  rig.feed(QualityTuple{sim::seconds(60), 0.010, 5e-6, 1e-6, 0.0});
+
+  net::Packet p = rig.packet(972);  // ip_size = 1000
+  const std::uint32_t s = p.ip_size();
+  ASSERT_EQ(s, 1000u);
+  rig.layer->transmit(std::move(p));
+  rig.loop.run();
+  ASSERT_EQ(rig.sink->sent.size(), 1u);
+  // Delay = s*Vb (bottleneck) + F + s*Vr.
+  const double expect = 1000 * 5e-6 + 0.010 + 1000 * 1e-6;
+  EXPECT_NEAR(sim::to_seconds(rig.loop.now()), expect, 1e-9);
+}
+
+TEST(Modulation, BottleneckSerializesBackToBackPackets) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.001, 10e-6, 0.0, 0.0});
+
+  // Three 1000-byte packets at t=0: releases must be s*Vb = 10 ms apart.
+  for (int i = 0; i < 3; ++i) rig.layer->transmit(rig.packet(972));
+  std::vector<sim::TimePoint> releases;
+  // Drain the loop; the sink records no time, so track via loop stepping.
+  while (rig.loop.step()) releases.push_back(rig.loop.now());
+  ASSERT_EQ(rig.sink->sent.size(), 3u);
+  ASSERT_EQ(releases.size(), 3u);
+  EXPECT_NEAR(sim::to_seconds(releases[1] - releases[0]), 0.010, 1e-9);
+  EXPECT_NEAR(sim::to_seconds(releases[2] - releases[1]), 0.010, 1e-9);
+}
+
+TEST(Modulation, InboundAndOutboundShareTheBottleneck) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.0, 10e-6, 0.0, 0.0});
+
+  // An outbound 1000 B packet followed immediately by an inbound one: the
+  // inbound must queue behind the outbound in the unified queue.
+  rig.layer->transmit(rig.packet(972));
+  rig.sink->inject(rig.packet(972));
+  rig.loop.run();
+  ASSERT_EQ(rig.delivered_up.size(), 1u);
+  EXPECT_NEAR(sim::to_seconds(rig.up_at[0]), 0.020, 1e-9);  // 2 x 10 ms
+}
+
+TEST(Modulation, DropsAreRandomAtRateL) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  // Zero delay, 30% loss: count survivors.
+  rig.feed(QualityTuple{sim::seconds(3600), 0.0, 0.0, 0.0, 0.3});
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  const double survived =
+      static_cast<double>(rig.sink->sent.size()) / n;
+  EXPECT_NEAR(survived, 0.7, 0.03);
+  EXPECT_EQ(rig.layer->stats().dropped + rig.sink->sent.size(),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Modulation, DroppedPacketsStillConsumeBottleneck) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::milliseconds(10), 0.0, 10e-6, 0.0, 1.0});
+  rig.feed(QualityTuple{sim::seconds(60), 0.0, 10e-6, 0.0, 0.0});
+
+  // Two doomed packets at t=0 occupy the bottleneck for 20 ms total.
+  rig.layer->transmit(rig.packet(972));
+  rig.layer->transmit(rig.packet(972));
+  rig.loop.run_until(sim::kEpoch + sim::milliseconds(12));
+  EXPECT_EQ(rig.layer->stats().dropped, 2u);
+  // Now in the lossless segment: the probe still waits behind the ghosts.
+  rig.layer->transmit(rig.packet(972));
+  rig.loop.run();
+  ASSERT_EQ(rig.sink->sent.size(), 1u);
+  // Probe entered at 12 ms but released at 30 ms (ghosts end 20 + own 10).
+  EXPECT_NEAR(sim::to_seconds(rig.loop.now()), 0.030, 1e-6);
+}
+
+TEST(Modulation, TickQuantizationRoundsToNearestTick) {
+  ModulationConfig cfg;
+  cfg.tick = sim::milliseconds(10);
+  Rig rig(cfg);
+  // Delay = 12 ms -> quantizes to the 10 ms tick grid (nearest).
+  rig.feed(QualityTuple{sim::seconds(60), 0.012, 0.0, 0.0, 0.0});
+  rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  const double released = sim::to_seconds(rig.loop.now());
+  EXPECT_NEAR(released, 0.010, 1e-9);
+  EXPECT_EQ(rig.layer->stats().scheduled, 1u);
+}
+
+TEST(Modulation, SubHalfTickSendsImmediately) {
+  ModulationConfig cfg;
+  cfg.tick = sim::milliseconds(10);
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.004, 0.0, 0.0, 0.0});  // 4 ms < 5
+  rig.layer->transmit(rig.packet(100));
+  // Released synchronously: no events needed.
+  ASSERT_EQ(rig.sink->sent.size(), 1u);
+  EXPECT_EQ(rig.layer->stats().sent_immediately, 1u);
+  EXPECT_EQ(rig.loop.now(), sim::kEpoch);
+}
+
+TEST(Modulation, InboundCompensationSubtractsPhysicalVb) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  cfg.inbound_physical_vb = 2e-6;   // endpoint artifact
+  cfg.inbound_vb_compensation = 2e-6;  // exactly cancelled
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.0, 10e-6, 0.0, 0.0});
+  rig.sink->inject(rig.packet(972));
+  rig.loop.run();
+  ASSERT_EQ(rig.delivered_up.size(), 1u);
+  EXPECT_NEAR(sim::to_seconds(rig.up_at[0]), 0.010, 1e-9);
+}
+
+TEST(Modulation, UncompensatedInboundPaysTheArtifact) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  cfg.inbound_physical_vb = 2e-6;
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.0, 10e-6, 0.0, 0.0});
+  rig.sink->inject(rig.packet(972));
+  rig.loop.run();
+  EXPECT_NEAR(sim::to_seconds(rig.up_at[0]), 0.012, 1e-9);  // Vb + artifact
+}
+
+TEST(Modulation, CompensationNeverGoesNegative) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  cfg.inbound_vb_compensation = 1.0;  // absurdly large
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(60), 0.001, 10e-6, 0.0, 0.0});
+  rig.sink->inject(rig.packet(972));
+  rig.loop.run();
+  // Effective inbound Vb clamps at 0; only F remains.
+  EXPECT_NEAR(sim::to_seconds(rig.up_at[0]), 0.001, 1e-9);
+}
+
+TEST(Modulation, TuplesAdvanceWithEmulatedTime) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(1), 0.001, 0.0, 0.0, 0.0});
+  rig.feed(QualityTuple{sim::seconds(1), 0.050, 0.0, 0.0, 0.0});
+
+  rig.layer->transmit(rig.packet(100));  // segment 1: 1 ms
+  rig.loop.run();
+  const double first = sim::to_seconds(rig.loop.now());
+  EXPECT_NEAR(first, 0.001, 1e-9);
+
+  rig.loop.run_until(sim::kEpoch + sim::milliseconds(1500));
+  rig.layer->transmit(rig.packet(100));  // segment 2: 50 ms
+  rig.loop.run();
+  EXPECT_NEAR(sim::to_seconds(rig.loop.now()), 1.55, 1e-9);
+  EXPECT_EQ(rig.layer->stats().tuples_consumed, 2u);
+}
+
+TEST(Modulation, RevertsToPassThroughWhenTraceEndsAndWriterClosed) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(1), 0.050, 0.0, 0.0, 0.0});
+  rig.device.close_writer();
+
+  rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  EXPECT_EQ(rig.layer->stats().modulated_out, 1u);
+
+  // Past the only segment: modulation is over.
+  rig.loop.run_until(sim::kEpoch + sim::seconds(2));
+  rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  EXPECT_EQ(rig.layer->stats().passed_unmodulated, 1u);
+  EXPECT_EQ(rig.sink->sent.size(), 2u);
+}
+
+TEST(Modulation, HoldsTupleWhileDaemonMerelyBehind) {
+  ModulationConfig cfg;
+  cfg.tick = sim::Duration{0};
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(1), 0.020, 0.0, 0.0, 0.0});
+  // Writer NOT closed: layer holds the stale tuple.
+  rig.loop.run_until(sim::kEpoch + sim::seconds(5));
+  rig.layer->transmit(rig.packet(100));
+  rig.loop.run();
+  EXPECT_EQ(rig.layer->stats().modulated_out, 1u);
+  EXPECT_NEAR(sim::to_seconds(rig.loop.now()), 5.020, 1e-9);
+}
+
+// ---- property sweep: long-run throughput equals the tuple's bandwidth ----
+
+class ModulationThroughput : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModulationThroughput, MatchesConfiguredBottleneck) {
+  const double bw_bps = GetParam();
+  ModulationConfig cfg;
+  cfg.tick = sim::milliseconds(10);  // the real tick must not distort this
+  Rig rig(cfg);
+  rig.feed(QualityTuple{sim::seconds(3600), 0.003, 8.0 / bw_bps, 0.0, 0.0});
+
+  const int n = 400;
+  const std::uint32_t payload = 1372;  // ip_size = 1400
+  for (int i = 0; i < n; ++i) rig.layer->transmit(rig.packet(payload));
+  rig.loop.run();
+  const double elapsed = sim::to_seconds(rig.loop.now());
+  const double throughput = n * 1400 * 8.0 / elapsed;
+  EXPECT_NEAR(throughput, bw_bps, bw_bps * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, ModulationThroughput,
+                         ::testing::Values(128e3, 500e3, 1.5e6, 2e6, 10e6));
+
+}  // namespace
+}  // namespace tracemod::core

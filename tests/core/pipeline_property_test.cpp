@@ -1,0 +1,87 @@
+// The methodology's fixed-point property, swept across network regimes:
+// distilling a trace collected *on a modulated network* recovers the
+// replay parameters that drove the modulation (within the estimator's
+// tolerance).  This closes the loop between all three phases.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/distiller.hpp"
+#include "core/emulator.hpp"
+#include "trace/ping.hpp"
+#include "trace/trace_tap.hpp"
+
+namespace tracemod::core {
+namespace {
+
+struct Regime {
+  const char* name;
+  double latency_s;
+  double bandwidth_bps;
+  double loss;
+};
+
+class PipelineFixedPoint : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(PipelineFixedPoint, DistillRecoversModulationParameters) {
+  const Regime regime = GetParam();
+
+  ModulationConfig mod;
+  mod.tick = sim::Duration{0};  // isolate estimation from tick quantization
+  EmulatorConfig cfg;
+  cfg.modulation = mod;
+  cfg.modulation.inbound_vb_compensation = Emulator::measure_physical_vb();
+  Emulator emulator(
+      ReplayTrace::constant(sim::seconds(400), sim::seconds(1),
+                            regime.latency_s, regime.bandwidth_bps,
+                            regime.loss),
+      cfg);
+
+  sim::ClockModel clock;
+  trace::TraceTap* tap = nullptr;
+  emulator.mobile().node().wrap_interface(
+      0, [&](std::unique_ptr<net::NetDevice> inner) {
+        auto t = std::make_unique<trace::TraceTap>(std::move(inner),
+                                                   emulator.loop(), clock,
+                                                   nullptr);
+        tap = t.get();
+        return t;
+      });
+  trace::CollectionDaemon daemon(emulator.loop(), *tap);
+  trace::PingWorkload ping(emulator.mobile(), cfg.server_addr, clock);
+  daemon.start();
+  ping.start();
+  emulator.run_for(sim::seconds(300));
+  ping.stop();
+  daemon.stop();
+
+  Distiller distiller;
+  const ReplayTrace recovered = distiller.distill(daemon.trace());
+  ASSERT_FALSE(recovered.empty()) << regime.name;
+
+  // Latency within 35% or 1.5 ms (the modulating Ethernet adds a little).
+  EXPECT_NEAR(recovered.mean_latency_s(), regime.latency_s,
+              std::max(regime.latency_s * 0.35, 0.0015))
+      << regime.name;
+  // Bottleneck bandwidth within 25%.
+  const double recovered_bw = 8.0 / recovered.mean_bottleneck_per_byte();
+  EXPECT_NEAR(recovered_bw, regime.bandwidth_bps,
+              regime.bandwidth_bps * 0.25)
+      << regime.name;
+  // Round-trip loss estimate within 4 percentage points.
+  EXPECT_NEAR(recovered.mean_loss(), regime.loss, 0.04) << regime.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, PipelineFixedPoint,
+    ::testing::Values(Regime{"wavelan", 0.003, 1.5e6, 0.00},
+                      Regime{"wavelan_lossy", 0.003, 1.5e6, 0.05},
+                      Regime{"slow_link", 0.020, 250e3, 0.00},
+                      Regime{"high_latency", 0.060, 1.0e6, 0.02},
+                      Regime{"fast_clean", 0.001, 3.0e6, 0.00}),
+    [](const ::testing::TestParamInfo<Regime>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tracemod::core

@@ -1,0 +1,166 @@
+// IP fragmentation and reassembly.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+#include "net/node.hpp"
+
+namespace tracemod::net {
+namespace {
+
+class RecordingHandler : public ProtocolHandler {
+ public:
+  void handle_packet(const Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<Packet> packets;
+};
+
+struct FragRig {
+  sim::EventLoop loop;
+  EthernetSegment segment{loop};
+  Node a{loop, "a"};
+  Node b{loop, "b"};
+  RecordingHandler sink;
+
+  FragRig() {
+    auto da = std::make_unique<EthernetDevice>(segment, "a0");
+    da->claim_address(IpAddress(10, 0, 0, 1));
+    a.add_interface(std::move(da), IpAddress(10, 0, 0, 1));
+    a.set_default_route(0);
+    auto db = std::make_unique<EthernetDevice>(segment, "b0");
+    db->claim_address(IpAddress(10, 0, 0, 2));
+    b.add_interface(std::move(db), IpAddress(10, 0, 0, 2));
+    b.set_default_route(0);
+    b.register_protocol(Protocol::kUdp, &sink);
+  }
+
+  Packet big_udp(std::uint32_t payload) {
+    Packet p = make_udp_packet(IpAddress{}, IpAddress(10, 0, 0, 2), 1, 2,
+                               payload);
+    p.payload = std::string("app-data");
+    return p;
+  }
+};
+
+/// Shim that counts and optionally drops wire-level packets.
+class Counter : public DeviceShim {
+ public:
+  using DeviceShim::DeviceShim;
+  int outbound = 0;
+  int drop_index = -1;
+
+ protected:
+  void on_outbound(Packet pkt) override {
+    if (outbound++ == drop_index) return;
+    send_down(std::move(pkt));
+  }
+};
+
+TEST(Fragmentation, SmallDatagramsAreNotFragmented) {
+  FragRig rig;
+  rig.a.send(rig.big_udp(1000));
+  rig.loop.run();
+  ASSERT_EQ(rig.sink.packets.size(), 1u);
+  EXPECT_FALSE(rig.sink.packets[0].is_fragment());
+  EXPECT_EQ(rig.a.stats().datagrams_fragmented, 0u);
+}
+
+TEST(Fragmentation, LargeDatagramSplitsAndReassembles) {
+  FragRig rig;
+  Counter* counter = nullptr;
+  rig.a.wrap_interface(0, [&](std::unique_ptr<NetDevice> d) {
+    auto c = std::make_unique<Counter>(std::move(d));
+    counter = c.get();
+    return c;
+  });
+  rig.a.send(rig.big_udp(8192));
+  rig.loop.run();
+
+  // 8192 + 8 byte UDP header at MTU 1500: 6 fragments on the wire.
+  EXPECT_EQ(counter->outbound, 6);
+  ASSERT_EQ(rig.sink.packets.size(), 1u);
+  const Packet& whole = rig.sink.packets[0];
+  EXPECT_EQ(whole.payload_size, 8192u);
+  EXPECT_EQ(std::any_cast<std::string>(whole.payload), "app-data");
+  EXPECT_EQ(rig.a.stats().datagrams_fragmented, 1u);
+  EXPECT_EQ(rig.b.stats().datagrams_reassembled, 1u);
+}
+
+TEST(Fragmentation, AnyLostFragmentLosesTheDatagram) {
+  for (int drop : {0, 3, 5}) {
+    FragRig rig;
+    Counter* counter = nullptr;
+    rig.a.wrap_interface(0, [&](std::unique_ptr<NetDevice> d) {
+      auto c = std::make_unique<Counter>(std::move(d));
+      counter = c.get();
+      return c;
+    });
+    counter->drop_index = drop;
+    rig.a.send(rig.big_udp(8192));
+    rig.loop.run();
+    EXPECT_TRUE(rig.sink.packets.empty()) << "dropped fragment " << drop;
+  }
+}
+
+TEST(Fragmentation, InterleavedDatagramsReassembleIndependently) {
+  FragRig rig;
+  rig.a.send(rig.big_udp(8192));
+  rig.a.send(rig.big_udp(4000));
+  rig.loop.run();
+  ASSERT_EQ(rig.sink.packets.size(), 2u);
+  EXPECT_EQ(rig.sink.packets[0].payload_size, 8192u);
+  EXPECT_EQ(rig.sink.packets[1].payload_size, 4000u);
+}
+
+TEST(Fragmentation, DuplicateFragmentsAreHarmless) {
+  // Duplicate delivery (e.g., a retried frame) must not double-deliver.
+  FragRig rig;
+  class Duper : public DeviceShim {
+   public:
+    using DeviceShim::DeviceShim;
+
+   protected:
+    void on_outbound(Packet pkt) override {
+      Packet copy = pkt;
+      send_down(std::move(pkt));
+      send_down(std::move(copy));
+    }
+  };
+  rig.a.wrap_interface(0, [](std::unique_ptr<NetDevice> d) {
+    return std::make_unique<Duper>(std::move(d));
+  });
+  rig.a.send(rig.big_udp(8192));
+  rig.loop.run();
+  EXPECT_EQ(rig.sink.packets.size(), 1u);
+}
+
+TEST(Fragmentation, FragmentWireSizesAreBounded) {
+  FragRig rig;
+  std::vector<std::uint32_t> sizes;
+  class Sizer : public DeviceShim {
+   public:
+    Sizer(std::unique_ptr<NetDevice> d, std::vector<std::uint32_t>* out)
+        : DeviceShim(std::move(d)), out_(out) {}
+
+   protected:
+    void on_outbound(Packet pkt) override {
+      out_->push_back(pkt.ip_size());
+      send_down(std::move(pkt));
+    }
+
+   private:
+    std::vector<std::uint32_t>* out_;
+  };
+  rig.a.wrap_interface(0, [&](std::unique_ptr<NetDevice> d) {
+    return std::make_unique<Sizer>(std::move(d), &sizes);
+  });
+  rig.a.send(rig.big_udp(8192));
+  rig.loop.run();
+  std::uint32_t total_payload = 0;
+  for (std::uint32_t s : sizes) {
+    EXPECT_LE(s, kMtuBytes);
+    total_payload += s - kIpHeaderBytes - kUdpHeaderBytes;
+  }
+  EXPECT_EQ(total_payload, 8192u);
+}
+
+}  // namespace
+}  // namespace tracemod::net

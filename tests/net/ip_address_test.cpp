@@ -1,0 +1,56 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace tracemod::net {
+namespace {
+
+TEST(IpAddress, ParseRoundTrip) {
+  const IpAddress a = IpAddress::parse("10.1.2.3");
+  EXPECT_EQ(a.str(), "10.1.2.3");
+  EXPECT_EQ(a, IpAddress(10, 1, 2, 3));
+}
+
+TEST(IpAddress, ParseBoundaryValues) {
+  EXPECT_EQ(IpAddress::parse("0.0.0.0").value, 0u);
+  EXPECT_EQ(IpAddress::parse("255.255.255.255").value, 0xffffffffu);
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+  EXPECT_THROW(IpAddress::parse(""), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("1.2.3.4x"), std::invalid_argument);
+}
+
+TEST(IpAddress, OrderingAndEquality) {
+  const IpAddress a(10, 0, 0, 1), b(10, 0, 0, 2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, IpAddress(10, 0, 0, 1));
+  EXPECT_TRUE(IpAddress{}.is_unspecified());
+  EXPECT_FALSE(a.is_unspecified());
+}
+
+TEST(IpAddress, Hashable) {
+  std::unordered_set<IpAddress> set;
+  set.insert(IpAddress(10, 0, 0, 1));
+  set.insert(IpAddress(10, 0, 0, 1));
+  set.insert(IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Endpoint, StrAndOrdering) {
+  const Endpoint e{IpAddress(192, 168, 1, 9), 8080};
+  EXPECT_EQ(e.str(), "192.168.1.9:8080");
+  const Endpoint f{IpAddress(192, 168, 1, 9), 8081};
+  EXPECT_LT(e, f);
+  EXPECT_NE(e, f);
+}
+
+}  // namespace
+}  // namespace tracemod::net

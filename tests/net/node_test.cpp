@@ -1,0 +1,193 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+
+namespace tracemod::net {
+namespace {
+
+class RecordingHandler : public ProtocolHandler {
+ public:
+  void handle_packet(const Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<Packet> packets;
+};
+
+/// Two hosts on one segment, with addresses and default routes.
+struct TwoHosts {
+  sim::EventLoop loop;
+  EthernetSegment segment{loop};
+  Node a{loop, "a"};
+  Node b{loop, "b"};
+  IpAddress addr_a{10, 0, 0, 1};
+  IpAddress addr_b{10, 0, 0, 2};
+
+  TwoHosts() {
+    auto dev_a = std::make_unique<EthernetDevice>(segment, "a-eth0");
+    dev_a->claim_address(addr_a);
+    a.add_interface(std::move(dev_a), addr_a);
+    a.set_default_route(0);
+
+    auto dev_b = std::make_unique<EthernetDevice>(segment, "b-eth0");
+    dev_b->claim_address(addr_b);
+    b.add_interface(std::move(dev_b), addr_b);
+    b.set_default_route(0);
+  }
+};
+
+TEST(Node, SendFillsSourceAndIdAndDelivers) {
+  TwoHosts net;
+  RecordingHandler handler;
+  net.b.register_protocol(Protocol::kUdp, &handler);
+
+  Packet p = make_udp_packet(IpAddress{}, net.addr_b, 5, 6, 10);
+  EXPECT_TRUE(net.a.send(std::move(p)));
+  net.loop.run();
+
+  ASSERT_EQ(handler.packets.size(), 1u);
+  EXPECT_EQ(handler.packets[0].src, net.addr_a);
+  EXPECT_NE(handler.packets[0].id, 0u);
+  EXPECT_EQ(net.a.stats().sent, 1u);
+  EXPECT_EQ(net.b.stats().received, 1u);
+}
+
+TEST(Node, NoRouteCountsAndReturnsFalse) {
+  sim::EventLoop loop;
+  Node n(loop, "lonely");
+  Packet p = make_udp_packet(IpAddress{}, IpAddress(1, 2, 3, 4), 5, 6, 10);
+  EXPECT_FALSE(n.send(std::move(p)));
+  EXPECT_EQ(n.stats().no_route, 1u);
+}
+
+TEST(Node, UnclaimedProtocolCounted) {
+  TwoHosts net;
+  // No handler registered on b.
+  net.a.send(make_udp_packet(IpAddress{}, net.addr_b, 5, 6, 10));
+  net.loop.run();
+  EXPECT_EQ(net.b.stats().unclaimed_protocol, 1u);
+}
+
+TEST(Node, LongestPrefixRouteWins) {
+  sim::EventLoop loop;
+  EthernetSegment seg_wide(loop), seg_narrow(loop);
+  Node n(loop, "router");
+
+  auto wide = std::make_unique<EthernetDevice>(seg_wide, "wide");
+  auto narrow = std::make_unique<EthernetDevice>(seg_narrow, "narrow");
+  EthernetDevice wide_sink(seg_wide, "wide-sink");
+  EthernetDevice narrow_sink(seg_narrow, "narrow-sink");
+  wide_sink.claim_address(IpAddress(10, 1, 2, 3));
+  narrow_sink.claim_address(IpAddress(10, 1, 2, 3));
+
+  n.add_interface(std::move(wide), IpAddress(10, 0, 0, 1));
+  n.add_interface(std::move(narrow), IpAddress(10, 1, 0, 1));
+  n.add_route(IpAddress(10, 0, 0, 0), 8, 0);
+  n.add_route(IpAddress(10, 1, 0, 0), 16, 1);
+
+  int got_wide = 0, got_narrow = 0;
+  wide_sink.set_receive_callback([&](Packet) { ++got_wide; });
+  narrow_sink.set_receive_callback([&](Packet) { ++got_narrow; });
+
+  n.send(make_udp_packet(IpAddress{}, IpAddress(10, 1, 2, 3), 1, 2, 8));
+  loop.run();
+  EXPECT_EQ(got_wide, 0);
+  EXPECT_EQ(got_narrow, 1);
+}
+
+TEST(Node, ForwardingDecrementsTtlAndRoutes) {
+  // a --- seg1 --- router --- seg2 --- b
+  sim::EventLoop loop;
+  EthernetSegment seg1(loop), seg2(loop);
+  Node a(loop, "a"), router(loop, "r"), b(loop, "b");
+
+  IpAddress addr_a(10, 1, 0, 2), addr_b(10, 2, 0, 2);
+  IpAddress r1(10, 1, 0, 1), r2(10, 2, 0, 1);
+
+  auto dev_a = std::make_unique<EthernetDevice>(seg1, "a0");
+  dev_a->claim_address(addr_a);
+  a.add_interface(std::move(dev_a), addr_a);
+  a.set_default_route(0);
+
+  auto dev_r1 = std::make_unique<EthernetDevice>(seg1, "r0");
+  dev_r1->claim_address(r1);
+  dev_r1->claim_address(addr_b);  // router answers for b's subnet on seg1
+  auto dev_r2 = std::make_unique<EthernetDevice>(seg2, "r1");
+  dev_r2->claim_address(r2);
+  dev_r2->claim_address(addr_a);  // and for a's subnet on seg2
+  router.add_interface(std::move(dev_r1), r1);
+  router.add_interface(std::move(dev_r2), r2);
+  router.add_route(IpAddress(10, 1, 0, 0), 16, 0);
+  router.add_route(IpAddress(10, 2, 0, 0), 16, 1);
+  router.set_forwarding(true);
+
+  auto dev_b = std::make_unique<EthernetDevice>(seg2, "b0");
+  dev_b->claim_address(addr_b);
+  b.add_interface(std::move(dev_b), addr_b);
+  b.set_default_route(0);
+
+  RecordingHandler handler;
+  b.register_protocol(Protocol::kUdp, &handler);
+
+  a.send(make_udp_packet(IpAddress{}, addr_b, 7, 8, 32));
+  loop.run();
+
+  ASSERT_EQ(handler.packets.size(), 1u);
+  EXPECT_EQ(handler.packets[0].ttl, 63);
+  EXPECT_EQ(router.stats().forwarded, 1u);
+}
+
+TEST(Node, TtlExpiryDropsPacket) {
+  TwoHosts net;
+  net.a.set_forwarding(true);
+  // Hand the node a packet for someone else with ttl=1 via the receive path.
+  Packet p = make_udp_packet(IpAddress(9, 9, 9, 9), IpAddress(8, 8, 8, 8), 1,
+                             2, 4);
+  p.ttl = 1;
+  net.a.device(0);  // ensure interface exists
+  // Inject through the node's receive callback by transmitting from b with
+  // b's device claiming nothing special: send directly.
+  // Simpler: call the private path via a crafted claim: a claims 8.8.8.8? No.
+  // Instead verify through the router path: set default route and forward.
+  net.a.set_default_route(0);
+  // Use friend-free approach: the packet arrives at a addressed elsewhere.
+  auto dev = std::make_unique<EthernetDevice>(net.segment, "x");
+  dev->claim_address(IpAddress(7, 7, 7, 7));
+  Node x(net.loop, "x");
+  x.add_interface(std::move(dev), IpAddress(7, 7, 7, 7));
+  x.set_default_route(0);
+  // a's ethernet device must accept the packet: claim the destination.
+  static_cast<EthernetDevice&>(net.a.device(0)).claim_address(IpAddress(8, 8, 8, 8));
+  Packet q = make_udp_packet(IpAddress{}, IpAddress(8, 8, 8, 8), 1, 2, 4);
+  q.ttl = 1;
+  x.send(std::move(q));
+  net.loop.run();
+  EXPECT_EQ(net.a.stats().ttl_expired, 1u);
+}
+
+TEST(Node, WrapInterfacePreservesDelivery) {
+  TwoHosts net;
+  RecordingHandler handler;
+  net.b.register_protocol(Protocol::kUdp, &handler);
+
+  // Wrap b's device in a pass-through shim after construction.
+  net.b.wrap_interface(0, [](std::unique_ptr<NetDevice> inner) {
+    class PassThrough : public DeviceShim {
+     public:
+      using DeviceShim::DeviceShim;
+    };
+    return std::make_unique<PassThrough>(std::move(inner));
+  });
+
+  net.a.send(make_udp_packet(IpAddress{}, net.addr_b, 5, 6, 10));
+  net.loop.run();
+  EXPECT_EQ(handler.packets.size(), 1u);
+}
+
+TEST(Node, HasAddressChecksAllInterfaces) {
+  TwoHosts net;
+  EXPECT_TRUE(net.a.has_address(net.addr_a));
+  EXPECT_FALSE(net.a.has_address(net.addr_b));
+}
+
+}  // namespace
+}  // namespace tracemod::net

@@ -1,0 +1,59 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracemod::net {
+namespace {
+
+TEST(Packet, IcmpWireSize) {
+  const Packet p = make_icmp_packet(IpAddress(10, 0, 0, 1),
+                                    IpAddress(10, 0, 0, 2), IcmpHeader{}, 56);
+  EXPECT_EQ(p.l4_header_bytes(), kIcmpHeaderBytes);
+  EXPECT_EQ(p.ip_size(), 20u + 8u + 56u);
+  EXPECT_EQ(p.wire_size(), 18u + 20u + 8u + 56u);
+}
+
+TEST(Packet, UdpWireSize) {
+  const Packet p = make_udp_packet(IpAddress(10, 0, 0, 1),
+                                   IpAddress(10, 0, 0, 2), 111, 2049, 1024);
+  EXPECT_EQ(p.ip_size(), 20u + 8u + 1024u);
+  EXPECT_EQ(p.udp().src_port, 111);
+  EXPECT_EQ(p.udp().dst_port, 2049);
+}
+
+TEST(Packet, TcpWireSizeAndFlags) {
+  TcpHeader hdr;
+  hdr.syn = true;
+  hdr.ack_flag = true;
+  const Packet p = make_tcp_packet(IpAddress(10, 0, 0, 1),
+                                   IpAddress(10, 0, 0, 2), hdr, 0);
+  EXPECT_EQ(p.ip_size(), 20u + 20u);
+  EXPECT_EQ(p.tcp().flags_str(), "SA");
+  TcpHeader plain;
+  EXPECT_EQ(plain.flags_str(), ".");
+}
+
+TEST(Packet, DescribeMentionsProtocolAndAddresses) {
+  const Packet p = make_udp_packet(IpAddress(1, 2, 3, 4),
+                                   IpAddress(5, 6, 7, 8), 10, 20, 99);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("udp"), std::string::npos);
+  EXPECT_NE(d.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(d.find("99"), std::string::npos);
+}
+
+TEST(Packet, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(Protocol::kIcmp), "icmp");
+  EXPECT_STREQ(protocol_name(Protocol::kUdp), "udp");
+  EXPECT_STREQ(protocol_name(Protocol::kTcp), "tcp");
+}
+
+TEST(Packet, HeaderAccessorsMutate) {
+  Packet p = make_tcp_packet(IpAddress(1, 1, 1, 1), IpAddress(2, 2, 2, 2),
+                             TcpHeader{}, 0);
+  p.tcp().seq = 12345;
+  EXPECT_EQ(p.tcp().seq, 12345u);
+}
+
+}  // namespace
+}  // namespace tracemod::net

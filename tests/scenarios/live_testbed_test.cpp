@@ -1,0 +1,77 @@
+#include "scenarios/live_testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenarios/benchmarks.hpp"
+
+namespace tracemod::scenarios {
+namespace {
+
+TEST(LiveTestbed, MobileAssociatesAndPingsServer) {
+  LiveTestbed bed(porter(), 1);
+  int replies = 0;
+  bed.mobile().icmp().set_reply_callback([&](const net::Packet&) { ++replies; });
+  for (int i = 0; i < 5; ++i) {
+    bed.mobile().icmp().send_echo(bed.server_addr(), 1,
+                                  static_cast<std::uint16_t>(i), 64,
+                                  bed.loop().now());
+    bed.loop().run_for(sim::milliseconds(200));
+  }
+  EXPECT_GE(replies, 4);  // a frame may fade, but the cell works
+}
+
+TEST(LiveTestbed, CollectTraceIsRepeatableForSameSeed) {
+  auto collect = [](std::uint64_t seed) {
+    LiveTestbed bed(wean(), seed);
+    return bed.collect_trace();
+  };
+  const auto a = collect(5);
+  const auto b = collect(5);
+  const auto c = collect(6);
+  EXPECT_EQ(a.records.size(), b.records.size());
+  EXPECT_NE(a.records.size(), c.records.size());
+}
+
+TEST(LiveTestbed, ChatterboxInterferersGenerateTraffic) {
+  LiveTestbed quiet(porter(), 3);
+  LiveTestbed busy(chatterbox(), 3);
+  quiet.loop().run_for(sim::seconds(30));
+  busy.loop().run_for(sim::seconds(30));
+  // Without any benchmark traffic, the Chatterbox channel still carries
+  // plenty of frames; Porter's carries none.
+  EXPECT_EQ(quiet.channel().stats().frames_delivered, 0u);
+  EXPECT_GT(busy.channel().stats().frames_delivered, 200u);
+}
+
+TEST(LiveTestbed, HandoffsHappenOnPorterWalk) {
+  LiveTestbed bed(porter(), 7);
+  bed.loop().run_for(bed.mobility().duration());
+  EXPECT_GE(bed.channel().stats().handoffs, 1u);
+}
+
+TEST(LiveTestbed, SignalDropsInsideTheElevator) {
+  // Device records from a Wean traversal: good in the hallway (~30-60 s),
+  // bad during the ride (~95-125 s).
+  LiveTestbed bed(wean(), 9);
+  const auto trace = bed.collect_trace();
+  double hallway_best = 0, ride_worst = 1e9;
+  for (const auto& rec : trace.device_records()) {
+    const double at = sim::to_seconds(rec.at);
+    if (at > 30 && at < 60) hallway_best = std::max(hallway_best, rec.signal_level);
+    if (at > 98 && at < 122) ride_worst = std::min(ride_worst, rec.signal_level);
+  }
+  EXPECT_GT(hallway_best, 12.0);
+  EXPECT_LT(ride_worst, 8.0);
+}
+
+TEST(LiveTestbed, BenchmarksRunLiveWithoutModification) {
+  LiveTestbed bed(wean(), 11);
+  const auto out = run_benchmark(BenchmarkKind::kFtpRecv, bed.mobile(),
+                                 bed.server(), bed.server_addr(), bed.loop());
+  EXPECT_TRUE(out.ok);
+  EXPECT_GT(out.elapsed_s, 30.0);   // far slower than Ethernet's ~19.5 s
+  EXPECT_LT(out.elapsed_s, 200.0);
+}
+
+}  // namespace
+}  // namespace tracemod::scenarios

@@ -1,0 +1,142 @@
+// End-to-end methodology tests: collection -> distillation -> modulation on
+// real scenarios, checking the properties the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "core/distiller.hpp"
+#include "scenarios/experiment.hpp"
+
+namespace tracemod::scenarios {
+namespace {
+
+TEST(Pipeline, PorterCollectionProducesAFullTrace) {
+  const auto raw = collect_raw_trace(porter(), 555);
+  EXPECT_GT(raw.records.size(), 500u);
+  EXPECT_GT(raw.echo_replies().size(), 200u);
+  EXPECT_GT(raw.device_records().size(), 100u);
+
+  core::Distiller distiller;
+  const auto replay = distiller.distill(raw);
+  // One tuple per second of traversal.
+  const double seconds = sim::to_seconds(porter().collection_duration);
+  EXPECT_NEAR(static_cast<double>(replay.size()), seconds, 5.0);
+  EXPECT_GT(distiller.stats().groups_total, 80u);
+}
+
+TEST(Pipeline, DistilledParametersAreInWaveLanRange) {
+  for (const auto& scenario : all_scenarios()) {
+    core::Distiller distiller;
+    const auto replay = distiller.distill(collect_raw_trace(scenario, 777));
+    ASSERT_FALSE(replay.empty()) << scenario.name;
+    for (const auto& t : replay.tuples()) {
+      EXPECT_GE(t.latency_s, 0.0) << scenario.name;
+      EXPECT_LT(t.latency_s, 1.0) << scenario.name;
+      EXPECT_GT(t.per_byte_bottleneck, 8.0 / 5e6) << scenario.name;  // < 5 Mb/s
+      EXPECT_LT(t.per_byte_bottleneck, 8.0 / 100e3) << scenario.name;
+      EXPECT_GE(t.loss, 0.0);
+      EXPECT_LE(t.loss, 0.99);
+      EXPECT_GE(t.per_byte_residual, 0.0);
+    }
+    // Typical bandwidth in the WaveLAN band the paper reports.
+    const double bw = 8.0 / replay.mean_bottleneck_per_byte();
+    EXPECT_GT(bw, 0.6e6) << scenario.name;
+    EXPECT_LT(bw, 2.0e6) << scenario.name;
+  }
+}
+
+TEST(Pipeline, WeanElevatorShowsUpInTheTrace) {
+  core::Distiller distiller;
+  const auto replay = distiller.distill(collect_raw_trace(wean(), 999));
+  ASSERT_GT(replay.size(), 100u);
+  // Locate the elevator ride (~95-130 s) and a clean stretch (~40-70 s).
+  double ride_worst_loss = 0, clean_worst_loss = 0;
+  sim::Duration off{};
+  for (const auto& t : replay.tuples()) {
+    const double at = sim::to_seconds(off);
+    off += t.d;
+    if (at > 92 && at < 130) {
+      ride_worst_loss = std::max(ride_worst_loss, t.loss);
+    } else if (at > 35 && at < 70) {
+      clean_worst_loss = std::max(clean_worst_loss, t.loss);
+    }
+  }
+  EXPECT_GT(ride_worst_loss, 0.15);
+  EXPECT_LT(clean_worst_loss, 0.10);
+}
+
+TEST(Pipeline, TrialsVaryButModestly) {
+  // "When the same benchmark is run over distinct distilled traces intended
+  // to duplicate the same path, the results can show significant variance"
+  // -- but the traces must still describe the same scenario.
+  ExperimentConfig cfg;
+  cfg.trials = 3;
+  const auto traces = collect_replay_traces(porter(), cfg);
+  ASSERT_EQ(traces.size(), 3u);
+  std::vector<double> bws;
+  for (const auto& t : traces) {
+    bws.push_back(8.0 / t.mean_bottleneck_per_byte());
+  }
+  // All trials in the same band...
+  for (double bw : bws) {
+    EXPECT_GT(bw, 0.8e6);
+    EXPECT_LT(bw, 1.8e6);
+  }
+  // ...but not identical (different channel randomness).
+  EXPECT_NE(bws[0], bws[1]);
+}
+
+TEST(Pipeline, EthernetBaselineIsDeterministicAndFast) {
+  ExperimentConfig cfg;
+  cfg.trials = 2;
+  const auto outcomes = run_ethernet_trials(BenchmarkKind::kFtpRecv, cfg);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_NEAR(outcomes[0].elapsed_s, 19.5, 1.0);  // disk-paced 10 MB
+  EXPECT_DOUBLE_EQ(outcomes[0].elapsed_s, outcomes[1].elapsed_s);
+}
+
+TEST(Pipeline, ModulatedFtpTracksLiveFtp) {
+  // The paper's headline: modulated performance approximates live
+  // performance.  One trial each to keep the test fast; the benches run
+  // the full 4-trial protocol.
+  const auto scenario = wean();
+  LiveTestbed bed(scenario, 4321);
+  const auto live = run_benchmark(BenchmarkKind::kFtpRecv, bed.mobile(),
+                                  bed.server(), bed.server_addr(), bed.loop());
+  ASSERT_TRUE(live.ok);
+
+  core::Distiller distiller;
+  const auto trace = distiller.distill(collect_raw_trace(scenario, 4322));
+  const auto modulated = run_modulated_benchmark(
+      trace, BenchmarkKind::kFtpRecv, 4323, sim::milliseconds(10),
+      compensation_vb());
+  ASSERT_TRUE(modulated.ok);
+
+  EXPECT_NEAR(modulated.elapsed_s, live.elapsed_s, live.elapsed_s * 0.25);
+}
+
+TEST(Pipeline, SummaryHelpers) {
+  Summary a{100.0, 5.0, 4};
+  Summary b{104.0, 2.0, 4};
+  EXPECT_TRUE(within_error(a, b));
+  EXPECT_NEAR(off_by_factor(a, b), 4.0 / 7.0, 1e-12);
+  EXPECT_EQ(check_label(a, b), "within error");
+
+  Summary c{120.0, 1.0, 4};
+  EXPECT_FALSE(within_error(a, c));
+  EXPECT_EQ(check_label(a, c), "off by 3.33x sd-sum");
+
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(cell(Summary{161.47, 7.82, 4}), "161.47 (7.82)");
+}
+
+TEST(Pipeline, BenchmarkKindNames) {
+  EXPECT_STREQ(to_string(BenchmarkKind::kWeb), "web");
+  EXPECT_STREQ(to_string(BenchmarkKind::kFtpSend), "ftp-send");
+  EXPECT_STREQ(to_string(BenchmarkKind::kFtpRecv), "ftp-recv");
+  EXPECT_STREQ(to_string(BenchmarkKind::kAndrew), "andrew");
+}
+
+}  // namespace
+}  // namespace tracemod::scenarios

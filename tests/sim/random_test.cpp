@@ -1,0 +1,117 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace tracemod::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(7);
+  Rng a2(7);
+  Rng child = a.fork();
+  Rng child2 = a2.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(6);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_FALSE(r.chance(-1.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ChanceFrequencyApproximatesP) {
+  Rng r(7);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(8);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.15);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.15);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng r(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.pareto(1.2, 100.0, 100000.0);
+    EXPECT_GE(v, 100.0 * 0.999);
+    EXPECT_LE(v, 100000.0 * 1.001);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  // Median should sit near the low bound, far below the midpoint.
+  Rng r(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.pareto(1.0, 1.0, 1000.0));
+  EXPECT_LT(percentile_of(xs, 0.5), 10.0);
+  EXPECT_GT(max_of(xs), 100.0);
+}
+
+}  // namespace
+}  // namespace tracemod::sim

@@ -1,0 +1,80 @@
+#include "sim/tick_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/clock_model.hpp"
+
+namespace tracemod::sim {
+namespace {
+
+TEST(TickClock, QuantizesToNearestTick) {
+  TickClock tc(milliseconds(10));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(14)), kEpoch + milliseconds(10));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(15)), kEpoch + milliseconds(20));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(20)), kEpoch + milliseconds(20));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(4)), kEpoch);
+}
+
+TEST(TickClock, HalfTickThreshold) {
+  // The paper: packets to be delayed less than half a clock tick are sent
+  // immediately (Section 3.3).
+  TickClock tc(milliseconds(10));
+  EXPECT_TRUE(tc.below_threshold(milliseconds(4)));
+  EXPECT_TRUE(tc.below_threshold(microseconds(4999)));
+  EXPECT_FALSE(tc.below_threshold(milliseconds(5)));
+  EXPECT_FALSE(tc.below_threshold(milliseconds(50)));
+}
+
+TEST(TickClock, IdealClockPassesThrough) {
+  TickClock tc(Duration{0});
+  const TimePoint t = kEpoch + microseconds(12345);
+  EXPECT_EQ(tc.quantize(t), t);
+  EXPECT_FALSE(tc.below_threshold(nanoseconds(1)));
+  EXPECT_TRUE(tc.below_threshold(Duration{0}));
+}
+
+TEST(TickClock, CoarserResolution) {
+  TickClock tc(milliseconds(100));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(149)),
+            kEpoch + milliseconds(100));
+  EXPECT_EQ(tc.quantize(kEpoch + milliseconds(150)),
+            kEpoch + milliseconds(200));
+  EXPECT_TRUE(tc.below_threshold(milliseconds(49)));
+}
+
+TEST(ClockModel, PerfectClockIsIdentity) {
+  ClockModel clock;
+  const TimePoint t = kEpoch + seconds(100);
+  EXPECT_EQ(clock.read(t), t);
+}
+
+TEST(ClockModel, SkewAccumulates) {
+  ClockModel::Config cfg;
+  cfg.skew_ppm = 100.0;  // 100 us/s fast
+  ClockModel clock(cfg, Rng(1));
+  const TimePoint t = kEpoch + seconds(1000);
+  const Duration drift = clock.read(t) - t;
+  EXPECT_NEAR(to_seconds(drift), 0.1, 1e-6);
+}
+
+TEST(ClockModel, OffsetApplied) {
+  ClockModel::Config cfg;
+  cfg.offset = milliseconds(250);
+  ClockModel clock(cfg, Rng(1));
+  EXPECT_EQ(clock.read(kEpoch), kEpoch + milliseconds(250));
+}
+
+TEST(ClockModel, JitterBounded) {
+  ClockModel::Config cfg;
+  cfg.jitter = microseconds(100);
+  ClockModel clock(cfg, Rng(2));
+  const TimePoint t = kEpoch + seconds(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration err = clock.read(t) - t;
+    EXPECT_LE(err, microseconds(100));
+    EXPECT_GE(err, -microseconds(100));
+  }
+}
+
+}  // namespace
+}  // namespace tracemod::sim

@@ -1,0 +1,72 @@
+#include "trace/kernel_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracemod::trace {
+namespace {
+
+PacketRecord packet_at(double s) {
+  PacketRecord p;
+  p.at = sim::kEpoch + sim::from_seconds(s);
+  return p;
+}
+
+TEST(KernelBuffer, FifoOrder) {
+  KernelBuffer buf(10);
+  for (int i = 0; i < 5; ++i) {
+    PacketRecord p = packet_at(i);
+    p.icmp_seq = static_cast<std::uint16_t>(i);
+    EXPECT_TRUE(buf.push(p));
+  }
+  const auto out = buf.drain(10, sim::kEpoch + sim::seconds(9));
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<PacketRecord>(out[static_cast<std::size_t>(i)]).icmp_seq, i);
+  }
+}
+
+TEST(KernelBuffer, DrainRespectsLimit) {
+  KernelBuffer buf(10);
+  for (int i = 0; i < 8; ++i) buf.push(packet_at(i));
+  EXPECT_EQ(buf.drain(3, sim::kEpoch).size(), 3u);
+  EXPECT_EQ(buf.size(), 5u);
+}
+
+TEST(KernelBuffer, OverrunCountsLossesByType) {
+  KernelBuffer buf(2);
+  EXPECT_TRUE(buf.push(packet_at(0)));
+  EXPECT_TRUE(buf.push(packet_at(1)));
+  EXPECT_FALSE(buf.push(packet_at(2)));
+  EXPECT_FALSE(buf.push(DeviceRecord{}));
+  EXPECT_EQ(buf.pending_lost_packet(), 1u);
+  EXPECT_EQ(buf.pending_lost_device(), 1u);
+}
+
+TEST(KernelBuffer, DrainPrefixesLossMarkerOnce) {
+  KernelBuffer buf(1);
+  buf.push(packet_at(0));
+  buf.push(packet_at(1));  // lost
+  buf.push(packet_at(2));  // lost
+
+  const auto now = sim::kEpoch + sim::seconds(5);
+  const auto out = buf.drain(10, now);
+  ASSERT_EQ(out.size(), 2u);
+  const auto& marker = std::get<LostRecords>(out[0]);
+  EXPECT_EQ(marker.lost_packet_records, 2u);
+  EXPECT_EQ(marker.at, now);
+  EXPECT_TRUE(std::holds_alternative<PacketRecord>(out[1]));
+
+  // Counters reset after reporting.
+  buf.push(packet_at(3));
+  const auto again = buf.drain(10, now);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<PacketRecord>(again[0]));
+}
+
+TEST(KernelBuffer, EmptyDrainIsEmpty) {
+  KernelBuffer buf(4);
+  EXPECT_TRUE(buf.drain(10, sim::kEpoch).empty());
+}
+
+}  // namespace
+}  // namespace tracemod::trace

@@ -1,0 +1,73 @@
+#include "trace/records.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracemod::trace {
+namespace {
+
+PacketRecord echo(std::uint16_t seq, double at_s, std::uint32_t bytes = 60) {
+  PacketRecord r;
+  r.at = sim::kEpoch + sim::from_seconds(at_s);
+  r.dir = PacketDirection::kOutgoing;
+  r.protocol = net::Protocol::kIcmp;
+  r.icmp_kind = IcmpKind::kEcho;
+  r.icmp_seq = seq;
+  r.ip_bytes = bytes;
+  return r;
+}
+
+PacketRecord reply(std::uint16_t seq, double sent_s, double rtt_s,
+                   std::uint32_t bytes = 60) {
+  PacketRecord r = echo(seq, sent_s + rtt_s, bytes);
+  r.dir = PacketDirection::kIncoming;
+  r.icmp_kind = IcmpKind::kEchoReply;
+  r.echo_origin = sim::kEpoch + sim::from_seconds(sent_s);
+  return r;
+}
+
+TEST(Records, RttFromPayloadTimestamp) {
+  const PacketRecord r = reply(1, 10.0, 0.005);
+  EXPECT_NEAR(sim::to_seconds(r.rtt()), 0.005, 1e-12);
+}
+
+TEST(Records, RecordTimeCoversAllVariants) {
+  const TraceRecord p = echo(0, 1.0);
+  const TraceRecord d = DeviceRecord{sim::kEpoch + sim::seconds(2), 18, 10, 2};
+  const TraceRecord l = LostRecords{sim::kEpoch + sim::seconds(3), 4, 1};
+  EXPECT_EQ(record_time(p), sim::kEpoch + sim::seconds(1));
+  EXPECT_EQ(record_time(d), sim::kEpoch + sim::seconds(2));
+  EXPECT_EQ(record_time(l), sim::kEpoch + sim::seconds(3));
+}
+
+TEST(Records, QueryHelpersFilterCorrectly) {
+  CollectedTrace trace;
+  trace.records.emplace_back(echo(0, 0.0));
+  trace.records.emplace_back(reply(0, 0.0, 0.004));
+  trace.records.emplace_back(DeviceRecord{sim::kEpoch + sim::seconds(1), 18, 10, 2});
+  trace.records.emplace_back(echo(1, 1.0));
+  trace.records.emplace_back(LostRecords{sim::kEpoch + sim::seconds(2), 3, 0});
+
+  EXPECT_EQ(trace.echoes_sent().size(), 2u);
+  EXPECT_EQ(trace.echo_replies().size(), 1u);
+  EXPECT_EQ(trace.device_records().size(), 1u);
+  EXPECT_EQ(trace.total_lost_records(), 3u);
+  EXPECT_EQ(trace.duration(), sim::seconds(2));
+}
+
+TEST(Records, EmptyTraceHasZeroDuration) {
+  CollectedTrace trace;
+  EXPECT_EQ(trace.duration(), sim::Duration{});
+  EXPECT_EQ(trace.total_lost_records(), 0u);
+}
+
+TEST(Records, OutgoingRepliesNotCountedAsReplies) {
+  // The responder's outgoing ECHOREPLY must not look like a received one.
+  CollectedTrace trace;
+  PacketRecord r = reply(0, 0.0, 0.004);
+  r.dir = PacketDirection::kOutgoing;
+  trace.records.emplace_back(r);
+  EXPECT_TRUE(trace.echo_replies().empty());
+}
+
+}  // namespace
+}  // namespace tracemod::trace

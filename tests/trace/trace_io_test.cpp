@@ -1,0 +1,125 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace tracemod::trace {
+namespace {
+
+CollectedTrace sample_trace() {
+  CollectedTrace trace;
+  PacketRecord p;
+  p.at = sim::kEpoch + sim::milliseconds(123);
+  p.dir = PacketDirection::kIncoming;
+  p.protocol = net::Protocol::kIcmp;
+  p.ip_bytes = 1052;
+  p.icmp_kind = IcmpKind::kEchoReply;
+  p.icmp_id = 42;
+  p.icmp_seq = 7;
+  p.echo_origin = sim::kEpoch + sim::milliseconds(100);
+  trace.records.emplace_back(p);
+
+  PacketRecord t;
+  t.at = sim::kEpoch + sim::milliseconds(200);
+  t.protocol = net::Protocol::kTcp;
+  t.ip_bytes = 1500;
+  t.src_port = 20000;
+  t.dst_port = 80;
+  t.tcp_seq = 123456789ull;
+  t.tcp_flags = 0x3;
+  trace.records.emplace_back(t);
+
+  trace.records.emplace_back(
+      DeviceRecord{sim::kEpoch + sim::seconds(1), 18.5, 11.25, 2.0});
+  trace.records.emplace_back(LostRecords{sim::kEpoch + sim::seconds(2), 9, 2});
+  return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  const CollectedTrace original = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const CollectedTrace loaded = read_trace(ss);
+
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+
+  const auto& p = std::get<PacketRecord>(loaded.records[0]);
+  EXPECT_EQ(p.at, sim::kEpoch + sim::milliseconds(123));
+  EXPECT_EQ(p.dir, PacketDirection::kIncoming);
+  EXPECT_EQ(p.protocol, net::Protocol::kIcmp);
+  EXPECT_EQ(p.ip_bytes, 1052u);
+  EXPECT_EQ(p.icmp_kind, IcmpKind::kEchoReply);
+  EXPECT_EQ(p.icmp_id, 42);
+  EXPECT_EQ(p.icmp_seq, 7);
+  EXPECT_EQ(p.echo_origin, sim::kEpoch + sim::milliseconds(100));
+
+  const auto& t = std::get<PacketRecord>(loaded.records[1]);
+  EXPECT_EQ(t.tcp_seq, 123456789ull);
+  EXPECT_EQ(t.tcp_flags, 0x3);
+  EXPECT_EQ(t.src_port, 20000);
+
+  const auto& d = std::get<DeviceRecord>(loaded.records[2]);
+  EXPECT_DOUBLE_EQ(d.signal_level, 18.5);
+  EXPECT_DOUBLE_EQ(d.signal_quality, 11.25);
+
+  const auto& l = std::get<LostRecords>(loaded.records[3]);
+  EXPECT_EQ(l.lost_packet_records, 9u);
+  EXPECT_EQ(l.lost_device_records, 2u);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace(ss, CollectedTrace{});
+  EXPECT_TRUE(read_trace(ss).records.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOPE-this-is-not-a-trace";
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_trace(truncated), TraceFormatError);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream ss;
+  write_trace(ss, CollectedTrace{});
+  std::string bytes = ss.str();
+  bytes[4] = 99;  // version lives right after the 4-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace(bad), TraceFormatError);
+}
+
+TEST(TraceIo, SchemaTableIsSelfDescriptive) {
+  std::stringstream ss;
+  write_trace(ss, CollectedTrace{});
+  const std::string bytes = ss.str();
+  // Field names appear verbatim: a reader with no schema knowledge can at
+  // least enumerate what the records contain.
+  EXPECT_NE(bytes.find("packet"), std::string::npos);
+  EXPECT_NE(bytes.find("signal_level"), std::string::npos);
+  EXPECT_NE(bytes.find("lost_records"), std::string::npos);
+}
+
+TEST(TraceIo, FileSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "tracemod_io_test.trace";
+  save_trace(path, sample_trace());
+  const CollectedTrace loaded = load_trace(path);
+  EXPECT_EQ(loaded.records.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/x.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tracemod::trace

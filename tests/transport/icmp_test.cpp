@@ -1,0 +1,72 @@
+#include "transport/icmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace tracemod::transport {
+namespace {
+
+using tracemod::testing::EthernetPair;
+
+TEST(Icmp, EchoIsAnsweredWithSameSizeAndFields) {
+  EthernetPair net;
+  std::vector<net::Packet> replies;
+  net.client.icmp().set_reply_callback(
+      [&](const net::Packet& p) { replies.push_back(p); });
+
+  const auto stamp = net.loop.now() + sim::microseconds(17);
+  net.client.icmp().send_echo(net.server_addr, /*id=*/77, /*seq=*/5,
+                              /*payload_size=*/64, stamp);
+  net.loop.run();
+
+  ASSERT_EQ(replies.size(), 1u);
+  const auto& r = replies[0];
+  EXPECT_EQ(r.icmp().type, net::IcmpHeader::Type::kEchoReply);
+  EXPECT_EQ(r.icmp().id, 77);
+  EXPECT_EQ(r.icmp().seq, 5);
+  EXPECT_EQ(r.payload_size, 64u);
+  EXPECT_EQ(r.icmp().payload_timestamp, stamp);  // payload copied back
+  EXPECT_EQ(r.src, net.server_addr);
+}
+
+TEST(Icmp, RttIsPositiveAndPlausible) {
+  EthernetPair net;
+  sim::Duration rtt{};
+  net.client.icmp().set_reply_callback([&](const net::Packet& p) {
+    rtt = net.loop.now() - p.icmp().payload_timestamp;
+  });
+  net.client.icmp().send_echo(net.server_addr, 1, 1, 100, net.loop.now());
+  net.loop.run();
+  EXPECT_GT(rtt.count(), 0);
+  EXPECT_LT(sim::to_seconds(rtt), 0.01);  // sub-10ms on idle Ethernet
+}
+
+TEST(Icmp, StatsCount) {
+  EthernetPair net;
+  net.client.icmp().set_reply_callback([](const net::Packet&) {});
+  for (int i = 0; i < 3; ++i) {
+    net.client.icmp().send_echo(net.server_addr, 9, static_cast<uint16_t>(i),
+                                32, net.loop.now());
+  }
+  net.loop.run();
+  EXPECT_EQ(net.client.icmp().stats().echoes_sent, 3u);
+  EXPECT_EQ(net.server.icmp().stats().echoes_answered, 3u);
+  EXPECT_EQ(net.client.icmp().stats().replies_received, 3u);
+}
+
+TEST(Icmp, MultipleOutstandingEchoesAllAnswered) {
+  EthernetPair net;
+  std::vector<std::uint16_t> seqs;
+  net.client.icmp().set_reply_callback(
+      [&](const net::Packet& p) { seqs.push_back(p.icmp().seq); });
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    net.client.icmp().send_echo(net.server_addr, 1, i, 1000, net.loop.now());
+  }
+  net.loop.run();
+  ASSERT_EQ(seqs.size(), 10u);
+  for (std::uint16_t i = 0; i < 10; ++i) EXPECT_EQ(seqs[i], i);
+}
+
+}  // namespace
+}  // namespace tracemod::transport

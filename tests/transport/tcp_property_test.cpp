@@ -1,0 +1,165 @@
+// Parameterized property sweeps over the TCP implementation.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+#include "transport/tcp.hpp"
+
+namespace tracemod::transport {
+namespace {
+
+using tracemod::testing::EthernetPair;
+
+/// Random loss in both directions at rate p.
+class RandomLoss : public net::DeviceShim {
+ public:
+  RandomLoss(std::unique_ptr<net::NetDevice> d, double p, std::uint64_t seed)
+      : DeviceShim(std::move(d)), p_(p), rng_(seed) {}
+
+ protected:
+  void on_outbound(net::Packet pkt) override {
+    if (!rng_.chance(p_)) send_down(std::move(pkt));
+  }
+  void on_inbound(net::Packet pkt) override {
+    if (!rng_.chance(p_)) send_up(std::move(pkt));
+  }
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+struct TransferResult {
+  bool complete = false;
+  double elapsed_s = 0;
+  std::uint64_t retransmits = 0;
+};
+
+TransferResult run_transfer(double loss, std::uint64_t bytes,
+                            std::uint64_t seed) {
+  EthernetPair net;
+  if (loss > 0) {
+    net.client.node().wrap_interface(
+        0, [&](std::unique_ptr<net::NetDevice> d) {
+          return std::make_unique<RandomLoss>(std::move(d), loss, seed);
+        });
+  }
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(4000, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 4000});
+  conn.set_on_connected([&] { conn.send(bytes); });
+  const sim::TimePoint deadline = net.loop.now() + sim::seconds(3600);
+  while (delivered < bytes && net.loop.now() < deadline && net.loop.step()) {
+  }
+  TransferResult r;
+  r.complete = (delivered == bytes);
+  r.elapsed_s = sim::to_seconds(net.loop.now());
+  r.retransmits = conn.stats().retransmits;
+  return r;
+}
+
+// --- completion under loss ---------------------------------------------
+
+class TcpLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossSweep, TransferCompletesAndRetransmitsScale) {
+  const double loss = GetParam();
+  const auto r = run_transfer(loss, 300'000, 42);
+  EXPECT_TRUE(r.complete) << "at loss " << loss;
+  if (loss == 0.0) {
+    EXPECT_EQ(r.retransmits, 0u);
+  } else {
+    EXPECT_GT(r.retransmits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.10, 0.25));
+
+TEST(TcpLossProperty, ThroughputDegradesWithLoss) {
+  // Not strictly monotone per-seed, so compare the extremes.
+  const auto clean = run_transfer(0.0, 300'000, 7);
+  const auto lossy = run_transfer(0.10, 300'000, 7);
+  EXPECT_LT(clean.elapsed_s, lossy.elapsed_s);
+}
+
+// --- exact delivery across sizes ----------------------------------------
+
+class TcpSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpSizeSweep, DeliversExactlyOnce) {
+  EthernetPair net;
+  const std::uint64_t bytes = GetParam();
+  std::uint64_t delivered = 0;
+  bool fin_seen = false;
+  net.server.tcp().listen(4001, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+    c.set_on_peer_fin([&] { fin_seen = true; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 4001});
+  conn.set_on_connected([&] {
+    conn.send(bytes);
+    conn.close();
+  });
+  net.loop.run_for(sim::seconds(600));
+  EXPECT_EQ(delivered, bytes);
+  EXPECT_TRUE(fin_seen);
+  EXPECT_EQ(conn.stats().bytes_acked, bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpSizeSweep,
+                         ::testing::Values(1, 100, 1460, 1461, 16 * 1024,
+                                           100'000, 1'000'000));
+
+// --- record integrity under loss ----------------------------------------
+
+class TcpRecordLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpRecordLossSweep, RecordsArriveOnceInOrderDespiteLoss) {
+  EthernetPair net;
+  net.client.node().wrap_interface(0, [&](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<RandomLoss>(std::move(d), GetParam(), 99);
+  });
+  std::vector<int> tags;
+  net.server.tcp().listen(4002, [&](TcpConnection& c) {
+    c.set_on_record([&](const std::any& meta, std::uint64_t) {
+      tags.push_back(std::any_cast<int>(meta));
+    });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 4002});
+  conn.set_on_connected([&] {
+    for (int i = 0; i < 50; ++i) conn.send(2000, i);
+  });
+  net.loop.run_for(sim::seconds(600));
+  ASSERT_EQ(tags.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(tags[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpRecordLossSweep,
+                         ::testing::Values(0.02, 0.10, 0.20));
+
+// --- window sizes ---------------------------------------------------------
+
+class TcpWindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TcpWindowSweep, SmallWindowsStillComplete) {
+  TcpConfig cfg;
+  cfg.recv_buffer = GetParam();
+  EthernetPair net(cfg);
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(4003, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 4003});
+  conn.set_on_connected([&] { conn.send(100'000); });
+  net.loop.run_for(sim::seconds(600));
+  EXPECT_EQ(delivered, 100'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, TcpWindowSweep,
+                         ::testing::Values(2 * 1460, 8 * 1024, 16 * 1024,
+                                           64 * 1024));
+
+}  // namespace
+}  // namespace tracemod::transport

@@ -1,0 +1,321 @@
+#include "transport/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace tracemod::transport {
+namespace {
+
+using tracemod::testing::EthernetPair;
+using tracemod::testing::LossyShim;
+
+struct TcpPair : EthernetPair {
+  TcpConnection* server_conn = nullptr;
+  TcpConnection* client_conn = nullptr;
+
+  explicit TcpPair(TcpConfig cfg = {}) : EthernetPair(cfg) {
+    server.tcp().listen(80, [this](TcpConnection& c) { server_conn = &c; });
+    client_conn = &client.tcp().connect({server_addr, 80});
+  }
+};
+
+TEST(Tcp, HandshakeEstablishesBothEnds) {
+  TcpPair net;
+  bool connected = false;
+  net.client_conn->set_on_connected([&] { connected = true; });
+  net.loop.run();
+  EXPECT_TRUE(connected);
+  ASSERT_NE(net.server_conn, nullptr);
+  EXPECT_TRUE(net.client_conn->established());
+  EXPECT_TRUE(net.server_conn->established());
+}
+
+TEST(Tcp, SmallRecordDelivery) {
+  TcpPair net;
+  std::vector<std::uint64_t> ends;
+  std::string got_meta;
+  net.server.tcp().listen(81, [&](TcpConnection& c) {
+    c.set_on_record([&](const std::any& meta, std::uint64_t end) {
+      ends.push_back(end);
+      if (meta.has_value()) got_meta = std::any_cast<std::string>(meta);
+    });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 81});
+  conn.set_on_connected([&] { conn.send(300, std::string("req")); });
+  net.loop.run_for(sim::seconds(5));
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], 300u);
+  EXPECT_EQ(got_meta, "req");
+}
+
+TEST(Tcp, BulkTransferDeliversAllBytes) {
+  TcpPair net;
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(82, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 82});
+  const std::uint64_t total = 1 << 20;  // 1 MiB
+  conn.set_on_connected([&] { conn.send(total); });
+  net.loop.run_for(sim::seconds(30));
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(conn.stats().bytes_acked, total);
+}
+
+TEST(Tcp, ThroughputApproachesLinkRate) {
+  TcpPair net;
+  sim::TimePoint done{};
+  const std::uint64_t total = 4 << 20;  // 4 MiB
+  net.server.tcp().listen(83, [&](TcpConnection& c) {
+    c.set_on_bytes([&, got = std::uint64_t{0}](std::uint64_t n) mutable {
+      got += n;
+      if (got == total) done = net.loop.now();
+    });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 83});
+  conn.set_on_connected([&] { conn.send(total); });
+  net.loop.run_for(sim::seconds(120));
+  ASSERT_NE(done, sim::TimePoint{});
+  const double secs = sim::to_seconds(done);
+  const double goodput = static_cast<double>(total) * 8.0 / secs;
+  // 10 Mb/s wire; expect > 60% goodput with headers, acks, delack.
+  EXPECT_GT(goodput, 6e6);
+}
+
+TEST(Tcp, RecordBoundariesPreservedInOrder) {
+  TcpPair net;
+  std::vector<int> tags;
+  std::vector<std::uint64_t> ends;
+  net.server.tcp().listen(84, [&](TcpConnection& c) {
+    c.set_on_record([&](const std::any& meta, std::uint64_t end) {
+      tags.push_back(std::any_cast<int>(meta));
+      ends.push_back(end);
+    });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 84});
+  conn.set_on_connected([&] {
+    conn.send(100, 1);
+    conn.send(5000, 2);
+    conn.send(1, 3);
+    conn.send(20000, 4);
+  });
+  net.loop.run_for(sim::seconds(10));
+  EXPECT_EQ(tags, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{100, 5100, 5101, 25101}));
+}
+
+TEST(Tcp, BidirectionalTransfer) {
+  TcpPair net;
+  std::uint64_t to_server = 0, to_client = 0;
+  net.server.tcp().listen(85, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { to_server += n; });
+    c.send(50000);
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 85});
+  conn.set_on_bytes([&](std::uint64_t n) { to_client += n; });
+  conn.set_on_connected([&] { conn.send(30000); });
+  net.loop.run_for(sim::seconds(10));
+  EXPECT_EQ(to_server, 30000u);
+  EXPECT_EQ(to_client, 50000u);
+}
+
+TEST(Tcp, CloseHandshakeReachesClosedBothSides) {
+  TcpPair net;
+  bool client_closed = false, server_closed = false;
+  net.server.tcp().listen(86, [&](TcpConnection& c) {
+    c.set_on_peer_fin([&c] { c.close(); });
+    c.set_on_closed([&](bool err) {
+      server_closed = true;
+      EXPECT_FALSE(err);
+    });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 86});
+  conn.set_on_closed([&](bool err) {
+    client_closed = true;
+    EXPECT_FALSE(err);
+  });
+  conn.set_on_connected([&] {
+    conn.send(1000);
+    conn.close();
+  });
+  net.loop.run_for(sim::seconds(30));
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+}
+
+TEST(Tcp, LostDataSegmentIsRetransmitted) {
+  TcpPair net;
+  // Install a lossy shim on the client; drop one outbound data segment.
+  net.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<LossyShim>(std::move(d));
+  });
+  auto& shim = static_cast<LossyShim&>(net.client.node().device(0));
+
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(87, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 87});
+  const std::uint64_t total = 200000;
+  conn.set_on_connected([&] {
+    // Drop the 10th outbound packet from now (a mid-stream data segment).
+    shim.drop_outbound_at(10);
+    conn.send(total);
+  });
+  net.loop.run_for(sim::seconds(60));
+  EXPECT_EQ(delivered, total);
+  EXPECT_GE(conn.stats().retransmits, 1u);
+}
+
+TEST(Tcp, LostSynRetries) {
+  EthernetPair net;
+  net.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<LossyShim>(std::move(d));
+  });
+  auto& shim = static_cast<LossyShim&>(net.client.node().device(0));
+  shim.drop_outbound_at(0);  // the SYN
+
+  bool connected = false;
+  net.server.tcp().listen(88, [](TcpConnection&) {});
+  auto& conn = net.client.tcp().connect({net.server_addr, 88});
+  conn.set_on_connected([&] { connected = true; });
+  net.loop.run_for(sim::seconds(10));
+  EXPECT_TRUE(connected);
+  EXPECT_GE(conn.stats().rto_events, 1u);
+}
+
+TEST(Tcp, LostFinRetransmitted) {
+  TcpPair net;
+  net.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<LossyShim>(std::move(d));
+  });
+  auto& shim = static_cast<LossyShim&>(net.client.node().device(0));
+
+  bool server_got_fin = false;
+  net.server.tcp().listen(89, [&](TcpConnection& c) {
+    c.set_on_peer_fin([&] { server_got_fin = true; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 89});
+  conn.set_on_connected([&] {
+    conn.send(100);
+    shim.drop_outbound_at(1);  // 0: the data segment's... count carefully
+    conn.close();
+  });
+  net.loop.run_for(sim::seconds(60));
+  EXPECT_TRUE(server_got_fin);
+}
+
+TEST(Tcp, HeavyRandomLossStillCompletes) {
+  // 20% loss both ways; a 100 KB transfer must still complete.
+  class RandomLoss : public net::DeviceShim {
+   public:
+    RandomLoss(std::unique_ptr<net::NetDevice> d, double p, std::uint64_t seed)
+        : DeviceShim(std::move(d)), p_(p), rng_(seed) {}
+
+   protected:
+    void on_outbound(net::Packet pkt) override {
+      if (!rng_.chance(p_)) send_down(std::move(pkt));
+    }
+    void on_inbound(net::Packet pkt) override {
+      if (!rng_.chance(p_)) send_up(std::move(pkt));
+    }
+
+   private:
+    double p_;
+    sim::Rng rng_;
+  };
+
+  EthernetPair net;
+  net.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<RandomLoss>(std::move(d), 0.2, 42);
+  });
+
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(90, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 90});
+  conn.set_on_connected([&] { conn.send(100000); });
+  net.loop.run_for(sim::seconds(600));
+  EXPECT_EQ(delivered, 100000u);
+}
+
+TEST(Tcp, CongestionWindowGrowsFromInitialWindow) {
+  TcpPair net;
+  EXPECT_EQ(net.client_conn->cwnd(),
+            net.client.tcp().config().initial_cwnd_segments *
+                net.client.tcp().config().mss);
+  std::uint64_t delivered = 0;
+  net.server.tcp().listen(91, [&](TcpConnection& c) {
+    c.set_on_bytes([&](std::uint64_t n) { delivered += n; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 91});
+  conn.set_on_connected([&] { conn.send(60000); });
+  net.loop.run_for(sim::seconds(10));
+  EXPECT_EQ(delivered, 60000u);
+  EXPECT_GT(conn.cwnd(), net.client.tcp().config().mss);
+}
+
+TEST(Tcp, AbortSendsRstAndClosesPeer) {
+  TcpPair net;
+  bool server_error = false;
+  net.server.tcp().listen(92, [&](TcpConnection& c) {
+    c.set_on_closed([&](bool err) { server_error = err; });
+  });
+  auto& conn = net.client.tcp().connect({net.server_addr, 92});
+  conn.set_on_connected([&] { conn.abort(); });
+  net.loop.run_for(sim::seconds(5));
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+  EXPECT_TRUE(server_error);
+}
+
+TEST(Tcp, RtoBackoffGivesUpEventually) {
+  // Connect to a black hole: all client packets dropped.
+  class BlackHole : public net::DeviceShim {
+   public:
+    using DeviceShim::DeviceShim;
+
+   protected:
+    void on_outbound(net::Packet) override {}
+  };
+  EthernetPair net;
+  net.client.node().wrap_interface(0, [](std::unique_ptr<net::NetDevice> d) {
+    return std::make_unique<BlackHole>(std::move(d));
+  });
+  bool closed_with_error = false;
+  net.server.tcp().listen(93, [](TcpConnection&) {});
+  auto& conn = net.client.tcp().connect({net.server_addr, 93});
+  conn.set_on_closed([&](bool err) { closed_with_error = err; });
+  net.loop.run_for(sim::seconds(3600));
+  EXPECT_TRUE(closed_with_error);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+}
+
+TEST(Tcp, StateNames) {
+  EXPECT_STREQ(to_string(TcpConnection::State::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(to_string(TcpConnection::State::kClosed), "CLOSED");
+  EXPECT_STREQ(to_string(TcpConnection::State::kTimeWait), "TIME_WAIT");
+}
+
+TEST(Tcp, ManyParallelConnections) {
+  EthernetPair net;
+  int completed = 0;
+  net.server.tcp().listen(94, [&](TcpConnection& c) {
+    c.set_on_record([&c](const std::any&, std::uint64_t) {
+      c.send(2000);  // respond
+      c.close();
+    });
+  });
+  for (int i = 0; i < 20; ++i) {
+    auto& conn = net.client.tcp().connect({net.server_addr, 94});
+    conn.set_on_connected([&conn] { conn.send(100); });
+    conn.set_on_record([&](const std::any&, std::uint64_t) { ++completed; });
+  }
+  net.loop.run_for(sim::seconds(30));
+  EXPECT_EQ(completed, 20);
+}
+
+}  // namespace
+}  // namespace tracemod::transport

@@ -1,0 +1,62 @@
+// Shared fixture: two Hosts on one Ethernet segment with default routes.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "net/ethernet.hpp"
+#include "transport/host.hpp"
+
+namespace tracemod::testing {
+
+struct EthernetPair {
+  sim::EventLoop loop;
+  net::EthernetSegment segment{loop};
+  transport::Host client{loop, "client", 101};
+  transport::Host server{loop, "server", 202};
+  net::IpAddress client_addr{10, 0, 0, 1};
+  net::IpAddress server_addr{10, 0, 0, 2};
+
+  explicit EthernetPair(transport::TcpConfig tcp_cfg = {})
+      : client{loop, "client", 101, tcp_cfg},
+        server{loop, "server", 202, tcp_cfg} {
+    attach(client, client_addr, "client-eth0");
+    attach(server, server_addr, "server-eth0");
+  }
+
+  void attach(transport::Host& host, net::IpAddress addr, const char* name) {
+    auto dev = std::make_unique<net::EthernetDevice>(segment, name);
+    dev->claim_address(addr);
+    host.node().add_interface(std::move(dev), addr);
+    host.node().set_default_route(0);
+  }
+};
+
+/// A shim that drops packets by index or probabilistically; used to test
+/// loss recovery without a full wireless channel.
+class LossyShim : public net::DeviceShim {
+ public:
+  using net::DeviceShim::DeviceShim;
+
+  /// Drop the nth outbound packet (0-based) seen from now on.
+  void drop_outbound_at(std::uint64_t index) { drop_out_.insert(index); }
+  void drop_inbound_at(std::uint64_t index) { drop_in_.insert(index); }
+
+ protected:
+  void on_outbound(net::Packet pkt) override {
+    if (drop_out_.erase(out_seen_++) > 0) return;
+    send_down(std::move(pkt));
+  }
+  void on_inbound(net::Packet pkt) override {
+    if (drop_in_.erase(in_seen_++) > 0) return;
+    send_up(std::move(pkt));
+  }
+
+ private:
+  std::uint64_t out_seen_ = 0;
+  std::uint64_t in_seen_ = 0;
+  std::set<std::uint64_t> drop_out_;
+  std::set<std::uint64_t> drop_in_;
+};
+
+}  // namespace tracemod::testing

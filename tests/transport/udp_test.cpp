@@ -1,0 +1,87 @@
+#include "transport/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace tracemod::transport {
+namespace {
+
+using tracemod::testing::EthernetPair;
+
+TEST(Udp, DatagramDelivery) {
+  EthernetPair net;
+  UdpSocket server_sock(net.server.udp(), 2049);
+  UdpSocket client_sock(net.client.udp());
+
+  std::vector<std::pair<net::Packet, net::Endpoint>> got;
+  server_sock.set_receive_callback(
+      [&](const net::Packet& p, net::Endpoint from) {
+        got.emplace_back(p, from);
+      });
+
+  client_sock.send_to({net.server_addr, 2049}, 512, std::string("hello"));
+  net.loop.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first.payload_size, 512u);
+  EXPECT_EQ(std::any_cast<std::string>(got[0].first.payload), "hello");
+  EXPECT_EQ(got[0].second.addr, net.client_addr);
+  EXPECT_EQ(got[0].second.port, client_sock.port());
+}
+
+TEST(Udp, ReplyPath) {
+  EthernetPair net;
+  UdpSocket server_sock(net.server.udp(), 7);
+  UdpSocket client_sock(net.client.udp());
+
+  server_sock.set_receive_callback(
+      [&](const net::Packet& p, net::Endpoint from) {
+        server_sock.send_to(from, p.payload_size, p.payload);
+      });
+  int echoes = 0;
+  client_sock.set_receive_callback(
+      [&](const net::Packet&, net::Endpoint from) {
+        ++echoes;
+        EXPECT_EQ(from.port, 7);
+      });
+
+  client_sock.send_to({net.server_addr, 7}, 100);
+  net.loop.run();
+  EXPECT_EQ(echoes, 1);
+}
+
+TEST(Udp, EphemeralPortsAreDistinct) {
+  EthernetPair net;
+  UdpSocket s1(net.client.udp());
+  UdpSocket s2(net.client.udp());
+  UdpSocket s3(net.client.udp());
+  EXPECT_NE(s1.port(), s2.port());
+  EXPECT_NE(s2.port(), s3.port());
+  EXPECT_GE(s1.port(), 32768);
+}
+
+TEST(Udp, RebindingTakenPortThrows) {
+  EthernetPair net;
+  UdpSocket s1(net.client.udp(), 9000);
+  EXPECT_THROW(UdpSocket(net.client.udp(), 9000), std::runtime_error);
+}
+
+TEST(Udp, PortFreedOnDestruction) {
+  EthernetPair net;
+  {
+    UdpSocket s1(net.client.udp(), 9000);
+  }
+  EXPECT_NO_THROW(UdpSocket(net.client.udp(), 9000));
+}
+
+TEST(Udp, NoListenerSilentlyDrops) {
+  EthernetPair net;
+  UdpSocket client_sock(net.client.udp());
+  client_sock.send_to({net.server_addr, 4242}, 64);
+  net.loop.run();  // must not crash
+  EXPECT_EQ(net.server.node().stats().received, 1u);
+}
+
+}  // namespace
+}  // namespace tracemod::transport

@@ -1,0 +1,15 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "tracemod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicApiIsReachable) {
+  tracemod::core::QualityTuple t{tracemod::sim::seconds(1), 0.003, 5e-6,
+                                 1e-6, 0.02};
+  EXPECT_GT(t.bottleneck_bandwidth_bps(), 0);
+  EXPECT_EQ(tracemod::scenarios::all_scenarios().size(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include "wireless/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracemod::wireless {
+namespace {
+
+TEST(Vec2, ArithmeticAndNorm) {
+  const Vec2 a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  const Vec2 b = a + Vec2{1, -1};
+  EXPECT_EQ(b, (Vec2{4, 3}));
+  EXPECT_EQ(a - a, (Vec2{0, 0}));
+  EXPECT_EQ(a * 2.0, (Vec2{6, 8}));
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0, 0}, b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5, 10}));
+}
+
+TEST(Segments, CrossingIntersects) {
+  EXPECT_TRUE(segments_intersect({0, -1}, {0, 1}, {-1, 0}, {1, 0}));
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+}
+
+TEST(Segments, DisjointDoesNot) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(Segments, TouchingEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Segments, CollinearOverlapCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+}
+
+TEST(Walls, LossAccumulatesPerCrossing) {
+  const std::vector<Wall> walls = {
+      Wall{{5, -10}, {5, 10}, 6.0},
+      Wall{{7, -10}, {7, 10}, 4.0},
+  };
+  // Path crossing both walls.
+  EXPECT_DOUBLE_EQ(wall_loss_db(walls, {0, 0}, {10, 0}), 10.0);
+  // Path crossing only the first.
+  EXPECT_DOUBLE_EQ(wall_loss_db(walls, {0, 0}, {6, 0}), 6.0);
+  // Path crossing neither.
+  EXPECT_DOUBLE_EQ(wall_loss_db(walls, {0, 0}, {4, 0}), 0.0);
+  // Path parallel to the walls.
+  EXPECT_DOUBLE_EQ(wall_loss_db(walls, {0, -5}, {0, 5}), 0.0);
+}
+
+TEST(Zones, LossWhenEitherEndpointInside) {
+  const std::vector<Zone> zones = {Zone{{0, 0}, 2.0, 20.0}};
+  EXPECT_DOUBLE_EQ(zone_loss_db(zones, {0, 0}, {100, 0}), 20.0);
+  EXPECT_DOUBLE_EQ(zone_loss_db(zones, {100, 0}, {1, 1}), 20.0);
+  EXPECT_DOUBLE_EQ(zone_loss_db(zones, {50, 0}, {100, 0}), 0.0);
+}
+
+TEST(Zones, ContainsIsInclusiveAtRadius) {
+  const Zone z{{0, 0}, 2.0, 10.0};
+  EXPECT_TRUE(z.contains({2, 0}));
+  EXPECT_FALSE(z.contains({2.001, 0}));
+}
+
+}  // namespace
+}  // namespace tracemod::wireless

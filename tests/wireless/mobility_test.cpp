@@ -1,0 +1,87 @@
+#include "wireless/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracemod::wireless {
+namespace {
+
+MobilityModel simple_path() {
+  // 10 m at 2 m/s, pause 3 s, then 20 m at 2 m/s.
+  return MobilityModel({
+      MobilityModel::Waypoint{"a", {0, 0}, 1.0, {}},
+      MobilityModel::Waypoint{"b", {10, 0}, 2.0, sim::seconds(3)},
+      MobilityModel::Waypoint{"c", {10, 20}, 2.0, {}},
+  });
+}
+
+TEST(Mobility, DurationSumsTravelAndPauses) {
+  const auto m = simple_path();
+  EXPECT_NEAR(sim::to_seconds(m.duration()), 5.0 + 3.0 + 10.0, 1e-9);
+}
+
+TEST(Mobility, PositionInterpolatesAlongLegs) {
+  const auto m = simple_path();
+  EXPECT_EQ(m.position(sim::kEpoch), (Vec2{0, 0}));
+  // Halfway through the first leg (t = 2.5 s of 5 s).
+  const Vec2 mid = m.position(sim::kEpoch + sim::milliseconds(2500));
+  EXPECT_NEAR(mid.x, 5.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+}
+
+TEST(Mobility, PausesHoldPosition) {
+  const auto m = simple_path();
+  // During the pause at b (t in [5, 8]).
+  for (double t : {5.1, 6.5, 7.9}) {
+    const Vec2 p = m.position(sim::kEpoch + sim::from_seconds(t));
+    EXPECT_NEAR(p.x, 10.0, 1e-9);
+    EXPECT_NEAR(p.y, 0.0, 1e-9);
+  }
+}
+
+TEST(Mobility, ClampsOutsideTheSchedule) {
+  const auto m = simple_path();
+  EXPECT_EQ(m.position(sim::kEpoch - sim::seconds(5)), (Vec2{0, 0}));
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(100)), (Vec2{10, 20}));
+}
+
+TEST(Mobility, CheckpointsCarryLabelsAndArrivalTimes) {
+  const auto m = simple_path();
+  const auto& cps = m.checkpoints();
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[0].label, "a");
+  EXPECT_EQ(cps[1].label, "b");
+  EXPECT_NEAR(sim::to_seconds(cps[1].at), 5.0, 1e-9);
+  // c's arrival includes b's pause.
+  EXPECT_NEAR(sim::to_seconds(cps[2].at), 5.0 + 3.0 + 10.0, 1e-9);
+}
+
+TEST(Mobility, InitialPauseDelaysDeparture) {
+  MobilityModel m({
+      MobilityModel::Waypoint{"a", {0, 0}, 1.0, sim::seconds(10)},
+      MobilityModel::Waypoint{"b", {10, 0}, 1.0, {}},
+  });
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(9)), (Vec2{0, 0}));
+  const Vec2 p = m.position(sim::kEpoch + sim::seconds(15));
+  EXPECT_NEAR(p.x, 5.0, 1e-9);
+}
+
+TEST(Mobility, StationaryModelNeverMoves) {
+  const auto m = MobilityModel::stationary({3, 4}, sim::seconds(60), "s0");
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(30)), (Vec2{3, 4}));
+  EXPECT_EQ(m.duration(), sim::seconds(60));
+  EXPECT_EQ(m.checkpoints()[0].label, "s0");
+}
+
+TEST(Mobility, ContinuityEverywhere) {
+  // Position must never jump: sample densely, bound the step size.
+  const auto m = simple_path();
+  Vec2 prev = m.position(sim::kEpoch);
+  for (int i = 1; i <= 1800; ++i) {
+    const Vec2 p = m.position(sim::kEpoch + sim::milliseconds(10 * i));
+    EXPECT_LT(distance(prev, p), 0.05);  // 2 m/s * 10 ms = 0.02 m
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace tracemod::wireless

@@ -1,0 +1,107 @@
+#include "wireless/signal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace tracemod::wireless {
+namespace {
+
+SignalModel plain_model(SignalConfig cfg = {}) {
+  return SignalModel(cfg, {}, {}, sim::Rng(1));
+}
+
+TEST(SignalModel, PowerFallsWithDistance) {
+  auto model = plain_model();
+  const double near = model.median_rx_dbm({0, 0}, 15.0, {10, 0});
+  const double far = model.median_rx_dbm({0, 0}, 15.0, {100, 0});
+  EXPECT_GT(near, far);
+  // Log-distance: one decade costs 10*n dB.
+  EXPECT_NEAR(near - far, 30.0, 1e-9);
+}
+
+TEST(SignalModel, SubMeterClampsToOneMeter) {
+  auto model = plain_model();
+  EXPECT_DOUBLE_EQ(model.median_rx_dbm({0, 0}, 15.0, {0.1, 0}),
+                   model.median_rx_dbm({0, 0}, 15.0, {1.0, 0}));
+}
+
+TEST(SignalModel, WallsAndZonesAttenuate) {
+  SignalModel model(SignalConfig{}, {Wall{{5, -5}, {5, 5}, 7.0}},
+                    {Zone{{10, 0}, 1.0, 12.0}}, sim::Rng(1));
+  auto base = plain_model();
+  const double open = base.median_rx_dbm({0, 0}, 15.0, {10, 0});
+  const double obstructed = model.median_rx_dbm({0, 0}, 15.0, {10, 0});
+  EXPECT_NEAR(open - obstructed, 19.0, 1e-9);  // wall 7 + zone 12
+}
+
+TEST(SignalModel, SnrIsRelativeToNoiseFloor) {
+  SignalConfig cfg;
+  cfg.noise_floor_dbm = -92.0;
+  auto model = plain_model(cfg);
+  EXPECT_DOUBLE_EQ(model.snr_db(-82.0), 10.0);
+}
+
+TEST(SignalModel, SignalInfoMapping) {
+  auto model = plain_model();
+  // Strong in-room link reads well above the noise threshold of 5.
+  const SignalInfo strong = model.to_signal_info(-55.0);
+  EXPECT_GT(strong.level, 15.0);
+  EXPECT_GT(strong.quality, 10.0);
+  // Very weak link reads at/below the driver's noise threshold.
+  const SignalInfo weak = model.to_signal_info(-84.0);
+  EXPECT_LT(weak.level, 5.0);
+  // Mapping is monotone.
+  EXPECT_GT(model.to_signal_info(-60.0).level,
+            model.to_signal_info(-70.0).level);
+}
+
+TEST(SignalModel, SignalInfoClamped) {
+  auto model = plain_model();
+  EXPECT_GE(model.to_signal_info(-200.0).level, 0.0);
+  EXPECT_LE(model.to_signal_info(+20.0).level, 40.0);
+  EXPECT_LE(model.to_signal_info(+20.0).quality, 15.0);
+}
+
+TEST(SignalModel, ShadowingIsBoundedAndCorrelated) {
+  SignalConfig cfg;
+  cfg.shadow_sigma_db = 3.0;
+  cfg.shadow_tau_s = 8.0;
+  SignalModel model(cfg, {}, {}, sim::Rng(7));
+
+  // Consecutive 100 ms samples should move slowly (correlation), and the
+  // long-run spread should be near the configured sigma.
+  double prev = 0.0;
+  double max_step = 0.0;
+  sim::RunningStats spread;
+  for (int i = 1; i <= 5000; ++i) {
+    model.rx_dbm({0, 0}, 15.0, {10, 0},
+                 sim::kEpoch + sim::milliseconds(100 * i));
+    const double s = model.shadow_db();
+    max_step = std::max(max_step, std::abs(s - prev));
+    prev = s;
+    spread.add(s);
+  }
+  EXPECT_LT(max_step, 4.0);  // no teleporting
+  EXPECT_NEAR(spread.stddev(), cfg.shadow_sigma_db, 1.0);
+  EXPECT_NEAR(spread.mean(), 0.0, 0.5);
+}
+
+TEST(SignalModel, ShadowDoesNotAdvanceBackwards) {
+  auto model = plain_model();
+  model.rx_dbm({0, 0}, 15.0, {10, 0}, sim::kEpoch + sim::seconds(10));
+  const double s = model.shadow_db();
+  model.rx_dbm({0, 0}, 15.0, {10, 0}, sim::kEpoch + sim::seconds(5));
+  EXPECT_DOUBLE_EQ(model.shadow_db(), s);
+}
+
+TEST(SignalModel, FastFadeZeroMean) {
+  auto model = plain_model();
+  sim::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(model.fast_fade_db());
+  EXPECT_NEAR(s.mean(), 0.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace tracemod::wireless

@@ -1,0 +1,192 @@
+// tracemod — command-line front end for the trace pipeline.
+//
+//   tracemod collect <scenario> <out.trace> [--seed N]
+//       run a collection traversal of a built-in scenario and write the
+//       raw trace (binary, self-descriptive format)
+//   tracemod distill <in.trace> <out.replay> [--window S] [--step S]
+//       distill a raw trace into a replay trace (text format)
+//   tracemod info <file>
+//       summarize a raw trace or a replay trace (auto-detected)
+//   tracemod synth <kind> <out.replay> [--seconds N]
+//       write a synthetic replay trace: wavelan | step | slow
+//
+// Exit status: 0 on success, 1 on usage error, 2 on I/O or format error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/distiller.hpp"
+#include "core/model.hpp"
+#include "scenarios/experiment.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace tracemod;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tracemod collect <porter|flagstaff|wean|chatterbox> "
+               "<out.trace> [--seed N]\n"
+               "  tracemod distill <in.trace> <out.replay> "
+               "[--window SECONDS] [--step SECONDS]\n"
+               "  tracemod info <file.trace|file.replay>\n"
+               "  tracemod synth <wavelan|step|slow> <out.replay> "
+               "[--seconds N]\n");
+  return 1;
+}
+
+bool flag_value(const std::vector<std::string>& args, const std::string& name,
+                double* out) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) {
+      *out = std::stod(args[i + 1]);
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_collect(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const scenarios::Scenario* scenario = nullptr;
+  static const auto all = scenarios::all_scenarios();
+  for (const auto& s : all) {
+    std::string lower = s.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == args[0]) scenario = &s;
+  }
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", args[0].c_str());
+    return 1;
+  }
+  double seed = 1;
+  flag_value(args, "--seed", &seed);
+
+  std::printf("collecting %s (seed %.0f, %.0f s traversal)...\n",
+              scenario->name.c_str(), seed,
+              sim::to_seconds(scenario->collection_duration));
+  const trace::CollectedTrace collected = scenarios::collect_raw_trace(
+      *scenario, static_cast<std::uint64_t>(seed));
+  trace::save_trace(args[1], collected);
+  std::printf("wrote %zu records to %s\n", collected.records.size(),
+              args[1].c_str());
+  return 0;
+}
+
+int cmd_distill(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const trace::CollectedTrace collected = trace::load_trace(args[0]);
+  core::DistillConfig cfg;
+  double v = 0;
+  if (flag_value(args, "--window", &v)) cfg.window = sim::from_seconds(v);
+  if (flag_value(args, "--step", &v)) cfg.step = sim::from_seconds(v);
+  core::Distiller distiller(cfg);
+  const core::ReplayTrace replay = distiller.distill(collected);
+  replay.save(args[1]);
+  std::printf(
+      "distilled %zu records -> %zu tuples (%zu groups, %zu corrected, "
+      "%zu skipped)\nmean latency %.2f ms, mean bottleneck %.2f Mb/s, "
+      "mean loss %.1f%%\nwrote %s\n",
+      collected.records.size(), replay.size(),
+      distiller.stats().groups_total, distiller.stats().groups_corrected,
+      distiller.stats().groups_skipped, replay.mean_latency_s() * 1e3,
+      replay.mean_bottleneck_per_byte() > 0
+          ? 8.0 / replay.mean_bottleneck_per_byte() / 1e6
+          : 0.0,
+      replay.mean_loss() * 100.0, args[1].c_str());
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  // Sniff: binary raw traces start with "TMTR"; replay traces with '#'.
+  std::ifstream in(args[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
+    return 2;
+  }
+  char magic[4] = {};
+  in.read(magic, 4);
+  in.close();
+  if (std::memcmp(magic, "TMTR", 4) == 0) {
+    const trace::CollectedTrace t = trace::load_trace(args[0]);
+    std::size_t packets = 0, device = 0, lost_markers = 0;
+    for (const auto& r : t.records) {
+      if (std::holds_alternative<trace::PacketRecord>(r)) ++packets;
+      if (std::holds_alternative<trace::DeviceRecord>(r)) ++device;
+      if (std::holds_alternative<trace::LostRecords>(r)) ++lost_markers;
+    }
+    std::printf(
+        "raw trace: %zu records over %.1f s\n"
+        "  packet records: %zu (%zu echoes sent, %zu replies received)\n"
+        "  device records: %zu\n"
+        "  loss markers:   %zu (%llu records lost to overruns)\n",
+        t.records.size(), sim::to_seconds(t.duration()), packets,
+        t.echoes_sent().size(), t.echo_replies().size(), device, lost_markers,
+        static_cast<unsigned long long>(t.total_lost_records()));
+    return 0;
+  }
+  const core::ReplayTrace r = core::ReplayTrace::load(args[0]);
+  double worst_loss = 0, worst_latency = 0;
+  for (const auto& t : r.tuples()) {
+    worst_loss = std::max(worst_loss, t.loss);
+    worst_latency = std::max(worst_latency, t.latency_s);
+  }
+  std::printf(
+      "replay trace: %zu tuples covering %.1f s\n"
+      "  mean latency %.2f ms (worst %.1f ms)\n"
+      "  mean bottleneck bandwidth %.2f Mb/s\n"
+      "  mean loss %.1f%% (worst %.0f%%)\n",
+      r.size(), sim::to_seconds(r.total_duration()),
+      r.mean_latency_s() * 1e3, worst_latency * 1e3,
+      r.mean_bottleneck_per_byte() > 0
+          ? 8.0 / r.mean_bottleneck_per_byte() / 1e6
+          : 0.0,
+      r.mean_loss() * 100.0, worst_loss * 100.0);
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  double seconds = 300;
+  flag_value(args, "--seconds", &seconds);
+  const sim::Duration total = sim::from_seconds(seconds);
+  core::ReplayTrace trace;
+  if (args[0] == "wavelan") {
+    trace = core::ReplayTrace::wavelan_like(total);
+  } else if (args[0] == "step") {
+    trace = core::ReplayTrace::bandwidth_step(total, sim::seconds(1), 0.003,
+                                              200e3, 1.6e6, sim::seconds(16));
+  } else if (args[0] == "slow") {
+    trace = core::ReplayTrace::constant(total, sim::seconds(1), 0.020, 250e3,
+                                        0.0);
+  } else {
+    std::fprintf(stderr, "unknown synth kind '%s'\n", args[0].c_str());
+    return 1;
+  }
+  trace.save(args[1]);
+  std::printf("wrote %zu tuples to %s\n", trace.size(), args[1].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "collect") return cmd_collect(args);
+    if (cmd == "distill") return cmd_distill(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "synth") return cmd_synth(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
