@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tick_granularity.dir/ablation_tick_granularity.cpp.o"
+  "CMakeFiles/ablation_tick_granularity.dir/ablation_tick_granularity.cpp.o.d"
+  "ablation_tick_granularity"
+  "ablation_tick_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tick_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

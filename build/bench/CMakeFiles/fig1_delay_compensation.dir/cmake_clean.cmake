@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_delay_compensation.dir/fig1_delay_compensation.cpp.o"
+  "CMakeFiles/fig1_delay_compensation.dir/fig1_delay_compensation.cpp.o.d"
+  "fig1_delay_compensation"
+  "fig1_delay_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_delay_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

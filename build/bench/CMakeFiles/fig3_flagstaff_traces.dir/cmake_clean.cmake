@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_flagstaff_traces.dir/fig3_flagstaff_traces.cpp.o"
+  "CMakeFiles/fig3_flagstaff_traces.dir/fig3_flagstaff_traces.cpp.o.d"
+  "fig3_flagstaff_traces"
+  "fig3_flagstaff_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_flagstaff_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_chatterbox_traces.dir/fig5_chatterbox_traces.cpp.o"
+  "CMakeFiles/fig5_chatterbox_traces.dir/fig5_chatterbox_traces.cpp.o.d"
+  "fig5_chatterbox_traces"
+  "fig5_chatterbox_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_chatterbox_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_web_benchmark.dir/fig6_web_benchmark.cpp.o"
+  "CMakeFiles/fig6_web_benchmark.dir/fig6_web_benchmark.cpp.o.d"
+  "fig6_web_benchmark"
+  "fig6_web_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_web_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ftp_benchmark.dir/fig7_ftp_benchmark.cpp.o"
+  "CMakeFiles/fig7_ftp_benchmark.dir/fig7_ftp_benchmark.cpp.o.d"
+  "fig7_ftp_benchmark"
+  "fig7_ftp_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ftp_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

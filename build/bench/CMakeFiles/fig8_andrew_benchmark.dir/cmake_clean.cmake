@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_andrew_benchmark.dir/fig8_andrew_benchmark.cpp.o"
+  "CMakeFiles/fig8_andrew_benchmark.dir/fig8_andrew_benchmark.cpp.o.d"
+  "fig8_andrew_benchmark"
+  "fig8_andrew_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_andrew_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_family.dir/benchmark_family.cpp.o"
+  "CMakeFiles/benchmark_family.dir/benchmark_family.cpp.o.d"
+  "benchmark_family"
+  "benchmark_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

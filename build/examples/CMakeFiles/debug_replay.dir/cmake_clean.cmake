@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_replay.dir/debug_replay.cpp.o"
+  "CMakeFiles/debug_replay.dir/debug_replay.cpp.o.d"
+  "debug_replay"
+  "debug_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_traces.dir/synthetic_traces.cpp.o"
+  "CMakeFiles/synthetic_traces.dir/synthetic_traces.cpp.o.d"
+  "synthetic_traces"
+  "synthetic_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/andrew.cpp" "src/apps/CMakeFiles/tracemod_apps.dir/andrew.cpp.o" "gcc" "src/apps/CMakeFiles/tracemod_apps.dir/andrew.cpp.o.d"
+  "/root/repo/src/apps/ftp.cpp" "src/apps/CMakeFiles/tracemod_apps.dir/ftp.cpp.o" "gcc" "src/apps/CMakeFiles/tracemod_apps.dir/ftp.cpp.o.d"
+  "/root/repo/src/apps/nfs.cpp" "src/apps/CMakeFiles/tracemod_apps.dir/nfs.cpp.o" "gcc" "src/apps/CMakeFiles/tracemod_apps.dir/nfs.cpp.o.d"
+  "/root/repo/src/apps/synrgen.cpp" "src/apps/CMakeFiles/tracemod_apps.dir/synrgen.cpp.o" "gcc" "src/apps/CMakeFiles/tracemod_apps.dir/synrgen.cpp.o.d"
+  "/root/repo/src/apps/web.cpp" "src/apps/CMakeFiles/tracemod_apps.dir/web.cpp.o" "gcc" "src/apps/CMakeFiles/tracemod_apps.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/tracemod_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

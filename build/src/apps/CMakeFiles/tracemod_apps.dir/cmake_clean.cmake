@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_apps.dir/andrew.cpp.o"
+  "CMakeFiles/tracemod_apps.dir/andrew.cpp.o.d"
+  "CMakeFiles/tracemod_apps.dir/ftp.cpp.o"
+  "CMakeFiles/tracemod_apps.dir/ftp.cpp.o.d"
+  "CMakeFiles/tracemod_apps.dir/nfs.cpp.o"
+  "CMakeFiles/tracemod_apps.dir/nfs.cpp.o.d"
+  "CMakeFiles/tracemod_apps.dir/synrgen.cpp.o"
+  "CMakeFiles/tracemod_apps.dir/synrgen.cpp.o.d"
+  "CMakeFiles/tracemod_apps.dir/web.cpp.o"
+  "CMakeFiles/tracemod_apps.dir/web.cpp.o.d"
+  "libtracemod_apps.a"
+  "libtracemod_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

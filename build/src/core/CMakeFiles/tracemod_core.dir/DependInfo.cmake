@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distiller.cpp" "src/core/CMakeFiles/tracemod_core.dir/distiller.cpp.o" "gcc" "src/core/CMakeFiles/tracemod_core.dir/distiller.cpp.o.d"
+  "/root/repo/src/core/emulator.cpp" "src/core/CMakeFiles/tracemod_core.dir/emulator.cpp.o" "gcc" "src/core/CMakeFiles/tracemod_core.dir/emulator.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/tracemod_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/tracemod_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/modulation.cpp" "src/core/CMakeFiles/tracemod_core.dir/modulation.cpp.o" "gcc" "src/core/CMakeFiles/tracemod_core.dir/modulation.cpp.o.d"
+  "/root/repo/src/core/replay_device.cpp" "src/core/CMakeFiles/tracemod_core.dir/replay_device.cpp.o" "gcc" "src/core/CMakeFiles/tracemod_core.dir/replay_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tracemod_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tracemod_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/tracemod_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

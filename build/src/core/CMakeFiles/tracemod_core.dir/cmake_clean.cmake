@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_core.dir/distiller.cpp.o"
+  "CMakeFiles/tracemod_core.dir/distiller.cpp.o.d"
+  "CMakeFiles/tracemod_core.dir/emulator.cpp.o"
+  "CMakeFiles/tracemod_core.dir/emulator.cpp.o.d"
+  "CMakeFiles/tracemod_core.dir/model.cpp.o"
+  "CMakeFiles/tracemod_core.dir/model.cpp.o.d"
+  "CMakeFiles/tracemod_core.dir/modulation.cpp.o"
+  "CMakeFiles/tracemod_core.dir/modulation.cpp.o.d"
+  "CMakeFiles/tracemod_core.dir/replay_device.cpp.o"
+  "CMakeFiles/tracemod_core.dir/replay_device.cpp.o.d"
+  "libtracemod_core.a"
+  "libtracemod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

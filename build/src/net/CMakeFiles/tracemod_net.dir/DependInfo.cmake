@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/tracemod_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/tracemod_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/ip_address.cpp" "src/net/CMakeFiles/tracemod_net.dir/ip_address.cpp.o" "gcc" "src/net/CMakeFiles/tracemod_net.dir/ip_address.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/tracemod_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/tracemod_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/tracemod_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/tracemod_net.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

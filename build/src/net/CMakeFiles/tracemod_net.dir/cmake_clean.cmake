@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_net.dir/ethernet.cpp.o"
+  "CMakeFiles/tracemod_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/tracemod_net.dir/ip_address.cpp.o"
+  "CMakeFiles/tracemod_net.dir/ip_address.cpp.o.d"
+  "CMakeFiles/tracemod_net.dir/node.cpp.o"
+  "CMakeFiles/tracemod_net.dir/node.cpp.o.d"
+  "CMakeFiles/tracemod_net.dir/packet.cpp.o"
+  "CMakeFiles/tracemod_net.dir/packet.cpp.o.d"
+  "libtracemod_net.a"
+  "libtracemod_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_scenarios.dir/benchmarks.cpp.o"
+  "CMakeFiles/tracemod_scenarios.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/tracemod_scenarios.dir/experiment.cpp.o"
+  "CMakeFiles/tracemod_scenarios.dir/experiment.cpp.o.d"
+  "CMakeFiles/tracemod_scenarios.dir/live_testbed.cpp.o"
+  "CMakeFiles/tracemod_scenarios.dir/live_testbed.cpp.o.d"
+  "CMakeFiles/tracemod_scenarios.dir/scenario.cpp.o"
+  "CMakeFiles/tracemod_scenarios.dir/scenario.cpp.o.d"
+  "libtracemod_scenarios.a"
+  "libtracemod_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/tracemod_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/tracemod_sim.dir/random.cpp.o"
+  "CMakeFiles/tracemod_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tracemod_sim.dir/stats.cpp.o"
+  "CMakeFiles/tracemod_sim.dir/stats.cpp.o.d"
+  "libtracemod_sim.a"
+  "libtracemod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtracemod_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ping.cpp" "src/trace/CMakeFiles/tracemod_trace.dir/ping.cpp.o" "gcc" "src/trace/CMakeFiles/tracemod_trace.dir/ping.cpp.o.d"
+  "/root/repo/src/trace/records.cpp" "src/trace/CMakeFiles/tracemod_trace.dir/records.cpp.o" "gcc" "src/trace/CMakeFiles/tracemod_trace.dir/records.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/tracemod_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/tracemod_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_tap.cpp" "src/trace/CMakeFiles/tracemod_trace.dir/trace_tap.cpp.o" "gcc" "src/trace/CMakeFiles/tracemod_trace.dir/trace_tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/tracemod_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tracemod_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

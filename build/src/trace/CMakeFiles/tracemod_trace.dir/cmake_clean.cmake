@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_trace.dir/ping.cpp.o"
+  "CMakeFiles/tracemod_trace.dir/ping.cpp.o.d"
+  "CMakeFiles/tracemod_trace.dir/records.cpp.o"
+  "CMakeFiles/tracemod_trace.dir/records.cpp.o.d"
+  "CMakeFiles/tracemod_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/tracemod_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/tracemod_trace.dir/trace_tap.cpp.o"
+  "CMakeFiles/tracemod_trace.dir/trace_tap.cpp.o.d"
+  "libtracemod_trace.a"
+  "libtracemod_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/icmp.cpp" "src/transport/CMakeFiles/tracemod_transport.dir/icmp.cpp.o" "gcc" "src/transport/CMakeFiles/tracemod_transport.dir/icmp.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/tracemod_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/tracemod_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/tracemod_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/tracemod_transport.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_transport.dir/icmp.cpp.o"
+  "CMakeFiles/tracemod_transport.dir/icmp.cpp.o.d"
+  "CMakeFiles/tracemod_transport.dir/tcp.cpp.o"
+  "CMakeFiles/tracemod_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/tracemod_transport.dir/udp.cpp.o"
+  "CMakeFiles/tracemod_transport.dir/udp.cpp.o.d"
+  "libtracemod_transport.a"
+  "libtracemod_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/channel.cpp" "src/wireless/CMakeFiles/tracemod_wireless.dir/channel.cpp.o" "gcc" "src/wireless/CMakeFiles/tracemod_wireless.dir/channel.cpp.o.d"
+  "/root/repo/src/wireless/geometry.cpp" "src/wireless/CMakeFiles/tracemod_wireless.dir/geometry.cpp.o" "gcc" "src/wireless/CMakeFiles/tracemod_wireless.dir/geometry.cpp.o.d"
+  "/root/repo/src/wireless/mobility.cpp" "src/wireless/CMakeFiles/tracemod_wireless.dir/mobility.cpp.o" "gcc" "src/wireless/CMakeFiles/tracemod_wireless.dir/mobility.cpp.o.d"
+  "/root/repo/src/wireless/signal_model.cpp" "src/wireless/CMakeFiles/tracemod_wireless.dir/signal_model.cpp.o" "gcc" "src/wireless/CMakeFiles/tracemod_wireless.dir/signal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

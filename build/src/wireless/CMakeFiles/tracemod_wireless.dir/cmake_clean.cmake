@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_wireless.dir/channel.cpp.o"
+  "CMakeFiles/tracemod_wireless.dir/channel.cpp.o.d"
+  "CMakeFiles/tracemod_wireless.dir/geometry.cpp.o"
+  "CMakeFiles/tracemod_wireless.dir/geometry.cpp.o.d"
+  "CMakeFiles/tracemod_wireless.dir/mobility.cpp.o"
+  "CMakeFiles/tracemod_wireless.dir/mobility.cpp.o.d"
+  "CMakeFiles/tracemod_wireless.dir/signal_model.cpp.o"
+  "CMakeFiles/tracemod_wireless.dir/signal_model.cpp.o.d"
+  "libtracemod_wireless.a"
+  "libtracemod_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

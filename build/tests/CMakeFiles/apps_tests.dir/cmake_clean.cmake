@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/andrew_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/andrew_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/ftp_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/ftp_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/nfs_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/nfs_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/synrgen_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/synrgen_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/web_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/web_test.cpp.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

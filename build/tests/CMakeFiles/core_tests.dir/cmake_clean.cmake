@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/distiller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/distiller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/emulator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/emulator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/modulation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/modulation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/replay_device_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/replay_device_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

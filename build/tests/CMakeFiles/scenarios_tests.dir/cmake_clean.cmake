@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenarios_tests.dir/scenarios/live_testbed_test.cpp.o"
+  "CMakeFiles/scenarios_tests.dir/scenarios/live_testbed_test.cpp.o.d"
+  "CMakeFiles/scenarios_tests.dir/scenarios/pipeline_test.cpp.o"
+  "CMakeFiles/scenarios_tests.dir/scenarios/pipeline_test.cpp.o.d"
+  "CMakeFiles/scenarios_tests.dir/scenarios/scenario_test.cpp.o"
+  "CMakeFiles/scenarios_tests.dir/scenarios/scenario_test.cpp.o.d"
+  "scenarios_tests"
+  "scenarios_tests.pdb"
+  "scenarios_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenarios_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_loop_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/event_loop_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_loop_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/sim/tick_clock_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/tick_clock_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/tick_clock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/tracemod_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tracemod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tracemod_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tracemod_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/tracemod_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tracemod_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tracemod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracemod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

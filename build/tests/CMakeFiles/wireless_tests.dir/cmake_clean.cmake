@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_tests.dir/wireless/channel_property_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/channel_property_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/channel_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/channel_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/geometry_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/geometry_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/signal_model_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/signal_model_test.cpp.o.d"
+  "wireless_tests"
+  "wireless_tests.pdb"
+  "wireless_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

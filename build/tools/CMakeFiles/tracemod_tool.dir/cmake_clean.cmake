@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_tool.dir/tracemod_tool.cpp.o"
+  "CMakeFiles/tracemod_tool.dir/tracemod_tool.cpp.o.d"
+  "tracemod"
+  "tracemod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
