@@ -43,7 +43,8 @@ int main() {
 
   ExperimentConfig cfg;
   const auto scenario = flagstaff();
-  const double comp = compensation_vb();
+  const double comp = measure_compensation_vb();
+  cfg.compensation_vb = comp;
 
   const Summary real_send =
       summarize_elapsed(run_live_trials(scenario, BenchmarkKind::kFtpSend, cfg));

@@ -21,7 +21,7 @@ int main() {
   core::Distiller distiller;
   const core::ReplayTrace trace =
       distiller.distill(collect_raw_trace(scenario, 60'000));
-  const double comp = compensation_vb();
+  const double comp = measure_compensation_vb();
 
   // Live reference for the same seed family.
   {

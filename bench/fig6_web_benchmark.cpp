@@ -6,7 +6,7 @@
 // The paper's accuracy criterion: the difference between real and
 // modulated means is within the sum of their standard deviations.
 #include "report.hpp"
-#include "scenarios/experiment.hpp"
+#include "scenarios/parallel_runner.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -30,15 +30,15 @@ int main() {
   bench::heading("Figure 6: Elapsed Times for World Wide Web Benchmark",
                  "mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
+  cfg.compensation_vb = measure_compensation_vb();
+  ParallelRunner runner;
   bench::rowf("%-11s | %18s %18s | %18s %18s | %s", "scenario", "real(s)",
               "modulated(s)", "paper real", "paper mod", "check");
 
   for (const Scenario& s : all_scenarios()) {
-    const auto real = run_live_trials(s, BenchmarkKind::kWeb, cfg);
-    const auto traces = collect_replay_traces(s, cfg);
-    const auto mod = run_modulated_trials(traces, BenchmarkKind::kWeb, cfg);
-    const Summary r = summarize_elapsed(real);
-    const Summary m = summarize_elapsed(mod);
+    const auto c = runner.experiment(s, BenchmarkKind::kWeb, cfg);
+    const Summary r = summarize_elapsed(c.live);
+    const Summary m = summarize_elapsed(c.modulated);
     const PaperRow* p = nullptr;
     for (const auto& row : kPaper) {
       if (s.name == row.scenario) p = &row;
@@ -49,7 +49,7 @@ int main() {
                 check_label(r, m).c_str());
   }
   const Summary eth = summarize_elapsed(
-      run_ethernet_trials(BenchmarkKind::kWeb, cfg));
+      runner.ethernet_trials(BenchmarkKind::kWeb, cfg));
   bench::rowf("%-11s | %18s %18s | %9.2f (%5.2f) %18s |", "Ethernet",
               cell(eth).c_str(), "-", kPaperEthernet, kPaperEthernetSd, "-");
   bench::rowf(

@@ -6,7 +6,7 @@
 // slower than receive on marginal uplinks), while modulated send and
 // receive land near the mean of the two real directions.
 #include "report.hpp"
-#include "scenarios/experiment.hpp"
+#include "scenarios/parallel_runner.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -29,11 +29,13 @@ int main() {
   bench::heading("Figure 7: Elapsed Times for FTP Benchmark",
                  "10 MB disk-to-disk; mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
+  cfg.compensation_vb = measure_compensation_vb();
+  ParallelRunner runner;
   bench::rowf("%-11s %-5s | %16s %16s | %16s %16s | %s", "scenario", "dir",
               "real(s)", "modulated(s)", "paper real", "paper mod", "check");
 
   for (const Scenario& s : all_scenarios()) {
-    const auto traces = collect_replay_traces(s, cfg);
+    const auto traces = runner.replay_traces(s, cfg);
     const PaperRow* p = nullptr;
     for (const auto& row : kPaper) {
       if (s.name == row.scenario) p = &row;
@@ -41,9 +43,9 @@ int main() {
     for (const bool send : {true, false}) {
       const BenchmarkKind kind =
           send ? BenchmarkKind::kFtpSend : BenchmarkKind::kFtpRecv;
-      const Summary r = summarize_elapsed(run_live_trials(s, kind, cfg));
+      const Summary r = summarize_elapsed(runner.live_trials(s, kind, cfg));
       const Summary m =
-          summarize_elapsed(run_modulated_trials(traces, kind, cfg));
+          summarize_elapsed(runner.modulated_trials(traces, kind, cfg));
       bench::rowf("%-11s %-5s | %16s %16s | %7.2f (%6.2f) %7.2f (%6.2f) | %s",
                   s.name.c_str(), send ? "send" : "recv", cell(r).c_str(),
                   cell(m).c_str(), send ? p->send_mean : p->recv_mean,
@@ -56,7 +58,7 @@ int main() {
   for (const bool send : {true, false}) {
     const BenchmarkKind kind =
         send ? BenchmarkKind::kFtpSend : BenchmarkKind::kFtpRecv;
-    const Summary eth = summarize_elapsed(run_ethernet_trials(kind, cfg));
+    const Summary eth = summarize_elapsed(runner.ethernet_trials(kind, cfg));
     bench::rowf("%-11s %-5s | %16s %16s | %7.2f (%6.2f) %16s |", "Ethernet",
                 send ? "send" : "recv", cell(eth).c_str(), "-",
                 send ? 20.50 : 18.83, send ? 0.08 : 0.17, "-");

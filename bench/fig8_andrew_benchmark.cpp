@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "report.hpp"
-#include "scenarios/experiment.hpp"
+#include "scenarios/parallel_runner.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -58,16 +58,16 @@ int main() {
   bench::heading("Figure 8: Elapsed Times for Andrew Benchmark Phases",
                  "mean (stddev) seconds over 4 trials; NFS over UDP");
   ExperimentConfig cfg;
+  cfg.compensation_vb = measure_compensation_vb();
+  ParallelRunner runner;
   bench::rowf("%-11s %-5s %13s %15s %15s %15s %16s %16s", "scenario", "",
               "MakeDir(s)", "Copy(s)", "ScanDir(s)", "ReadAll(s)", "Make(s)",
               "Total(s)");
 
   for (const Scenario& s : all_scenarios()) {
-    const auto real = run_live_trials(s, BenchmarkKind::kAndrew, cfg);
-    const auto traces = collect_replay_traces(s, cfg);
-    const auto mod = run_modulated_trials(traces, BenchmarkKind::kAndrew, cfg);
-    const PhaseSummary rp = summarize_phases(real);
-    const PhaseSummary mp = summarize_phases(mod);
+    const auto c = runner.experiment(s, BenchmarkKind::kAndrew, cfg);
+    const PhaseSummary rp = summarize_phases(c.live);
+    const PhaseSummary mp = summarize_phases(c.modulated);
     print_row(s.name.c_str(), "Real", rp);
     print_row("", "Mod.", mp);
     const PaperTotals* p = nullptr;
@@ -84,7 +84,7 @@ int main() {
                     : "no");
   }
   const PhaseSummary eth =
-      summarize_phases(run_ethernet_trials(BenchmarkKind::kAndrew, cfg));
+      summarize_phases(runner.ethernet_trials(BenchmarkKind::kAndrew, cfg));
   print_row("Ethernet", "Real", eth);
   bench::rowf("%-11s paper Ethernet: 2.25 (0.50)  12.50 (0.58)  7.75 (0.50)"
               "  17.50 (0.58)  84.00 (1.41)  124.00 (1.63)",

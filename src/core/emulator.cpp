@@ -9,11 +9,12 @@ namespace tracemod::core {
 
 Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
     : cfg_(cfg),
-      segment_(loop_, cfg.ethernet),
+      ctx_(cfg.seed),
+      segment_(ctx_.loop(), cfg.ethernet),
       replay_device_(cfg.replay_buffer_capacity) {
-  mobile_ = std::make_unique<transport::Host>(loop_, "mobile", cfg.seed,
+  mobile_ = std::make_unique<transport::Host>(ctx_, "mobile", cfg.seed,
                                               cfg.tcp);
-  server_ = std::make_unique<transport::Host>(loop_, "server", cfg.seed + 1,
+  server_ = std::make_unique<transport::Host>(ctx_, "server", cfg.seed + 1,
                                               cfg.tcp);
 
   auto mobile_dev =
@@ -37,12 +38,12 @@ Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
   mobile_->node().wrap_interface(
       0, [&](std::unique_ptr<net::NetDevice> inner) {
         auto layer = std::make_unique<ModulationLayer>(
-            std::move(inner), loop_, replay_device_, mod_cfg);
+            std::move(inner), ctx_.loop(), replay_device_, mod_cfg);
         modulation_ = layer.get();
         return layer;
       });
 
-  daemon_ = std::make_unique<ModulationDaemon>(loop_, replay_device_,
+  daemon_ = std::make_unique<ModulationDaemon>(ctx_.loop(), replay_device_,
                                                std::move(trace),
                                                cfg.loop_trace);
   daemon_->start();
@@ -52,10 +53,13 @@ double Emulator::measure_physical_vb(const EmulatorConfig& cfg,
                                      sim::Duration measure_for) {
   // A plain (unmodulated) testbed on the same physical configuration,
   // measured with the same tools: ping workload + trace tap + distillation.
-  sim::EventLoop loop;
+  // The world lives in its own context, so measurement can run concurrently
+  // with (and independently of) any emulation in the process.
+  sim::SimContext ctx(cfg.seed);
+  sim::EventLoop& loop = ctx.loop();
   net::EthernetSegment segment(loop, cfg.ethernet);
-  transport::Host mobile(loop, "mobile", cfg.seed, cfg.tcp);
-  transport::Host server(loop, "server", cfg.seed + 1, cfg.tcp);
+  transport::Host mobile(ctx, "mobile", cfg.seed, cfg.tcp);
+  transport::Host server(ctx, "server", cfg.seed + 1, cfg.tcp);
 
   auto mobile_dev = std::make_unique<net::EthernetDevice>(segment, "m-eth0");
   mobile_dev->claim_address(cfg.mobile_addr);

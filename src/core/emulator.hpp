@@ -13,6 +13,7 @@
 #include "core/modulation.hpp"
 #include "core/replay_device.hpp"
 #include "net/ethernet.hpp"
+#include "sim/sim_context.hpp"
 #include "transport/host.hpp"
 
 namespace tracemod::core {
@@ -34,13 +35,14 @@ class Emulator {
 
   transport::Host& mobile() { return *mobile_; }
   transport::Host& server() { return *server_; }
-  sim::EventLoop& loop() { return loop_; }
+  sim::SimContext& context() { return ctx_; }
+  sim::EventLoop& loop() { return ctx_.loop(); }
   ModulationLayer& modulation() { return *modulation_; }
   ModulationDaemon& daemon() { return *daemon_; }
   const EmulatorConfig& config() const { return cfg_; }
 
-  void run_for(sim::Duration d) { loop_.run_until(loop_.now() + d); }
-  void run() { loop_.run(); }
+  void run_for(sim::Duration d) { loop().run_until(loop().now() + d); }
+  void run() { loop().run(); }
 
   /// Measures the physical modulating network's long-term mean bottleneck
   /// per-byte cost using the same ping + distillation tools (Figure 1's
@@ -52,7 +54,7 @@ class Emulator {
 
  private:
   EmulatorConfig cfg_;
-  sim::EventLoop loop_;
+  sim::SimContext ctx_;  ///< this emulated world's isolated context
   net::EthernetSegment segment_;
   std::unique_ptr<transport::Host> mobile_;
   std::unique_ptr<transport::Host> server_;

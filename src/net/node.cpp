@@ -1,13 +1,10 @@
 #include "net/node.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace tracemod::net {
 
 namespace {
-std::atomic<std::uint64_t> g_packet_id{1};
-
 bool prefix_match(IpAddress network, unsigned prefix_len, IpAddress dst) {
   if (prefix_len == 0) return true;
   const std::uint32_t mask =
@@ -16,12 +13,13 @@ bool prefix_match(IpAddress network, unsigned prefix_len, IpAddress dst) {
 }
 }  // namespace
 
-std::uint64_t next_packet_id() {
-  return g_packet_id.fetch_add(1, std::memory_order_relaxed);
-}
-
-Node::Node(sim::EventLoop& loop, std::string name, std::uint64_t seed)
-    : loop_(loop), name_(std::move(name)), rng_(seed) {}
+Node::Node(sim::SimContext& ctx, std::string name, std::uint64_t seed)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      rng_(seed),
+      m_sent_(ctx.metrics().counter("net.packets_sent")),
+      m_received_(ctx.metrics().counter("net.packets_received")),
+      m_forwarded_(ctx.metrics().counter("net.packets_forwarded")) {}
 
 std::size_t Node::add_interface(std::unique_ptr<NetDevice> dev,
                                 IpAddress addr) {
@@ -80,9 +78,10 @@ bool Node::send(Packet pkt) {
     return false;
   }
   if (pkt.src.is_unspecified()) pkt.src = interfaces_[route->interface].addr;
-  if (pkt.id == 0) pkt.id = next_packet_id();
-  pkt.created_at = loop_.now();
+  if (pkt.id == 0) pkt.id = ctx_.next_packet_id();
+  pkt.created_at = loop().now();
   ++stats_.sent;
+  ++m_sent_;
 
   if (pkt.ip_size() <= kMtuBytes) {
     transmit_via(route->interface, std::move(pkt));
@@ -103,7 +102,7 @@ bool Node::send(Packet pkt) {
   const std::uint32_t frag_id = next_frag_id_++;
   for (std::uint16_t i = 0; i < count; ++i) {
     Packet frag;
-    frag.id = next_packet_id();
+    frag.id = ctx_.next_packet_id();
     frag.src = original->src;
     frag.dst = original->dst;
     frag.ttl = original->ttl;
@@ -114,8 +113,11 @@ bool Node::send(Packet pkt) {
     frag.frag_id = frag_id;
     frag.frag_index = i;
     frag.frag_count = count;
-    frag.payload = original;  // carried for reassembly delivery
-    frag.created_at = loop_.now();
+    // Only the first fragment carries the reassembly handle; duplicating
+    // it onto every fragment would copy the payload state N times, and
+    // losing any fragment loses the datagram regardless.
+    if (i == 0) frag.payload = original;
+    frag.created_at = loop().now();
     transmit_via(route->interface, std::move(frag));
   }
   return true;
@@ -150,6 +152,7 @@ void Node::deliver_local(const Packet& pkt) {
 void Node::on_receive(Packet pkt) {
   if (has_address(pkt.dst)) {
     ++stats_.received;
+    ++m_received_;
     if (!pkt.is_fragment()) {
       deliver_local(pkt);
       return;
@@ -162,7 +165,7 @@ void Node::on_receive(Packet pkt) {
       if (reassembly_.size() >= 256) {
         // Evict anything older than a reassembly lifetime (30 s).
         for (auto e = reassembly_.begin(); e != reassembly_.end();) {
-          if (loop_.now() - e->second.first_seen > sim::seconds(30)) {
+          if (loop().now() - e->second.first_seen > sim::seconds(30)) {
             ++stats_.reassembly_evictions;
             e = reassembly_.erase(e);
           } else {
@@ -173,7 +176,7 @@ void Node::on_receive(Packet pkt) {
       ReassemblyEntry entry;
       entry.have.assign(pkt.frag_count, false);
       entry.remaining = pkt.frag_count;
-      entry.first_seen = loop_.now();
+      entry.first_seen = loop().now();
       it = reassembly_.emplace(key, std::move(entry)).first;
     }
     ReassemblyEntry& entry = it->second;
@@ -205,6 +208,7 @@ void Node::on_receive(Packet pkt) {
     return;
   }
   ++stats_.forwarded;
+  ++m_forwarded_;
   interfaces_[route->interface].dev->transmit(std::move(pkt));
 }
 

@@ -13,8 +13,8 @@
 
 #include "net/device.hpp"
 #include "net/packet.hpp"
-#include "sim/event_loop.hpp"
 #include "sim/random.hpp"
+#include "sim/sim_context.hpp"
 
 namespace tracemod::net {
 
@@ -39,7 +39,10 @@ class Node {
     std::uint64_t reassembly_evictions = 0;
   };
 
-  Node(sim::EventLoop& loop, std::string name, std::uint64_t seed = 1);
+  /// Builds a node in the given simulation context; packet ids are stamped
+  /// from the context, never from process state.  The seed drives this
+  /// node's private random stream (protocol-level randomness).
+  Node(sim::SimContext& ctx, std::string name, std::uint64_t seed = 1);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -75,7 +78,8 @@ class Node {
   NetDevice& device(std::size_t interface = 0);
   std::size_t interface_count() const { return interfaces_.size(); }
 
-  sim::EventLoop& loop() { return loop_; }
+  sim::SimContext& context() { return ctx_; }
+  sim::EventLoop& loop() { return ctx_.loop(); }
   sim::Rng& rng() { return rng_; }
   const std::string& name() const { return name_; }
   const Stats& stats() const { return stats_; }
@@ -97,9 +101,14 @@ class Node {
   const Route* lookup_route(IpAddress dst) const;
   void install_callback(std::size_t index);
 
-  sim::EventLoop& loop_;
+  sim::SimContext& ctx_;
   std::string name_;
   sim::Rng rng_;
+  // Context-wide counters (cached references; the registry's references
+  // are stable and the context outlives its nodes).
+  std::uint64_t& m_sent_;
+  std::uint64_t& m_received_;
+  std::uint64_t& m_forwarded_;
   std::vector<Interface> interfaces_;
   std::vector<Route> routes_;  // kept sorted by prefix length, longest first
   std::vector<ProtocolHandler*> handlers_ = std::vector<ProtocolHandler*>(256, nullptr);
@@ -116,8 +125,5 @@ class Node {
   std::unordered_map<std::uint64_t, ReassemblyEntry> reassembly_;
   std::uint32_t next_frag_id_ = 1;
 };
-
-/// Process-wide packet id source (diagnostics and trace correlation).
-std::uint64_t next_packet_id();
 
 }  // namespace tracemod::net

@@ -7,14 +7,50 @@
 
 namespace tracemod::scenarios {
 
+double measure_compensation_vb() { return core::Emulator::measure_physical_vb(); }
+
+BenchmarkOutcome run_live_trial(const Scenario& scenario, BenchmarkKind kind,
+                                const ExperimentConfig& cfg, int trial) {
+  LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(trial));
+  return run_benchmark(kind, bed.mobile(), bed.server(), bed.server_addr(),
+                       bed.loop());
+}
+
+core::ReplayTrace collect_replay_trace(const Scenario& scenario,
+                                       const ExperimentConfig& cfg,
+                                       int trial) {
+  // Collection runs interleave with live trials in the paper; distinct
+  // seeds keep the traversals independent.
+  const std::uint64_t seed =
+      cfg.base_seed + 500 + static_cast<std::uint64_t>(trial);
+  core::Distiller distiller;
+  return distiller.distill(collect_raw_trace(scenario, seed));
+}
+
+BenchmarkOutcome run_modulated_trial(const core::ReplayTrace& trace,
+                                     BenchmarkKind kind,
+                                     const ExperimentConfig& cfg, int trial) {
+  return run_modulated_benchmark(
+      trace, kind, cfg.base_seed + 900 + static_cast<std::uint64_t>(trial),
+      cfg.tick, cfg.compensate ? cfg.compensation_vb : 0.0);
+}
+
+BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
+                                    const ExperimentConfig& cfg, int trial) {
+  // An empty replay trace leaves the modulation layer transparent: this
+  // is the bare isolated Ethernet.
+  return run_modulated_benchmark(
+      core::ReplayTrace{}, kind,
+      cfg.base_seed + 1300 + static_cast<std::uint64_t>(trial), cfg.tick,
+      0.0);
+}
+
 std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
                                               BenchmarkKind kind,
                                               const ExperimentConfig& cfg) {
   std::vector<BenchmarkOutcome> outcomes;
   for (int t = 0; t < cfg.trials; ++t) {
-    LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(t));
-    outcomes.push_back(run_benchmark(kind, bed.mobile(), bed.server(),
-                                     bed.server_addr(), bed.loop()));
+    outcomes.push_back(run_live_trial(scenario, kind, cfg, t));
   }
   return outcomes;
 }
@@ -29,19 +65,9 @@ std::vector<core::ReplayTrace> collect_replay_traces(
     const Scenario& scenario, const ExperimentConfig& cfg) {
   std::vector<core::ReplayTrace> traces;
   for (int t = 0; t < cfg.trials; ++t) {
-    // Collection runs interleave with live trials in the paper; distinct
-    // seeds keep the traversals independent.
-    const std::uint64_t seed =
-        cfg.base_seed + 500 + static_cast<std::uint64_t>(t);
-    core::Distiller distiller;
-    traces.push_back(distiller.distill(collect_raw_trace(scenario, seed)));
+    traces.push_back(collect_replay_trace(scenario, cfg, t));
   }
   return traces;
-}
-
-double compensation_vb() {
-  static const double vb = core::Emulator::measure_physical_vb();
-  return vb;
 }
 
 BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
@@ -61,12 +87,10 @@ BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
 std::vector<BenchmarkOutcome> run_modulated_trials(
     const std::vector<core::ReplayTrace>& traces, BenchmarkKind kind,
     const ExperimentConfig& cfg) {
-  const double comp = cfg.compensate ? compensation_vb() : 0.0;
   std::vector<BenchmarkOutcome> outcomes;
-  std::uint64_t t = 0;
+  int t = 0;
   for (const core::ReplayTrace& trace : traces) {
-    outcomes.push_back(run_modulated_benchmark(
-        trace, kind, cfg.base_seed + 900 + t++, cfg.tick, comp));
+    outcomes.push_back(run_modulated_trial(trace, kind, cfg, t++));
   }
   return outcomes;
 }
@@ -75,11 +99,7 @@ std::vector<BenchmarkOutcome> run_ethernet_trials(
     BenchmarkKind kind, const ExperimentConfig& cfg) {
   std::vector<BenchmarkOutcome> outcomes;
   for (int t = 0; t < cfg.trials; ++t) {
-    // An empty replay trace leaves the modulation layer transparent: this
-    // is the bare isolated Ethernet.
-    outcomes.push_back(run_modulated_benchmark(
-        core::ReplayTrace{}, kind,
-        cfg.base_seed + 1300 + static_cast<std::uint64_t>(t), cfg.tick, 0.0));
+    outcomes.push_back(run_ethernet_trial(kind, cfg, t));
   }
   return outcomes;
 }

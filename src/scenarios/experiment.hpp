@@ -21,7 +21,48 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 10'000;
   sim::Duration tick = sim::milliseconds(10);  ///< modulation granularity
   bool compensate = true;  ///< inbound delay compensation (Figure 1)
+  /// The physical modulating network's measured mean bottleneck per-byte
+  /// cost (Section 3.3, Delay Compensation).  Measure it once per
+  /// modulation setup with measure_compensation_vb() and pass it through
+  /// this config; there is no process-global cache, so distinct configs
+  /// (and concurrent experiments) are fully independent.  Ignored when
+  /// compensate is false.
+  double compensation_vb = 0.0;
 };
+
+/// Measures the physical modulating network's mean bottleneck per-byte
+/// cost in a throwaway context.  Deterministic for a given EmulatorConfig;
+/// callers store the result in ExperimentConfig::compensation_vb.
+double measure_compensation_vb();
+
+// --- single-trial building blocks -----------------------------------------
+//
+// Each trial builds a fresh world in its own SimContext from a seed derived
+// as base_seed + fixed-offset + trial, so a trial's outcome depends only on
+// the config -- never on which thread runs it or what ran before.  The
+// batch drivers below and the parallel engine (parallel_runner.hpp) both
+// fan out over these.
+
+/// One live benchmark trial on the wireless testbed (seed base_seed + t).
+BenchmarkOutcome run_live_trial(const Scenario& scenario, BenchmarkKind kind,
+                                const ExperimentConfig& cfg, int trial);
+
+/// One collection traversal distilled to a replay trace
+/// (seed base_seed + 500 + t).
+core::ReplayTrace collect_replay_trace(const Scenario& scenario,
+                                       const ExperimentConfig& cfg, int trial);
+
+/// One modulated benchmark trial over a replay trace
+/// (seed base_seed + 900 + t).
+BenchmarkOutcome run_modulated_trial(const core::ReplayTrace& trace,
+                                     BenchmarkKind kind,
+                                     const ExperimentConfig& cfg, int trial);
+
+/// One bare-Ethernet trial (seed base_seed + 1300 + t).
+BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
+                                    const ExperimentConfig& cfg, int trial);
+
+// --- serial batch drivers --------------------------------------------------
 
 /// Live benchmark trials; trial t uses seed base_seed + t.
 std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
@@ -45,10 +86,6 @@ std::vector<BenchmarkOutcome> run_modulated_trials(
 /// The benchmark over the bare modulation Ethernet (the tables' last row).
 std::vector<BenchmarkOutcome> run_ethernet_trials(BenchmarkKind kind,
                                                   const ExperimentConfig& cfg);
-
-/// The physical modulating network's mean bottleneck per-byte cost,
-/// measured once per process and cached (Section 3.3, Delay Compensation).
-double compensation_vb();
 
 /// A single modulated benchmark run over an explicit replay trace.
 BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,

@@ -10,15 +10,20 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
                          LiveTestbedConfig cfg)
     : scenario_(scenario),
       cfg_(cfg),
+      ctx_(seed),
       clock_(cfg.mobile_clock, sim::Rng(seed ^ 0xC10C)),
       mobility_(scenario.mobility()) {
-  sim::Rng master(seed);
+  // The context's root stream is the trial's master rng; every subsystem
+  // stream is forked from it in a fixed order, so the whole world is a
+  // deterministic function of the seed.
+  sim::Rng& master = ctx_.rng();
+  sim::EventLoop& loop = ctx_.loop();
 
   wireless::SignalModel model(scenario_.signal, scenario_.walls,
                               scenario_.zones, master.fork());
   channel_ = std::make_unique<wireless::WirelessChannel>(
-      loop_, std::move(model), scenario_.channel, master.fork());
-  backbone_ = std::make_unique<net::EthernetSegment>(loop_);
+      loop, std::move(model), scenario_.channel, master.fork());
+  backbone_ = std::make_unique<net::EthernetSegment>(loop);
 
   int wp_index = 0;
   for (const wireless::Vec2& pos : scenario_.wavepoint_positions) {
@@ -26,7 +31,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
         *channel_, *backbone_, pos, "wp" + std::to_string(wp_index++)));
   }
 
-  server_ = std::make_unique<transport::Host>(loop_, "server",
+  server_ = std::make_unique<transport::Host>(ctx_, "server",
                                               master.next_u64(), cfg_.tcp);
   auto server_dev =
       std::make_unique<net::EthernetDevice>(*backbone_, "server-eth0");
@@ -34,11 +39,11 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
   server_->node().add_interface(std::move(server_dev), cfg_.server_addr);
   server_->node().set_default_route(0);
 
-  mobile_ = std::make_unique<transport::Host>(loop_, "mobile",
+  mobile_ = std::make_unique<transport::Host>(ctx_, "mobile",
                                               master.next_u64(), cfg_.tcp);
   auto radio = std::make_unique<wireless::WaveLanDevice>(
       *channel_, cfg_.mobile_addr,
-      [this] { return mobility_.position(loop_.now()); }, "wavelan0");
+      [this] { return mobility_.position(ctx_.loop().now()); }, "wavelan0");
   wireless::WaveLanDevice* radio_ptr = radio.get();
   mobile_->node().add_interface(std::move(radio), cfg_.mobile_addr);
   mobile_->node().set_default_route(0);
@@ -48,7 +53,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
   mobile_->node().wrap_interface(
       0, [&](std::unique_ptr<net::NetDevice> inner) {
         auto tap = std::make_unique<trace::TraceTap>(
-            std::move(inner), loop_, clock_,
+            std::move(inner), ctx_.loop(), clock_,
             [radio_ptr] { return radio_ptr->signal(); });
         tap_ = tap.get();
         return tap;
@@ -61,7 +66,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
     const wireless::Vec2 room = mobility_.position(sim::kEpoch);
     for (int i = 0; i < scenario_.interferers; ++i) {
       auto host = std::make_unique<transport::Host>(
-          loop_, "laptop" + std::to_string(i), master.next_u64(), cfg_.tcp);
+          ctx_, "laptop" + std::to_string(i), master.next_u64(), cfg_.tcp);
       const net::IpAddress addr(10, 1, 0,
                                 static_cast<std::uint8_t>(10 + i));
       const wireless::Vec2 pos{room.x + 1.0 + 0.7 * i,
@@ -84,11 +89,11 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
 }
 
 trace::CollectedTrace LiveTestbed::collect_trace() {
-  trace::CollectionDaemon daemon(loop_, *tap_);
+  trace::CollectionDaemon daemon(ctx_.loop(), *tap_);
   trace::PingWorkload ping(*mobile_, cfg_.server_addr, clock_);
   daemon.start();
   ping.start();
-  loop_.run_until(loop_.now() + scenario_.collection_duration);
+  ctx_.loop().run_until(ctx_.loop().now() + scenario_.collection_duration);
   ping.stop();
   daemon.stop();
   return daemon.take_trace();

@@ -17,6 +17,7 @@
 #include "net/ethernet.hpp"
 #include "scenarios/scenario.hpp"
 #include "sim/clock_model.hpp"
+#include "sim/sim_context.hpp"
 #include "trace/ping.hpp"
 #include "trace/trace_tap.hpp"
 #include "transport/host.hpp"
@@ -39,7 +40,8 @@ class LiveTestbed {
   LiveTestbed(const Scenario& scenario, std::uint64_t seed,
               LiveTestbedConfig cfg = {});
 
-  sim::EventLoop& loop() { return loop_; }
+  sim::SimContext& context() { return ctx_; }
+  sim::EventLoop& loop() { return ctx_.loop(); }
   transport::Host& mobile() { return *mobile_; }
   transport::Host& server() { return *server_; }
   net::IpAddress server_addr() const { return cfg_.server_addr; }
@@ -56,7 +58,7 @@ class LiveTestbed {
  private:
   Scenario scenario_;
   LiveTestbedConfig cfg_;
-  sim::EventLoop loop_;
+  sim::SimContext ctx_;  ///< this testbed's isolated simulation context
   sim::ClockModel clock_;
   wireless::MobilityModel mobility_;
   std::unique_ptr<wireless::WirelessChannel> channel_;

@@ -1,0 +1,219 @@
+#include "scenarios/parallel_runner.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::scenarios {
+
+TaskPool::TaskPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and drained
+      task = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+  };
+  Batch batch;
+  batch.remaining.store(tasks.size());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TM_ASSERT(!stop_);
+    for (auto& t : tasks) {
+      pending_.push_back([&batch, fn = std::move(t)] {
+        try {
+          fn();
+        } catch (...) {
+          std::lock_guard<std::mutex> el(batch.err_mu);
+          if (!batch.first_error) {
+            batch.first_error = std::current_exception();
+          }
+        }
+        // Signal under the lock so the waiter cannot miss the last task
+        // finishing between its predicate check and its wait.
+        std::lock_guard<std::mutex> dl(batch.done_mu);
+        batch.remaining.fetch_sub(1);
+        batch.done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.done_mu);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining.load() == 0; });
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+std::vector<BenchmarkOutcome> ParallelRunner::live_trials(
+    const Scenario& scenario, BenchmarkKind kind,
+    const ExperimentConfig& cfg) {
+  return parallel_index_map<BenchmarkOutcome>(
+      pool_, static_cast<std::size_t>(cfg.trials), [&](std::size_t t) {
+        return run_live_trial(scenario, kind, cfg, static_cast<int>(t));
+      });
+}
+
+std::vector<core::ReplayTrace> ParallelRunner::replay_traces(
+    const Scenario& scenario, const ExperimentConfig& cfg) {
+  return parallel_index_map<core::ReplayTrace>(
+      pool_, static_cast<std::size_t>(cfg.trials), [&](std::size_t t) {
+        return collect_replay_trace(scenario, cfg, static_cast<int>(t));
+      });
+}
+
+std::vector<BenchmarkOutcome> ParallelRunner::modulated_trials(
+    const std::vector<core::ReplayTrace>& traces, BenchmarkKind kind,
+    const ExperimentConfig& cfg) {
+  return parallel_index_map<BenchmarkOutcome>(
+      pool_, traces.size(), [&](std::size_t t) {
+        return run_modulated_trial(traces[t], kind, cfg,
+                                   static_cast<int>(t));
+      });
+}
+
+std::vector<BenchmarkOutcome> ParallelRunner::ethernet_trials(
+    BenchmarkKind kind, const ExperimentConfig& cfg) {
+  return parallel_index_map<BenchmarkOutcome>(
+      pool_, static_cast<std::size_t>(cfg.trials), [&](std::size_t t) {
+        return run_ethernet_trial(kind, cfg, static_cast<int>(t));
+      });
+}
+
+ParallelRunner::CellResult ParallelRunner::experiment(
+    const Scenario& scenario, BenchmarkKind kind,
+    const ExperimentConfig& cfg) {
+  CellResult cell;
+  cell.scenario = scenario.name;
+  cell.kind = kind;
+  const auto n = static_cast<std::size_t>(cfg.trials);
+  cell.live.resize(n);
+  cell.traces.resize(n);
+
+  // Phase one: live trials and collection traversals are independent of
+  // each other; fan them out as one task list.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(2 * n);
+  for (std::size_t t = 0; t < n; ++t) {
+    tasks.push_back([&, t] {
+      cell.live[t] = run_live_trial(scenario, kind, cfg, static_cast<int>(t));
+    });
+    tasks.push_back([&, t] {
+      cell.traces[t] =
+          collect_replay_trace(scenario, cfg, static_cast<int>(t));
+    });
+  }
+  pool_.run_all(std::move(tasks));
+
+  // Phase two: one modulated trial per distilled trace.
+  cell.modulated = modulated_trials(cell.traces, kind, cfg);
+  return cell;
+}
+
+ParallelRunner::SweepResult ParallelRunner::sweep(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<BenchmarkKind>& kinds, const ExperimentConfig& cfg) {
+  SweepResult result;
+  const auto n = static_cast<std::size_t>(cfg.trials);
+  const std::size_t ns = scenarios.size();
+  const std::size_t nk = kinds.size();
+
+  result.cells.resize(ns * nk);
+  result.ethernet.assign(nk, std::vector<BenchmarkOutcome>(n));
+  // Traces are per scenario (benchmark-independent) and shared by that
+  // scenario's row of cells, exactly as the serial figure drivers reuse
+  // one collect_replay_traces() call per scenario.
+  std::vector<std::vector<core::ReplayTrace>> traces(
+      ns, std::vector<core::ReplayTrace>(n));
+
+  std::vector<std::function<void()>> phase_one;
+  phase_one.reserve(ns * n + ns * nk * n + nk * n);
+  for (std::size_t s = 0; s < ns; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      phase_one.push_back([&, s, t] {
+        traces[s][t] =
+            collect_replay_trace(scenarios[s], cfg, static_cast<int>(t));
+      });
+    }
+    for (std::size_t k = 0; k < nk; ++k) {
+      CellResult& cell = result.cells[s * nk + k];
+      cell.scenario = scenarios[s].name;
+      cell.kind = kinds[k];
+      cell.live.resize(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        phase_one.push_back([&, s, k, t] {
+          result.cells[s * nk + k].live[t] = run_live_trial(
+              scenarios[s], kinds[k], cfg, static_cast<int>(t));
+        });
+      }
+    }
+  }
+  for (std::size_t k = 0; k < nk; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      phase_one.push_back([&, k, t] {
+        result.ethernet[k][t] =
+            run_ethernet_trial(kinds[k], cfg, static_cast<int>(t));
+      });
+    }
+  }
+  pool_.run_all(std::move(phase_one));
+
+  std::vector<std::function<void()>> phase_two;
+  phase_two.reserve(ns * nk * n);
+  for (std::size_t s = 0; s < ns; ++s) {
+    for (std::size_t k = 0; k < nk; ++k) {
+      CellResult& cell = result.cells[s * nk + k];
+      cell.traces = traces[s];
+      cell.modulated.resize(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        phase_two.push_back([&, s, k, t] {
+          CellResult& c = result.cells[s * nk + k];
+          c.modulated[t] =
+              run_modulated_trial(c.traces[t], kinds[k], cfg,
+                                  static_cast<int>(t));
+        });
+      }
+    }
+  }
+  pool_.run_all(std::move(phase_two));
+  return result;
+}
+
+}  // namespace tracemod::scenarios

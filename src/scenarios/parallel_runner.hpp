@@ -1,0 +1,128 @@
+// Parallel experiment engine.
+//
+// The paper's evaluation is a matrix -- {Web, FTP, Andrew} benchmarks x
+// {Porter, Flagstaff, Wean, Chatterbox} scenarios x N trials plus the
+// collection traversals feeding distillation.  Every cell of that matrix
+// is an independent simulated world: each trial builds its own SimContext
+// from a seed derived as base_seed + fixed-offset + trial.  This engine
+// fans those worlds out across a thread pool and returns results in stable
+// trial order, bit-identical to the serial drivers in experiment.hpp
+// regardless of thread count or scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenarios/experiment.hpp"
+
+namespace tracemod::scenarios {
+
+/// A minimal fixed-size thread pool.  Tasks must be independent of each
+/// other (no task may block on another); that is exactly the shape of a
+/// trial matrix.
+class TaskPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs every task on the pool and blocks until all complete.  If any
+  /// task throws, the first exception is rethrown here (after all tasks
+  /// finish).  Not reentrant: do not call run_all from inside a task.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_main();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> pending_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// out[i] = fn(i), computed on the pool; results land in index order no
+/// matter which thread finishes first.
+template <typename T>
+std::vector<T> parallel_index_map(TaskPool& pool, std::size_t n,
+                                  std::function<T(std::size_t)> fn) {
+  std::vector<T> out(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([&out, &fn, i] { out[i] = fn(i); });
+  }
+  pool.run_all(std::move(tasks));
+  return out;
+}
+
+/// Parallel counterparts of the serial drivers in experiment.hpp.  Both
+/// call the same per-trial building blocks, so for a given config the
+/// outputs are byte-identical -- the seed-determinism invariant the tests
+/// pin down.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(unsigned threads = 0) : pool_(threads) {}
+
+  TaskPool& pool() { return pool_; }
+  unsigned thread_count() const { return pool_.thread_count(); }
+
+  std::vector<BenchmarkOutcome> live_trials(const Scenario& scenario,
+                                            BenchmarkKind kind,
+                                            const ExperimentConfig& cfg);
+  std::vector<core::ReplayTrace> replay_traces(const Scenario& scenario,
+                                               const ExperimentConfig& cfg);
+  std::vector<BenchmarkOutcome> modulated_trials(
+      const std::vector<core::ReplayTrace>& traces, BenchmarkKind kind,
+      const ExperimentConfig& cfg);
+  std::vector<BenchmarkOutcome> ethernet_trials(BenchmarkKind kind,
+                                                const ExperimentConfig& cfg);
+
+  /// One benchmark x scenario cell of the paper's evaluation.
+  struct CellResult {
+    std::string scenario;
+    BenchmarkKind kind{};
+    std::vector<BenchmarkOutcome> live;
+    std::vector<core::ReplayTrace> traces;
+    std::vector<BenchmarkOutcome> modulated;
+  };
+
+  /// Full experimental procedure for one cell: live trials, collection
+  /// traversals, and distillation fan out together; modulated trials
+  /// follow once their input traces exist.
+  CellResult experiment(const Scenario& scenario, BenchmarkKind kind,
+                        const ExperimentConfig& cfg);
+
+  struct SweepResult {
+    /// Scenario-major, in the order given (the paper's table order).
+    std::vector<CellResult> cells;
+    /// Bare-Ethernet baseline rows, one vector per benchmark kind.
+    std::vector<std::vector<BenchmarkOutcome>> ethernet;
+  };
+
+  /// The full trial matrix: every benchmark on every scenario plus the
+  /// Ethernet baselines.  Collection traversals are per scenario (traces
+  /// are benchmark-independent, as in the paper) and shared by that
+  /// scenario's cells.  All phase-one worlds -- live trials, traversals,
+  /// Ethernet runs -- are fanned out as one task list.
+  SweepResult sweep(const std::vector<Scenario>& scenarios,
+                    const std::vector<BenchmarkKind>& kinds,
+                    const ExperimentConfig& cfg);
+
+ private:
+  TaskPool pool_;
+};
+
+}  // namespace tracemod::scenarios

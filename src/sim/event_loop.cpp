@@ -28,14 +28,40 @@ EventId EventLoop::schedule_at(TimePoint t, std::function<void()> fn) {
 }
 
 bool EventLoop::cancel(EventId id) {
-  return id != 0 && live_.erase(id) != 0;
+  if (id == 0 || live_.erase(id) == 0) return false;
+  // The entry (and its captured std::function state) stays in the heap
+  // until popped or compacted.  Compact once dead entries dominate, so a
+  // component that repeatedly arms and cancels a Timer cannot grow the
+  // heap without bound.
+  ++dead_in_queue_;
+  constexpr std::size_t kCompactionMinEntries = 64;
+  if (queue_.size() >= kCompactionMinEntries &&
+      dead_in_queue_ > queue_.size() / 2) {
+    compact();
+  }
+  return true;
+}
+
+void EventLoop::compact() {
+  std::vector<Entry> keep;
+  keep.reserve(live_.size());
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (live_.count(e.id) != 0) keep.push_back(std::move(e));
+  }
+  queue_ = decltype(queue_)(Later{}, std::move(keep));
+  dead_in_queue_ = 0;
 }
 
 bool EventLoop::dispatch_one() {
   while (!queue_.empty()) {
     Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (live_.erase(e.id) == 0) continue;  // cancelled
+    if (live_.erase(e.id) == 0) {  // cancelled
+      if (dead_in_queue_ > 0) --dead_in_queue_;
+      continue;
+    }
     TM_ASSERT(e.at >= now_);
     now_ = e.at;
     ++dispatched_;
@@ -57,6 +83,7 @@ void EventLoop::run_until(TimePoint t) {
     // Skip over cancelled entries to find the real next event time.
     if (live_.count(queue_.top().id) == 0) {
       queue_.pop();
+      if (dead_in_queue_ > 0) --dead_in_queue_;
       continue;
     }
     if (queue_.top().at > t) break;

@@ -63,6 +63,11 @@ class EventLoop {
   /// Number of events currently pending.
   std::size_t pending_count() const { return live_.size(); }
 
+  /// Number of heap entries, live plus not-yet-compacted dead ones (for
+  /// tests and diagnostics).  Bounded by compaction: dead entries never
+  /// exceed half the heap once it passes a small minimum size.
+  std::size_t queue_size() const { return queue_.size(); }
+
  private:
   struct Entry {
     TimePoint at;
@@ -78,6 +83,7 @@ class EventLoop {
   };
 
   bool dispatch_one();
+  void compact();
 
   TimePoint now_ = kEpoch;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
@@ -85,6 +91,7 @@ class EventLoop {
   EventId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::size_t dead_in_queue_ = 0;
 };
 
 /// RAII one-shot timer bound to an EventLoop.  Used by protocol state

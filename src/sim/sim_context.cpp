@@ -1,0 +1,19 @@
+#include "sim/sim_context.hpp"
+
+namespace tracemod::sim {
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::snapshot()
+    const {
+  return {counters_.begin(), counters_.end()};
+}
+
+}  // namespace tracemod::sim

@@ -16,9 +16,9 @@ namespace tracemod::transport {
 
 class Host {
  public:
-  Host(sim::EventLoop& loop, std::string name, std::uint64_t seed = 1,
+  Host(sim::SimContext& ctx, std::string name, std::uint64_t seed = 1,
        TcpConfig tcp_cfg = {})
-      : node_(loop, std::move(name), seed),
+      : node_(ctx, std::move(name), seed),
         icmp_(node_),
         udp_(node_),
         tcp_(node_, tcp_cfg) {}
@@ -28,6 +28,7 @@ class Host {
   Udp& udp() { return udp_; }
   Tcp& tcp() { return tcp_; }
 
+  sim::SimContext& context() { return node_.context(); }
   sim::EventLoop& loop() { return node_.loop(); }
   net::IpAddress address(std::size_t interface = 0) const {
     return node_.address(interface);

@@ -159,9 +159,10 @@ TEST(Nfs, DuplicateRequestAnsweredFromCacheWithoutReexecution) {
 }
 
 TEST(Nfs, GivesUpAfterMaxRetries) {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop = ctx.loop();
   net::EthernetSegment segment(loop);
-  transport::Host client(loop, "c", 1);
+  transport::Host client(ctx, "c", 1);
   auto dev = std::make_unique<net::EthernetDevice>(segment, "c0");
   dev->claim_address(net::IpAddress(10, 0, 0, 1));
   client.node().add_interface(std::move(dev), net::IpAddress(10, 0, 0, 1));
@@ -180,9 +181,10 @@ TEST(Nfs, GivesUpAfterMaxRetries) {
 }
 
 TEST(Nfs, TimeoutsBackOffExponentially) {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop = ctx.loop();
   net::EthernetSegment segment(loop);
-  transport::Host client(loop, "c", 1);
+  transport::Host client(ctx, "c", 1);
   auto dev = std::make_unique<net::EthernetDevice>(segment, "c0");
   dev->claim_address(net::IpAddress(10, 0, 0, 1));
   client.node().add_interface(std::move(dev), net::IpAddress(10, 0, 0, 1));

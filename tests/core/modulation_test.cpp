@@ -52,9 +52,11 @@ struct Rig {
     net::Packet p = net::make_udp_packet(net::IpAddress(10, 0, 0, 1),
                                          net::IpAddress(10, 0, 0, 2), 1, 2,
                                          payload);
-    p.id = net::next_packet_id();
+    p.id = next_id_++;  // no Node in this rig; any unique id will do
     return p;
   }
+
+  std::uint64_t next_id_ = 1;
 
   void feed(QualityTuple t) { ASSERT_TRUE(device.write(t)); }
 };

@@ -14,10 +14,11 @@ class RecordingHandler : public ProtocolHandler {
 };
 
 struct FragRig {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop{ctx.loop()};
   EthernetSegment segment{loop};
-  Node a{loop, "a"};
-  Node b{loop, "b"};
+  Node a{ctx, "a"};
+  Node b{ctx, "b"};
   RecordingHandler sink;
 
   FragRig() {
@@ -130,6 +131,51 @@ TEST(Fragmentation, DuplicateFragmentsAreHarmless) {
   rig.a.send(rig.big_udp(8192));
   rig.loop.run();
   EXPECT_EQ(rig.sink.packets.size(), 1u);
+}
+
+TEST(Fragmentation, OnlyFirstFragmentCarriesPayloadState) {
+  // A 64 KB datagram splits into dozens of fragments; the reassembly
+  // handle (the shared_ptr to the original packet) must ride on fragment
+  // 0 only, not be duplicated into every fragment on the wire.
+  FragRig rig;
+  std::vector<std::pair<std::uint16_t, bool>> frags;  // (index, has payload)
+  class PayloadSpy : public DeviceShim {
+   public:
+    PayloadSpy(std::unique_ptr<NetDevice> d,
+               std::vector<std::pair<std::uint16_t, bool>>* out)
+        : DeviceShim(std::move(d)), out_(out) {}
+
+   protected:
+    void on_outbound(Packet pkt) override {
+      if (pkt.is_fragment()) {
+        out_->emplace_back(pkt.frag_index, pkt.payload.has_value());
+      }
+      send_down(std::move(pkt));
+    }
+
+   private:
+    std::vector<std::pair<std::uint16_t, bool>>* out_;
+  };
+  rig.a.wrap_interface(0, [&](std::unique_ptr<NetDevice> d) {
+    return std::make_unique<PayloadSpy>(std::move(d), &frags);
+  });
+
+  rig.a.send(rig.big_udp(64 * 1024));
+  rig.loop.run();
+
+  ASSERT_GT(frags.size(), 40u);  // 64 KB at MTU 1500: ~45 fragments
+  for (const auto& [index, has_payload] : frags) {
+    EXPECT_EQ(has_payload, index == 0)
+        << "fragment " << index
+        << (has_payload ? " duplicates" : " is missing")
+        << " the payload handle";
+  }
+  // Reassembly is unaffected: the datagram arrives whole, payload intact.
+  ASSERT_EQ(rig.sink.packets.size(), 1u);
+  EXPECT_EQ(rig.sink.packets[0].payload_size, 64u * 1024u);
+  EXPECT_EQ(std::any_cast<std::string>(rig.sink.packets[0].payload),
+            "app-data");
+  EXPECT_EQ(rig.b.stats().datagrams_reassembled, 1u);
 }
 
 TEST(Fragmentation, FragmentWireSizesAreBounded) {

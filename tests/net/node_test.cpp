@@ -15,10 +15,11 @@ class RecordingHandler : public ProtocolHandler {
 
 /// Two hosts on one segment, with addresses and default routes.
 struct TwoHosts {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop{ctx.loop()};
   EthernetSegment segment{loop};
-  Node a{loop, "a"};
-  Node b{loop, "b"};
+  Node a{ctx, "a"};
+  Node b{ctx, "b"};
   IpAddress addr_a{10, 0, 0, 1};
   IpAddress addr_b{10, 0, 0, 2};
 
@@ -52,8 +53,8 @@ TEST(Node, SendFillsSourceAndIdAndDelivers) {
 }
 
 TEST(Node, NoRouteCountsAndReturnsFalse) {
-  sim::EventLoop loop;
-  Node n(loop, "lonely");
+  sim::SimContext ctx;
+  Node n(ctx, "lonely");
   Packet p = make_udp_packet(IpAddress{}, IpAddress(1, 2, 3, 4), 5, 6, 10);
   EXPECT_FALSE(n.send(std::move(p)));
   EXPECT_EQ(n.stats().no_route, 1u);
@@ -68,9 +69,10 @@ TEST(Node, UnclaimedProtocolCounted) {
 }
 
 TEST(Node, LongestPrefixRouteWins) {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop = ctx.loop();
   EthernetSegment seg_wide(loop), seg_narrow(loop);
-  Node n(loop, "router");
+  Node n(ctx, "router");
 
   auto wide = std::make_unique<EthernetDevice>(seg_wide, "wide");
   auto narrow = std::make_unique<EthernetDevice>(seg_narrow, "narrow");
@@ -96,9 +98,10 @@ TEST(Node, LongestPrefixRouteWins) {
 
 TEST(Node, ForwardingDecrementsTtlAndRoutes) {
   // a --- seg1 --- router --- seg2 --- b
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop = ctx.loop();
   EthernetSegment seg1(loop), seg2(loop);
-  Node a(loop, "a"), router(loop, "r"), b(loop, "b");
+  Node a(ctx, "a"), router(ctx, "r"), b(ctx, "b");
 
   IpAddress addr_a(10, 1, 0, 2), addr_b(10, 2, 0, 2);
   IpAddress r1(10, 1, 0, 1), r2(10, 2, 0, 1);
@@ -152,7 +155,7 @@ TEST(Node, TtlExpiryDropsPacket) {
   // Use friend-free approach: the packet arrives at a addressed elsewhere.
   auto dev = std::make_unique<EthernetDevice>(net.segment, "x");
   dev->claim_address(IpAddress(7, 7, 7, 7));
-  Node x(net.loop, "x");
+  Node x(net.ctx, "x");
   x.add_interface(std::move(dev), IpAddress(7, 7, 7, 7));
   x.set_default_route(0);
   // a's ethernet device must accept the packet: claim the destination.

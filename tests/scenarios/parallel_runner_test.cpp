@@ -1,0 +1,183 @@
+// The parallel engine's contract: same config, any thread count, identical
+// results.  Trials are isolated SimContexts with derived seeds, so the
+// parallel matrix must be byte-for-byte the serial matrix.
+#include "scenarios/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "scenarios/live_testbed.hpp"
+
+namespace tracemod::scenarios {
+namespace {
+
+/// Exact equality on purpose: the determinism claim is bit-identity, so
+/// EXPECT_NEAR would hide exactly the bugs this test exists to catch.
+void expect_identical(const BenchmarkOutcome& a, const BenchmarkOutcome& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(std::memcmp(&a.elapsed_s, &b.elapsed_s, sizeof(double)), 0);
+  EXPECT_EQ(a.andrew.total_s, b.andrew.total_s);
+  EXPECT_EQ(a.andrew.scandir_s, b.andrew.scandir_s);
+  EXPECT_EQ(a.andrew.rpc_calls, b.andrew.rpc_calls);
+  EXPECT_EQ(a.andrew.rpc_retransmissions, b.andrew.rpc_retransmissions);
+}
+
+void expect_identical(const core::ReplayTrace& a, const core::ReplayTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ta = a.tuples()[i];
+    const auto& tb = b.tuples()[i];
+    EXPECT_EQ(ta.d, tb.d);
+    EXPECT_EQ(ta.latency_s, tb.latency_s);
+    EXPECT_EQ(ta.per_byte_bottleneck, tb.per_byte_bottleneck);
+    EXPECT_EQ(ta.per_byte_residual, tb.per_byte_residual);
+    EXPECT_EQ(ta.loss, tb.loss);
+  }
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.trials = 2;
+  cfg.compensation_vb = measure_compensation_vb();
+  return cfg;
+}
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce) {
+  TaskPool pool(8);
+  EXPECT_EQ(pool.thread_count(), 8u);
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 200; ++i) tasks.push_back([&] { ++hits; });
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(hits.load(), 200);
+}
+
+TEST(TaskPool, ReusableAcrossBatches) {
+  TaskPool pool(3);
+  std::atomic<int> hits{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks(10, [&] { ++hits; });
+    pool.run_all(std::move(tasks));
+  }
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(TaskPool, FirstExceptionPropagates) {
+  TaskPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i] {
+      if (i % 4 == 0) throw std::runtime_error("trial failed");
+    });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> hits{0};
+  pool.run_all({[&] { ++hits; }});
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ParallelRunner, IndexMapLandsResultsInOrder) {
+  TaskPool pool(8);
+  const auto out = parallel_index_map<std::size_t>(
+      pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, LiveTrialsMatchSerialBitForBit) {
+  const auto cfg = small_config();
+  const auto scenario = wean();
+  const auto serial = run_live_trials(scenario, BenchmarkKind::kFtpRecv, cfg);
+
+  ParallelRunner runner(8);
+  const auto parallel =
+      runner.live_trials(scenario, BenchmarkKind::kFtpRecv, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, ReplayTracesMatchSerialBitForBit) {
+  const auto cfg = small_config();
+  const auto scenario = porter();
+  const auto serial = collect_replay_traces(scenario, cfg);
+
+  ParallelRunner runner(8);
+  const auto parallel = runner.replay_traces(scenario, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, FullExperimentMatchesSerialPipeline) {
+  const auto cfg = small_config();
+  const auto scenario = wean();
+
+  const auto serial_live =
+      run_live_trials(scenario, BenchmarkKind::kWeb, cfg);
+  const auto serial_traces = collect_replay_traces(scenario, cfg);
+  const auto serial_mod =
+      run_modulated_trials(serial_traces, BenchmarkKind::kWeb, cfg);
+
+  ParallelRunner runner(8);
+  const auto c = runner.experiment(scenario, BenchmarkKind::kWeb, cfg);
+
+  ASSERT_EQ(c.live.size(), serial_live.size());
+  ASSERT_EQ(c.traces.size(), serial_traces.size());
+  ASSERT_EQ(c.modulated.size(), serial_mod.size());
+  for (std::size_t i = 0; i < serial_live.size(); ++i) {
+    expect_identical(serial_live[i], c.live[i]);
+    expect_identical(serial_traces[i], c.traces[i]);
+    expect_identical(serial_mod[i], c.modulated[i]);
+  }
+}
+
+TEST(ParallelRunner, EthernetTrialsMatchSerialBitForBit) {
+  const auto cfg = small_config();
+  const auto serial = run_ethernet_trials(BenchmarkKind::kFtpSend, cfg);
+  ParallelRunner runner(8);
+  const auto parallel = runner.ethernet_trials(BenchmarkKind::kFtpSend, cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, ConcurrentLiveTestbedsHaveIndependentPacketIds) {
+  // Two worlds, one per thread: each must stamp the same dense id
+  // sequence it would alone, regardless of interleaving.
+  auto drive = [](std::uint64_t seed) {
+    LiveTestbed bed(wean(), seed);
+    for (int i = 0; i < 25; ++i) {
+      bed.mobile().node().send(net::make_udp_packet(
+          net::IpAddress{}, bed.server_addr(), 1000, 2000, 256));
+      bed.loop().run_for(sim::milliseconds(20));
+    }
+    return bed.context().packet_ids_issued();
+  };
+
+  TaskPool pool(2);
+  std::uint64_t issued_a = 0, issued_b = 0;
+  pool.run_all({
+      [&] { issued_a = drive(1); },
+      [&] { issued_b = drive(1); },
+  });
+  EXPECT_GE(issued_a, 25u);
+  // Identical seed, identical world: had the counters been shared, the
+  // two runs would have split one id space instead of each owning it.
+  EXPECT_EQ(issued_a, issued_b);
+
+  EXPECT_EQ(drive(1), issued_a);
+}
+
+}  // namespace
+}  // namespace tracemod::scenarios

@@ -108,7 +108,7 @@ TEST(Pipeline, ModulatedFtpTracksLiveFtp) {
   const auto trace = distiller.distill(collect_raw_trace(scenario, 4322));
   const auto modulated = run_modulated_benchmark(
       trace, BenchmarkKind::kFtpRecv, 4323, sim::milliseconds(10),
-      compensation_vb());
+      measure_compensation_vb());
   ASSERT_TRUE(modulated.ok);
 
   EXPECT_NEAR(modulated.elapsed_s, live.elapsed_s, live.elapsed_s * 0.25);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace tracemod::sim {
@@ -107,6 +108,51 @@ TEST(EventLoop, DispatchedCounter) {
   for (int i = 0; i < 7; ++i) loop.schedule(milliseconds(i), [] {});
   loop.run();
   EXPECT_EQ(loop.dispatched(), 7u);
+}
+
+TEST(EventLoop, CancelHeavyWorkloadKeepsQueueBounded) {
+  // Regression for heap rot: a repeatedly re-armed timer (the dominant
+  // cancel pattern -- TCP retransmission timers, NFS retry timers) used to
+  // leave every cancelled entry in the priority queue until its timestamp
+  // came up.  Compaction must keep the queue proportional to the *live*
+  // event count, not the cancel history.
+  EventLoop loop;
+  Timer t(loop);
+  std::size_t peak = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    t.arm(seconds(3600) + milliseconds(i), [] {});
+    peak = std::max(peak, loop.queue_size());
+  }
+  // Live events: exactly the one armed timer.  The queue may carry some
+  // dead entries between compactions, but never more than the compaction
+  // threshold's worth.
+  EXPECT_EQ(loop.pending_count(), 1u);
+  EXPECT_LE(loop.queue_size(), 64u);
+  EXPECT_LE(peak, 256u);
+
+  int fired = 0;
+  t.cancel();
+  t.arm(milliseconds(1), [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.queue_size(), 0u);
+}
+
+TEST(EventLoop, CompactionPreservesDispatchOrder) {
+  EventLoop loop;
+  // Arm-and-cancel enough background events to force several compactions,
+  // interleaved with live events whose order we then verify.
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(milliseconds(100 + i), [&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = loop.schedule(seconds(10), [] {});
+    loop.cancel(id);
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
 TEST(Timer, ArmAndFire) {

@@ -13,10 +13,11 @@ namespace tracemod::trace {
 namespace {
 
 struct CollectionRig {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop{ctx.loop()};
   net::EthernetSegment segment{loop};
-  transport::Host mobile{loop, "mobile", 1};
-  transport::Host server{loop, "server", 2};
+  transport::Host mobile{ctx, "mobile", 1};
+  transport::Host server{ctx, "server", 2};
   sim::ClockModel clock;
   TraceTap* tap = nullptr;
 

@@ -10,16 +10,17 @@
 namespace tracemod::testing {
 
 struct EthernetPair {
-  sim::EventLoop loop;
+  sim::SimContext ctx;
+  sim::EventLoop& loop{ctx.loop()};
   net::EthernetSegment segment{loop};
-  transport::Host client{loop, "client", 101};
-  transport::Host server{loop, "server", 202};
+  transport::Host client;
+  transport::Host server;
   net::IpAddress client_addr{10, 0, 0, 1};
   net::IpAddress server_addr{10, 0, 0, 2};
 
   explicit EthernetPair(transport::TcpConfig tcp_cfg = {})
-      : client{loop, "client", 101, tcp_cfg},
-        server{loop, "server", 202, tcp_cfg} {
+      : client{ctx, "client", 101, tcp_cfg},
+        server{ctx, "server", 202, tcp_cfg} {
     attach(client, client_addr, "client-eth0");
     attach(server, server_addr, "server-eth0");
   }

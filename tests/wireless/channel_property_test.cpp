@@ -29,7 +29,7 @@ double delivered_fraction(double distance_m, std::uint64_t seed) {
     net::Packet p = net::make_udp_packet(net::IpAddress(10, 0, 0, 2),
                                          net::IpAddress(10, 0, 0, 1), 1, 2,
                                          1000);
-    p.id = net::next_packet_id();
+    p.id = static_cast<std::uint64_t>(i) + 1;
     radio.transmit(std::move(p));
     loop.run_for(sim::milliseconds(50));
   }

@@ -13,8 +13,11 @@ namespace {
 
 net::Packet udp_packet(net::IpAddress src, net::IpAddress dst,
                        std::uint32_t size) {
+  // Hand-stamped ids: these packets bypass a Node (and thus a SimContext),
+  // so uniqueness within the test binary is all that matters.
+  static std::uint64_t next_id = 1;
   net::Packet p = net::make_udp_packet(src, dst, 1, 2, size);
-  p.id = net::next_packet_id();
+  p.id = next_id++;
   return p;
 }
 

@@ -1,0 +1,174 @@
+// sweep — run the paper's full evaluation matrix on N threads.
+//
+//   sweep [--threads N] [--serial] [--trials N] [--seed N]
+//         [--scenarios porter,flagstaff,wean,chatterbox]
+//         [--benchmarks web,ftp-send,ftp-recv,andrew]
+//         [--no-compensate]
+//
+// Every cell of {benchmark} x {scenario} runs the paper's procedure: N
+// live trials, N collection traversals distilled to replay traces, one
+// modulated trial per trace, plus a bare-Ethernet baseline row per
+// benchmark.  Each trial is an isolated SimContext seeded as
+// base_seed + trial, so the results are bit-identical whether the matrix
+// runs on one thread (--serial) or across all cores; only the wall clock
+// changes.  Exit status: 0 on success, 1 on usage error.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenarios/parallel_runner.hpp"
+
+using namespace tracemod;
+using namespace tracemod::scenarios;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sweep [--threads N] [--serial] [--trials N] [--seed N]\n"
+      "             [--scenarios porter,flagstaff,...] "
+      "[--benchmarks web,ftp-recv,...]\n"
+      "             [--no-compensate]\n");
+  return 1;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_benchmark(const std::string& name, BenchmarkKind* out) {
+  if (name == "web") *out = BenchmarkKind::kWeb;
+  else if (name == "ftp-send") *out = BenchmarkKind::kFtpSend;
+  else if (name == "ftp-recv") *out = BenchmarkKind::kFtpRecv;
+  else if (name == "andrew") *out = BenchmarkKind::kAndrew;
+  else return false;
+  return true;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // 0 = hardware concurrency
+  ExperimentConfig cfg;
+  std::vector<Scenario> scenarios = all_scenarios();
+  std::vector<BenchmarkKind> kinds = {BenchmarkKind::kWeb,
+                                      BenchmarkKind::kFtpRecv,
+                                      BenchmarkKind::kAndrew};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const char* v = next_value("--threads");
+      if (v == nullptr) return usage();
+      threads = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--serial") {
+      threads = 1;
+    } else if (arg == "--trials") {
+      const char* v = next_value("--trials");
+      if (v == nullptr) return usage();
+      cfg.trials = std::stoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      if (v == nullptr) return usage();
+      cfg.base_seed = std::stoull(v);
+    } else if (arg == "--no-compensate") {
+      cfg.compensate = false;
+    } else if (arg == "--scenarios") {
+      const char* v = next_value("--scenarios");
+      if (v == nullptr) return usage();
+      const auto all = all_scenarios();
+      scenarios.clear();
+      for (const std::string& name : split_csv(v)) {
+        bool found = false;
+        for (const auto& s : all) {
+          std::string lower = s.name;
+          for (char& c : lower) c = static_cast<char>(std::tolower(c));
+          if (lower == name) {
+            scenarios.push_back(s);
+            found = true;
+          }
+        }
+        if (!found) {
+          std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+          return usage();
+        }
+      }
+    } else if (arg == "--benchmarks") {
+      const char* v = next_value("--benchmarks");
+      if (v == nullptr) return usage();
+      kinds.clear();
+      for (const std::string& name : split_csv(v)) {
+        BenchmarkKind kind;
+        if (!parse_benchmark(name, &kind)) {
+          std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+          return usage();
+        }
+        kinds.push_back(kind);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (scenarios.empty() || kinds.empty() || cfg.trials <= 0) return usage();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cfg.compensate) {
+    cfg.compensation_vb = measure_compensation_vb();
+    std::printf("measured physical network Vb: %.3f us/byte\n",
+                cfg.compensation_vb * 1e6);
+  }
+
+  ParallelRunner runner(threads);
+  std::printf("sweep: %zu scenario(s) x %zu benchmark(s) x %d trial(s) on "
+              "%u thread(s)\n\n",
+              scenarios.size(), kinds.size(), cfg.trials,
+              runner.thread_count());
+
+  const auto result = runner.sweep(scenarios, kinds, cfg);
+
+  std::printf("%-11s %-9s | %18s %18s | %s\n", "scenario", "benchmark",
+              "real(s)", "modulated(s)", "check");
+  for (const auto& c : result.cells) {
+    const Summary r = summarize_elapsed(c.live);
+    const Summary m = summarize_elapsed(c.modulated);
+    std::printf("%-11s %-9s | %18s %18s | %s\n", c.scenario.c_str(),
+                to_string(c.kind), cell(r).c_str(), cell(m).c_str(),
+                check_label(r, m).c_str());
+  }
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const Summary eth = summarize_elapsed(result.ethernet[k]);
+    std::printf("%-11s %-9s | %18s %18s |\n", "Ethernet",
+                to_string(kinds[k]), cell(eth).c_str(), "-");
+  }
+
+  std::printf("\ntotal wall clock: %.2f s\n", seconds_since(t0));
+  return 0;
+}
