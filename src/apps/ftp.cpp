@@ -23,15 +23,22 @@ void ftp_stream_file(transport::TcpConnection& conn, std::uint64_t total,
   auto remaining = std::make_shared<std::uint64_t>(total);
   const sim::Duration chunk_time = sim::from_seconds(
       static_cast<double>(cfg.chunk_bytes) * 8.0 / cfg.disk_rate_bps);
+  // The stored closure captures itself only weakly: the strong reference
+  // lives in the pending loop event, so once the last chunk is sent (or the
+  // chain stops rescheduling) the whole pump is freed instead of keeping
+  // itself alive through a shared_ptr cycle.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&conn, remaining, chunk_time, pump, &loop, &cfg] {
+  std::weak_ptr<std::function<void()>> weak = pump;
+  *pump = [&conn, remaining, chunk_time, weak, &loop, &cfg] {
     if (*remaining == 0) return;
     const std::uint64_t n =
         std::min<std::uint64_t>(cfg.chunk_bytes, *remaining);
     *remaining -= n;
     conn.send(n);
     if (*remaining > 0) {
-      loop.schedule(chunk_time, [pump] { (*pump)(); });
+      if (auto self = weak.lock()) {
+        loop.schedule(chunk_time, [self] { (*self)(); });
+      }
     } else {
       conn.close();  // EOF after the last chunk
     }

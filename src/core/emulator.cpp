@@ -46,6 +46,14 @@ Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
   daemon_ = std::make_unique<ModulationDaemon>(ctx_.loop(), replay_device_,
                                                std::move(trace),
                                                cfg.loop_trace);
+  if (cfg.daemon_faults.enabled()) {
+    // The injector draws from its own stream (derived from the config seed,
+    // not the context's root rng) so enabling faults never perturbs the
+    // rest of the world's randomness.
+    fault_injector_ = std::make_unique<trace::FaultInjector>(
+        sim::Rng(cfg.seed ^ 0xfa017'dae3'0a51ULL), &ctx_.metrics());
+    daemon_->set_faults(fault_injector_.get(), cfg.daemon_faults);
+  }
   daemon_->start();
 }
 

@@ -27,6 +27,10 @@ struct EmulatorConfig {
   std::uint64_t seed = 1;
   net::IpAddress mobile_addr = net::IpAddress(10, 0, 0, 2);
   net::IpAddress server_addr = net::IpAddress(10, 0, 0, 1);
+  /// Deterministic runtime faults against the modulation daemon (stalls /
+  /// slow wakeups); disabled by default.  Degradation shows up in the
+  /// context's metrics registry (sim/metric_names.hpp).
+  trace::DaemonFaultConfig daemon_faults{};
 };
 
 class Emulator {
@@ -60,6 +64,7 @@ class Emulator {
   std::unique_ptr<transport::Host> server_;
   ReplayPseudoDevice replay_device_;
   ModulationLayer* modulation_ = nullptr;  // owned by the mobile's node
+  std::unique_ptr<trace::FaultInjector> fault_injector_;  // when faults on
   std::unique_ptr<ModulationDaemon> daemon_;
 };
 

@@ -65,21 +65,53 @@ void ReplayTrace::serialize(std::ostream& out) const {
   }
 }
 
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what,
+                             const std::string& line) {
+  throw std::runtime_error("replay trace: line " + std::to_string(line_no) +
+                           ": " + what + ": " + line);
+}
+
+}  // namespace
+
 ReplayTrace ReplayTrace::parse(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || line.rfind("# tracemod replay v1", 0) != 0) {
     throw std::runtime_error("replay trace: missing version header");
   }
   std::vector<QualityTuple> tuples;
+  std::size_t line_no = 1;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     double d_s, f, vb, vr, loss;
+    std::string extra;
     if (!(ls >> d_s >> f >> vb >> vr >> loss)) {
-      throw std::runtime_error("replay trace: malformed line: " + line);
+      parse_fail(line_no, "malformed tuple (want 5 numeric fields)", line);
     }
-    if (d_s <= 0.0 || vb < 0.0 || vr < 0.0 || loss < 0.0 || loss > 1.0) {
-      throw std::runtime_error("replay trace: out-of-range values: " + line);
+    if (ls >> extra) {
+      parse_fail(line_no, "trailing garbage after tuple", line);
+    }
+    // Every field must be a real number: NaN/inf pass naive comparisons
+    // and then poison every duration-weighted mean downstream.
+    if (!std::isfinite(d_s) || !std::isfinite(f) || !std::isfinite(vb) ||
+        !std::isfinite(vr) || !std::isfinite(loss)) {
+      parse_fail(line_no, "non-finite value", line);
+    }
+    if (d_s <= 0.0) {
+      parse_fail(line_no,
+                 "non-positive segment duration (timestamps must advance "
+                 "monotonically)",
+                 line);
+    }
+    if (f < 0.0) parse_fail(line_no, "negative latency", line);
+    if (vb < 0.0 || vr < 0.0) {
+      parse_fail(line_no, "negative per-byte cost (bandwidth)", line);
+    }
+    if (loss < 0.0 || loss > 1.0) {
+      parse_fail(line_no, "loss outside [0,1]", line);
     }
     tuples.push_back(QualityTuple{sim::from_seconds(d_s), f, vb, vr, loss});
   }

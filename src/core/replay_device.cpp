@@ -23,15 +23,35 @@ void ModulationDaemon::stop() {
   timer_.cancel();
 }
 
+void ModulationDaemon::set_faults(trace::FaultInjector* injector,
+                                  trace::DaemonFaultConfig cfg) {
+  faults_ = injector;
+  fault_cfg_ = cfg;
+}
+
 void ModulationDaemon::pump() {
   if (!running_) return;
+  if (faults_ != nullptr) {
+    // Injected starvation: this wakeup stalls instead of feeding the
+    // pseudo-device, so the modulation layer runs the buffer dry and holds
+    // its current tuple past its expiry -- the degradation an overloaded
+    // collection host inflicts on a real daemon.
+    if (auto stall = faults_->daemon_stall(fault_cfg_)) {
+      ++stalled_wakeups_;
+      timer_.arm(*stall, [this] { pump(); });
+      return;
+    }
+  }
   const auto& tuples = trace_.tuples();
   while (next_ < tuples.size() || loop_trace_) {
     if (next_ >= tuples.size()) next_ = 0;  // loop over the file
     if (tuples.empty()) break;
     if (!dev_.write(tuples[next_])) {
       // Buffer full: "the daemon blocks until there is room"; wake up later.
-      timer_.arm(wakeup_, [this] { pump(); });
+      const sim::Duration delay =
+          faults_ != nullptr ? faults_->daemon_wakeup(fault_cfg_, wakeup_)
+                             : wakeup_;
+      timer_.arm(delay, [this] { pump(); });
       return;
     }
     ++next_;

@@ -12,6 +12,7 @@
 
 #include "core/model.hpp"
 #include "sim/event_loop.hpp"
+#include "trace/fault_injector.hpp"
 
 namespace tracemod::core {
 
@@ -66,6 +67,16 @@ class ModulationDaemon {
   /// True once every tuple has been written (never true when looping).
   bool finished() const { return finished_; }
 
+  /// Attaches a fault injector (pseudo-device starvation): each wakeup may
+  /// stall per cfg.stall_chance, and buffer-full retries are slowed by
+  /// cfg.wakeup_factor.  The injector must outlive the daemon; pass
+  /// nullptr to detach.
+  void set_faults(trace::FaultInjector* injector,
+                  trace::DaemonFaultConfig cfg);
+
+  /// Wakeups lost to injected stalls so far.
+  std::uint64_t stalled_wakeups() const { return stalled_wakeups_; }
+
  private:
   void pump();
 
@@ -78,6 +89,9 @@ class ModulationDaemon {
   std::size_t next_ = 0;
   bool running_ = false;
   bool finished_ = false;
+  trace::FaultInjector* faults_ = nullptr;
+  trace::DaemonFaultConfig fault_cfg_{};
+  std::uint64_t stalled_wakeups_ = 0;
 };
 
 }  // namespace tracemod::core

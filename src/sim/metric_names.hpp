@@ -1,0 +1,30 @@
+// Canonical metric names for the degradation counters surfaced through
+// SimContext's MetricsRegistry (sim_context.hpp).
+//
+// Components that detect or inject degradation bump these so an experiment
+// can assert "this run saw N salvaged records / M starved daemon wakeups"
+// without reaching into component internals.  Central constants keep
+// producers (trace reader, fault injector, modulation daemon) and consumers
+// (tests, reports) agreeing on spelling.
+#pragma once
+
+namespace tracemod::sim::metric {
+
+/// Good trace records decoded after at least one damaged region (salvage
+/// reader, trace/trace_io.hpp).
+inline constexpr const char* kRecordsSalvaged = "records_salvaged";
+
+/// Record frames whose CRC32C did not validate.
+inline constexpr const char* kCrcFailures = "crc_failures";
+
+/// Byte-scan resynchronizations after a corrupted length prefix.
+inline constexpr const char* kResyncScans = "resync_scans";
+
+/// Modulation-daemon wakeups lost to injected stalls (pseudo-device
+/// starvation; trace/fault_injector.hpp).
+inline constexpr const char* kDaemonStarvedTicks = "daemon_starved_ticks";
+
+/// Trace records rejected by injected kernel-buffer pressure.
+inline constexpr const char* kBufferPressureDrops = "buffer_pressure_drops";
+
+}  // namespace tracemod::sim::metric

@@ -1,0 +1,92 @@
+#include "trace/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/kernel_buffer.hpp"
+
+namespace tracemod::trace {
+
+FaultInjector::FaultInjector(sim::Rng rng, sim::MetricsRegistry* metrics)
+    : rng_(rng), metrics_(metrics) {}
+
+void FaultInjector::flip_bytes(std::string& bytes, std::size_t flips,
+                               std::size_t protect_prefix) {
+  if (bytes.size() <= protect_prefix) return;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(protect_prefix),
+        static_cast<std::int64_t>(bytes.size()) - 1));
+    const auto bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+  }
+}
+
+void FaultInjector::truncate_bytes(std::string& bytes, std::size_t min_keep) {
+  if (bytes.size() <= min_keep) return;
+  const auto keep = static_cast<std::size_t>(rng_.uniform_int(
+      static_cast<std::int64_t>(min_keep),
+      static_cast<std::int64_t>(bytes.size()) - 1));
+  bytes.resize(keep);
+}
+
+std::string FaultInjector::mutate_once(std::string bytes,
+                                       std::size_t protect_prefix) {
+  if (rng_.chance(0.5)) {
+    flip_bytes(bytes, 1, protect_prefix);
+  } else {
+    truncate_bytes(bytes, protect_prefix);
+  }
+  return bytes;
+}
+
+void FaultInjector::drop_records(CollectedTrace& trace, std::size_t n) {
+  for (std::size_t i = 0; i < n && !trace.records.empty(); ++i) {
+    const auto pos = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(trace.records.size()) - 1));
+    trace.records.erase(trace.records.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+  }
+}
+
+void FaultInjector::duplicate_records(CollectedTrace& trace, std::size_t n) {
+  for (std::size_t i = 0; i < n && !trace.records.empty(); ++i) {
+    const auto pos = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(trace.records.size()) - 1));
+    TraceRecord copy = trace.records[pos];
+    trace.records.insert(trace.records.begin() +
+                             static_cast<std::ptrdiff_t>(pos),
+                         std::move(copy));
+  }
+}
+
+std::optional<sim::Duration> FaultInjector::daemon_stall(
+    const DaemonFaultConfig& cfg) {
+  if (cfg.stall_chance <= 0.0 || !rng_.chance(cfg.stall_chance)) {
+    return std::nullopt;
+  }
+  if (metrics_ != nullptr) {
+    ++metrics_->counter(sim::metric::kDaemonStarvedTicks);
+  }
+  return cfg.stall;
+}
+
+sim::Duration FaultInjector::daemon_wakeup(const DaemonFaultConfig& cfg,
+                                           sim::Duration base) const {
+  if (cfg.wakeup_factor == 1.0) return base;
+  return sim::from_seconds(sim::to_seconds(base) *
+                           std::max(cfg.wakeup_factor, 0.0));
+}
+
+void FaultInjector::pressure_kernel_buffer(KernelBuffer& buf,
+                                           double capacity_fraction) {
+  const double clamped = std::clamp(capacity_fraction, 0.0, 1.0);
+  const auto reduced = static_cast<std::size_t>(
+      static_cast<double>(buf.capacity()) * clamped);
+  buf.set_capacity(std::max<std::size_t>(reduced, 1));
+  buf.set_pressure_metrics(metrics_);
+}
+
+}  // namespace tracemod::trace

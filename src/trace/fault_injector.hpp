@@ -1,0 +1,96 @@
+// Deterministic fault injection for the trace pipeline.
+//
+// Robustness claims need reproducible failures: every fault this injector
+// deals -- byte flips and truncation of serialized trace bytes, record
+// drops/duplication, modulation-daemon stalls (pseudo-device starvation),
+// kernel-buffer pressure -- is drawn from a seeded sim::Rng, so a corrupted
+// run replays bit-identically from its seed (fork the injector's stream
+// from SimContext::rng() or seed it directly).  Injected degradation is
+// surfaced through the SimContext metrics registry under the names in
+// sim/metric_names.hpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "trace/records.hpp"
+
+namespace tracemod::sim {
+class MetricsRegistry;
+}
+
+namespace tracemod::trace {
+
+class KernelBuffer;
+
+/// Runtime faults against the modulation daemon (core/replay_device.hpp).
+struct DaemonFaultConfig {
+  /// Per-wakeup probability that the daemon stalls instead of pumping
+  /// tuples (models a starved user-level process).
+  double stall_chance = 0.0;
+  /// How long a stalled wakeup sleeps before retrying.
+  sim::Duration stall = sim::milliseconds(500);
+  /// Multiplier on the daemon's buffer-full retry delay (> 1 models a
+  /// slow-wakeup daemon that lets the pseudo-device run dry).
+  double wakeup_factor = 1.0;
+
+  bool enabled() const { return stall_chance > 0.0 || wakeup_factor != 1.0; }
+};
+
+class FaultInjector {
+ public:
+  /// The injector owns its random stream; pass SimContext::fork_rng() (or a
+  /// directly seeded Rng) plus the context's metrics registry to make the
+  /// injected degradation both reproducible and observable.
+  explicit FaultInjector(sim::Rng rng,
+                         sim::MetricsRegistry* metrics = nullptr);
+
+  // --- serialized-byte faults ----------------------------------------------
+
+  /// Flips `flips` random bits, one per randomly chosen byte at or past
+  /// `protect_prefix` (use it to keep the file header intact).
+  void flip_bytes(std::string& bytes, std::size_t flips,
+                  std::size_t protect_prefix = 0);
+
+  /// Truncates at a random offset in [min_keep, size - 1]: always removes
+  /// at least one byte (a no-op is not a fault).
+  void truncate_bytes(std::string& bytes, std::size_t min_keep = 0);
+
+  /// The corruption-soak primitive: returns a copy with exactly one
+  /// mutation -- a single-byte bit flip or a truncation, chosen at random.
+  std::string mutate_once(std::string bytes, std::size_t protect_prefix = 0);
+
+  // --- record-level faults --------------------------------------------------
+
+  /// Removes up to `n` randomly chosen records.
+  void drop_records(CollectedTrace& trace, std::size_t n);
+
+  /// Re-inserts up to `n` randomly chosen records next to the original.
+  void duplicate_records(CollectedTrace& trace, std::size_t n);
+
+  // --- runtime faults -------------------------------------------------------
+
+  /// Rolls the daemon's stall die: a duration to sleep instead of pumping,
+  /// or nullopt to run normally.  Stalls bump metric::kDaemonStarvedTicks.
+  std::optional<sim::Duration> daemon_stall(const DaemonFaultConfig& cfg);
+
+  /// The (possibly slowed) buffer-full retry delay.
+  sim::Duration daemon_wakeup(const DaemonFaultConfig& cfg,
+                              sim::Duration base) const;
+
+  /// Shrinks the buffer to `capacity_fraction` of its current capacity
+  /// (at least one slot) so subsequent pushes overrun and emit LostRecords
+  /// markers; rejected pushes bump metric::kBufferPressureDrops.
+  void pressure_kernel_buffer(KernelBuffer& buf, double capacity_fraction);
+
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  sim::Rng rng_;
+  sim::MetricsRegistry* metrics_;
+};
+
+}  // namespace tracemod::trace

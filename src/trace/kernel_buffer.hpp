@@ -6,6 +6,8 @@
 
 #include <deque>
 
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
 #include "trace/records.hpp"
 
 namespace tracemod::trace {
@@ -21,6 +23,9 @@ class KernelBuffer {
         ++lost_device_;
       } else {
         ++lost_packet_;
+      }
+      if (pressure_metrics_ != nullptr) {
+        ++pressure_metrics_->counter(sim::metric::kBufferPressureDrops);
       }
       return false;
     }
@@ -51,11 +56,24 @@ class KernelBuffer {
   std::uint32_t pending_lost_packet() const { return lost_packet_; }
   std::uint32_t pending_lost_device() const { return lost_device_; }
 
+  /// Changes the capacity in place (fault injection: memory pressure).
+  /// Records already queued beyond a reduced capacity stay queued; only new
+  /// pushes are rejected until the buffer drains below the new bound.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+
+  /// When set, pushes rejected by a full buffer additionally bump
+  /// metric::kBufferPressureDrops (wired by FaultInjector so injected
+  /// pressure is distinguishable in the metrics registry).
+  void set_pressure_metrics(sim::MetricsRegistry* metrics) {
+    pressure_metrics_ = metrics;
+  }
+
  private:
   std::size_t capacity_;
   std::deque<TraceRecord> buf_;
   std::uint32_t lost_packet_ = 0;
   std::uint32_t lost_device_ = 0;
+  sim::MetricsRegistry* pressure_metrics_ = nullptr;
 };
 
 }  // namespace tracemod::trace

@@ -81,6 +81,62 @@ TEST(ReplayTrace, ParseRejectsGarbage) {
   }
 }
 
+// One malformed value must fail loudly, with the line number, not load as a
+// half-sane trace.  Each case is a variant of the checked-in
+// porter_replay.trace tuple format with a single field poisoned.
+TEST(ReplayTrace, ParseRejectsNonFiniteValues) {
+  const char* bad[] = {
+      "# tracemod replay v1\n1 nan 5.37e-06 1.01e-06 0\n",   // NaN latency
+      "# tracemod replay v1\n1 0.0019 inf 1.01e-06 0\n",     // inf bandwidth
+      "# tracemod replay v1\nnan 0.0019 5.37e-06 1e-06 0\n", // NaN duration
+      "# tracemod replay v1\n1 0.0019 5.37e-06 -nan 0\n",    // NaN residual
+      "# tracemod replay v1\n1 0.0019 5.37e-06 1e-06 inf\n", // inf loss
+  };
+  for (const char* text : bad) {
+    std::stringstream ss(text);
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error) << text;
+  }
+}
+
+TEST(ReplayTrace, ParseRejectsNegativeLatencyAndBandwidth) {
+  const char* bad[] = {
+      "# tracemod replay v1\n1 -0.001 5.37e-06 1.01e-06 0\n",  // latency
+      "# tracemod replay v1\n1 0.0019 -5.37e-06 1.01e-06 0\n", // Vb
+      "# tracemod replay v1\n1 0.0019 5.37e-06 -1.01e-06 0\n", // Vr
+      "# tracemod replay v1\n1 0.0019 5.37e-06 1.01e-06 -0.1\n",  // loss
+      "# tracemod replay v1\n0 0.0019 5.37e-06 1.01e-06 0\n",  // zero d
+  };
+  for (const char* text : bad) {
+    std::stringstream ss(text);
+    EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error) << text;
+  }
+}
+
+TEST(ReplayTrace, ParseDiagnosticNamesLineNumber) {
+  // A malformed variant of porter_replay.trace: good tuples, then a
+  // non-monotone (negative-duration) tuple on line 5.
+  std::stringstream ss(
+      "# tracemod replay v1\n"
+      "# d_seconds latency_s vb_s_per_byte vr_s_per_byte loss\n"
+      "1 0.00196064168347 5.37785646388e-06 1.01599047833e-06 0\n"
+      "1 0.00193349272278 5.27263474335e-06 1.12579696028e-06 0\n"
+      "-1 0.00209237661815 5.44096730038e-06 1.9070073972e-06 0\n");
+  try {
+    ReplayTrace::parse(ss);
+    FAIL() << "expected parse to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("monotonically"), std::string::npos) << what;
+  }
+}
+
+TEST(ReplayTrace, ParseRejectsTrailingGarbage) {
+  std::stringstream ss(
+      "# tracemod replay v1\n1 0.0019 5.37e-06 1.01e-06 0 surprise\n");
+  EXPECT_THROW(ReplayTrace::parse(ss), std::runtime_error);
+}
+
 TEST(ReplayTrace, ParseSkipsCommentsAndBlankLines) {
   std::stringstream ss(
       "# tracemod replay v1\n# a comment\n\n1.0 0.003 1e-6 0 0\n");

@@ -1,0 +1,29 @@
+// libFuzzer harness for the text replay-trace parser: arbitrary bytes must
+// either parse or throw std::runtime_error with a diagnostic -- never crash
+// or accept non-finite/out-of-range tuples.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/model.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    const auto trace = tracemod::core::ReplayTrace::parse(in);
+    // Whatever parses must satisfy the validated invariants.
+    for (const auto& t : trace.tuples()) {
+      if (!std::isfinite(t.latency_s) || t.latency_s < 0.0 ||
+          t.loss < 0.0 || t.loss > 1.0 || t.d.count() <= 0) {
+        __builtin_trap();
+      }
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// libFuzzer harness for the binary trace readers: arbitrary bytes through
+// both strict and salvage mode.  The only acceptable outcomes are a decoded
+// trace or a TraceFormatError -- any crash, hang, sanitizer report, or
+// allocation blow-up is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(bytes);
+    tracemod::trace::read_trace(in);
+  } catch (const tracemod::trace::TraceFormatError&) {
+  }
+  try {
+    std::istringstream in(bytes);
+    tracemod::trace::read_trace_ex(
+        in, tracemod::trace::TraceReadOptions{
+                tracemod::trace::ReadMode::kSalvage, nullptr});
+  } catch (const tracemod::trace::TraceFormatError&) {
+    // Salvage may still reject an unusable header.
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Minimal libFuzzer-compatible driver for toolchains without
+// -fsanitize=fuzzer (e.g. GCC): replays every file passed on the command
+// line through LLVMFuzzerTestOneInput.  Continuous mutation coverage on
+// such toolchains comes from the deterministic 10k-mutation corruption
+// soak in tests/trace/fault_injector_test.cpp instead.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // tolerate libFuzzer-style flags
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s)\n", replayed);
+  return 0;
+}

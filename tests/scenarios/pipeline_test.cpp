@@ -2,8 +2,14 @@
 // real scenarios, checking the properties the paper's evaluation rests on.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/distiller.hpp"
+#include "core/emulator.hpp"
 #include "scenarios/experiment.hpp"
+#include "sim/metric_names.hpp"
+#include "trace/fault_injector.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tracemod::scenarios {
 namespace {
@@ -112,6 +118,93 @@ TEST(Pipeline, ModulatedFtpTracksLiveFtp) {
   ASSERT_TRUE(modulated.ok);
 
   EXPECT_NEAR(modulated.elapsed_s, live.elapsed_s, live.elapsed_s * 0.25);
+}
+
+TEST(Pipeline, FaultInjectedRunSurvivesCorruptionEndToEnd) {
+  // The robustness pipeline end to end: collect -> corrupt the serialized
+  // trace -> salvage-read -> distill -> modulate under an unreliable
+  // daemon.  The run must complete with bounded outputs, and every injected
+  // degradation must be visible in metrics.
+  const auto raw = collect_raw_trace(porter(), 20268);
+  ASSERT_GT(raw.records.size(), 500u);
+
+  std::ostringstream out;
+  trace::write_trace(out, raw);
+  std::string bytes = out.str();
+
+  std::ostringstream empty;
+  trace::write_trace(empty, trace::CollectedTrace{});
+  const std::size_t header = empty.str().size();
+
+  trace::FaultInjector injector{sim::Rng(99)};
+  injector.flip_bytes(bytes, 25, header);
+
+  sim::MetricsRegistry read_metrics;
+  std::istringstream in(bytes);
+  const auto salvaged = trace::read_trace_ex(
+      in, trace::TraceReadOptions{trace::ReadMode::kSalvage, &read_metrics});
+  EXPECT_GT(salvaged.report.crc_failures, 0u);
+  EXPECT_GT(salvaged.report.records_salvaged, 0u);
+  EXPECT_GT(read_metrics.value(sim::metric::kCrcFailures), 0u);
+  EXPECT_GT(read_metrics.value(sim::metric::kRecordsSalvaged), 0u);
+  // 25 flips can kill at most 25 + 25 records (flip-in-length resyncs).
+  EXPECT_GE(salvaged.report.records_read, raw.records.size() - 50);
+
+  core::Distiller distiller;
+  const auto replay = distiller.distill(salvaged.trace);
+  ASSERT_FALSE(replay.empty());
+  for (const auto& t : replay.tuples()) {
+    EXPECT_GE(t.latency_s, 0.0);
+    EXPECT_LT(t.latency_s, 1.0);
+    EXPECT_GE(t.loss, 0.0);
+    EXPECT_LE(t.loss, 1.0);
+  }
+
+  core::EmulatorConfig ecfg;
+  ecfg.seed = 20269;
+  ecfg.modulation.tick = sim::milliseconds(10);
+  ecfg.daemon_faults.stall_chance = 0.2;
+  ecfg.daemon_faults.stall = sim::milliseconds(20);
+  ecfg.daemon_faults.wakeup_factor = 2.0;
+  core::Emulator emulator(replay, ecfg);
+  const auto outcome =
+      run_benchmark(BenchmarkKind::kFtpRecv, emulator.mobile(),
+                    emulator.server(), ecfg.server_addr, emulator.loop());
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_GT(outcome.elapsed_s, 0.0);
+  EXPECT_LT(outcome.elapsed_s, 10000.0);
+  EXPECT_GT(emulator.context().metrics().value(
+                sim::metric::kDaemonStarvedTicks),
+            0u);
+  EXPECT_EQ(emulator.daemon().stalled_wakeups(),
+            emulator.context().metrics().value(
+                sim::metric::kDaemonStarvedTicks));
+}
+
+TEST(Pipeline, FaultInjectedRunIsDeterministic) {
+  // Injected faults come from seeded streams, so a corrupted run replays
+  // bit-identically.
+  auto run_once = [] {
+    core::EmulatorConfig ecfg;
+    ecfg.seed = 31337;
+    // A small pseudo-device buffer forces many daemon wakeups, so the
+    // stall die is rolled often.
+    ecfg.replay_buffer_capacity = 8;
+    ecfg.daemon_faults.stall_chance = 0.3;
+    ecfg.daemon_faults.stall = sim::milliseconds(15);
+    core::Emulator emulator(
+        core::ReplayTrace::wavelan_like(sim::seconds(300)), ecfg);
+    const auto outcome =
+        run_benchmark(BenchmarkKind::kWeb, emulator.mobile(),
+                      emulator.server(), ecfg.server_addr, emulator.loop());
+    return std::make_pair(outcome.elapsed_s,
+                          emulator.daemon().stalled_wakeups());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_GT(a.second, 0u);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
 }
 
 TEST(Pipeline, SummaryHelpers) {

@@ -1,0 +1,270 @@
+// Deterministic fault injection, and the corruption soak: thousands of
+// seeded single-mutation corruptions of a golden v2 trace, none of which may
+// crash, hang, or blow up allocation in the salvage reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/fault_injector.hpp"
+#include "trace/kernel_buffer.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracemod::trace {
+namespace {
+
+// A golden trace of a few hundred mixed records, deterministic by
+// construction.
+CollectedTrace golden_trace() {
+  CollectedTrace trace;
+  for (int i = 0; i < 180; ++i) {
+    if (i % 23 == 11) {
+      trace.records.emplace_back(LostRecords{
+          sim::kEpoch + sim::milliseconds(10 * i),
+          static_cast<std::uint32_t>(i % 5), static_cast<std::uint32_t>(i % 2)});
+    } else if (i % 7 == 3) {
+      trace.records.emplace_back(
+          DeviceRecord{sim::kEpoch + sim::milliseconds(10 * i), 18.0 - i * 0.01,
+                       10.0 + i * 0.02, 1.5});
+    } else {
+      PacketRecord p;
+      p.at = sim::kEpoch + sim::milliseconds(10 * i);
+      p.dir = i % 2 ? PacketDirection::kIncoming : PacketDirection::kOutgoing;
+      p.protocol = i % 3 ? net::Protocol::kTcp : net::Protocol::kIcmp;
+      p.ip_bytes = 40 + static_cast<std::uint32_t>(i) % 1460;
+      p.icmp_seq = static_cast<std::uint16_t>(i);
+      trace.records.emplace_back(p);
+    }
+  }
+  return trace;
+}
+
+std::string to_bytes(const CollectedTrace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+std::size_t header_size() { return to_bytes(CollectedTrace{}).size(); }
+
+TraceReadResult salvage(const std::string& bytes,
+                        sim::MetricsRegistry* metrics = nullptr) {
+  std::istringstream in(bytes);
+  return read_trace_ex(in, TraceReadOptions{ReadMode::kSalvage, metrics});
+}
+
+TEST(FaultInjector, MutationsAreDeterministicPerSeed) {
+  const std::string bytes = to_bytes(golden_trace());
+  FaultInjector a{sim::Rng(42)};
+  FaultInjector b{sim::Rng(42)};
+  FaultInjector c{sim::Rng(43)};
+  bool any_differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string ma = a.mutate_once(bytes);
+    EXPECT_EQ(ma, b.mutate_once(bytes)) << "iteration " << i;
+    any_differs = any_differs || ma != c.mutate_once(bytes);
+    EXPECT_NE(ma, bytes);  // exactly one mutation, never a no-op
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultInjector, FlipBytesHonorsProtectedPrefix) {
+  const std::string original(256, '\0');
+  FaultInjector inj{sim::Rng(7)};
+  for (int round = 0; round < 40; ++round) {
+    std::string bytes = original;
+    inj.flip_bytes(bytes, 1, 128);
+    EXPECT_EQ(bytes.substr(0, 128), original.substr(0, 128));
+    std::size_t changed = 0;
+    for (std::size_t i = 128; i < bytes.size(); ++i) {
+      if (bytes[i] == original[i]) continue;
+      ++changed;
+      // A flip touches exactly one bit of one byte.
+      const unsigned delta = static_cast<unsigned char>(bytes[i]) ^
+                             static_cast<unsigned char>(original[i]);
+      EXPECT_EQ(delta & (delta - 1), 0u);
+    }
+    EXPECT_EQ(changed, 1u);
+  }
+}
+
+TEST(FaultInjector, TruncateRespectsMinKeep) {
+  FaultInjector inj{sim::Rng(11)};
+  for (int i = 0; i < 100; ++i) {
+    std::string bytes(300, 'x');
+    inj.truncate_bytes(bytes, 100);
+    EXPECT_GE(bytes.size(), 100u);
+    EXPECT_LE(bytes.size(), 300u);
+  }
+}
+
+TEST(FaultInjector, DropAndDuplicateAdjustRecordCounts) {
+  CollectedTrace trace = golden_trace();
+  const std::size_t original = trace.records.size();
+  FaultInjector inj{sim::Rng(3)};
+  inj.drop_records(trace, 10);
+  EXPECT_EQ(trace.records.size(), original - 10);
+  inj.duplicate_records(trace, 4);
+  EXPECT_EQ(trace.records.size(), original - 6);
+  // Dropping more than exist empties the trace instead of underflowing.
+  inj.drop_records(trace, original * 2);
+  EXPECT_TRUE(trace.records.empty());
+}
+
+TEST(FaultInjector, DaemonStallFollowsConfiguredChance) {
+  sim::MetricsRegistry metrics;
+  FaultInjector inj{sim::Rng(5), &metrics};
+
+  DaemonFaultConfig never;  // stall_chance 0
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(inj.daemon_stall(never));
+  EXPECT_EQ(metrics.value(sim::metric::kDaemonStarvedTicks), 0u);
+
+  DaemonFaultConfig always;
+  always.stall_chance = 1.0;
+  always.stall = sim::milliseconds(250);
+  for (int i = 0; i < 8; ++i) {
+    const auto stall = inj.daemon_stall(always);
+    ASSERT_TRUE(stall.has_value());
+    EXPECT_EQ(*stall, sim::milliseconds(250));
+  }
+  EXPECT_EQ(metrics.value(sim::metric::kDaemonStarvedTicks), 8u);
+}
+
+TEST(FaultInjector, DaemonWakeupScalesRetryDelay) {
+  FaultInjector inj{sim::Rng(5)};
+  DaemonFaultConfig cfg;
+  cfg.wakeup_factor = 3.0;
+  EXPECT_EQ(inj.daemon_wakeup(cfg, sim::milliseconds(20)),
+            sim::milliseconds(60));
+  DaemonFaultConfig unit;
+  EXPECT_EQ(inj.daemon_wakeup(unit, sim::milliseconds(20)),
+            sim::milliseconds(20));
+}
+
+TEST(FaultInjector, KernelBufferPressureDropsAreCountedAndMarked) {
+  sim::MetricsRegistry metrics;
+  FaultInjector inj{sim::Rng(9), &metrics};
+  KernelBuffer buf(16);
+  inj.pressure_kernel_buffer(buf, 0.25);
+  EXPECT_EQ(buf.capacity(), 4u);
+
+  PacketRecord p;
+  p.at = sim::kEpoch;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(buf.push(p));
+  EXPECT_FALSE(buf.push(p));
+  EXPECT_FALSE(buf.push(p));
+  EXPECT_EQ(metrics.value(sim::metric::kBufferPressureDrops), 2u);
+
+  // The overrun still surfaces as a LostRecords marker downstream.
+  const auto out = buf.drain(100, sim::kEpoch + sim::seconds(1));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(std::get<LostRecords>(out[0]).lost_packet_records, 2u);
+
+  // Pressure can never shrink below one slot.
+  inj.pressure_kernel_buffer(buf, 0.0);
+  EXPECT_EQ(buf.capacity(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The corruption soak (issue acceptance criterion): 10,000 seeded
+// single-byte-flip / truncation mutations of the golden v2 trace.  The
+// salvage reader must never crash, hang, or balloon allocation; strict mode
+// must either succeed or throw TraceFormatError.  Run under ASan/UBSan via
+// -DTRACEMOD_SANITIZE=address.
+// ---------------------------------------------------------------------------
+TEST(CorruptionSoak, TenThousandMutationsNeverCrashTheReaders) {
+  const CollectedTrace trace = golden_trace();
+  const std::string bytes = to_bytes(trace);
+  const std::size_t count = trace.records.size();
+  // A single mutation damages at most one region; salvage output is bounded
+  // by the real records plus a handful of synthesized markers.
+  const std::size_t size_bound = count + 8;
+  // Allocation is bounded by the bytes actually present (a corrupted count
+  // cannot inflate the reserve beyond size/min-record, and geometric vector
+  // growth at most doubles), never by the count field.
+  const std::size_t capacity_bound = bytes.size() / 17 + 2 * size_bound;
+
+  FaultInjector inj{sim::Rng(20260806)};
+  std::uint64_t salvage_ok = 0, header_fatal = 0, strict_rejected = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string mutated = inj.mutate_once(bytes);
+
+    // Strict: success or a clean TraceFormatError, nothing else.
+    try {
+      std::istringstream in(mutated);
+      read_trace(in);
+    } catch (const TraceFormatError&) {
+      ++strict_rejected;
+    }
+
+    // Salvage: only header damage may throw; everything else must decode
+    // with bounded output.
+    try {
+      const auto result = salvage(mutated);
+      ++salvage_ok;
+      EXPECT_LE(result.trace.records.size(), size_bound) << "iteration " << i;
+      EXPECT_LE(result.trace.records.capacity(), capacity_bound)
+          << "iteration " << i;
+      EXPECT_LE(result.report.records_read, count) << "iteration " << i;
+    } catch (const TraceFormatError&) {
+      ++header_fatal;  // mutation landed in magic/version/schema
+    }
+  }
+  EXPECT_EQ(salvage_ok + header_fatal, 10000u);
+  // The header is a tiny fraction of the stream; the vast majority of
+  // mutations must be salvageable.
+  EXPECT_GT(salvage_ok, 9000u);
+  EXPECT_GT(strict_rejected, 5000u);
+}
+
+// Body-only flips (header protected): salvage must recover every record
+// outside the damaged frame.
+TEST(CorruptionSoak, BodyFlipsLoseAtMostTheDamagedNeighborhood) {
+  const CollectedTrace trace = golden_trace();
+  const std::string bytes = to_bytes(trace);
+  const std::size_t count = trace.records.size();
+  const std::size_t header = header_size();
+
+  FaultInjector inj{sim::Rng(1234)};
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = bytes;
+    inj.flip_bytes(mutated, 1, header);
+    const auto result = salvage(mutated);
+    // One flipped bit hits at most one frame; a length-field flip costs at
+    // most the frame it ruins plus the one a resync scan lands after.
+    EXPECT_GE(result.report.records_read, count - 2) << "iteration " << i;
+    EXPECT_LE(result.report.records_read, count) << "iteration " << i;
+    if (result.report.records_read < count) {
+      EXPECT_GE(result.report.lost_markers_synthesized, 1u)
+          << "iteration " << i;
+    }
+  }
+}
+
+// Truncations keep every record before the cut.
+TEST(CorruptionSoak, TruncationKeepsEveryRecordBeforeTheCut) {
+  const CollectedTrace trace = golden_trace();
+  const std::string bytes = to_bytes(trace);
+  const std::size_t header = header_size();
+
+  FaultInjector inj{sim::Rng(777)};
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = bytes;
+    inj.truncate_bytes(mutated, header);
+    const std::size_t body = mutated.size() - header;
+    // Frames are at most 9 + 40 bytes; everything before the last partial
+    // frame must decode.
+    const std::size_t whole_frames_lower_bound = body / 49;
+    const auto result = salvage(mutated);
+    EXPECT_GE(result.report.records_read, whole_frames_lower_bound)
+        << "iteration " << i;
+    if (mutated.size() < bytes.size()) {
+      EXPECT_TRUE(result.report.truncated) << "iteration " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tracemod::trace

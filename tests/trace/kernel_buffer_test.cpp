@@ -68,5 +68,79 @@ TEST(KernelBuffer, EmptyDrainIsEmpty) {
   EXPECT_TRUE(buf.drain(10, sim::kEpoch).empty());
 }
 
+TEST(KernelBuffer, ZeroLimitDrainStillEmitsPendingLossMarker) {
+  KernelBuffer buf(1);
+  buf.push(packet_at(0));
+  buf.push(packet_at(1));  // lost
+  buf.push(DeviceRecord{});  // lost
+
+  // drain(0): no records wanted, but the loss marker must not be delayed --
+  // the overrun happened and the stream has to say so at this drain time.
+  const auto now = sim::kEpoch + sim::seconds(3);
+  const auto out = buf.drain(0, now);
+  ASSERT_EQ(out.size(), 1u);
+  const auto& marker = std::get<LostRecords>(out[0]);
+  EXPECT_EQ(marker.at, now);
+  EXPECT_EQ(marker.lost_packet_records, 1u);
+  EXPECT_EQ(marker.lost_device_records, 1u);
+  // The queued record is still there, and the counters were consumed.
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.pending_lost_packet(), 0u);
+  EXPECT_EQ(buf.pending_lost_device(), 0u);
+}
+
+TEST(KernelBuffer, InterleavedPushDrainNeverLosesLossCounts) {
+  KernelBuffer buf(2);
+  std::uint64_t pushed_ok = 0, drained = 0, lost_reported = 0;
+  // Interleave overruns and partial drains; every push must end up either
+  // drained or accounted for by a LostRecords marker.
+  const std::size_t kBatches = 50;
+  std::uint64_t pushed_total = 0;
+  for (std::size_t batch = 0; batch < kBatches; ++batch) {
+    for (int i = 0; i < 4; ++i) {  // 4 pushes into capacity 2: overruns
+      ++pushed_total;
+      if (buf.push(packet_at(static_cast<double>(pushed_total)))) {
+        ++pushed_ok;
+      }
+    }
+    // Alternate zero-limit, partial, and draining drains.
+    const std::size_t limit = batch % 3;  // 0, 1, 2, 0, ...
+    for (const auto& rec :
+         buf.drain(limit, sim::kEpoch + sim::seconds(
+                              static_cast<std::int64_t>(batch)))) {
+      if (const auto* l = std::get_if<LostRecords>(&rec)) {
+        lost_reported += l->lost_packet_records + l->lost_device_records;
+      } else {
+        ++drained;
+      }
+    }
+  }
+  // Flush what is still queued and pending.
+  for (const auto& rec : buf.drain(1000, sim::kEpoch + sim::seconds(1000))) {
+    if (const auto* l = std::get_if<LostRecords>(&rec)) {
+      lost_reported += l->lost_packet_records + l->lost_device_records;
+    } else {
+      ++drained;
+    }
+  }
+  EXPECT_EQ(drained, pushed_ok);
+  EXPECT_EQ(drained + lost_reported, pushed_total);
+}
+
+TEST(KernelBuffer, SetCapacityPressureCausesOverrunsNotCrashes) {
+  KernelBuffer buf(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(buf.push(packet_at(i)));
+  buf.set_capacity(2);  // injected pressure: below current occupancy
+  EXPECT_FALSE(buf.push(packet_at(6)));
+  EXPECT_EQ(buf.pending_lost_packet(), 1u);
+  // Queued records survive the shrink; draining below the bound re-enables
+  // pushes.
+  EXPECT_EQ(buf.drain(10, sim::kEpoch).size(), 7u);  // marker + 6 records
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.push(packet_at(7)));
+  EXPECT_TRUE(buf.push(packet_at(8)));
+  EXPECT_FALSE(buf.push(packet_at(9)));  // new capacity is 2
+}
+
 }  // namespace
 }  // namespace tracemod::trace
