@@ -7,6 +7,7 @@
 // modulated means is within the sum of their standard deviations.
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "telemetry_option.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -26,10 +27,11 @@ constexpr double kPaperEthernet = 140.30;
 constexpr double kPaperEthernetSd = 3.07;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::heading("Figure 6: Elapsed Times for World Wide Web Benchmark",
                  "mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
+  bench::TelemetryOption telemetry(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s | %18s %18s | %18s %18s | %s", "scenario", "real(s)",
@@ -37,6 +39,8 @@ int main() {
 
   for (const Scenario& s : all_scenarios()) {
     const auto c = runner.experiment(s, BenchmarkKind::kWeb, cfg);
+    telemetry.add(c.live, s.name + "/live");
+    telemetry.add(c.modulated, s.name + "/mod");
     const Summary r = summarize_elapsed(c.live);
     const Summary m = summarize_elapsed(c.modulated);
     const PaperRow* p = nullptr;
@@ -48,12 +52,13 @@ int main() {
                 p->real_mean, p->real_sd, p->mod_mean, p->mod_sd,
                 check_label(r, m).c_str());
   }
-  const Summary eth = summarize_elapsed(
-      runner.ethernet_trials(BenchmarkKind::kWeb, cfg));
+  const auto eth_trials = runner.ethernet_trials(BenchmarkKind::kWeb, cfg);
+  telemetry.add(eth_trials, "ethernet");
+  const Summary eth = summarize_elapsed(eth_trials);
   bench::rowf("%-11s | %18s %18s | %9.2f (%5.2f) %18s |", "Ethernet",
               cell(eth).c_str(), "-", kPaperEthernet, kPaperEthernetSd, "-");
   bench::rowf(
       "\nExpected shape: all four scenarios within error; every wireless\n"
       "scenario slower than Ethernet; Chatterbox the most variable.");
-  return 0;
+  return telemetry.finish();
 }

@@ -7,6 +7,7 @@
 // receive land near the mean of the two real directions.
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "telemetry_option.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -25,10 +26,11 @@ constexpr PaperRow kPaper[] = {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::heading("Figure 7: Elapsed Times for FTP Benchmark",
                  "10 MB disk-to-disk; mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
+  bench::TelemetryOption telemetry(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s | %16s %16s | %16s %16s | %s", "scenario", "dir",
@@ -43,9 +45,13 @@ int main() {
     for (const bool send : {true, false}) {
       const BenchmarkKind kind =
           send ? BenchmarkKind::kFtpSend : BenchmarkKind::kFtpRecv;
-      const Summary r = summarize_elapsed(runner.live_trials(s, kind, cfg));
-      const Summary m =
-          summarize_elapsed(runner.modulated_trials(traces, kind, cfg));
+      const std::string dir = send ? "send" : "recv";
+      const auto live = runner.live_trials(s, kind, cfg);
+      const auto modulated = runner.modulated_trials(traces, kind, cfg);
+      telemetry.add(live, s.name + "/" + dir + "/live");
+      telemetry.add(modulated, s.name + "/" + dir + "/mod");
+      const Summary r = summarize_elapsed(live);
+      const Summary m = summarize_elapsed(modulated);
       bench::rowf("%-11s %-5s | %16s %16s | %7.2f (%6.2f) %7.2f (%6.2f) | %s",
                   s.name.c_str(), send ? "send" : "recv", cell(r).c_str(),
                   cell(m).c_str(), send ? p->send_mean : p->recv_mean,
@@ -58,7 +64,10 @@ int main() {
   for (const bool send : {true, false}) {
     const BenchmarkKind kind =
         send ? BenchmarkKind::kFtpSend : BenchmarkKind::kFtpRecv;
-    const Summary eth = summarize_elapsed(runner.ethernet_trials(kind, cfg));
+    const auto eth_trials = runner.ethernet_trials(kind, cfg);
+    telemetry.add(eth_trials,
+                  std::string("ethernet/") + (send ? "send" : "recv"));
+    const Summary eth = summarize_elapsed(eth_trials);
     bench::rowf("%-11s %-5s | %16s %16s | %7.2f (%6.2f) %16s |", "Ethernet",
                 send ? "send" : "recv", cell(eth).c_str(), "-",
                 send ? 20.50 : 18.83, send ? 0.08 : 0.17, "-");
@@ -67,5 +76,5 @@ int main() {
       "\nExpected shape: real send > real recv (asymmetric WaveLAN);\n"
       "modulated send ~ modulated recv, both near the mean of the real\n"
       "directions (the symmetry assumption, Section 5.3); Ethernet ~ 20 s.");
-  return 0;
+  return telemetry.finish();
 }

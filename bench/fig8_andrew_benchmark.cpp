@@ -9,6 +9,7 @@
 
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "telemetry_option.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -54,10 +55,11 @@ constexpr PaperTotals kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::heading("Figure 8: Elapsed Times for Andrew Benchmark Phases",
                  "mean (stddev) seconds over 4 trials; NFS over UDP");
   ExperimentConfig cfg;
+  bench::TelemetryOption telemetry(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s %13s %15s %15s %15s %16s %16s", "scenario", "",
@@ -66,6 +68,8 @@ int main() {
 
   for (const Scenario& s : all_scenarios()) {
     const auto c = runner.experiment(s, BenchmarkKind::kAndrew, cfg);
+    telemetry.add(c.live, s.name + "/live");
+    telemetry.add(c.modulated, s.name + "/mod");
     const PhaseSummary rp = summarize_phases(c.live);
     const PhaseSummary mp = summarize_phases(c.modulated);
     print_row(s.name.c_str(), "Real", rp);
@@ -83,8 +87,9 @@ int main() {
                     ? "yes"
                     : "no");
   }
-  const PhaseSummary eth =
-      summarize_phases(runner.ethernet_trials(BenchmarkKind::kAndrew, cfg));
+  const auto eth_trials = runner.ethernet_trials(BenchmarkKind::kAndrew, cfg);
+  telemetry.add(eth_trials, "ethernet");
+  const PhaseSummary eth = summarize_phases(eth_trials);
   print_row("Ethernet", "Real", eth);
   bench::rowf("%-11s paper Ethernet: 2.25 (0.50)  12.50 (0.58)  7.75 (0.50)"
               "  17.50 (0.58)  84.00 (1.41)  124.00 (1.63)",
@@ -93,5 +98,5 @@ int main() {
       "\nExpected shape: Wean/Porter/Chatterbox totals within error;\n"
       "Flagstaff diverges (modulated < real) because short NFS messages\n"
       "fall below the 10 ms scheduling threshold (Section 5.4).");
-  return 0;
+  return telemetry.finish();
 }

@@ -1,0 +1,72 @@
+// --telemetry=PREFIX support for the figure-reproduction benches.
+//
+// Each fig6/7/8 binary constructs one TelemetryOption from its argv.  When
+// the flag is absent the option is inert: the ExperimentConfig is left
+// untouched (telemetry disabled, outputs bit-identical to the flagless
+// binary) and finish() is a no-op.  When present, every trial world records
+// telemetry, the binary accumulates labelled snapshots in table order, and
+// finish() writes PREFIX.perfetto.json (load in ui.perfetto.dev) plus
+// PREFIX.metrics.txt via the merged exporters.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenarios/experiment.hpp"
+
+namespace tracemod::bench {
+
+class TelemetryOption {
+ public:
+  TelemetryOption(int argc, char** argv,
+                  scenarios::ExperimentConfig& cfg) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--telemetry=", 12) == 0 && arg[12] != '\0') {
+        prefix_ = arg + 12;
+        cfg.telemetry.enabled = true;
+      }
+    }
+  }
+
+  bool enabled() const { return !prefix_.empty(); }
+
+  /// Appends the outcomes' snapshots labelled "<prefix>/trial<i>"; skips
+  /// outcomes without telemetry, so calls are safe when disabled.
+  void add(const std::vector<scenarios::BenchmarkOutcome>& outcomes,
+           const std::string& prefix) {
+    for (auto& s : scenarios::labeled_telemetry(outcomes, prefix)) {
+      snaps_.push_back(std::move(s));
+    }
+  }
+
+  /// Writes the merged exports.  Returns 0, or 1 if the files cannot be
+  /// opened; 0 immediately when the flag was absent.
+  int finish() const {
+    if (!enabled()) return 0;
+    const std::string json_path = prefix_ + ".perfetto.json";
+    const std::string metrics_path = prefix_ + ".metrics.txt";
+    std::ofstream json(json_path);
+    std::ofstream metrics(metrics_path);
+    if (!json || !metrics) {
+      std::fprintf(stderr, "cannot write telemetry files at prefix '%s'\n",
+                   prefix_.c_str());
+      return 1;
+    }
+    sim::write_chrome_trace(json, snaps_);
+    sim::write_metrics_text(metrics, snaps_);
+    std::printf("\ntelemetry: %zu snapshot(s) -> %s (load in "
+                "ui.perfetto.dev) and %s\n",
+                snaps_.size(), json_path.c_str(), metrics_path.c_str());
+    return 0;
+  }
+
+ private:
+  std::string prefix_;
+  std::vector<sim::LabeledTelemetry> snaps_;
+};
+
+}  // namespace tracemod::bench

@@ -9,7 +9,7 @@ namespace tracemod::core {
 
 Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
     : cfg_(cfg),
-      ctx_(cfg.seed),
+      ctx_(cfg.seed, cfg.telemetry),
       segment_(ctx_.loop(), cfg.ethernet),
       replay_device_(cfg.replay_buffer_capacity) {
   mobile_ = std::make_unique<transport::Host>(ctx_, "mobile", cfg.seed,
@@ -20,12 +20,14 @@ Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
   auto mobile_dev =
       std::make_unique<net::EthernetDevice>(segment_, "mobile-eth0");
   mobile_dev->claim_address(cfg.mobile_addr);
+  mobile_dev->set_telemetry(ctx_.telemetry(), "mobile");
   mobile_->node().add_interface(std::move(mobile_dev), cfg.mobile_addr);
   mobile_->node().set_default_route(0);
 
   auto server_dev =
       std::make_unique<net::EthernetDevice>(segment_, "server-eth0");
   server_dev->claim_address(cfg.server_addr);
+  server_dev->set_telemetry(ctx_.telemetry(), "server");
   server_->node().add_interface(std::move(server_dev), cfg.server_addr);
   server_->node().set_default_route(0);
 
@@ -42,10 +44,12 @@ Emulator::Emulator(ReplayTrace trace, EmulatorConfig cfg)
         modulation_ = layer.get();
         return layer;
       });
+  modulation_->set_telemetry(ctx_, "mobile");
 
   daemon_ = std::make_unique<ModulationDaemon>(ctx_.loop(), replay_device_,
                                                std::move(trace),
                                                cfg.loop_trace);
+  daemon_->set_telemetry(ctx_);
   if (cfg.daemon_faults.enabled()) {
     // The injector draws from its own stream (derived from the config seed,
     // not the context's root rng) so enabling faults never perturbs the

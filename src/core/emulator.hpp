@@ -31,6 +31,10 @@ struct EmulatorConfig {
   /// slow wakeups); disabled by default.  Degradation shows up in the
   /// context's metrics registry (sim/metric_names.hpp).
   trace::DaemonFaultConfig daemon_faults{};
+  /// Observability (sim/telemetry.hpp); disabled by default, in which case
+  /// the emulator's behaviour and outputs are bit-identical to a build
+  /// without the subsystem.
+  sim::TelemetryConfig telemetry{};
 };
 
 class Emulator {

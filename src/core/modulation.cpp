@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
+
 namespace tracemod::core {
 
 ModulationLayer::ModulationLayer(std::unique_ptr<net::NetDevice> inner,
@@ -14,6 +17,16 @@ ModulationLayer::ModulationLayer(std::unique_ptr<net::NetDevice> inner,
       cfg_(cfg),
       tick_(cfg.tick),
       rng_(cfg.drop_seed) {}
+
+void ModulationLayer::set_telemetry(sim::SimContext& ctx,
+                                    const std::string& node) {
+  m_drops_ = &ctx.metrics().counter(sim::metric::kModulationDrops);
+  if (!ctx.telemetry().enabled()) return;
+  tel_ = &ctx.telemetry();
+  trk_ = tel_->track(node, "modulation");
+  depth_series_ = &ctx.metrics().series(sim::metric::kDelayQueueDepth);
+  backlog_series_ = &ctx.metrics().series(sim::metric::kBottleneckBacklog);
+}
 
 bool ModulationLayer::refresh_tuple() {
   if (!have_tuple_) {
@@ -83,12 +96,26 @@ void ModulationLayer::modulate(net::Packet pkt, Direction dir) {
   const sim::TimePoint now = loop_.now();
   const sim::TimePoint start = std::max(now, bottleneck_busy_until_);
   const sim::TimePoint bottleneck_done = start + sim::from_seconds(s * vb);
+  if (tel_ != nullptr) {
+    // The whole bottleneck window is decided here; record it with its
+    // (future) endpoints.  The backlog sample is what this packet found
+    // queued ahead of it, in seconds of transmission time.
+    backlog_series_->sample(now, sim::to_seconds(start - now));
+    tel_->recorder().begin(trk_, "modulate", pkt.id, now, s);
+    tel_->recorder().begin(trk_, "bottleneck", pkt.id, start, s);
+    tel_->recorder().end(trk_, "bottleneck", pkt.id, bottleneck_done);
+  }
   bottleneck_busy_until_ = bottleneck_done;
 
   // Losses strike after the bottleneck: a dropped packet still consumed
   // bottleneck capacity.
   if (rng_.chance(tuple_.loss)) {
     ++stats_.dropped;
+    if (m_drops_ != nullptr) ++*m_drops_;
+    if (tel_ != nullptr) {
+      tel_->recorder().instant(trk_, "mod.drop", pkt.id, bottleneck_done);
+      tel_->recorder().end(trk_, "modulate", pkt.id, bottleneck_done);
+    }
     return;
   }
 
@@ -108,15 +135,30 @@ void ModulationLayer::modulate(net::Packet pkt, Direction dir) {
   if (tick_.below_threshold(delay)) {
     // Under half a clock tick: send immediately (Section 3.3).
     ++stats_.sent_immediately;
+    if (tel_ != nullptr) {
+      tel_->recorder().instant(trk_, "mod.send_now", pkt.id, now);
+      tel_->recorder().end(trk_, "modulate", pkt.id, now);
+    }
     release(std::move(pkt));
     return;
   }
   ++stats_.scheduled;
   const sim::TimePoint at = tick_.quantize(release_ideal);
-  loop_.schedule_at(at, [release = std::move(release),
-                         pkt = std::move(pkt)]() mutable {
-    release(std::move(pkt));
-  });
+  const std::uint64_t id = pkt.id;
+  if (tel_ != nullptr) {
+    tel_->recorder().end(trk_, "modulate", id, at);
+    depth_series_->sample(now, static_cast<double>(++delay_queue_depth_));
+  }
+  loop_.schedule_at(
+      at,
+      [this, release = std::move(release), pkt = std::move(pkt)]() mutable {
+        if (tel_ != nullptr) {
+          depth_series_->sample(loop_.now(),
+                                static_cast<double>(--delay_queue_depth_));
+        }
+        release(std::move(pkt));
+      },
+      "mod.release");
 }
 
 }  // namespace tracemod::core

@@ -19,12 +19,18 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/replay_device.hpp"
 #include "net/device.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/tick_clock.hpp"
+
+namespace tracemod::sim {
+class SimContext;
+}
 
 namespace tracemod::core {
 
@@ -68,6 +74,12 @@ class ModulationLayer : public net::DeviceShim {
     return have_tuple_ ? &tuple_ : nullptr;
   }
 
+  /// Wires the layer into the context's metrics (drop counter) and, when
+  /// telemetry is enabled, the flight recorder ("<node>/modulation" track)
+  /// plus the delay-queue depth and bottleneck-backlog series.  Call once
+  /// from the world builder.
+  void set_telemetry(sim::SimContext& ctx, const std::string& node);
+
  protected:
   void on_outbound(net::Packet pkt) override;
   void on_inbound(net::Packet pkt) override;
@@ -87,6 +99,12 @@ class ModulationLayer : public net::DeviceShim {
   sim::TimePoint tuple_expires_ = sim::kEpoch;
   sim::TimePoint bottleneck_busy_until_ = sim::kEpoch;
   Stats stats_;
+  std::uint64_t* m_drops_ = nullptr;  // context drop counter, when wired
+  sim::Telemetry* tel_ = nullptr;     // non-null only while enabled
+  sim::TrackId trk_ = sim::kNoTrack;
+  sim::TimeSeries* depth_series_ = nullptr;
+  sim::TimeSeries* backlog_series_ = nullptr;
+  std::size_t delay_queue_depth_ = 0;  // packets awaiting tick release
 };
 
 }  // namespace tracemod::core

@@ -1,5 +1,8 @@
 #include "core/replay_device.hpp"
 
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
+
 namespace tracemod::core {
 
 ModulationDaemon::ModulationDaemon(sim::EventLoop& loop,
@@ -29,6 +32,13 @@ void ModulationDaemon::set_faults(trace::FaultInjector* injector,
   fault_cfg_ = cfg;
 }
 
+void ModulationDaemon::set_telemetry(sim::SimContext& ctx) {
+  if (!ctx.telemetry().enabled()) return;
+  tel_ = &ctx.telemetry();
+  trk_ = tel_->track("daemon", "replay");
+  depth_series_ = &ctx.metrics().series(sim::metric::kReplayBufferDepth);
+}
+
 void ModulationDaemon::pump() {
   if (!running_) return;
   if (faults_ != nullptr) {
@@ -38,7 +48,12 @@ void ModulationDaemon::pump() {
     // collection host inflicts on a real daemon.
     if (auto stall = faults_->daemon_stall(fault_cfg_)) {
       ++stalled_wakeups_;
-      timer_.arm(*stall, [this] { pump(); });
+      if (tel_ != nullptr) {
+        tel_->recorder().instant(trk_, "daemon.stall", stalled_wakeups_,
+                                 loop_.now(),
+                                 sim::to_seconds(*stall));
+      }
+      timer_.arm(*stall, [this] { pump(); }, "daemon.pump");
       return;
     }
   }
@@ -48,13 +63,20 @@ void ModulationDaemon::pump() {
     if (tuples.empty()) break;
     if (!dev_.write(tuples[next_])) {
       // Buffer full: "the daemon blocks until there is room"; wake up later.
+      if (depth_series_ != nullptr) {
+        depth_series_->sample(loop_.now(),
+                              static_cast<double>(dev_.size()));
+      }
       const sim::Duration delay =
           faults_ != nullptr ? faults_->daemon_wakeup(fault_cfg_, wakeup_)
                              : wakeup_;
-      timer_.arm(delay, [this] { pump(); });
+      timer_.arm(delay, [this] { pump(); }, "daemon.pump");
       return;
     }
     ++next_;
+  }
+  if (depth_series_ != nullptr) {
+    depth_series_->sample(loop_.now(), static_cast<double>(dev_.size()));
   }
   // Wrote the file of tuples once: close the pseudo-device (Section 3.3).
   dev_.close_writer();

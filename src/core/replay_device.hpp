@@ -12,7 +12,12 @@
 
 #include "core/model.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/telemetry.hpp"
 #include "trace/fault_injector.hpp"
+
+namespace tracemod::sim {
+class SimContext;
+}
 
 namespace tracemod::core {
 
@@ -77,6 +82,11 @@ class ModulationDaemon {
   /// Wakeups lost to injected stalls so far.
   std::uint64_t stalled_wakeups() const { return stalled_wakeups_; }
 
+  /// Wires the daemon into telemetry: samples the pseudo-device's buffer
+  /// occupancy into the replay.buffer_depth series at every pump and marks
+  /// injected stalls on the "daemon/replay" track.  No-op while disabled.
+  void set_telemetry(sim::SimContext& ctx);
+
  private:
   void pump();
 
@@ -92,6 +102,9 @@ class ModulationDaemon {
   trace::FaultInjector* faults_ = nullptr;
   trace::DaemonFaultConfig fault_cfg_{};
   std::uint64_t stalled_wakeups_ = 0;
+  sim::Telemetry* tel_ = nullptr;  // non-null only while enabled
+  sim::TrackId trk_ = sim::kNoTrack;
+  sim::TimeSeries* depth_series_ = nullptr;
 };
 
 }  // namespace tracemod::core

@@ -50,7 +50,13 @@ EthernetDevice::EthernetDevice(EthernetSegment& segment, std::string name,
 EthernetDevice::~EthernetDevice() { segment_.detach(this); }
 
 void EthernetDevice::transmit(Packet pkt) {
-  if (!queue_.push(std::move(pkt))) return;  // drop-tail
+  const std::uint64_t id = pkt.id;
+  if (!queue_.push(std::move(pkt))) {  // drop-tail
+    if (tel_ != nullptr) {
+      tel_->recorder().instant(trk_, "eth.drop", id, segment_.loop().now());
+    }
+    return;
+  }
   pump();
 }
 
@@ -59,17 +65,28 @@ void EthernetDevice::pump() {
   transmitting_ = true;
   Packet pkt = queue_.pop();
   sim::TimePoint end_of_frame;
-  segment_.reserve(pkt.wire_size(), &end_of_frame);
+  const sim::TimePoint start = segment_.reserve(pkt.wire_size(), &end_of_frame);
+  if (tel_ != nullptr) {
+    // The serialization window is known now; record it with its (possibly
+    // future) endpoints rather than scheduling anything.
+    tel_->recorder().begin(trk_, "eth.tx", pkt.id, start,
+                           static_cast<double>(pkt.wire_size()));
+    tel_->recorder().end(trk_, "eth.tx", pkt.id, end_of_frame);
+  }
   const sim::TimePoint arrival = end_of_frame + segment_.config().propagation;
-  segment_.loop().schedule_at(arrival, [this, pkt = std::move(pkt)]() mutable {
-    segment_.deliver(pkt, this);
-  });
+  segment_.loop().schedule_at(
+      arrival,
+      [this, pkt = std::move(pkt)]() mutable { segment_.deliver(pkt, this); },
+      "eth.deliver");
   // The transmitter is free again as soon as the frame leaves the wire; the
   // segment's busy window (frame + interframe gap) spaces the next one.
-  segment_.loop().schedule_at(end_of_frame, [this] {
-    transmitting_ = false;
-    pump();
-  });
+  segment_.loop().schedule_at(
+      end_of_frame,
+      [this] {
+        transmitting_ = false;
+        pump();
+      },
+      "eth.pump");
 }
 
 }  // namespace tracemod::net

@@ -17,6 +17,7 @@
 #include "net/device.hpp"
 #include "net/queue.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/telemetry.hpp"
 
 namespace tracemod::net {
 
@@ -81,6 +82,14 @@ class EthernetDevice : public NetDevice {
 
   const DropTailQueue::Stats& queue_stats() const { return queue_.stats(); }
 
+  /// Attaches the flight recorder (no-op while telemetry is disabled).
+  /// The node label names this device's "eth" track in the export.
+  void set_telemetry(sim::Telemetry& tel, const std::string& node) {
+    if (!tel.enabled()) return;
+    tel_ = &tel;
+    trk_ = tel.track(node, "eth");
+  }
+
  private:
   void pump();
 
@@ -89,6 +98,8 @@ class EthernetDevice : public NetDevice {
   DropTailQueue queue_;
   std::unordered_set<IpAddress> addresses_;
   bool transmitting_ = false;
+  sim::Telemetry* tel_ = nullptr;  // non-null only while enabled
+  sim::TrackId trk_ = sim::kNoTrack;
 };
 
 }  // namespace tracemod::net

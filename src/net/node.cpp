@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/metric_names.hpp"
+
 namespace tracemod::net {
 
 namespace {
@@ -17,9 +19,19 @@ Node::Node(sim::SimContext& ctx, std::string name, std::uint64_t seed)
     : ctx_(ctx),
       name_(std::move(name)),
       rng_(seed),
-      m_sent_(ctx.metrics().counter("net.packets_sent")),
-      m_received_(ctx.metrics().counter("net.packets_received")),
-      m_forwarded_(ctx.metrics().counter("net.packets_forwarded")) {}
+      m_sent_(ctx.metrics().counter(sim::metric::kNetPacketsSent)),
+      m_received_(ctx.metrics().counter(sim::metric::kNetPacketsReceived)),
+      m_forwarded_(ctx.metrics().counter(sim::metric::kNetPacketsForwarded)) {
+  sim::Telemetry& tel = ctx.telemetry();
+  trk_ip_ = tel.track(name_, "ip");
+  trk_transport_ = tel.track(name_, "transport");
+  if (tel.enabled()) {
+    const sim::TelemetryConfig& cfg = tel.config();
+    e2e_hist_ = &ctx.metrics().histogram(sim::metric::kE2eLatencyMs,
+                                         cfg.e2e_hist_lo_ms, cfg.e2e_hist_hi_ms,
+                                         cfg.e2e_hist_bins);
+  }
+}
 
 std::size_t Node::add_interface(std::unique_ptr<NetDevice> dev,
                                 IpAddress addr) {
@@ -82,6 +94,11 @@ bool Node::send(Packet pkt) {
   pkt.created_at = loop().now();
   ++stats_.sent;
   ++m_sent_;
+  sim::Telemetry& tel = ctx_.telemetry();
+  if (tel.enabled()) {
+    tel.recorder().begin(trk_ip_, "pkt", pkt.id, loop().now(),
+                         static_cast<double>(pkt.ip_size()));
+  }
 
   if (pkt.ip_size() <= kMtuBytes) {
     transmit_via(route->interface, std::move(pkt));
@@ -118,6 +135,10 @@ bool Node::send(Packet pkt) {
     // losing any fragment loses the datagram regardless.
     if (i == 0) frag.payload = original;
     frag.created_at = loop().now();
+    if (tel.enabled()) {
+      tel.recorder().begin(trk_ip_, "frag", frag.id, loop().now(),
+                           static_cast<double>(frag.ip_size()));
+    }
     transmit_via(route->interface, std::move(frag));
   }
   return true;
@@ -141,6 +162,15 @@ NetDevice& Node::device(std::size_t interface) {
 }
 
 void Node::deliver_local(const Packet& pkt) {
+  sim::Telemetry& tel = ctx_.telemetry();
+  if (tel.enabled()) {
+    tel.recorder().end(trk_transport_, "pkt", pkt.id, loop().now());
+    tel.recorder().instant(trk_transport_, "deliver", pkt.id, loop().now(),
+                           static_cast<double>(pkt.payload_size));
+    if (e2e_hist_ != nullptr && pkt.created_at != sim::TimePoint{}) {
+      e2e_hist_->add(sim::to_seconds(loop().now() - pkt.created_at) * 1e3);
+    }
+  }
   ProtocolHandler* handler = handlers_[static_cast<std::size_t>(pkt.protocol)];
   if (handler != nullptr) {
     handler->handle_packet(pkt);
@@ -156,6 +186,12 @@ void Node::on_receive(Packet pkt) {
     if (!pkt.is_fragment()) {
       deliver_local(pkt);
       return;
+    }
+    sim::Telemetry& tel = ctx_.telemetry();
+    if (tel.enabled()) {
+      // Each fragment's own span ends when it arrives; the original
+      // datagram's span ends at reassembly (deliver_local below).
+      tel.recorder().end(trk_ip_, "frag", pkt.id, loop().now());
     }
     // Reassembly.  Stale partial datagrams are evicted lazily.
     const std::uint64_t key =
@@ -209,6 +245,11 @@ void Node::on_receive(Packet pkt) {
   }
   ++stats_.forwarded;
   ++m_forwarded_;
+  sim::Telemetry& tel = ctx_.telemetry();
+  if (tel.enabled()) {
+    tel.recorder().instant(trk_ip_, "ip.forward", pkt.id, loop().now(),
+                           static_cast<double>(pkt.ttl));
+  }
   interfaces_[route->interface].dev->transmit(std::move(pkt));
 }
 

@@ -109,6 +109,11 @@ class Node {
   std::uint64_t& m_sent_;
   std::uint64_t& m_received_;
   std::uint64_t& m_forwarded_;
+  // Flight-recorder handles, resolved once; kNoTrack when telemetry is off.
+  sim::TrackId trk_ip_ = sim::kNoTrack;
+  sim::TrackId trk_transport_ = sim::kNoTrack;
+  // End-to-end latency histogram; nullptr when telemetry is off.
+  sim::Histogram* e2e_hist_ = nullptr;
   std::vector<Interface> interfaces_;
   std::vector<Route> routes_;  // kept sorted by prefix length, longest first
   std::vector<ProtocolHandler*> handlers_ = std::vector<ProtocolHandler*>(256, nullptr);

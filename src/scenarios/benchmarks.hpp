@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "apps/andrew.hpp"
 #include "net/ip_address.hpp"
+#include "sim/telemetry.hpp"
 #include "transport/host.hpp"
 
 namespace tracemod::scenarios {
@@ -22,6 +24,9 @@ struct BenchmarkOutcome {
   bool ok = false;
   double elapsed_s = 0.0;
   apps::AndrewResult andrew;  ///< populated for kAndrew only
+  /// The trial's captured telemetry; null unless the trial ran with
+  /// telemetry enabled.  Shared so outcomes stay cheap to copy.
+  std::shared_ptr<const sim::TelemetrySnapshot> telemetry;
 };
 
 /// Workload seeds are fixed so every trial replays the identical workload

@@ -11,9 +11,17 @@ double measure_compensation_vb() { return core::Emulator::measure_physical_vb();
 
 BenchmarkOutcome run_live_trial(const Scenario& scenario, BenchmarkKind kind,
                                 const ExperimentConfig& cfg, int trial) {
-  LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(trial));
-  return run_benchmark(kind, bed.mobile(), bed.server(), bed.server_addr(),
-                       bed.loop());
+  LiveTestbedConfig bed_cfg;
+  bed_cfg.telemetry = cfg.telemetry;
+  LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(trial),
+                  bed_cfg);
+  BenchmarkOutcome out = run_benchmark(kind, bed.mobile(), bed.server(),
+                                       bed.server_addr(), bed.loop());
+  if (cfg.telemetry.enabled) {
+    out.telemetry = std::make_shared<sim::TelemetrySnapshot>(
+        sim::capture_telemetry(bed.context()));
+  }
+  return out;
 }
 
 core::ReplayTrace collect_replay_trace(const Scenario& scenario,
@@ -32,7 +40,7 @@ BenchmarkOutcome run_modulated_trial(const core::ReplayTrace& trace,
                                      const ExperimentConfig& cfg, int trial) {
   return run_modulated_benchmark(
       trace, kind, cfg.base_seed + 900 + static_cast<std::uint64_t>(trial),
-      cfg.tick, cfg.compensate ? cfg.compensation_vb : 0.0);
+      cfg.tick, cfg.compensate ? cfg.compensation_vb : 0.0, cfg.telemetry);
 }
 
 BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
@@ -41,8 +49,8 @@ BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
   // is the bare isolated Ethernet.
   return run_modulated_benchmark(
       core::ReplayTrace{}, kind,
-      cfg.base_seed + 1300 + static_cast<std::uint64_t>(trial), cfg.tick,
-      0.0);
+      cfg.base_seed + 1300 + static_cast<std::uint64_t>(trial), cfg.tick, 0.0,
+      cfg.telemetry);
 }
 
 std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
@@ -70,18 +78,24 @@ std::vector<core::ReplayTrace> collect_replay_traces(
   return traces;
 }
 
-BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
-                                         BenchmarkKind kind,
-                                         std::uint64_t seed,
-                                         sim::Duration tick,
-                                         double inbound_vb_compensation) {
+BenchmarkOutcome run_modulated_benchmark(
+    const core::ReplayTrace& trace, BenchmarkKind kind, std::uint64_t seed,
+    sim::Duration tick, double inbound_vb_compensation,
+    const sim::TelemetryConfig& telemetry) {
   core::EmulatorConfig ecfg;
   ecfg.seed = seed;
   ecfg.modulation.tick = tick;
   ecfg.modulation.inbound_vb_compensation = inbound_vb_compensation;
+  ecfg.telemetry = telemetry;
   core::Emulator emulator(trace, ecfg);
-  return run_benchmark(kind, emulator.mobile(), emulator.server(),
-                       ecfg.server_addr, emulator.loop());
+  BenchmarkOutcome out =
+      run_benchmark(kind, emulator.mobile(), emulator.server(),
+                    ecfg.server_addr, emulator.loop());
+  if (telemetry.enabled) {
+    out.telemetry = std::make_shared<sim::TelemetrySnapshot>(
+        sim::capture_telemetry(emulator.context()));
+  }
+  return out;
 }
 
 std::vector<BenchmarkOutcome> run_modulated_trials(
@@ -102,6 +116,17 @@ std::vector<BenchmarkOutcome> run_ethernet_trials(
     outcomes.push_back(run_ethernet_trial(kind, cfg, t));
   }
   return outcomes;
+}
+
+std::vector<sim::LabeledTelemetry> labeled_telemetry(
+    const std::vector<BenchmarkOutcome>& outcomes, const std::string& prefix) {
+  std::vector<sim::LabeledTelemetry> out;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].telemetry == nullptr) continue;
+    out.push_back(sim::LabeledTelemetry{
+        prefix + "/trial" + std::to_string(i), outcomes[i].telemetry});
+  }
+  return out;
 }
 
 Summary summarize(const std::vector<double>& values) {

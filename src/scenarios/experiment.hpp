@@ -28,6 +28,11 @@ struct ExperimentConfig {
   /// (and concurrent experiments) are fully independent.  Ignored when
   /// compensate is false.
   double compensation_vb = 0.0;
+  /// Observability for every trial world (sim/telemetry.hpp).  When
+  /// enabled, each trial's BenchmarkOutcome carries its captured
+  /// TelemetrySnapshot; when disabled (default), trial behaviour and
+  /// outputs are bit-identical to a config without this field.
+  sim::TelemetryConfig telemetry{};
 };
 
 /// Measures the physical modulating network's mean bottleneck per-byte
@@ -88,11 +93,18 @@ std::vector<BenchmarkOutcome> run_ethernet_trials(BenchmarkKind kind,
                                                   const ExperimentConfig& cfg);
 
 /// A single modulated benchmark run over an explicit replay trace.
-BenchmarkOutcome run_modulated_benchmark(const core::ReplayTrace& trace,
-                                         BenchmarkKind kind,
-                                         std::uint64_t seed,
-                                         sim::Duration tick,
-                                         double inbound_vb_compensation);
+BenchmarkOutcome run_modulated_benchmark(
+    const core::ReplayTrace& trace, BenchmarkKind kind, std::uint64_t seed,
+    sim::Duration tick, double inbound_vb_compensation,
+    const sim::TelemetryConfig& telemetry = {});
+
+/// Labels each outcome's telemetry snapshot ("<prefix>/trial0", ...) in
+/// trial order for the merged exporters (sim/telemetry.hpp).  Outcomes
+/// without telemetry are skipped, so the result is empty for disabled
+/// configs.  Trial order is the serial order, so serial and parallel runs
+/// merge identically.
+std::vector<sim::LabeledTelemetry> labeled_telemetry(
+    const std::vector<BenchmarkOutcome>& outcomes, const std::string& prefix);
 
 // --- reporting helpers -----------------------------------------------------
 

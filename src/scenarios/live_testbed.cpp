@@ -10,7 +10,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
                          LiveTestbedConfig cfg)
     : scenario_(scenario),
       cfg_(cfg),
-      ctx_(seed),
+      ctx_(seed, cfg.telemetry),
       clock_(cfg.mobile_clock, sim::Rng(seed ^ 0xC10C)),
       mobility_(scenario.mobility()) {
   // The context's root stream is the trial's master rng; every subsystem
@@ -23,6 +23,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
                               scenario_.zones, master.fork());
   channel_ = std::make_unique<wireless::WirelessChannel>(
       loop, std::move(model), scenario_.channel, master.fork());
+  channel_->set_telemetry(ctx_);
   backbone_ = std::make_unique<net::EthernetSegment>(loop);
 
   int wp_index = 0;
@@ -36,6 +37,7 @@ LiveTestbed::LiveTestbed(const Scenario& scenario, std::uint64_t seed,
   auto server_dev =
       std::make_unique<net::EthernetDevice>(*backbone_, "server-eth0");
   server_dev->claim_address(cfg_.server_addr);
+  server_dev->set_telemetry(ctx_.telemetry(), "server");
   server_->node().add_interface(std::move(server_dev), cfg_.server_addr);
   server_->node().set_default_route(0);
 

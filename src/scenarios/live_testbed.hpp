@@ -33,6 +33,9 @@ struct LiveTestbedConfig {
                                        sim::microseconds(20)};
   net::IpAddress mobile_addr = net::IpAddress(10, 1, 0, 2);
   net::IpAddress server_addr = net::IpAddress(10, 1, 0, 1);
+  /// Observability (sim/telemetry.hpp); disabled by default, in which case
+  /// the testbed behaves bit-identically to a build without it.
+  sim::TelemetryConfig telemetry{};
 };
 
 class LiveTestbed {

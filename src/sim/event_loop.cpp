@@ -1,5 +1,6 @@
 #include "sim/event_loop.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "sim/assert.hpp"
@@ -18,12 +19,16 @@ std::string format_duration(Duration d) {
   return buf;
 }
 
-EventId EventLoop::schedule_at(TimePoint t, std::function<void()> fn) {
+EventId EventLoop::schedule_at(TimePoint t, std::function<void()> fn,
+                               const char* tag) {
   TM_ASSERT(fn != nullptr);
   if (t < now_) t = now_;  // clamp: scheduling "in the past" fires at now
   const EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn), tag});
   live_.insert(id);
+  if (profiler_ != nullptr && live_.size() > profiler_->queue_high_water) {
+    profiler_->queue_high_water = live_.size();
+  }
   return id;
 }
 
@@ -65,7 +70,15 @@ bool EventLoop::dispatch_one() {
     TM_ASSERT(e.at >= now_);
     now_ = e.at;
     ++dispatched_;
+    if (profiler_ == nullptr) {
+      e.fn();
+      return true;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
     e.fn();
+    const std::chrono::duration<double> self =
+        std::chrono::steady_clock::now() - t0;
+    profiler_->note(e.tag, self.count());
     return true;
   }
   return false;

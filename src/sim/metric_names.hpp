@@ -1,11 +1,14 @@
-// Canonical metric names for the degradation counters surfaced through
-// SimContext's MetricsRegistry (sim_context.hpp).
+// Canonical metric names for every counter, histogram, and series channel
+// surfaced through SimContext's MetricsRegistry (sim_context.hpp).
 //
-// Components that detect or inject degradation bump these so an experiment
-// can assert "this run saw N salvaged records / M starved daemon wakeups"
-// without reaching into component internals.  Central constants keep
-// producers (trace reader, fault injector, modulation daemon) and consumers
-// (tests, reports) agreeing on spelling.
+// Components bump these so an experiment can assert "this run saw N
+// salvaged records / M starved daemon wakeups" without reaching into
+// component internals.  Central constants keep producers (trace reader,
+// fault injector, network stack, modulation daemon) and consumers (tests,
+// reports, exporters) agreeing on spelling.  Every counter name a
+// simulation can emit must be listed in all_counter_names() below; a test
+// runs a full end-to-end scenario and fails on any stray string literal
+// that bypassed this header.
 #pragma once
 
 namespace tracemod::sim::metric {
@@ -26,5 +29,61 @@ inline constexpr const char* kDaemonStarvedTicks = "daemon_starved_ticks";
 
 /// Trace records rejected by injected kernel-buffer pressure.
 inline constexpr const char* kBufferPressureDrops = "buffer_pressure_drops";
+
+// --- network stack counters (src/net, src/transport, src/wireless) ---
+
+/// Packets handed to Node::send by a local source.
+inline constexpr const char* kNetPacketsSent = "net.packets_sent";
+
+/// Packets received by a Node on any interface.
+inline constexpr const char* kNetPacketsReceived = "net.packets_received";
+
+/// Packets a Node relayed toward another hop.
+inline constexpr const char* kNetPacketsForwarded = "net.packets_forwarded";
+
+/// TCP segments retransmitted after a timeout.
+inline constexpr const char* kTcpRetransmits = "tcp.retransmits";
+
+/// Link-layer retransmissions on the wireless channel.
+inline constexpr const char* kWirelessRetransmits = "wireless.retransmits";
+
+/// Frames dropped by the wireless channel after exhausting retries.
+inline constexpr const char* kWirelessDrops = "wireless.drops";
+
+/// Cell handoffs completed by mobile hosts.
+inline constexpr const char* kWirelessHandoffs = "wireless.handoffs";
+
+/// Packets dropped by trace modulation (delay-queue policy).
+inline constexpr const char* kModulationDrops = "modulation.drops";
+
+// --- telemetry histogram / series channel names ---
+
+/// End-to-end packet latency, source send to final delivery (histogram,
+/// milliseconds).
+inline constexpr const char* kE2eLatencyMs = "e2e.latency_ms";
+
+/// Modulation delay-queue occupancy sampled at every enqueue/release
+/// (series, packets).
+inline constexpr const char* kDelayQueueDepth = "modulation.delay_queue_depth";
+
+/// Modelled bottleneck backlog when each packet enters modulation (series,
+/// seconds of queued transmission time).
+inline constexpr const char* kBottleneckBacklog =
+    "modulation.bottleneck_backlog_s";
+
+/// Replay pseudo-device buffer occupancy at each daemon pump (series,
+/// records).
+inline constexpr const char* kReplayBufferDepth = "replay.buffer_depth";
+
+/// Every counter name the simulation can emit.  The metric-name drift test
+/// snapshots a full end-to-end run and fails if it sees a counter that is
+/// not in this list.
+inline constexpr const char* kAllCounterNames[] = {
+    kRecordsSalvaged,    kCrcFailures,         kResyncScans,
+    kDaemonStarvedTicks, kBufferPressureDrops, kNetPacketsSent,
+    kNetPacketsReceived, kNetPacketsForwarded, kTcpRetransmits,
+    kWirelessRetransmits, kWirelessDrops,      kWirelessHandoffs,
+    kModulationDrops,
+};
 
 }  // namespace tracemod::sim::metric

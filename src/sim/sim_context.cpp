@@ -16,4 +16,24 @@ std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::snapshot()
   return {counters_.begin(), counters_.end()};
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  return histograms_.try_emplace(name, lo, hi, bins).first->second;
+}
+
+TimeSeries& MetricsRegistry::series(const std::string& name) {
+  return series_[name];
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
 }  // namespace tracemod::sim

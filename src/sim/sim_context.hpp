@@ -20,12 +20,17 @@
 
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 
 namespace tracemod::sim {
 
-/// Named monotonic counters scoped to one simulation.  Counter references
-/// are stable for the registry's lifetime (node-based map), so hot paths
-/// can cache the reference once and bump it without a lookup.
+/// Named metric channels scoped to one simulation: monotonic counters,
+/// histograms, and sim-time-sampled series.  References are stable for the
+/// registry's lifetime (node-based maps), so hot paths can cache the
+/// reference once and record without a lookup.  Registration is
+/// idempotent: re-registering an existing name returns the same channel
+/// (histogram shape arguments are ignored on the second call).
 class MetricsRegistry {
  public:
   /// Returns the counter with the given name, creating it at zero.
@@ -37,13 +42,44 @@ class MetricsRegistry {
   /// All counters in name order (for reports and tests).
   std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
 
+  /// Returns the named histogram, creating it with the given shape.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  /// Returns the named time series, creating it empty.
+  TimeSeries& series(const std::string& name);
+
+  /// Lookup without creation; nullptr when absent.
+  const Histogram* find_histogram(const std::string& name) const;
+  const TimeSeries* find_series(const std::string& name) const;
+
+  /// All channels in name order (for exporters and tests).
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, TimeSeries>& series_channels() const {
+    return series_;
+  }
+
  private:
   std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
 };
 
 class SimContext {
  public:
   explicit SimContext(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  /// Builds a world with telemetry configured up front, so every component
+  /// constructed against this context can resolve its track handles in its
+  /// constructor.  When cfg.enabled is false this is identical to
+  /// SimContext(seed).
+  SimContext(std::uint64_t seed, const TelemetryConfig& cfg)
+      : seed_(seed), rng_(seed) {
+    telemetry_.enable(cfg);
+    if (telemetry_.enabled()) loop_.set_profiler(&telemetry_.loop_profiler());
+  }
 
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;
@@ -70,12 +106,19 @@ class SimContext {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// The context's observability sink (disabled by default; see
+  /// sim/telemetry.hpp).  Components record through this; the runner
+  /// captures it into a TelemetrySnapshot when the simulation ends.
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
+
  private:
   std::uint64_t seed_;
   EventLoop loop_;
   Rng rng_;
   std::uint64_t next_packet_id_ = 1;
   MetricsRegistry metrics_;
+  Telemetry telemetry_;
 };
 
 }  // namespace tracemod::sim

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <cstdio>
 
-#include "sim/assert.hpp"
-
 namespace tracemod::sim {
 
 void RunningStats::add(double x) {
@@ -51,9 +49,13 @@ double max_of(const std::vector<double>& xs) {
 }
 
 double percentile_of(std::vector<double> xs, double p) {
-  TM_ASSERT(p >= 0.0 && p <= 1.0);
   if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
   std::sort(xs.begin(), xs.end());
+  // The extremes must be exact (no interpolation residue): tests and
+  // reports rely on p=0 == min and p=1 == max.
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
   const double idx = p * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(idx);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
@@ -62,17 +64,20 @@ double percentile_of(std::vector<double> xs, double p) {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins, 0) {
-  TM_ASSERT(bins > 0 && lo < hi);
-}
+    : lo_(lo), hi_(hi), counts_(bins > 0 ? bins : 1, 0) {}
 
 void Histogram::add(double x) {
-  const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  const double span = hi_ - lo_;
+  std::ptrdiff_t idx = 0;
+  if (span > 0.0) {
+    const double frac = (x - lo_) / span;
+    idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  }
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  sum_ += x;
 }
 
 double Histogram::bin_lo(std::size_t i) const {

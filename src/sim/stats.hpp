@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "sim/time.hpp"
 
 namespace tracemod::sim {
 
@@ -32,18 +35,24 @@ double mean_of(const std::vector<double>& xs);
 double stddev_of(const std::vector<double>& xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
-/// p in [0,1]; linear interpolation between order statistics.
+/// Linear interpolation between order statistics.  p is clamped to [0,1];
+/// p=0 and p=1 return the exact minimum and maximum, and an empty input
+/// returns 0.
 double percentile_of(std::vector<double> xs, double p);
 
 /// Fixed-bin histogram; renders as rows of "lo..hi: count  ###".
 class Histogram {
  public:
   /// Buckets [lo, hi) split into n bins; out-of-range samples clamp to the
-  /// first/last bin so nothing is silently dropped.
+  /// first/last bin so nothing is silently dropped.  Degenerate shapes are
+  /// tolerated rather than asserted: bins == 0 is promoted to one bin, and
+  /// lo >= hi collapses to a single bin that absorbs every sample.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   std::size_t total() const { return total_; }
+  /// Sum of all added samples (for mean and Prometheus-style exports).
+  double sum() const { return sum_; }
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t i) const;
@@ -56,6 +65,30 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A sim-time-sampled channel: (virtual time, value) pairs plus running
+/// summary statistics.  Telemetry gauges (delay-queue depth, bottleneck
+/// backlog, replay-buffer fill) record through these; samples are appended
+/// in simulation order, so exports need no sorting.
+class TimeSeries {
+ public:
+  void sample(TimePoint t, double v) {
+    samples_.emplace_back(t, v);
+    stats_.add(v);
+  }
+
+  const std::vector<std::pair<TimePoint, double>>& samples() const {
+    return samples_;
+  }
+  const RunningStats& stats() const { return stats_; }
+  bool empty() const { return samples_.empty(); }
+  double last() const { return samples_.empty() ? 0.0 : samples_.back().second; }
+
+ private:
+  std::vector<std::pair<TimePoint, double>> samples_;
+  RunningStats stats_;
 };
 
 }  // namespace tracemod::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/assert.hpp"
+#include "sim/metric_names.hpp"
 
 namespace tracemod::transport {
 
@@ -171,6 +172,15 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len,
   if (seq < snd_max_) {
     ++stats_.retransmits;
     timing_ = false;  // Karn's rule: never time retransmitted data
+    sim::SimContext& ctx = tcp_.node().context();
+    ++ctx.metrics().counter(sim::metric::kTcpRetransmits);
+    sim::Telemetry& tel = ctx.telemetry();
+    if (tel.enabled()) {
+      // Keyed by wire seq: a segment retransmitted twice shares a key.
+      tel.recorder().instant(tel.track(tcp_.node().name(), "transport"),
+                             "tcp.retransmit", seq, tcp_.node().loop().now(),
+                             static_cast<double>(len));
+    }
   }
   snd_nxt_ = std::max(snd_nxt_, seq + len + (fin ? 1u : 0u));
   snd_max_ = std::max(snd_max_, snd_nxt_);
@@ -270,7 +280,7 @@ void TcpConnection::maybe_send_fin() {
 }
 
 void TcpConnection::arm_rto() {
-  rto_timer_.arm(rto_, [this] { handle_rto(); });
+  rto_timer_.arm(rto_, [this] { handle_rto(); }, "tcp.rto");
 }
 
 void TcpConnection::rtt_sample(sim::Duration sample) {
@@ -378,7 +388,7 @@ void TcpConnection::process_ack(std::uint64_t ack, std::uint32_t window) {
       if (state_ == State::kFinWait1) {
         state_ = State::kFinWait2;
         timewait_timer_.arm(tcp_.config().fin_wait2_timeout,
-                            [this] { become_closed(false); });
+                            [this] { become_closed(false); }, "tcp.finwait2");
       } else if (state_ == State::kClosing) {
         enter_time_wait();
       } else if (state_ == State::kLastAck) {
@@ -501,14 +511,15 @@ void TcpConnection::send_ack_now() {
 
 void TcpConnection::schedule_delayed_ack() {
   if (delack_timer_.armed()) return;
-  delack_timer_.arm(tcp_.config().delayed_ack, [this] { send_ack_now(); });
+  delack_timer_.arm(tcp_.config().delayed_ack, [this] { send_ack_now(); },
+                    "tcp.delack");
 }
 
 void TcpConnection::enter_time_wait() {
   state_ = State::kTimeWait;
   rto_timer_.cancel();
   timewait_timer_.arm(tcp_.config().time_wait,
-                      [this] { become_closed(false); });
+                      [this] { become_closed(false); }, "tcp.timewait");
 }
 
 void TcpConnection::become_closed(bool error) {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "sim/assert.hpp"
+#include "sim/metric_names.hpp"
+#include "sim/sim_context.hpp"
 
 namespace tracemod::wireless {
 
@@ -22,6 +24,16 @@ void WirelessChannel::add_mobile(Transceiver* mobile, net::IpAddress addr) {
   // hold pointers into mobiles_.
   TM_ASSERT(!started_);
   mobiles_.push_back(MobileEntry{mobile, addr, nullptr, false, {}});
+}
+
+void WirelessChannel::set_telemetry(sim::SimContext& ctx) {
+  m_retransmits_ = &ctx.metrics().counter(sim::metric::kWirelessRetransmits);
+  m_drops_ = &ctx.metrics().counter(sim::metric::kWirelessDrops);
+  m_handoffs_ = &ctx.metrics().counter(sim::metric::kWirelessHandoffs);
+  if (ctx.telemetry().enabled()) {
+    tel_ = &ctx.telemetry();
+    trk_air_ = tel_->track("channel", "air");
+  }
 }
 
 void WirelessChannel::start() {
@@ -137,9 +149,19 @@ void WirelessChannel::start_attempt(Attempt attempt) {
       sim::from_seconds(attempt.pkt.wire_size() * 8.0 / rate);
   busy_until_ = start + tx_time;
   const sim::TimePoint done = busy_until_;
-  loop_.schedule_at(done, [this, attempt = std::move(attempt), start]() mutable {
-    finish_attempt(std::move(attempt), start);
-  });
+  if (tel_ != nullptr) {
+    // The reservation window is known now; record the span with its
+    // (future) endpoints instead of scheduling anything.
+    tel_->recorder().begin(trk_air_, "air.tx", attempt.pkt.id, start,
+                           static_cast<double>(attempt.pkt.wire_size()));
+    tel_->recorder().end(trk_air_, "air.tx", attempt.pkt.id, done);
+  }
+  loop_.schedule_at(
+      done,
+      [this, attempt = std::move(attempt), start]() mutable {
+        finish_attempt(std::move(attempt), start);
+      },
+      "air.finish");
 }
 
 void WirelessChannel::finish_attempt(Attempt attempt, sim::TimePoint) {
@@ -155,19 +177,32 @@ void WirelessChannel::finish_attempt(Attempt attempt, sim::TimePoint) {
     // Host/bridge processing happens off the air: it delays delivery but
     // does not hold the channel.
     Transceiver* to = attempt.to;
-    loop_.schedule(cfg_.processing,
-                   [to, pkt = std::move(attempt.pkt)]() mutable {
-                     to->receive_frame(std::move(pkt));
-                   });
+    loop_.schedule(
+        cfg_.processing,
+        [to, pkt = std::move(attempt.pkt)]() mutable {
+          to->receive_frame(std::move(pkt));
+        },
+        "air.deliver");
     return;
   }
   if (attempt.tries < cfg_.max_retries) {
     ++attempt.tries;
     ++stats_.retry_attempts;
+    if (m_retransmits_ != nullptr) ++*m_retransmits_;
+    if (tel_ != nullptr) {
+      tel_->recorder().instant(trk_air_, "air.retransmit", attempt.pkt.id,
+                               loop_.now(),
+                               static_cast<double>(attempt.tries));
+    }
     start_attempt(std::move(attempt));
     return;
   }
   ++stats_.frames_dropped_retries;
+  if (m_drops_ != nullptr) ++*m_drops_;
+  if (tel_ != nullptr) {
+    tel_->recorder().instant(trk_air_, "air.drop", attempt.pkt.id,
+                             loop_.now());
+  }
 }
 
 void WirelessChannel::associate(MobileEntry& entry, BaseStation* wp) {
@@ -212,29 +247,42 @@ void WirelessChannel::poll_associations() {
       entry.assoc = nullptr;
       entry.in_handoff = true;
       ++stats_.handoffs;
+      if (m_handoffs_ != nullptr) ++*m_handoffs_;
+      if (tel_ != nullptr) {
+        tel_->recorder().begin(trk_air_, "handoff", stats_.handoffs,
+                               loop_.now());
+        tel_->recorder().end(trk_air_, "handoff", stats_.handoffs,
+                             loop_.now() + cfg_.handoff_outage);
+      }
       MobileEntry* entry_ptr = &entry;
-      loop_.schedule(cfg_.handoff_outage, [this, entry_ptr, best] {
-        entry_ptr->in_handoff = false;
-        associate(*entry_ptr, best);
-        // Flush the frames the driver held back during the handoff.
-        std::vector<net::Packet> held = std::move(entry_ptr->deferred);
-        entry_ptr->deferred.clear();
-        for (net::Packet& pkt : held) {
-          start_attempt(Attempt{entry_ptr->radio, best, std::move(pkt), 0});
-        }
-      });
+      loop_.schedule(
+          cfg_.handoff_outage,
+          [this, entry_ptr, best] {
+            entry_ptr->in_handoff = false;
+            associate(*entry_ptr, best);
+            // Flush the frames the driver held back during the handoff.
+            std::vector<net::Packet> held = std::move(entry_ptr->deferred);
+            entry_ptr->deferred.clear();
+            for (net::Packet& pkt : held) {
+              start_attempt(Attempt{entry_ptr->radio, best, std::move(pkt), 0});
+            }
+          },
+          "wireless.handoff");
     }
   }
-  loop_.schedule(cfg_.association_poll, [this] { poll_associations(); });
+  loop_.schedule(cfg_.association_poll, [this] { poll_associations(); },
+                 "wireless.poll");
 }
 
 void WirelessChannel::schedule_burst_flip() {
   const double mean = burst_active_ ? sim::to_seconds(cfg_.burst_mean_on)
                                     : sim::to_seconds(cfg_.burst_mean_off);
-  loop_.schedule(sim::from_seconds(rng_.exponential(mean)), [this] {
-    burst_active_ = !burst_active_;
-    schedule_burst_flip();
-  });
+  loop_.schedule(sim::from_seconds(rng_.exponential(mean)),
+                 [this] {
+                   burst_active_ = !burst_active_;
+                   schedule_burst_flip();
+                 },
+                 "wireless.burst");
 }
 
 SignalInfo WirelessChannel::signal_info(const Transceiver* mobile) {

@@ -26,7 +26,12 @@
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
+#include "sim/telemetry.hpp"
 #include "wireless/signal_model.hpp"
+
+namespace tracemod::sim {
+class SimContext;
+}
 
 namespace tracemod::wireless {
 
@@ -118,6 +123,11 @@ class WirelessChannel {
   /// Frame error probability for a frame of the given size at a given SNR.
   double frame_error_prob(double snr_db, std::uint32_t bytes) const;
 
+  /// Wires the channel into the context's metrics (retransmit / drop /
+  /// handoff counters) and, when telemetry is enabled, the flight recorder
+  /// ("channel/air" track).  Call once from the world builder.
+  void set_telemetry(sim::SimContext& ctx);
+
  private:
   struct MobileEntry {
     Transceiver* radio = nullptr;
@@ -153,6 +163,12 @@ class WirelessChannel {
   bool burst_active_ = false;
   bool started_ = false;
   Stats stats_;
+  // Context-wide counters (nullptr until set_telemetry wires them).
+  std::uint64_t* m_retransmits_ = nullptr;
+  std::uint64_t* m_drops_ = nullptr;
+  std::uint64_t* m_handoffs_ = nullptr;
+  sim::Telemetry* tel_ = nullptr;  // non-null only while enabled
+  sim::TrackId trk_air_ = sim::kNoTrack;
 };
 
 }  // namespace tracemod::wireless

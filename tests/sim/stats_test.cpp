@@ -60,6 +60,26 @@ TEST(BatchStats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 25.0);
 }
 
+TEST(BatchStats, PercentileClampsOutOfRangeP) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.5), 30.0);
+}
+
+TEST(BatchStats, PercentileSingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 42.0);
+}
+
+TEST(BatchStats, PercentileExtremesAreExactOrderStatistics) {
+  // p=0 / p=1 must return min/max exactly -- no interpolation residue.
+  const std::vector<double> xs{0.1 + 0.2, 1.0 / 3.0, 7e-3};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 7e-3);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 1.0 / 3.0);
+}
+
 TEST(Histogram, BinsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);    // bin 0
@@ -73,6 +93,40 @@ TEST(Histogram, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, ZeroBinsPromotedToOne) {
+  Histogram h(0.0, 10.0, 0);
+  h.add(5.0);
+  h.add(-1.0);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+}
+
+TEST(Histogram, DegenerateRangeCollapsesToSingleBin) {
+  // lo >= hi: every sample lands in bin 0 instead of dividing by zero.
+  Histogram h(5.0, 5.0, 4);
+  h.add(5.0);
+  h.add(100.0);
+  h.add(-100.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  for (std::size_t i = 1; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
+}
+
+TEST(Histogram, ExactUpperEdgeClampsToLastBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);  // frac == 1.0 would index one past the end
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(Histogram, SumAccumulatesIncludingClampedSamples) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(3.0);
+  h.add(-1.0);
+  h.add(25.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 27.0);
 }
 
 TEST(Histogram, RenderContainsCounts) {

@@ -3,7 +3,7 @@
 //   sweep [--threads N] [--serial] [--trials N] [--seed N]
 //         [--scenarios porter,flagstaff,wean,chatterbox]
 //         [--benchmarks web,ftp-send,ftp-recv,andrew]
-//         [--no-compensate]
+//         [--no-compensate] [--telemetry=PREFIX]
 //
 // Every cell of {benchmark} x {scenario} runs the paper's procedure: N
 // live trials, N collection traversals distilled to replay traces, one
@@ -12,10 +12,16 @@
 // base_seed + trial, so the results are bit-identical whether the matrix
 // runs on one thread (--serial) or across all cores; only the wall clock
 // changes.  Exit status: 0 on success, 1 on usage error.
+//
+// --telemetry=PREFIX enables the observability subsystem in every trial
+// world and writes the merged exports to PREFIX.perfetto.json (load in
+// ui.perfetto.dev) and PREFIX.metrics.txt.  Snapshots merge in trial
+// order, so the files are identical for serial and parallel runs.
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -32,7 +38,7 @@ int usage() {
       "usage: sweep [--threads N] [--serial] [--trials N] [--seed N]\n"
       "             [--scenarios porter,flagstaff,...] "
       "[--benchmarks web,ftp-recv,...]\n"
-      "             [--no-compensate]\n");
+      "             [--no-compensate] [--telemetry=PREFIX]\n");
   return 1;
 }
 
@@ -69,6 +75,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
+  std::string telemetry_prefix;
   ExperimentConfig cfg;
   std::vector<Scenario> scenarios = all_scenarios();
   std::vector<BenchmarkKind> kinds = {BenchmarkKind::kWeb,
@@ -100,6 +107,18 @@ int main(int argc, char** argv) {
       cfg.base_seed = std::stoull(v);
     } else if (arg == "--no-compensate") {
       cfg.compensate = false;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_prefix = arg.substr(std::strlen("--telemetry="));
+      if (telemetry_prefix.empty()) {
+        std::fprintf(stderr, "--telemetry needs a file prefix\n");
+        return usage();
+      }
+      cfg.telemetry.enabled = true;
+    } else if (arg == "--telemetry") {
+      const char* v = next_value("--telemetry");
+      if (v == nullptr) return usage();
+      telemetry_prefix = v;
+      cfg.telemetry.enabled = true;
     } else if (arg == "--scenarios") {
       const char* v = next_value("--scenarios");
       if (v == nullptr) return usage();
@@ -167,6 +186,42 @@ int main(int argc, char** argv) {
     const Summary eth = summarize_elapsed(result.ethernet[k]);
     std::printf("%-11s %-9s | %18s %18s |\n", "Ethernet",
                 to_string(kinds[k]), cell(eth).c_str(), "-");
+  }
+
+  if (!telemetry_prefix.empty()) {
+    // Merge every trial's snapshot in table order (cells, then Ethernet
+    // baselines) with trial-ordered labels -- the same file regardless of
+    // thread count.
+    std::vector<sim::LabeledTelemetry> snaps;
+    for (const auto& c : result.cells) {
+      const std::string cell_prefix =
+          c.scenario + "/" + to_string(c.kind);
+      for (auto& s : labeled_telemetry(c.live, cell_prefix + "/live"))
+        snaps.push_back(std::move(s));
+      for (auto& s : labeled_telemetry(c.modulated, cell_prefix + "/mod"))
+        snaps.push_back(std::move(s));
+    }
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (auto& s : labeled_telemetry(
+               result.ethernet[k],
+               std::string("ethernet/") + to_string(kinds[k])))
+        snaps.push_back(std::move(s));
+    }
+
+    const std::string json_path = telemetry_prefix + ".perfetto.json";
+    const std::string metrics_path = telemetry_prefix + ".metrics.txt";
+    std::ofstream json(json_path);
+    std::ofstream metrics(metrics_path);
+    if (!json || !metrics) {
+      std::fprintf(stderr, "cannot write telemetry files at prefix '%s'\n",
+                   telemetry_prefix.c_str());
+      return 1;
+    }
+    sim::write_chrome_trace(json, snaps);
+    sim::write_metrics_text(metrics, snaps);
+    std::printf("\ntelemetry: %zu snapshot(s) -> %s (load in "
+                "ui.perfetto.dev) and %s\n",
+                snaps.size(), json_path.c_str(), metrics_path.c_str());
   }
 
   std::printf("\ntotal wall clock: %.2f s\n", seconds_since(t0));

@@ -19,6 +19,12 @@
 //                    [--truncate] [--drop N] [--dup N]
 //       write a deterministically corrupted copy of a raw trace (byte
 //       flips past the header, optional truncation, record drops/dups)
+//   tracemod report <out-prefix> [--replay FILE] [--benchmark KIND]
+//                   [--seed N] [--seconds N]
+//       run one telemetry-enabled modulated benchmark (over the given
+//       replay trace, or a synthetic WaveLAN-like one) and export
+//       <out-prefix>.perfetto.json (load in ui.perfetto.dev) and
+//       <out-prefix>.metrics.txt, printing the human-readable report
 //
 // Exit status: 0 on success, 1 on usage error, 2 on I/O or format error,
 // 3 when verify found a damaged-but-salvageable trace.
@@ -51,7 +57,10 @@ int usage() {
                "[--seconds N]\n"
                "  tracemod verify <in.trace>\n"
                "  tracemod corrupt <in.trace> <out.trace> [--seed N] "
-               "[--flips K] [--truncate] [--drop N] [--dup N]\n");
+               "[--flips K] [--truncate] [--drop N] [--dup N]\n"
+               "  tracemod report <out-prefix> [--replay FILE] "
+               "[--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] "
+               "[--seconds N]\n");
   return 1;
 }
 
@@ -67,6 +76,17 @@ bool flag_value(const std::vector<std::string>& args, const std::string& name,
   for (std::size_t i = 0; i + 1 < args.size(); ++i) {
     if (args[i] == name) {
       *out = std::stod(args[i + 1]);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool flag_string(const std::vector<std::string>& args, const std::string& name,
+                 std::string* out) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) {
+      *out = args[i + 1];
       return true;
     }
   }
@@ -293,6 +313,79 @@ int cmd_corrupt(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_report(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string prefix = args[0];
+  double seed = 1, seconds = 120;
+  flag_value(args, "--seed", &seed);
+  flag_value(args, "--seconds", &seconds);
+
+  core::ReplayTrace trace;
+  std::string replay_path;
+  if (flag_string(args, "--replay", &replay_path)) {
+    trace = core::ReplayTrace::load(replay_path);
+  } else {
+    trace = core::ReplayTrace::wavelan_like(sim::from_seconds(seconds));
+  }
+
+  scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
+  std::string bm;
+  if (flag_string(args, "--benchmark", &bm)) {
+    if (bm == "web") {
+      kind = scenarios::BenchmarkKind::kWeb;
+    } else if (bm == "ftp-send") {
+      kind = scenarios::BenchmarkKind::kFtpSend;
+    } else if (bm == "ftp-recv") {
+      kind = scenarios::BenchmarkKind::kFtpRecv;
+    } else if (bm == "andrew") {
+      kind = scenarios::BenchmarkKind::kAndrew;
+    } else {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", bm.c_str());
+      return 1;
+    }
+  }
+
+  sim::TelemetryConfig tcfg;
+  tcfg.enabled = true;
+  const scenarios::BenchmarkOutcome outcome = scenarios::run_modulated_benchmark(
+      trace, kind, static_cast<std::uint64_t>(seed), sim::milliseconds(10),
+      0.0, tcfg);
+  if (outcome.telemetry == nullptr) {
+    std::fprintf(stderr, "telemetry capture failed\n");
+    return 2;
+  }
+  const sim::TelemetrySnapshot& snap = *outcome.telemetry;
+
+  const std::string trace_path = prefix + ".perfetto.json";
+  const std::string metrics_path = prefix + ".metrics.txt";
+  {
+    std::ofstream f(trace_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 2;
+    }
+    sim::write_chrome_trace(f, snap);
+  }
+  {
+    std::ofstream f(metrics_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 2;
+    }
+    sim::write_metrics_text(f, snap);
+  }
+
+  std::ostringstream report;
+  sim::write_report(report, snap);
+  std::fputs(report.str().c_str(), stdout);
+  std::printf(
+      "\nbenchmark %s: %s in %.2f s (simulated)\n"
+      "wrote %s (load in ui.perfetto.dev) and %s\n",
+      scenarios::to_string(kind), outcome.ok ? "ok" : "FAILED",
+      outcome.elapsed_s, trace_path.c_str(), metrics_path.c_str());
+  return outcome.ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +399,7 @@ int main(int argc, char** argv) {
     if (cmd == "synth") return cmd_synth(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "corrupt") return cmd_corrupt(args);
+    if (cmd == "report") return cmd_report(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
