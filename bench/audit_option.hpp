@@ -1,0 +1,99 @@
+// --audit[=FILE] support for the figure-reproduction benches.
+//
+// Mirrors telemetry_option.hpp: each fig6/7/8 binary constructs one
+// AuditOption from its argv.  When the flag is absent the option is inert
+// (auditing disabled, outputs bit-identical to the flagless binary) and
+// finish() is a no-op returning 0.  When present, every collected trace
+// additionally runs one closed-loop fidelity audit (src/audit/) in its own
+// world, a verdict table prints after the figure, and finish() writes the
+// accumulated reports as a machine-readable fidelity trajectory (schema
+// "tracemod-fidelity-trajectory-v1", default file BENCH_fidelity.json --
+// the schema is documented in EXPERIMENTS.md).  finish() returns 4 when
+// any report breached its thresholds, so CI can gate on the exit status.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "scenarios/experiment.hpp"
+
+namespace tracemod::bench {
+
+class AuditOption {
+ public:
+  AuditOption(int argc, char** argv, scenarios::ExperimentConfig& cfg) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--audit") == 0) {
+        path_ = "BENCH_fidelity.json";
+        cfg.audit.enabled = true;
+      } else if (std::strncmp(arg, "--audit=", 8) == 0 && arg[8] != '\0') {
+        path_ = arg + 8;
+        cfg.audit.enabled = true;
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Accumulates reports, prefixing each label with "<prefix>/"; safe to
+  /// call when disabled (the reports vector is empty then).
+  void add(const std::vector<audit::FidelityReport>& reports,
+           const std::string& prefix) {
+    for (audit::FidelityReport r : reports) {
+      if (!prefix.empty()) r.label = prefix + "/" + r.label;
+      reports_.push_back(std::move(r));
+    }
+  }
+
+  /// Prints the verdict table and writes the trajectory JSON.  Returns 0,
+  /// 1 if the file cannot be opened, or 4 when any audit breached; 0
+  /// immediately when the flag was absent.
+  int finish() const {
+    if (!enabled()) return 0;
+    std::size_t pass = 0, breach = 0, unauditable = 0;
+    std::printf("\n%-25s %-12s | %8s %8s %8s %8s %6s\n", "audit", "verdict",
+                "lat.err", "bw.err", "loss.d", "ks.rtt", "within");
+    for (const audit::FidelityReport& r : reports_) {
+      const auto& s = r.scores;
+      std::printf("%-25s %-12s | %8.3f %8.3f %8.4f %8.3f %5.0f%%\n",
+                  r.label.c_str(), audit::to_string(r.verdict),
+                  s.latency_rel_err, s.bandwidth_rel_err, s.loss_delta,
+                  s.ks_rtt, 100.0 * s.within_tolerance_fraction);
+      switch (r.verdict) {
+        case audit::Verdict::kPass: ++pass; break;
+        case audit::Verdict::kBreach: ++breach; break;
+        case audit::Verdict::kUnauditable: ++unauditable; break;
+      }
+    }
+    std::printf("audit: %zu pass, %zu breach, %zu unauditable\n", pass,
+                breach, unauditable);
+
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write fidelity trajectory '%s'\n",
+                   path_.c_str());
+      return 1;
+    }
+    out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
+        << "\"reports\": [";
+    for (std::size_t i = 0; i < reports_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      audit::write_fidelity_json(out, reports_[i]);
+    }
+    out << "\n]\n}\n";
+    std::printf("fidelity trajectory: %zu report(s) -> %s\n",
+                reports_.size(), path_.c_str());
+    return breach > 0 ? 4 : 0;
+  }
+
+ private:
+  std::string path_;
+  std::vector<audit::FidelityReport> reports_;
+};
+
+}  // namespace tracemod::bench

@@ -5,6 +5,7 @@
 // and replayed for four modulated trials, plus the bare-Ethernet row.
 // The paper's accuracy criterion: the difference between real and
 // modulated means is within the sum of their standard deviations.
+#include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
                  "mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
+  bench::AuditOption audits(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s | %18s %18s | %18s %18s | %s", "scenario", "real(s)",
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
     const auto c = runner.experiment(s, BenchmarkKind::kWeb, cfg);
     telemetry.add(c.live, s.name + "/live");
     telemetry.add(c.modulated, s.name + "/mod");
+    audits.add(c.audits, s.name);
     const Summary r = summarize_elapsed(c.live);
     const Summary m = summarize_elapsed(c.modulated);
     const PaperRow* p = nullptr;
@@ -60,5 +63,7 @@ int main(int argc, char** argv) {
   bench::rowf(
       "\nExpected shape: all four scenarios within error; every wireless\n"
       "scenario slower than Ethernet; Chatterbox the most variable.");
-  return telemetry.finish();
+  const int audit_rc = audits.finish();
+  const int telemetry_rc = telemetry.finish();
+  return audit_rc != 0 ? audit_rc : telemetry_rc;
 }

@@ -5,6 +5,7 @@
 // by unsynchronized clocks: real WaveLAN performance is asymmetric (send
 // slower than receive on marginal uplinks), while modulated send and
 // receive land near the mean of the two real directions.
+#include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
                  "10 MB disk-to-disk; mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
+  bench::AuditOption audits(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s | %16s %16s | %16s %16s | %s", "scenario", "dir",
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
 
   for (const Scenario& s : all_scenarios()) {
     const auto traces = runner.replay_traces(s, cfg);
+    // Traces are shared by both FTP directions; audit each trace once.
+    if (audits.enabled()) {
+      audits.add(runner.trace_audits(traces, cfg), s.name);
+    }
     const PaperRow* p = nullptr;
     for (const auto& row : kPaper) {
       if (s.name == row.scenario) p = &row;
@@ -76,5 +82,7 @@ int main(int argc, char** argv) {
       "\nExpected shape: real send > real recv (asymmetric WaveLAN);\n"
       "modulated send ~ modulated recv, both near the mean of the real\n"
       "directions (the symmetry assumption, Section 5.3); Ethernet ~ 20 s.");
-  return telemetry.finish();
+  const int audit_rc = audits.finish();
+  const int telemetry_rc = telemetry.finish();
+  return audit_rc != 0 ? audit_rc : telemetry_rc;
 }

@@ -7,6 +7,7 @@
 // 10 ms scheduling tick and are sent immediately (Section 5.4).
 #include <vector>
 
+#include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
                  "mean (stddev) seconds over 4 trials; NFS over UDP");
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
+  bench::AuditOption audits(argc, argv, cfg);
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s %13s %15s %15s %15s %16s %16s", "scenario", "",
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
     const auto c = runner.experiment(s, BenchmarkKind::kAndrew, cfg);
     telemetry.add(c.live, s.name + "/live");
     telemetry.add(c.modulated, s.name + "/mod");
+    audits.add(c.audits, s.name);
     const PhaseSummary rp = summarize_phases(c.live);
     const PhaseSummary mp = summarize_phases(c.modulated);
     print_row(s.name.c_str(), "Real", rp);
@@ -98,5 +101,7 @@ int main(int argc, char** argv) {
       "\nExpected shape: Wean/Porter/Chatterbox totals within error;\n"
       "Flagstaff diverges (modulated < real) because short NFS messages\n"
       "fall below the 10 ms scheduling threshold (Section 5.4).");
-  return telemetry.finish();
+  const int audit_rc = audits.finish();
+  const int telemetry_rc = telemetry.finish();
+  return audit_rc != 0 ? audit_rc : telemetry_rc;
 }

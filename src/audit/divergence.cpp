@@ -1,0 +1,272 @@
+#include "audit/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/tick_clock.hpp"
+
+namespace tracemod::audit {
+
+namespace {
+
+/// Duration-weighted reference averages over the offset range [lo, hi]
+/// (seconds from the reference trace's start).  Returns false when the
+/// range does not intersect the trace.
+bool reference_window(const core::ReplayTrace& ref, double lo_s, double hi_s,
+                      double* f, double* vb, double* loss) {
+  double offset = 0.0, weight = 0.0;
+  double f_sum = 0.0, vb_sum = 0.0, loss_sum = 0.0;
+  for (const core::QualityTuple& t : ref.tuples()) {
+    const double d = sim::to_seconds(t.d);
+    const double begin = offset, end = offset + d;
+    offset = end;
+    const double overlap = std::min(end, hi_s) - std::max(begin, lo_s);
+    if (overlap <= 0.0) continue;
+    f_sum += overlap * t.latency_s;
+    vb_sum += overlap * t.per_byte_bottleneck;
+    loss_sum += overlap * t.loss;
+    weight += overlap;
+  }
+  if (weight <= 0.0) return false;
+  *f = f_sum / weight;
+  *vb = vb_sum / weight;
+  *loss = loss_sum / weight;
+  return true;
+}
+
+/// Deterministic quantization-noise offset for the i-th of n expected RTT
+/// samples.  One quantized leg adds an error uniform on (-tick/2, tick/2];
+/// two independent legs sum to a triangular distribution on (-tick, tick).
+/// A stratified comb over the inverse CDF reproduces the marginal shape
+/// without drawing randomness, so the expected sample set is a pure
+/// function of its inputs.
+double quantization_offset(std::size_t i, std::size_t n, int legs,
+                           double tick_s) {
+  if (legs <= 0 || tick_s <= 0.0 || n == 0) return 0.0;
+  const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+  if (legs == 1) return tick_s * (p - 0.5);
+  // Triangular on [-tick, tick]: piecewise-quadratic CDF, inverted.
+  if (p < 0.5) return tick_s * (std::sqrt(2.0 * p) - 1.0);
+  return tick_s * (1.0 - std::sqrt(2.0 * (1.0 - p)));
+}
+
+/// Median of an unsorted sample (mean of the middle pair when even).
+/// Returns 0 for an empty sample.
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    m = (m + *std::max_element(
+                 v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid))) /
+        2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+double ks_distance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    // Step past every copy of the smaller value in BOTH samples before
+    // comparing: the empirical CDFs only both settle after a tied value
+    // has been consumed from each side.
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] == x) ++ia;
+    while (ib < b.size() && b[ib] == x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+DivergenceScores score_divergence(const core::ReplayTrace& reference,
+                                  const trace::CollectedTrace& second_order,
+                                  const Baseline& baseline,
+                                  const DivergenceConfig& cfg) {
+  DivergenceScores out;
+  core::Distiller distiller(cfg.distill);
+  out.recovered = distiller.distill(second_order);
+  out.distill_stats = distiller.stats();
+  if (second_order.records.empty() || out.recovered.empty()) return out;
+
+  const double ref_total = sim::to_seconds(reference.total_duration());
+  const double window_s = sim::to_seconds(cfg.distill.window);
+  const sim::TimePoint t0 =
+      trace::record_time(second_order.records.front());
+  const sim::TickClock tick(cfg.tick);
+  const double tick_s = sim::to_seconds(cfg.tick);
+
+  // The probe's two packet sizes, distiller-style: smallest sent size is
+  // stage 1, largest is stage 2.
+  const auto sent = second_order.echoes_sent();
+  if (sent.empty()) return out;
+  double s_small = 1e18, s_large = 0.0;
+  for (const trace::PacketRecord& e : sent) {
+    s_small = std::min(s_small, static_cast<double>(e.ip_bytes));
+    s_large = std::max(s_large, static_cast<double>(e.ip_bytes));
+  }
+
+  // Timestamps collection could not cover: kernel-buffer overruns.
+  std::vector<sim::TimePoint> lost_at;
+  for (const trace::TraceRecord& r : second_order.records) {
+    if (std::holds_alternative<trace::LostRecords>(r)) {
+      lost_at.push_back(trace::record_time(r));
+    }
+  }
+  const std::vector<core::Distiller::Estimate>& estimates =
+      distiller.estimates();
+
+  // --- per-window scores ---------------------------------------------------
+  // Recovered tuple i covers the distiller's i-th step window; recompute the
+  // same window span to decide provenance (scored vs. unauditable).
+  for (std::size_t i = 0; i < out.recovered.size(); ++i) {
+    const core::QualityTuple& rec = out.recovered.tuples()[i];
+    const sim::TimePoint mid =
+        t0 + cfg.distill.step * static_cast<std::int64_t>(i) +
+        cfg.distill.step / 2;
+    const sim::TimePoint w_begin = mid - cfg.distill.window / 2;
+    const sim::TimePoint w_end = mid + cfg.distill.window / 2;
+    const double mid_offset = sim::to_seconds(mid + cfg.align);
+
+    // Only windows wholly inside the reference trace are comparable; the
+    // settle tail runs against pass-through modulation by design.
+    if (mid_offset - window_s / 2 < 0.0 ||
+        mid_offset + window_s / 2 > ref_total) {
+      continue;
+    }
+
+    WindowScore w;
+    w.mid = mid;
+    const bool lost =
+        std::any_of(lost_at.begin(), lost_at.end(),
+                    [&](sim::TimePoint at) {
+                      return at >= w_begin && at < w_end;
+                    });
+    const bool observed =
+        std::any_of(estimates.begin(), estimates.end(),
+                    [&](const core::Distiller::Estimate& e) {
+                      return e.at >= w_begin && e.at < w_end;
+                    });
+    if (lost) {
+      w.state = WindowState::kLostRecords;
+    } else if (!observed) {
+      w.state = WindowState::kNoEstimates;
+    }
+    if (!w.auditable()) {
+      ++out.unauditable;
+      out.windows.push_back(w);
+      continue;
+    }
+
+    if (!reference_window(reference, mid_offset - window_s / 2,
+                          mid_offset + window_s / 2, &w.ref_latency_s,
+                          &w.ref_vb, &w.ref_loss)) {
+      continue;  // degenerate reference (zero-duration tuples)
+    }
+    w.rec_latency_s = std::max(0.0, rec.latency_s - baseline.latency_s);
+    // Recovered Vb measures the emulated bottleneck directly: the
+    // modulation queue spreads the back-to-back stage-2 pair, so the
+    // physical Ethernet never requeues them and contributes nothing --
+    // no baseline subtraction.  The judge is exp_vb: the spacing a
+    // faithful modulator would produce, quantized to the contract tick
+    // and floored by the physical requeue spacing (the spacing when the
+    // quantized modulation delay collapses to zero).
+    w.rec_vb = rec.per_byte_bottleneck;
+    const double spacing = s_large * w.ref_vb;
+    const double q_spacing =
+        tick_s > 0.0 ? std::floor(spacing / tick_s + 0.5) * tick_s : spacing;
+    w.exp_vb =
+        std::max(q_spacing, s_large * baseline.per_byte_bottleneck) / s_large;
+    w.rec_loss = rec.loss;
+
+    w.latency_rel_err = std::abs(w.rec_latency_s - w.ref_latency_s) /
+                        std::max(w.ref_latency_s, cfg.latency_floor_s);
+    w.bandwidth_rel_err = std::abs(w.rec_vb - w.exp_vb) /
+                          std::max(w.exp_vb, cfg.bottleneck_floor);
+    w.loss_delta = std::abs(w.rec_loss - w.ref_loss);
+    w.within_tolerance = w.latency_rel_err <= cfg.latency_tolerance &&
+                         w.bandwidth_rel_err <= cfg.bandwidth_tolerance &&
+                         w.loss_delta <= cfg.loss_tolerance;
+
+    ++out.auditable;
+    if (w.within_tolerance) ++out.within_tolerance;
+    out.windows.push_back(w);
+  }
+
+  if (out.auditable > 0) {
+    std::vector<double> lat, bw, loss;
+    lat.reserve(out.auditable);
+    bw.reserve(out.auditable);
+    loss.reserve(out.auditable);
+    for (const WindowScore& w : out.windows) {
+      if (!w.auditable()) continue;
+      lat.push_back(w.latency_rel_err);
+      bw.push_back(w.bandwidth_rel_err);
+      loss.push_back(w.loss_delta);
+    }
+    out.latency_rel_err = median(std::move(lat));
+    out.bandwidth_rel_err = median(std::move(bw));
+    out.loss_delta = median(std::move(loss));
+    out.within_tolerance_fraction = static_cast<double>(out.within_tolerance) /
+                                    static_cast<double>(out.auditable);
+  }
+  if (!out.windows.empty()) {
+    out.auditable_fraction = static_cast<double>(out.auditable) /
+                             static_cast<double>(out.windows.size());
+  }
+
+  // --- KS distance on stage-1 round-trips ----------------------------------
+  // Observed: every stage-1 ECHOREPLY (the smallest probe size).  Expected:
+  // for the same probes, the reference model's RTT -- baseline testbed cost
+  // plus one modulated leg each way, where a leg under half a tick sends
+  // immediately (contributing nothing) and a scheduled leg carries the
+  // quantization comb.
+  std::vector<double> observed, expected;
+  std::vector<std::pair<double, int>> clean;  // (clean RTT, quantized legs)
+  for (const trace::TraceRecord& r : second_order.records) {
+    const auto* p = std::get_if<trace::PacketRecord>(&r);
+    if (p == nullptr || p->icmp_kind != trace::IcmpKind::kEchoReply) continue;
+    if (static_cast<double>(p->ip_bytes) != s_small) continue;
+    const double offset = sim::to_seconds(p->echo_origin + cfg.align);
+    if (offset < 0.0 || offset >= ref_total) continue;
+    const core::QualityTuple& q =
+        reference.at_offset(sim::from_seconds(offset));
+    const double s = static_cast<double>(p->ip_bytes);
+    const double out_leg =
+        q.latency_s + s * (q.per_byte_bottleneck + q.per_byte_residual);
+    const double in_leg =
+        q.latency_s +
+        s * (std::max(0.0, q.per_byte_bottleneck + cfg.inbound_extra_vb) +
+             q.per_byte_residual);
+    double rtt = baseline.rtt_s(s);
+    int legs = 0;
+    for (const double leg : {out_leg, in_leg}) {
+      if (tick.below_threshold(sim::from_seconds(leg))) continue;
+      rtt += leg;
+      ++legs;
+    }
+    observed.push_back(sim::to_seconds(p->rtt()));
+    clean.emplace_back(rtt, legs);
+  }
+  expected.reserve(clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    expected.push_back(clean[i].first + quantization_offset(i, clean.size(),
+                                                            clean[i].second,
+                                                            tick_s));
+  }
+  out.rtt_samples = observed.size();
+  out.ks_rtt = ks_distance(std::move(observed), std::move(expected));
+  return out;
+}
+
+}  // namespace tracemod::audit

@@ -1,0 +1,142 @@
+// Divergence scoring: recovered vs. reference parameter tracks.
+//
+// The second half of the closed loop: re-distill a second-order trace
+// (second_order.hpp) through the ordinary core::Distiller, time-align the
+// recovered <F, Vb, L> track against the reference replay trace, and score
+// the divergence per window and in aggregate:
+//   - per-window relative error on latency (F) and bottleneck per-byte
+//     cost (Vb), absolute delta on the loss rate (L), each against the
+//     duration-weighted reference average over the same window;
+//   - the fraction of auditable windows whose errors all land inside the
+//     configured tolerances;
+//   - a two-sample Kolmogorov-Smirnov distance between the observed
+//     stage-1 probe round-trips and the round-trips the reference model
+//     predicts for the same probes (including the tick-quantization noise
+//     the modulation layer is *supposed* to add -- Section 3.3).
+//
+// Windows that collection could not observe -- a LostRecords marker inside
+// the window, or no usable probe group at all -- are excluded from every
+// aggregate and counted as unauditable: degraded collection must never be
+// reported as modulation divergence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distiller.hpp"
+#include "trace/records.hpp"
+
+namespace tracemod::audit {
+
+/// The physical testbed's own contribution to recovered parameters,
+/// measured by running the identical instruments over the un-modulated
+/// testbed (an empty reference trace) and distilling: Ethernet
+/// serialization and propagation plus stack cost.  Subtracted from the
+/// recovered track before comparison, mirroring the paper's delay
+/// compensation philosophy (Section 3.3).
+struct Baseline {
+  double latency_s = 0.0;            ///< F0
+  double per_byte_bottleneck = 0.0;  ///< Vb0, s/byte
+  double per_byte_residual = 0.0;    ///< Vr0, s/byte
+
+  /// Round-trip the bare testbed adds to a probe of the given IP size.
+  double rtt_s(double bytes) const {
+    return 2.0 * (latency_s +
+                  bytes * (per_byte_bottleneck + per_byte_residual));
+  }
+};
+
+struct DivergenceConfig {
+  /// Re-distillation window/step (defaults match the collection pipeline).
+  core::DistillConfig distill{};
+  /// The CONTRACT tick quantum -- the scheduling granularity the emulation
+  /// is supposed to run at (the paper's 10 ms kernel timer), deliberately
+  /// NOT copied from the audited emulator's config.  The expected-RTT and
+  /// expected-bandwidth models quantize to this grid: a faithful modulator
+  /// cannot beat half-a-tick, so that much error is excused -- while an
+  /// emulator running a coarser quantum than the contract shows up as
+  /// genuine divergence (the doubled-tick breach the CI gate pins).
+  sim::Duration tick = sim::milliseconds(10);
+  /// Endpoint-placement term for inbound probes: the modulation layer
+  /// charges inbound packets max(0, Vb + physical_vb - compensation)
+  /// (core/modulation.hpp); this is physical_vb - compensation.
+  double inbound_extra_vb = 0.0;
+  /// Shift applied when mapping audit-world time to reference-trace
+  /// offsets (the replay daemon starts at t = 0, so 0 is usually right).
+  sim::Duration align{};
+  /// Relative-error denominators never drop below these floors, so a
+  /// near-zero reference value cannot manufacture infinite error.
+  double latency_floor_s = 0.5e-3;
+  double bottleneck_floor = 2e-7;  ///< s/byte (~40 Mb/s)
+  /// Per-window tolerances for the within-tolerance fraction (see the
+  /// FidelityThresholds comment in auditor.hpp for the calibration).
+  double latency_tolerance = 0.60;
+  double bandwidth_tolerance = 0.25;
+  double loss_tolerance = 0.05;
+};
+
+enum class WindowState : std::uint8_t {
+  kScored = 0,       ///< auditable, scores valid
+  kLostRecords = 1,  ///< kernel-buffer overrun inside the window
+  kNoEstimates = 2,  ///< no usable probe group (distiller filled it)
+};
+
+struct WindowScore {
+  sim::TimePoint mid{};  ///< window midpoint, audit-world virtual time
+  WindowState state = WindowState::kScored;
+  bool within_tolerance = false;
+  double latency_rel_err = 0.0;
+  double bandwidth_rel_err = 0.0;
+  double loss_delta = 0.0;
+  // The compared values.  rec_latency_s has the baseline's F0 subtracted.
+  // exp_vb is the bottleneck cost a *faithful* modulator would recover for
+  // this window: the stage-2 release spacing s2*ref_vb quantized to the
+  // contract tick, floored by the physical Ethernet's own requeue spacing
+  // -- recovered Vb is judged against that, not against raw ref_vb, so the
+  // unavoidable tick-quantization of back-to-back releases is not scored
+  // as divergence (while a coarser-than-contract quantum is).
+  double ref_latency_s = 0.0, rec_latency_s = 0.0;
+  double ref_vb = 0.0, exp_vb = 0.0, rec_vb = 0.0;
+  double ref_loss = 0.0, rec_loss = 0.0;
+
+  bool auditable() const { return state == WindowState::kScored; }
+};
+
+struct DivergenceScores {
+  /// One entry per re-distilled window whose span lies inside the
+  /// reference trace; the settle tail past the trace end is not scored.
+  std::vector<WindowScore> windows;
+  std::size_t auditable = 0;
+  std::size_t unauditable = 0;
+  std::size_t within_tolerance = 0;
+  /// Aggregates over auditable windows only.  Medians, not means: a deep
+  /// coverage fade makes the probe group's own serialization through the
+  /// emulated bottleneck self-interfere (recovered F inflates by tens of
+  /// ms for a handful of windows), and that instrument artifact must not
+  /// dominate the verdict the way it would a mean.  A real contract
+  /// violation (e.g. a doubled tick) shifts *every* window, so the median
+  /// separates the two cleanly.
+  double latency_rel_err = 0.0;
+  double bandwidth_rel_err = 0.0;
+  double loss_delta = 0.0;
+  double within_tolerance_fraction = 0.0;  ///< of auditable windows
+  double auditable_fraction = 0.0;         ///< auditable / windows.size()
+  /// Two-sample KS distance, observed vs. model-expected stage-1 RTTs.
+  double ks_rtt = 0.0;
+  std::size_t rtt_samples = 0;
+  /// The re-distilled replay trace and its distillation stats.
+  core::ReplayTrace recovered;
+  core::Distiller::Stats distill_stats;
+};
+
+/// Scores one second-order trace against its reference.
+DivergenceScores score_divergence(const core::ReplayTrace& reference,
+                                  const trace::CollectedTrace& second_order,
+                                  const Baseline& baseline,
+                                  const DivergenceConfig& cfg = {});
+
+/// Two-sample Kolmogorov-Smirnov distance: sup |F_a - F_b| over the
+/// empirical CDFs.  Returns 0 when either sample is empty.
+double ks_distance(std::vector<double> a, std::vector<double> b);
+
+}  // namespace tracemod::audit

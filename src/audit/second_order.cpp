@@ -1,0 +1,62 @@
+#include "audit/second_order.hpp"
+
+#include "sim/clock_model.hpp"
+#include "sim/metric_names.hpp"
+#include "trace/fault_injector.hpp"
+
+namespace tracemod::audit {
+
+SecondOrderResult collect_second_order(const core::ReplayTrace& reference,
+                                       const SecondOrderConfig& cfg) {
+  core::Emulator emulator(reference, cfg.emulator);
+  sim::EventLoop& loop = emulator.loop();
+
+  // The Emulator wrapped the mobile's interface 0 with the modulation
+  // layer; wrapping again puts the tap between IP and modulation, so it
+  // timestamps probes before they are delayed outbound and after they are
+  // delayed inbound -- the tap observes the emulated network, exactly as
+  // the paper's second-order collection observed the modulated kernel.
+  sim::ClockModel clock;  // the audit host's clock (ideal)
+  trace::TraceTap* tap = nullptr;
+  emulator.mobile().node().wrap_interface(
+      0, [&](std::unique_ptr<net::NetDevice> inner) {
+        auto t = std::make_unique<trace::TraceTap>(std::move(inner), loop,
+                                                   clock, nullptr, cfg.tap);
+        tap = t.get();
+        return t;
+      });
+
+  // Degraded-collection drill: squeeze the tap's kernel buffer up front so
+  // overruns emit LostRecords markers during the run.  The injector's
+  // stream derives from the audit seed, never the world's root rng.
+  trace::FaultInjector pressure(
+      sim::Rng(cfg.emulator.seed ^ 0xa0d17'b0f'fe2ULL),
+      &emulator.context().metrics());
+  if (cfg.buffer_pressure < 1.0) {
+    pressure.pressure_kernel_buffer(tap->buffer(), cfg.buffer_pressure);
+  }
+
+  trace::CollectionDaemon collector(loop, *tap);
+  trace::PingWorkload ping(emulator.mobile(), cfg.emulator.server_addr,
+                           clock, cfg.ping);
+
+  const sim::Duration run_for =
+      cfg.run_for.count() > 0 ? cfg.run_for
+                              : reference.total_duration() + cfg.settle;
+  collector.start();
+  ping.start();
+  emulator.run_for(run_for);
+  ping.stop();
+  collector.stop();
+
+  SecondOrderResult result;
+  result.trace = collector.take_trace();
+  result.ping = ping.stats();
+  result.modulation = emulator.modulation().stats();
+  result.ran_for = run_for;
+  result.buffer_drops = emulator.context().metrics().value(
+      sim::metric::kBufferPressureDrops);
+  return result;
+}
+
+}  // namespace tracemod::audit

@@ -1,0 +1,66 @@
+// Second-order collection: tracing the emulation itself.
+//
+// The paper validates modulation by closing its own loop (Section 5):
+// collect a trace *of the modulated run*, re-distill it, and compare the
+// recovered parameter tracks against the replay trace that drove the
+// modulation.  This module provides the collection half of that loop: it
+// builds a modulated testbed over a reference replay trace, attaches the
+// ordinary trace::TraceTap above the modulation layer on the mobile host
+// (IP -> tap -> modulation -> Ethernet), runs the paper's ping workload
+// through it, and returns the second-order trace.
+//
+// The audit world is a dedicated SimContext: attaching the tap never
+// touches any benchmark trial's world, so enabling audits cannot perturb a
+// single virtual-time result.
+#pragma once
+
+#include "core/emulator.hpp"
+#include "trace/ping.hpp"
+#include "trace/trace_tap.hpp"
+
+namespace tracemod::audit {
+
+struct SecondOrderConfig {
+  /// The modulated world to audit: seed, tick quantum, compensation,
+  /// Ethernet, and (for fault drills) modulation-daemon faults.
+  core::EmulatorConfig emulator{};
+  /// The audit probe.  The sizes differ from the collection default on
+  /// purpose: stage 1 must be large enough that its one-way modulated
+  /// delay stays above the half-tick immediate-send threshold (Section
+  /// 3.3) for WaveLAN-class traces, or the recovered latency track would
+  /// be biased low by the scheduling-granularity artifact rather than by
+  /// any modulation defect.  The period is much shorter than collection's
+  /// 1 s: each re-distillation window then averages ~25 probe groups, which
+  /// beats down the +-half-tick release-quantization noise that eq. (5)
+  /// amplifies by s1/(2*(s2-s1)).  197 ms is coprime with the 10 ms tick
+  /// grid, so probe phases sweep the grid instead of locking to it.
+  trace::PingConfig ping{600, 1400, sim::milliseconds(197), 42};
+  trace::TraceTapConfig tap{};
+  /// Explicit run length; zero means the reference trace's total duration
+  /// plus `settle`.
+  sim::Duration run_for{};
+  sim::Duration settle = sim::seconds(2);
+  /// < 1 shrinks the tap's kernel buffer to this fraction before the run
+  /// (trace::FaultInjector::pressure_kernel_buffer), so overruns surface
+  /// as LostRecords windows -- the degraded-collection drill.
+  double buffer_pressure = 1.0;
+};
+
+struct SecondOrderResult {
+  trace::CollectedTrace trace;
+  trace::PingWorkload::Stats ping;
+  core::ModulationLayer::Stats modulation;
+  sim::Duration ran_for{};
+  /// Records rejected by injected kernel-buffer pressure.
+  std::uint64_t buffer_drops = 0;
+};
+
+/// Runs one second-order collection over the reference trace.  Pass an
+/// empty reference to measure the un-modulated testbed with the identical
+/// instruments (the baseline-calibration run: modulation is transparent
+/// without tuples, so the recovered parameters are the physical testbed's
+/// own contribution).
+SecondOrderResult collect_second_order(const core::ReplayTrace& reference,
+                                       const SecondOrderConfig& cfg = {});
+
+}  // namespace tracemod::audit

@@ -53,6 +53,27 @@ BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
       cfg.telemetry);
 }
 
+audit::FidelityReport run_trace_audit(const core::ReplayTrace& trace,
+                                      const ExperimentConfig& cfg, int trial,
+                                      const std::string& label) {
+  audit::AuditConfig acfg;
+  acfg.second_order.emulator.seed =
+      cfg.base_seed + 1700 + static_cast<std::uint64_t>(trial);
+  acfg.second_order.emulator.modulation.tick = cfg.tick;
+  // The audit measures the *uncompensated* modulation contract, even when
+  // trials run with delay compensation.  Compensation is an
+  // endpoint-placement correction for benchmark traffic crossing the
+  // physical testbed path; under the probe workload it makes the inbound
+  // reply spacing straddle the round-to-nearest tick boundary (the shared
+  // bottleneck queue compresses replies to ~s2*Vb apart), so recovered Vb
+  // turns phase-bimodal and stops measuring the emulated bottleneck.  The
+  // tick, the trace, and the seeds still come from the trial config, so a
+  // misconfigured quantum or a corrupt trace is still caught.
+  acfg.second_order.emulator.modulation.inbound_vb_compensation = 0.0;
+  acfg.thresholds = cfg.audit.thresholds;
+  return audit::audit_trace(trace, acfg, label);
+}
+
 std::vector<BenchmarkOutcome> run_live_trials(const Scenario& scenario,
                                               BenchmarkKind kind,
                                               const ExperimentConfig& cfg) {
@@ -116,6 +137,21 @@ std::vector<BenchmarkOutcome> run_ethernet_trials(
     outcomes.push_back(run_ethernet_trial(kind, cfg, t));
   }
   return outcomes;
+}
+
+std::vector<audit::FidelityReport> run_trace_audits(
+    const std::vector<core::ReplayTrace>& traces, const ExperimentConfig& cfg,
+    const std::string& label_prefix) {
+  std::vector<audit::FidelityReport> reports;
+  int t = 0;
+  for (const core::ReplayTrace& trace : traces) {
+    const std::string label = label_prefix.empty()
+                                  ? "trial" + std::to_string(t)
+                                  : label_prefix + "/trial" + std::to_string(t);
+    reports.push_back(run_trace_audit(trace, cfg, t, label));
+    ++t;
+  }
+  return reports;
 }
 
 std::vector<sim::LabeledTelemetry> labeled_telemetry(

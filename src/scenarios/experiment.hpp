@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "core/distiller.hpp"
 #include "core/emulator.hpp"
 #include "scenarios/benchmarks.hpp"
@@ -33,6 +34,12 @@ struct ExperimentConfig {
   /// TelemetrySnapshot; when disabled (default), trial behaviour and
   /// outputs are bit-identical to a config without this field.
   sim::TelemetryConfig telemetry{};
+  /// Closed-loop fidelity auditing (src/audit/).  When enabled, each
+  /// collected replay trace additionally gets one audit run (seed
+  /// base_seed + 1700 + t) in its own dedicated world; trial worlds are
+  /// untouched, so every benchmark outcome is bit-identical to a config
+  /// with auditing disabled (pinned by test and by CI's seed diff).
+  audit::AuditOptions audit{};
 };
 
 /// Measures the physical modulating network's mean bottleneck per-byte
@@ -67,6 +74,14 @@ BenchmarkOutcome run_modulated_trial(const core::ReplayTrace& trace,
 BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
                                     const ExperimentConfig& cfg, int trial);
 
+/// One closed-loop fidelity audit of a replay trace
+/// (seed base_seed + 1700 + t): second-order collection against the
+/// modulated world, re-distillation, divergence scoring, verdict.  Runs in
+/// its own world; never perturbs trial results.
+audit::FidelityReport run_trace_audit(const core::ReplayTrace& trace,
+                                      const ExperimentConfig& cfg, int trial,
+                                      const std::string& label = "");
+
 // --- serial batch drivers --------------------------------------------------
 
 /// Live benchmark trials; trial t uses seed base_seed + t.
@@ -91,6 +106,11 @@ std::vector<BenchmarkOutcome> run_modulated_trials(
 /// The benchmark over the bare modulation Ethernet (the tables' last row).
 std::vector<BenchmarkOutcome> run_ethernet_trials(BenchmarkKind kind,
                                                   const ExperimentConfig& cfg);
+
+/// One fidelity audit per replay trace (trial t audits traces[t]).
+std::vector<audit::FidelityReport> run_trace_audits(
+    const std::vector<core::ReplayTrace>& traces, const ExperimentConfig& cfg,
+    const std::string& label_prefix = "");
 
 /// A single modulated benchmark run over an explicit replay trace.
 BenchmarkOutcome run_modulated_benchmark(

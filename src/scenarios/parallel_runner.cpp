@@ -117,6 +117,19 @@ std::vector<BenchmarkOutcome> ParallelRunner::ethernet_trials(
       });
 }
 
+std::vector<audit::FidelityReport> ParallelRunner::trace_audits(
+    const std::vector<core::ReplayTrace>& traces, const ExperimentConfig& cfg,
+    const std::string& label_prefix) {
+  return parallel_index_map<audit::FidelityReport>(
+      pool_, traces.size(), [&](std::size_t t) {
+        const std::string label =
+            label_prefix.empty()
+                ? "trial" + std::to_string(t)
+                : label_prefix + "/trial" + std::to_string(t);
+        return run_trace_audit(traces[t], cfg, static_cast<int>(t), label);
+      });
+}
+
 ParallelRunner::CellResult ParallelRunner::experiment(
     const Scenario& scenario, BenchmarkKind kind,
     const ExperimentConfig& cfg) {
@@ -142,8 +155,27 @@ ParallelRunner::CellResult ParallelRunner::experiment(
   }
   pool_.run_all(std::move(tasks));
 
-  // Phase two: one modulated trial per distilled trace.
-  cell.modulated = modulated_trials(cell.traces, kind, cfg);
+  // Phase two: one modulated trial per distilled trace, and -- when
+  // auditing is on -- one closed-loop fidelity audit per trace, all
+  // independent worlds fanned out together.
+  cell.modulated.resize(n);
+  if (cfg.audit.enabled) cell.audits.resize(n);
+  std::vector<std::function<void()>> phase_two;
+  phase_two.reserve(cfg.audit.enabled ? 2 * n : n);
+  for (std::size_t t = 0; t < n; ++t) {
+    phase_two.push_back([&, t] {
+      cell.modulated[t] =
+          run_modulated_trial(cell.traces[t], kind, cfg, static_cast<int>(t));
+    });
+    if (cfg.audit.enabled) {
+      phase_two.push_back([&, t] {
+        cell.audits[t] =
+            run_trace_audit(cell.traces[t], cfg, static_cast<int>(t),
+                            "trial" + std::to_string(t));
+      });
+    }
+  }
+  pool_.run_all(std::move(phase_two));
   return cell;
 }
 
@@ -196,7 +228,7 @@ ParallelRunner::SweepResult ParallelRunner::sweep(
   pool_.run_all(std::move(phase_one));
 
   std::vector<std::function<void()>> phase_two;
-  phase_two.reserve(ns * nk * n);
+  phase_two.reserve(ns * nk * n + (cfg.audit.enabled ? ns * n : 0));
   for (std::size_t s = 0; s < ns; ++s) {
     for (std::size_t k = 0; k < nk; ++k) {
       CellResult& cell = result.cells[s * nk + k];
@@ -208,6 +240,20 @@ ParallelRunner::SweepResult ParallelRunner::sweep(
           c.modulated[t] =
               run_modulated_trial(c.traces[t], kinds[k], cfg,
                                   static_cast<int>(t));
+        });
+      }
+    }
+  }
+  // Audits ride on the per-scenario traces, one report per traversal; the
+  // audit worlds are independent of every trial world.
+  if (cfg.audit.enabled) {
+    result.audits.assign(ns, std::vector<audit::FidelityReport>(n));
+    for (std::size_t s = 0; s < ns; ++s) {
+      for (std::size_t t = 0; t < n; ++t) {
+        phase_two.push_back([&, s, t] {
+          result.audits[s][t] = run_trace_audit(
+              traces[s][t], cfg, static_cast<int>(t),
+              scenarios[s].name + "/trial" + std::to_string(t));
         });
       }
     }

@@ -89,6 +89,9 @@ class ParallelRunner {
       const ExperimentConfig& cfg);
   std::vector<BenchmarkOutcome> ethernet_trials(BenchmarkKind kind,
                                                 const ExperimentConfig& cfg);
+  std::vector<audit::FidelityReport> trace_audits(
+      const std::vector<core::ReplayTrace>& traces, const ExperimentConfig& cfg,
+      const std::string& label_prefix = "");
 
   /// One benchmark x scenario cell of the paper's evaluation.
   struct CellResult {
@@ -97,6 +100,8 @@ class ParallelRunner {
     std::vector<BenchmarkOutcome> live;
     std::vector<core::ReplayTrace> traces;
     std::vector<BenchmarkOutcome> modulated;
+    /// One fidelity report per trace when cfg.audit.enabled; else empty.
+    std::vector<audit::FidelityReport> audits;
   };
 
   /// Full experimental procedure for one cell: live trials, collection
@@ -110,6 +115,9 @@ class ParallelRunner {
     std::vector<CellResult> cells;
     /// Bare-Ethernet baseline rows, one vector per benchmark kind.
     std::vector<std::vector<BenchmarkOutcome>> ethernet;
+    /// Per-scenario fidelity reports (traces are per scenario, so audits
+    /// are too), scenario-major; empty unless cfg.audit.enabled.
+    std::vector<std::vector<audit::FidelityReport>> audits;
   };
 
   /// The full trial matrix: every benchmark on every scenario plus the

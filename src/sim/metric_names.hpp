@@ -56,6 +56,24 @@ inline constexpr const char* kWirelessHandoffs = "wireless.handoffs";
 /// Packets dropped by trace modulation (delay-queue policy).
 inline constexpr const char* kModulationDrops = "modulation.drops";
 
+// --- fidelity-audit counters (src/audit) ---
+
+/// Divergence windows scored by the fidelity auditor (auditable +
+/// unauditable).
+inline constexpr const char* kAuditWindowsTotal = "audit.windows_total";
+
+/// Windows the auditor could not score: a LostRecords marker or zero
+/// distillation estimates fell inside them.  These are excluded from the
+/// divergence aggregates (degraded collection must never read as
+/// divergence).
+inline constexpr const char* kAuditWindowsUnauditable =
+    "audit.windows_unauditable";
+
+/// Auditable windows whose latency/bandwidth/loss all landed inside the
+/// per-window tolerances.
+inline constexpr const char* kAuditWindowsWithinTolerance =
+    "audit.windows_within_tolerance";
+
 // --- telemetry histogram / series channel names ---
 
 /// End-to-end packet latency, source send to final delivery (histogram,
@@ -75,6 +93,17 @@ inline constexpr const char* kBottleneckBacklog =
 /// records).
 inline constexpr const char* kReplayBufferDepth = "replay.buffer_depth";
 
+/// Per-window recovered-vs-reference latency relative error (series,
+/// sampled at each divergence window's midpoint on the audit timeline).
+inline constexpr const char* kAuditLatencyRelErr = "audit.latency_rel_err";
+
+/// Per-window bottleneck-bandwidth relative error (series).
+inline constexpr const char* kAuditBandwidthRelErr =
+    "audit.bandwidth_rel_err";
+
+/// Per-window |recovered - reference| loss-rate delta (series).
+inline constexpr const char* kAuditLossDelta = "audit.loss_delta";
+
 /// Every counter name the simulation can emit.  The metric-name drift test
 /// snapshots a full end-to-end run and fails if it sees a counter that is
 /// not in this list.
@@ -83,7 +112,20 @@ inline constexpr const char* kAllCounterNames[] = {
     kDaemonStarvedTicks, kBufferPressureDrops, kNetPacketsSent,
     kNetPacketsReceived, kNetPacketsForwarded, kTcpRetransmits,
     kWirelessRetransmits, kWirelessDrops,      kWirelessHandoffs,
-    kModulationDrops,
+    kModulationDrops,    kAuditWindowsTotal,   kAuditWindowsUnauditable,
+    kAuditWindowsWithinTolerance,
+};
+
+/// Every series channel name, for the same drift test (audit divergence
+/// tracks included).
+inline constexpr const char* kAllSeriesNames[] = {
+    kDelayQueueDepth,    kBottleneckBacklog,   kReplayBufferDepth,
+    kAuditLatencyRelErr, kAuditBandwidthRelErr, kAuditLossDelta,
+};
+
+/// Every histogram name, for the same drift test.
+inline constexpr const char* kAllHistogramNames[] = {
+    kE2eLatencyMs,
 };
 
 }  // namespace tracemod::sim::metric

@@ -42,6 +42,9 @@ class TraceTap : public net::DeviceShim {
   std::vector<TraceRecord> read(std::size_t max_records);
 
   const KernelBuffer& buffer() const { return buffer_; }
+  /// Mutable access for fault drills (FaultInjector::pressure_kernel_buffer
+  /// shrinks the capacity so overruns emit LostRecords markers).
+  KernelBuffer& buffer() { return buffer_; }
 
  protected:
   void on_outbound(net::Packet pkt) override;

@@ -1,0 +1,140 @@
+// Divergence-engine unit tests: the KS statistic, window scoring over a
+// real second-order collection, and the degraded-collection exclusion
+// rule (LostRecords windows never contribute to the aggregates).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audit/divergence.hpp"
+#include "audit/second_order.hpp"
+
+namespace tracemod::audit {
+namespace {
+
+TEST(KsDistance, EmptySamplesScoreZero) {
+  EXPECT_EQ(ks_distance({}, {}), 0.0);
+  EXPECT_EQ(ks_distance({1.0, 2.0}, {}), 0.0);
+  EXPECT_EQ(ks_distance({}, {1.0, 2.0}), 0.0);
+}
+
+TEST(KsDistance, IdenticalSamplesScoreZero) {
+  const std::vector<double> s = {0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(ks_distance(s, s), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesScoreOne) {
+  EXPECT_DOUBLE_EQ(ks_distance({1.0, 2.0, 3.0}, {10.0, 11.0, 12.0}), 1.0);
+}
+
+TEST(KsDistance, HalfOverlapScoresHalf) {
+  // b is a shifted by two of four: the empirical CDFs differ by exactly
+  // 0.5 at the crossover.
+  EXPECT_DOUBLE_EQ(ks_distance({1.0, 2.0, 3.0, 4.0}, {3.0, 4.0, 5.0, 6.0}),
+                   0.5);
+}
+
+TEST(KsDistance, InputOrderIsIrrelevant) {
+  EXPECT_DOUBLE_EQ(ks_distance({3.0, 1.0, 2.0}, {2.5, 0.5, 1.5}),
+                   ks_distance({1.0, 2.0, 3.0}, {0.5, 1.5, 2.5}));
+}
+
+SecondOrderConfig quick_config() {
+  SecondOrderConfig cfg;
+  cfg.emulator.seed = 7;
+  cfg.settle = sim::seconds(1);
+  return cfg;
+}
+
+TEST(ScoreDivergence, FaithfulCollectionScoresLowOnEveryAxis) {
+  const core::ReplayTrace reference =
+      core::ReplayTrace::wavelan_like(sim::seconds(60));
+  const SecondOrderConfig cfg = quick_config();
+  const SecondOrderResult second = collect_second_order(reference, cfg);
+  ASSERT_FALSE(second.trace.records.empty());
+
+  const DivergenceScores s =
+      score_divergence(reference, second.trace, Baseline{});
+  ASSERT_GT(s.auditable, 0u);
+  EXPECT_EQ(s.unauditable, 0u);
+  EXPECT_DOUBLE_EQ(s.auditable_fraction, 1.0);
+  EXPECT_FALSE(s.recovered.empty());
+  EXPECT_GT(s.rtt_samples, 100u);
+
+  // A faithful 10 ms-tick emulation scored against the 10 ms contract
+  // lands well inside the default ceilings (auditor.hpp calibration).
+  EXPECT_LT(s.latency_rel_err, 0.60);
+  EXPECT_LT(s.bandwidth_rel_err, 0.25);
+  EXPECT_LT(s.loss_delta, 0.05);
+  EXPECT_LT(s.ks_rtt, 0.50);
+  EXPECT_GT(s.within_tolerance_fraction, 0.60);
+  for (const WindowScore& w : s.windows) {
+    EXPECT_TRUE(std::isfinite(w.latency_rel_err));
+    EXPECT_TRUE(std::isfinite(w.bandwidth_rel_err));
+    EXPECT_TRUE(std::isfinite(w.loss_delta));
+  }
+}
+
+TEST(ScoreDivergence, CoarserThanContractTickDiverges) {
+  // The shipped Porter trace: its real parameter variance keeps probe
+  // groups resolvable even under a coarse emulator quantum (a constant
+  // synthetic trace can collapse the stage-2 gap into a single tick and
+  // starve the distiller of estimates entirely).
+  const core::ReplayTrace reference = core::ReplayTrace::load(
+      std::string(TRACEMOD_REPO_DIR) + "/porter_replay.trace");
+  SecondOrderConfig cfg = quick_config();
+  cfg.emulator.modulation.tick = sim::milliseconds(20);
+  const SecondOrderResult second = collect_second_order(reference, cfg);
+
+  // Scored against the 10 ms *contract* tick (the default), a doubled
+  // emulator quantum must read as divergence on latency and bandwidth.
+  const DivergenceScores s =
+      score_divergence(reference, second.trace, Baseline{});
+  ASSERT_GT(s.auditable, 0u);
+  EXPECT_GT(s.latency_rel_err, 0.60);
+  EXPECT_GT(s.bandwidth_rel_err, 0.25);
+  EXPECT_GT(s.ks_rtt, 0.50);
+  EXPECT_LT(s.within_tolerance_fraction, 0.60);
+}
+
+TEST(ScoreDivergence, LostRecordWindowsAreExcludedNotScored) {
+  const core::ReplayTrace reference =
+      core::ReplayTrace::wavelan_like(sim::seconds(60));
+  SecondOrderConfig cfg = quick_config();
+  cfg.buffer_pressure = 0.0006;  // a four-record buffer: bursts overrun it
+  const SecondOrderResult second = collect_second_order(reference, cfg);
+  ASSERT_GT(second.trace.total_lost_records(), 0u)
+      << "pressure drill produced no overruns; the exclusion rule is "
+         "untested";
+
+  const DivergenceScores s =
+      score_divergence(reference, second.trace, Baseline{});
+  EXPECT_GT(s.unauditable, 0u);
+  EXPECT_LT(s.auditable_fraction, 1.0);
+  // Every unauditable window carries a reason and zeroed scores; only
+  // auditable windows feed the aggregates.
+  std::size_t counted = 0;
+  for (const WindowScore& w : s.windows) {
+    if (w.auditable()) {
+      ++counted;
+      continue;
+    }
+    EXPECT_TRUE(w.state == WindowState::kLostRecords ||
+                w.state == WindowState::kNoEstimates);
+    EXPECT_EQ(w.latency_rel_err, 0.0);
+    EXPECT_EQ(w.bandwidth_rel_err, 0.0);
+  }
+  EXPECT_EQ(counted, s.auditable);
+}
+
+TEST(ScoreDivergence, EmptySecondOrderTraceScoresNothing) {
+  const core::ReplayTrace reference =
+      core::ReplayTrace::wavelan_like(sim::seconds(30));
+  const DivergenceScores s =
+      score_divergence(reference, trace::CollectedTrace{}, Baseline{});
+  EXPECT_TRUE(s.windows.empty());
+  EXPECT_EQ(s.auditable, 0u);
+  EXPECT_EQ(s.rtt_samples, 0u);
+}
+
+}  // namespace
+}  // namespace tracemod::audit

@@ -102,6 +102,22 @@ TEST(TelemetryPipeline, EveryCounterNameIsDeclaredCentrally) {
       EXPECT_TRUE(declared) << "counter '" << name
                             << "' is not declared in sim/metric_names.hpp";
     }
+    for (const auto& [name, series] : snap.series) {
+      bool declared = false;
+      for (const char* known : sim::metric::kAllSeriesNames) {
+        declared |= name == known;
+      }
+      EXPECT_TRUE(declared) << "series '" << name
+                            << "' is not declared in sim/metric_names.hpp";
+    }
+    for (const auto& [name, histogram] : snap.histograms) {
+      bool declared = false;
+      for (const char* known : sim::metric::kAllHistogramNames) {
+        declared |= name == known;
+      }
+      EXPECT_TRUE(declared) << "histogram '" << name
+                            << "' is not declared in sim/metric_names.hpp";
+    }
   };
   check(*live.telemetry);
   check(*modulated.telemetry);

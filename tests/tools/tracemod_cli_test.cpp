@@ -1,0 +1,129 @@
+// The tracemod exit-code and flag contract (tools/tracemod_cli.hpp):
+// usage errors, I/O errors, salvage, and fidelity breaches each map to a
+// distinct code, and every malformed invocation is rejected before any
+// side effect.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "trace/records.hpp"
+#include "trace/trace_io.hpp"
+#include "tracemod_cli.hpp"
+
+namespace tracemod::cli {
+namespace {
+
+std::string tmp(const std::string& name) {
+  return testing::TempDir() + "tracemod_cli_" + name;
+}
+
+TEST(TracemodCli, NoCommandIsAUsageError) {
+  EXPECT_EQ(run({}), kExitUsage);
+}
+
+TEST(TracemodCli, UnknownCommandIsAUsageError) {
+  EXPECT_EQ(run({"bogus"}), kExitUsage);
+  EXPECT_EQ(run({"--help"}), kExitUsage);
+}
+
+TEST(TracemodCli, UnknownFlagIsAUsageError) {
+  EXPECT_EQ(run({"synth", "wavelan", tmp("x.replay"), "--bogus"}),
+            kExitUsage);
+  EXPECT_EQ(run({"audit", tmp("x.replay"), "--frobnicate", "2"}),
+            kExitUsage);
+}
+
+TEST(TracemodCli, MissingFlagValueIsAUsageError) {
+  EXPECT_EQ(run({"synth", "wavelan", tmp("x.replay"), "--seconds"}),
+            kExitUsage);
+}
+
+TEST(TracemodCli, NonNumericFlagValueIsAUsageError) {
+  EXPECT_EQ(run({"synth", "wavelan", tmp("x.replay"), "--seconds", "soon"}),
+            kExitUsage);
+  EXPECT_EQ(run({"audit", tmp("x.replay"), "--tick", "10ms"}), kExitUsage);
+}
+
+TEST(TracemodCli, WrongPositionalCountIsAUsageError) {
+  EXPECT_EQ(run({"synth", "wavelan"}), kExitUsage);
+  EXPECT_EQ(run({"info"}), kExitUsage);
+  EXPECT_EQ(run({"info", "a", "b"}), kExitUsage);
+  EXPECT_EQ(run({"audit"}), kExitUsage);
+}
+
+TEST(TracemodCli, UnknownScenarioOrKindIsAUsageError) {
+  EXPECT_EQ(run({"collect", "atlantis", tmp("x.trace")}), kExitUsage);
+  EXPECT_EQ(run({"synth", "martian", tmp("x.replay")}), kExitUsage);
+}
+
+TEST(TracemodCli, MissingInputIsAnIoError) {
+  EXPECT_EQ(run({"info", tmp("nonexistent")}), kExitIo);
+  EXPECT_EQ(run({"audit", tmp("nonexistent.replay")}), kExitIo);
+  EXPECT_EQ(run({"verify", tmp("nonexistent.trace")}), kExitIo);
+}
+
+TEST(TracemodCli, SynthInfoRoundTripSucceeds) {
+  const std::string path = tmp("ok.replay");
+  EXPECT_EQ(run({"synth", "wavelan", path, "--seconds", "30"}), kExitOk);
+  EXPECT_EQ(run({"info", path}), kExitOk);
+}
+
+trace::CollectedTrace sample_trace() {
+  trace::CollectedTrace t;
+  for (int i = 0; i < 40; ++i) {
+    trace::PacketRecord p;
+    p.at = sim::kEpoch + sim::milliseconds(100 * i);
+    p.protocol = net::Protocol::kIcmp;
+    p.ip_bytes = 600;
+    p.icmp_kind = trace::IcmpKind::kEchoReply;
+    p.icmp_seq = static_cast<std::uint16_t>(i);
+    p.echo_origin = sim::kEpoch + sim::milliseconds(100 * i - 20);
+    t.records.emplace_back(p);
+  }
+  return t;
+}
+
+TEST(TracemodCli, VerifyDistinguishesCleanFromSalvageable) {
+  const std::string clean = tmp("clean.trace");
+  trace::save_trace(clean, sample_trace());
+  EXPECT_EQ(run({"verify", clean}), kExitOk);
+
+  const std::string damaged = tmp("damaged.trace");
+  EXPECT_EQ(run({"corrupt", clean, damaged, "--seed", "3", "--flips", "8"}),
+            kExitOk);
+  EXPECT_EQ(run({"verify", damaged}), kExitSalvage);
+}
+
+TEST(TracemodCli, AuditPassesFaithfulAndFlagsPerturbedModulation) {
+  const std::string path = tmp("audit.replay");
+  ASSERT_EQ(run({"synth", "wavelan", path, "--seconds", "60"}), kExitOk);
+
+  const std::string json = tmp("verdict.json");
+  EXPECT_EQ(run({"audit", path, "--baseline-seconds", "10", "--json", json}),
+            kExitOk);
+  std::ifstream verdict(json);
+  ASSERT_TRUE(verdict.good());
+  std::string contents((std::istreambuf_iterator<char>(verdict)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"verdict\": \"pass\""), std::string::npos);
+
+  // The acceptance drill: a deliberately perturbed modulation config (a
+  // doubled tick quantum) must exit with the distinct audit code.
+  EXPECT_EQ(run({"audit", path, "--tick", "20", "--baseline-seconds", "10"}),
+            kExitAudit);
+}
+
+TEST(TracemodCli, AuditThresholdFlagsAreHonored) {
+  const std::string path = tmp("strict.replay");
+  ASSERT_EQ(run({"synth", "wavelan", path, "--seconds", "60"}), kExitOk);
+  // An impossible ceiling turns the faithful run into a breach.
+  EXPECT_EQ(run({"audit", path, "--baseline-seconds", "10", "--max-latency",
+                 "0.0001"}),
+            kExitAudit);
+}
+
+}  // namespace
+}  // namespace tracemod::cli

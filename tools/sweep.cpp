@@ -3,7 +3,7 @@
 //   sweep [--threads N] [--serial] [--trials N] [--seed N]
 //         [--scenarios porter,flagstaff,wean,chatterbox]
 //         [--benchmarks web,ftp-send,ftp-recv,andrew]
-//         [--no-compensate] [--telemetry=PREFIX]
+//         [--no-compensate] [--telemetry=PREFIX] [--audit[=FILE]]
 //
 // Every cell of {benchmark} x {scenario} runs the paper's procedure: N
 // live trials, N collection traversals distilled to replay traces, one
@@ -11,7 +11,16 @@
 // benchmark.  Each trial is an isolated SimContext seeded as
 // base_seed + trial, so the results are bit-identical whether the matrix
 // runs on one thread (--serial) or across all cores; only the wall clock
-// changes.  Exit status: 0 on success, 1 on usage error.
+// changes.  Exit status: 0 on success, 1 on usage error, 4 when --audit
+// found a fidelity breach.
+//
+// --audit additionally runs one closed-loop fidelity audit per collected
+// trace (src/audit/) in its own dedicated world, prints a verdict table,
+// and writes the reports as a fidelity trajectory (schema
+// "tracemod-fidelity-trajectory-v1", default BENCH_fidelity.json --
+// documented in EXPERIMENTS.md).  Audit worlds never touch trial worlds,
+// so every benchmark number above is bit-identical with or without the
+// flag.
 //
 // --telemetry=PREFIX enables the observability subsystem in every trial
 // world and writes the merged exports to PREFIX.perfetto.json (load in
@@ -38,7 +47,8 @@ int usage() {
       "usage: sweep [--threads N] [--serial] [--trials N] [--seed N]\n"
       "             [--scenarios porter,flagstaff,...] "
       "[--benchmarks web,ftp-recv,...]\n"
-      "             [--no-compensate] [--telemetry=PREFIX]\n");
+      "             [--no-compensate] [--telemetry=PREFIX] "
+      "[--audit[=FILE]]\n");
   return 1;
 }
 
@@ -76,6 +86,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   std::string telemetry_prefix;
+  std::string audit_path;
   ExperimentConfig cfg;
   std::vector<Scenario> scenarios = all_scenarios();
   std::vector<BenchmarkKind> kinds = {BenchmarkKind::kWeb,
@@ -107,6 +118,16 @@ int main(int argc, char** argv) {
       cfg.base_seed = std::stoull(v);
     } else if (arg == "--no-compensate") {
       cfg.compensate = false;
+    } else if (arg == "--audit") {
+      audit_path = "BENCH_fidelity.json";
+      cfg.audit.enabled = true;
+    } else if (arg.rfind("--audit=", 0) == 0) {
+      audit_path = arg.substr(std::strlen("--audit="));
+      if (audit_path.empty()) {
+        std::fprintf(stderr, "--audit needs a file path\n");
+        return usage();
+      }
+      cfg.audit.enabled = true;
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       telemetry_prefix = arg.substr(std::strlen("--telemetry="));
       if (telemetry_prefix.empty()) {
@@ -188,6 +209,52 @@ int main(int argc, char** argv) {
                 to_string(kinds[k]), cell(eth).c_str(), "-");
   }
 
+  bool audit_breach = false;
+  if (cfg.audit.enabled) {
+    std::printf("\n%-25s %-12s | %8s %8s %8s %8s %6s\n", "audit", "verdict",
+                "lat.err", "bw.err", "loss.d", "ks.rtt", "within");
+    std::size_t pass = 0, breach = 0, unauditable = 0;
+    for (const auto& per_scenario : result.audits) {
+      for (const auto& rep : per_scenario) {
+        const auto& s = rep.scores;
+        std::printf("%-25s %-12s | %8.3f %8.3f %8.4f %8.3f %5.0f%%\n",
+                    rep.label.c_str(), audit::to_string(rep.verdict),
+                    s.latency_rel_err, s.bandwidth_rel_err, s.loss_delta,
+                    s.ks_rtt, 100.0 * s.within_tolerance_fraction);
+        for (const std::string& b : rep.breaches) {
+          std::printf("%-25s   breach: %s\n", "", b.c_str());
+        }
+        switch (rep.verdict) {
+          case audit::Verdict::kPass: ++pass; break;
+          case audit::Verdict::kBreach: ++breach; break;
+          case audit::Verdict::kUnauditable: ++unauditable; break;
+        }
+      }
+    }
+    std::printf("audit: %zu pass, %zu breach, %zu unauditable\n", pass,
+                breach, unauditable);
+    audit_breach = breach > 0;
+
+    std::ofstream out(audit_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write fidelity trajectory '%s'\n",
+                   audit_path.c_str());
+      return 1;
+    }
+    out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
+        << "\"reports\": [";
+    bool first = true;
+    for (const auto& per_scenario : result.audits) {
+      for (const auto& rep : per_scenario) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        audit::write_fidelity_json(out, rep);
+      }
+    }
+    out << "\n]\n}\n";
+    std::printf("fidelity trajectory: -> %s\n", audit_path.c_str());
+  }
+
   if (!telemetry_prefix.empty()) {
     // Merge every trial's snapshot in table order (cells, then Ethernet
     // baselines) with trial-ordered labels -- the same file regardless of
@@ -225,5 +292,5 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\ntotal wall clock: %.2f s\n", seconds_since(t0));
-  return 0;
+  return audit_breach ? 4 : 0;
 }

@@ -1,0 +1,592 @@
+// tracemod — command-line front end for the trace pipeline.
+//
+//   tracemod collect <scenario> <out.trace> [--seed N]
+//       run a collection traversal of a built-in scenario and write the
+//       raw trace (binary, self-descriptive format)
+//   tracemod distill <in.trace> <out.replay> [--window S] [--step S]
+//                    [--salvage]
+//       distill a raw trace into a replay trace (text format);
+//       --salvage reads around damage instead of failing on it
+//   tracemod info <file>
+//       summarize a raw trace or a replay trace (auto-detected)
+//   tracemod synth <kind> <out.replay> [--seconds N]
+//       write a synthetic replay trace: wavelan | step | slow
+//   tracemod verify <in.trace>
+//       integrity-check a raw trace: strict parse, then a salvage parse
+//       whose damage report is printed
+//   tracemod corrupt <in.trace> <out.trace> [--seed N] [--flips K]
+//                    [--truncate] [--drop N] [--dup N]
+//       write a deterministically corrupted copy of a raw trace
+//   tracemod audit <in.replay> [--tick MS] [--seed N] [--json FILE] ...
+//       close the loop over a replay trace: replay it through the
+//       modulated testbed, collect a second-order trace with the standard
+//       instruments, re-distill, and judge the recovered parameter track
+//       against the input; exits kExitAudit on breach
+//   tracemod report <out-prefix> [--replay FILE] [--benchmark KIND]
+//                   [--seed N] [--seconds N] [--audit]
+//       run one telemetry-enabled modulated benchmark and export
+//       <out-prefix>.perfetto.json and <out-prefix>.metrics.txt; with
+//       --audit the exports also carry the fidelity divergence series
+#include "tracemod_cli.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "audit/auditor.hpp"
+#include "core/distiller.hpp"
+#include "core/model.hpp"
+#include "scenarios/experiment.hpp"
+#include "trace/fault_injector.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracemod::cli {
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tracemod collect <porter|flagstaff|wean|chatterbox> <out.trace> "
+      "[--seed N]\n"
+      "  tracemod distill <in.trace> <out.replay> [--window SECONDS] "
+      "[--step SECONDS] [--salvage]\n"
+      "  tracemod info <file.trace|file.replay>\n"
+      "  tracemod synth <wavelan|step|slow> <out.replay> [--seconds N]\n"
+      "  tracemod verify <in.trace>\n"
+      "  tracemod corrupt <in.trace> <out.trace> [--seed N] [--flips K] "
+      "[--truncate] [--drop N] [--dup N]\n"
+      "  tracemod audit <in.replay> [--tick MS] [--seed N] [--json FILE]\n"
+      "                 [--baseline-seconds N] [--max-latency X] "
+      "[--max-bandwidth X]\n"
+      "                 [--max-loss X] [--max-ks X] [--min-within X] "
+      "[--min-auditable X]\n"
+      "  tracemod report <out-prefix> [--replay FILE] "
+      "[--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] [--seconds N] "
+      "[--audit]\n"
+      "exit codes: 0 ok, 1 usage, 2 I/O or format error, "
+      "3 damaged-but-salvageable trace, 4 fidelity breach\n");
+  return kExitUsage;
+}
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+/// Parsed, validated arguments: positionals in order, flags by name.
+struct Parsed {
+  std::vector<std::string> pos;
+  std::map<std::string, std::string> flags;
+  bool failed = false;
+
+  bool has(const std::string& name) const { return flags.count(name) > 0; }
+
+  bool str(const std::string& name, std::string* out) const {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return false;
+    *out = it->second;
+    return true;
+  }
+};
+
+/// Strict parse: every --flag must be declared, value-taking flags must
+/// have a value, and the positional count must be in [min_pos, max_pos].
+Parsed parse(const char* cmd, const std::vector<std::string>& args,
+             std::initializer_list<FlagSpec> spec, std::size_t min_pos,
+             std::size_t max_pos) {
+  Parsed p;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      p.pos.push_back(a);
+      continue;
+    }
+    const FlagSpec* match = nullptr;
+    for (const FlagSpec& f : spec) {
+      if (a == f.name) match = &f;
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "tracemod %s: unknown flag '%s'\n", cmd, a.c_str());
+      p.failed = true;
+      return p;
+    }
+    if (!match->takes_value) {
+      p.flags[a];
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "tracemod %s: flag '%s' requires a value\n", cmd,
+                   a.c_str());
+      p.failed = true;
+      return p;
+    }
+    p.flags[a] = args[++i];
+  }
+  if (p.pos.size() < min_pos || p.pos.size() > max_pos) {
+    std::fprintf(stderr, "tracemod %s: expected %zu%s argument%s, got %zu\n",
+                 cmd, min_pos, max_pos > min_pos ? "+" : "",
+                 min_pos == 1 && max_pos == 1 ? "" : "s", p.pos.size());
+    p.failed = true;
+  }
+  return p;
+}
+
+/// A numeric flag whose value must parse fully as a number.
+bool checked_number(const char* cmd, const Parsed& p, const std::string& name,
+                    double* out, bool* bad) {
+  const auto it = p.flags.find(name);
+  if (it == p.flags.end()) return false;
+  char* end = nullptr;
+  *out = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "tracemod %s: flag '%s' needs a number, got '%s'\n",
+                 cmd, name.c_str(), it->second.c_str());
+    *bad = true;
+    return false;
+  }
+  return true;
+}
+
+int cmd_collect(const std::vector<std::string>& args) {
+  const Parsed p = parse("collect", args, {{"--seed", true}}, 2, 2);
+  if (p.failed) return usage();
+  const scenarios::Scenario* scenario = nullptr;
+  static const auto all = scenarios::all_scenarios();
+  for (const auto& s : all) {
+    std::string lower = s.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == p.pos[0]) scenario = &s;
+  }
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", p.pos[0].c_str());
+    return usage();
+  }
+  double seed = 1;
+  bool bad = false;
+  checked_number("collect", p, "--seed", &seed, &bad);
+  if (bad) return usage();
+
+  std::printf("collecting %s (seed %.0f, %.0f s traversal)...\n",
+              scenario->name.c_str(), seed,
+              sim::to_seconds(scenario->collection_duration));
+  const trace::CollectedTrace collected = scenarios::collect_raw_trace(
+      *scenario, static_cast<std::uint64_t>(seed));
+  trace::save_trace(p.pos[1], collected);
+  std::printf("wrote %zu records to %s\n", collected.records.size(),
+              p.pos[1].c_str());
+  return kExitOk;
+}
+
+int cmd_distill(const std::vector<std::string>& args) {
+  const Parsed p = parse(
+      "distill", args,
+      {{"--window", true}, {"--step", true}, {"--salvage", false}}, 2, 2);
+  if (p.failed) return usage();
+  trace::TraceReadOptions ropts;
+  if (p.has("--salvage")) ropts.mode = trace::ReadMode::kSalvage;
+  const trace::TraceReadResult loaded = trace::load_trace_ex(p.pos[0], ropts);
+  if (!loaded.report.clean()) {
+    std::printf("salvaged input: %llu records read, %llu skipped "
+                "(%llu crc failures, %llu loss markers added)\n",
+                static_cast<unsigned long long>(loaded.report.records_read),
+                static_cast<unsigned long long>(loaded.report.records_skipped),
+                static_cast<unsigned long long>(loaded.report.crc_failures),
+                static_cast<unsigned long long>(
+                    loaded.report.lost_markers_synthesized));
+  }
+  const trace::CollectedTrace& collected = loaded.trace;
+  core::DistillConfig cfg;
+  double v = 0;
+  bool bad = false;
+  if (checked_number("distill", p, "--window", &v, &bad)) {
+    cfg.window = sim::from_seconds(v);
+  }
+  if (checked_number("distill", p, "--step", &v, &bad)) {
+    cfg.step = sim::from_seconds(v);
+  }
+  if (bad) return usage();
+  core::Distiller distiller(cfg);
+  const core::ReplayTrace replay = distiller.distill(collected);
+  replay.save(p.pos[1]);
+  std::printf(
+      "distilled %zu records -> %zu tuples (%zu groups, %zu corrected, "
+      "%zu skipped)\nmean latency %.2f ms, mean bottleneck %.2f Mb/s, "
+      "mean loss %.1f%%\nwrote %s\n",
+      collected.records.size(), replay.size(),
+      distiller.stats().groups_total, distiller.stats().groups_corrected,
+      distiller.stats().groups_skipped, replay.mean_latency_s() * 1e3,
+      replay.mean_bottleneck_per_byte() > 0
+          ? 8.0 / replay.mean_bottleneck_per_byte() / 1e6
+          : 0.0,
+      replay.mean_loss() * 100.0, p.pos[1].c_str());
+  return kExitOk;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  const Parsed p = parse("info", args, {}, 1, 1);
+  if (p.failed) return usage();
+  // Sniff: binary raw traces start with "TMTR"; replay traces with '#'.
+  std::ifstream in(p.pos[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", p.pos[0].c_str());
+    return kExitIo;
+  }
+  char magic[4] = {};
+  in.read(magic, 4);
+  in.close();
+  if (std::memcmp(magic, "TMTR", 4) == 0) {
+    const trace::CollectedTrace t = trace::load_trace(p.pos[0]);
+    std::size_t packets = 0, device = 0, lost_markers = 0;
+    for (const auto& r : t.records) {
+      if (std::holds_alternative<trace::PacketRecord>(r)) ++packets;
+      if (std::holds_alternative<trace::DeviceRecord>(r)) ++device;
+      if (std::holds_alternative<trace::LostRecords>(r)) ++lost_markers;
+    }
+    std::printf(
+        "raw trace: %zu records over %.1f s\n"
+        "  packet records: %zu (%zu echoes sent, %zu replies received)\n"
+        "  device records: %zu\n"
+        "  loss markers:   %zu (%llu records lost to overruns)\n",
+        t.records.size(), sim::to_seconds(t.duration()), packets,
+        t.echoes_sent().size(), t.echo_replies().size(), device, lost_markers,
+        static_cast<unsigned long long>(t.total_lost_records()));
+    return kExitOk;
+  }
+  const core::ReplayTrace r = core::ReplayTrace::load(p.pos[0]);
+  double worst_loss = 0, worst_latency = 0;
+  for (const auto& t : r.tuples()) {
+    worst_loss = std::max(worst_loss, t.loss);
+    worst_latency = std::max(worst_latency, t.latency_s);
+  }
+  std::printf(
+      "replay trace: %zu tuples covering %.1f s\n"
+      "  mean latency %.2f ms (worst %.1f ms)\n"
+      "  mean bottleneck bandwidth %.2f Mb/s\n"
+      "  mean loss %.1f%% (worst %.0f%%)\n",
+      r.size(), sim::to_seconds(r.total_duration()),
+      r.mean_latency_s() * 1e3, worst_latency * 1e3,
+      r.mean_bottleneck_per_byte() > 0
+          ? 8.0 / r.mean_bottleneck_per_byte() / 1e6
+          : 0.0,
+      r.mean_loss() * 100.0, worst_loss * 100.0);
+  return kExitOk;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  const Parsed p = parse("synth", args, {{"--seconds", true}}, 2, 2);
+  if (p.failed) return usage();
+  double seconds = 300;
+  bool bad = false;
+  checked_number("synth", p, "--seconds", &seconds, &bad);
+  if (bad) return usage();
+  const sim::Duration total = sim::from_seconds(seconds);
+  core::ReplayTrace trace;
+  if (p.pos[0] == "wavelan") {
+    trace = core::ReplayTrace::wavelan_like(total);
+  } else if (p.pos[0] == "step") {
+    trace = core::ReplayTrace::bandwidth_step(total, sim::seconds(1), 0.003,
+                                              200e3, 1.6e6, sim::seconds(16));
+  } else if (p.pos[0] == "slow") {
+    trace = core::ReplayTrace::constant(total, sim::seconds(1), 0.020, 250e3,
+                                        0.0);
+  } else {
+    std::fprintf(stderr, "unknown synth kind '%s'\n", p.pos[0].c_str());
+    return usage();
+  }
+  trace.save(p.pos[1]);
+  std::printf("wrote %zu tuples to %s\n", trace.size(), p.pos[1].c_str());
+  return kExitOk;
+}
+
+void print_report(const trace::TraceReadReport& r) {
+  std::printf(
+      "  format version:      v%u\n"
+      "  records expected:    %llu\n"
+      "  records read:        %llu\n"
+      "  records skipped:     %llu\n"
+      "  records salvaged:    %llu\n"
+      "  crc failures:        %llu\n"
+      "  unknown tags:        %llu\n"
+      "  resync scans:        %llu (%llu bytes scanned)\n"
+      "  lost markers added:  %llu\n"
+      "  truncated:           %s\n",
+      r.version, static_cast<unsigned long long>(r.records_expected),
+      static_cast<unsigned long long>(r.records_read),
+      static_cast<unsigned long long>(r.records_skipped),
+      static_cast<unsigned long long>(r.records_salvaged),
+      static_cast<unsigned long long>(r.crc_failures),
+      static_cast<unsigned long long>(r.unknown_tags),
+      static_cast<unsigned long long>(r.resync_scans),
+      static_cast<unsigned long long>(r.bytes_scanned),
+      static_cast<unsigned long long>(r.lost_markers_synthesized),
+      r.truncated ? "yes" : "no");
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  const Parsed p = parse("verify", args, {}, 1, 1);
+  if (p.failed) return usage();
+  // Strict pass first: a clean trace needs no salvage.
+  try {
+    const auto strict = trace::load_trace_ex(
+        p.pos[0], {trace::ReadMode::kStrict, nullptr});
+    std::printf("%s: OK (strict)\n", p.pos[0].c_str());
+    print_report(strict.report);
+    return kExitOk;
+  } catch (const trace::TraceFormatError& e) {
+    std::printf("%s: strict parse FAILED\n  %s\n", p.pos[0].c_str(),
+                e.what());
+  }
+  // Damaged: report what a salvage read can recover.
+  const auto salvaged = trace::load_trace_ex(
+      p.pos[0], {trace::ReadMode::kSalvage, nullptr});
+  std::printf("salvage read recovered %zu records\n",
+              salvaged.trace.records.size());
+  print_report(salvaged.report);
+  return kExitSalvage;
+}
+
+int cmd_corrupt(const std::vector<std::string>& args) {
+  const Parsed p = parse("corrupt", args,
+                         {{"--seed", true},
+                          {"--flips", true},
+                          {"--truncate", false},
+                          {"--drop", true},
+                          {"--dup", true}},
+                         2, 2);
+  if (p.failed) return usage();
+  double seed = 1, flips = 4, drop = 0, dup = 0;
+  bool bad = false;
+  checked_number("corrupt", p, "--seed", &seed, &bad);
+  checked_number("corrupt", p, "--flips", &flips, &bad);
+  checked_number("corrupt", p, "--drop", &drop, &bad);
+  checked_number("corrupt", p, "--dup", &dup, &bad);
+  if (bad) return usage();
+
+  trace::CollectedTrace collected = trace::load_trace(p.pos[0]);
+  trace::FaultInjector injector(
+      sim::Rng(static_cast<std::uint64_t>(seed)));
+  injector.drop_records(collected, static_cast<std::size_t>(drop));
+  injector.duplicate_records(collected, static_cast<std::size_t>(dup));
+
+  std::ostringstream out;
+  trace::write_trace(out, collected);
+  std::string bytes = out.str();
+  // Keep the header intact (magic + version + schema table + count): the
+  // salvage reader needs an anchor; header-corrupting runs are exercised
+  // separately by the fuzzers.
+  const std::size_t protect = bytes.size() < 64 ? bytes.size() / 2 : 64;
+  injector.flip_bytes(bytes, static_cast<std::size_t>(flips), protect);
+  if (p.has("--truncate")) injector.truncate_bytes(bytes, protect);
+
+  std::ofstream f(p.pos[1], std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", p.pos[1].c_str());
+    return kExitIo;
+  }
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  std::printf(
+      "wrote %s: %zu bytes, %zu records, %d byte flips%s, "
+      "%d dropped, %d duplicated (seed %.0f)\n",
+      p.pos[1].c_str(), bytes.size(), collected.records.size(),
+      static_cast<int>(flips),
+      p.has("--truncate") ? ", truncated" : "",
+      static_cast<int>(drop), static_cast<int>(dup), seed);
+  return kExitOk;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  const Parsed p = parse("audit", args,
+                         {{"--tick", true},
+                          {"--seed", true},
+                          {"--json", true},
+                          {"--baseline-seconds", true},
+                          {"--max-latency", true},
+                          {"--max-bandwidth", true},
+                          {"--max-loss", true},
+                          {"--max-ks", true},
+                          {"--min-within", true},
+                          {"--min-auditable", true}},
+                         1, 1);
+  if (p.failed) return usage();
+  double tick_ms = 10, seed = 1, baseline_s = 30;
+  bool bad = false;
+  checked_number("audit", p, "--tick", &tick_ms, &bad);
+  checked_number("audit", p, "--seed", &seed, &bad);
+  checked_number("audit", p, "--baseline-seconds", &baseline_s, &bad);
+
+  audit::AuditConfig cfg;
+  cfg.second_order.emulator.seed = static_cast<std::uint64_t>(seed);
+  cfg.second_order.emulator.modulation.tick =
+      sim::from_seconds(tick_ms * 1e-3);
+  cfg.baseline_run = sim::from_seconds(baseline_s);
+  audit::FidelityThresholds& th = cfg.thresholds;
+  checked_number("audit", p, "--max-latency", &th.max_latency_rel_err, &bad);
+  checked_number("audit", p, "--max-bandwidth", &th.max_bandwidth_rel_err,
+                 &bad);
+  checked_number("audit", p, "--max-loss", &th.max_loss_delta, &bad);
+  checked_number("audit", p, "--max-ks", &th.max_ks_rtt, &bad);
+  checked_number("audit", p, "--min-within", &th.min_within_tolerance, &bad);
+  checked_number("audit", p, "--min-auditable", &th.min_auditable, &bad);
+  if (bad) return usage();
+
+  const core::ReplayTrace reference = core::ReplayTrace::load(p.pos[0]);
+  const audit::FidelityReport report =
+      audit::audit_trace(reference, cfg, p.pos[0]);
+
+  std::ostringstream human;
+  audit::write_fidelity_report(human, report);
+  std::fputs(human.str().c_str(), stdout);
+
+  std::string json_path;
+  if (p.str("--json", &json_path)) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return kExitIo;
+    }
+    audit::write_fidelity_json(f, report);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return report.passed() ? kExitOk : kExitAudit;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  const Parsed p = parse("report", args,
+                         {{"--replay", true},
+                          {"--benchmark", true},
+                          {"--seed", true},
+                          {"--seconds", true},
+                          {"--audit", false}},
+                         1, 1);
+  if (p.failed) return usage();
+  const std::string prefix = p.pos[0];
+  double seed = 1, seconds = 120;
+  bool bad = false;
+  checked_number("report", p, "--seed", &seed, &bad);
+  checked_number("report", p, "--seconds", &seconds, &bad);
+  if (bad) return usage();
+
+  core::ReplayTrace trace;
+  std::string replay_path;
+  if (p.str("--replay", &replay_path)) {
+    trace = core::ReplayTrace::load(replay_path);
+  } else {
+    trace = core::ReplayTrace::wavelan_like(sim::from_seconds(seconds));
+  }
+
+  scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
+  std::string bm;
+  if (p.str("--benchmark", &bm)) {
+    if (bm == "web") {
+      kind = scenarios::BenchmarkKind::kWeb;
+    } else if (bm == "ftp-send") {
+      kind = scenarios::BenchmarkKind::kFtpSend;
+    } else if (bm == "ftp-recv") {
+      kind = scenarios::BenchmarkKind::kFtpRecv;
+    } else if (bm == "andrew") {
+      kind = scenarios::BenchmarkKind::kAndrew;
+    } else {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", bm.c_str());
+      return usage();
+    }
+  }
+
+  sim::TelemetryConfig tcfg;
+  tcfg.enabled = true;
+  const scenarios::BenchmarkOutcome outcome =
+      scenarios::run_modulated_benchmark(
+          trace, kind, static_cast<std::uint64_t>(seed),
+          sim::milliseconds(10), 0.0, tcfg);
+  if (outcome.telemetry == nullptr) {
+    std::fprintf(stderr, "telemetry capture failed\n");
+    return kExitIo;
+  }
+  const sim::TelemetrySnapshot& snap = *outcome.telemetry;
+
+  // With --audit, close the loop on the same replay trace and carry the
+  // divergence series alongside the benchmark's telemetry in every export.
+  std::shared_ptr<sim::TelemetrySnapshot> audit_snap;
+  audit::FidelityReport fidelity;
+  if (p.has("--audit")) {
+    audit::AuditConfig acfg;
+    acfg.second_order.emulator.seed = static_cast<std::uint64_t>(seed) + 1700;
+    fidelity = audit::audit_trace(trace, acfg, prefix);
+    audit_snap = std::make_shared<sim::TelemetrySnapshot>(
+        audit::telemetry_snapshot(fidelity));
+  }
+
+  const std::string trace_path = prefix + ".perfetto.json";
+  const std::string metrics_path = prefix + ".metrics.txt";
+  {
+    std::ofstream f(trace_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return kExitIo;
+    }
+    if (audit_snap != nullptr) {
+      sim::write_chrome_trace(
+          f, {{"bench", outcome.telemetry}, {"audit", audit_snap}});
+    } else {
+      sim::write_chrome_trace(f, snap);
+    }
+  }
+  {
+    std::ofstream f(metrics_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return kExitIo;
+    }
+    if (audit_snap != nullptr) {
+      sim::write_metrics_text(
+          f, {{"bench", outcome.telemetry}, {"audit", audit_snap}});
+    } else {
+      sim::write_metrics_text(f, snap);
+    }
+  }
+
+  std::ostringstream report;
+  sim::write_report(report, snap);
+  if (audit_snap != nullptr) {
+    report << "\n";
+    audit::write_fidelity_report(report, fidelity);
+  }
+  std::fputs(report.str().c_str(), stdout);
+  std::printf(
+      "\nbenchmark %s: %s in %.2f s (simulated)\n"
+      "wrote %s (load in ui.perfetto.dev) and %s\n",
+      scenarios::to_string(kind), outcome.ok ? "ok" : "FAILED",
+      outcome.elapsed_s, trace_path.c_str(), metrics_path.c_str());
+  return outcome.ok ? kExitOk : kExitIo;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (cmd == "collect") return cmd_collect(rest);
+    if (cmd == "distill") return cmd_distill(rest);
+    if (cmd == "info") return cmd_info(rest);
+    if (cmd == "synth") return cmd_synth(rest);
+    if (cmd == "verify") return cmd_verify(rest);
+    if (cmd == "corrupt") return cmd_corrupt(rest);
+    if (cmd == "audit") return cmd_audit(rest);
+    if (cmd == "report") return cmd_report(rest);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitIo;
+  }
+  std::fprintf(stderr, "tracemod: unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
+
+}  // namespace tracemod::cli

@@ -1,0 +1,29 @@
+// The tracemod command line as a library, so the exit-code contract and
+// flag handling are testable without spawning the binary.
+//
+// Contract (pinned by tests/tools/tracemod_cli_test.cpp):
+//   - unknown subcommands and malformed flags print usage to stderr and
+//     return kExitUsage;
+//   - I/O and trace-format failures return kExitIo;
+//   - `verify` returns kExitSalvage for damaged-but-salvageable traces;
+//   - `audit` returns kExitAudit when the fidelity verdict is breach or
+//     unauditable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tracemod::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitIo = 2;
+inline constexpr int kExitSalvage = 3;
+inline constexpr int kExitAudit = 4;
+
+/// Runs one tracemod invocation.  `args` excludes argv[0]; the first
+/// element is the subcommand.  Never throws: failures map to the exit
+/// codes above with diagnostics on stderr.
+int run(const std::vector<std::string>& args);
+
+}  // namespace tracemod::cli

@@ -1,408 +1,11 @@
-// tracemod — command-line front end for the trace pipeline.
-//
-//   tracemod collect <scenario> <out.trace> [--seed N]
-//       run a collection traversal of a built-in scenario and write the
-//       raw trace (binary, self-descriptive format)
-//   tracemod distill <in.trace> <out.replay> [--window S] [--step S]
-//                    [--salvage]
-//       distill a raw trace into a replay trace (text format);
-//       --salvage reads around damage instead of failing on it
-//   tracemod info <file>
-//       summarize a raw trace or a replay trace (auto-detected)
-//   tracemod synth <kind> <out.replay> [--seconds N]
-//       write a synthetic replay trace: wavelan | step | slow
-//   tracemod verify <in.trace>
-//       integrity-check a raw trace: strict parse, then a salvage parse
-//       whose damage report is printed (records read/skipped, CRC
-//       failures, resync scans, bytes scanned)
-//   tracemod corrupt <in.trace> <out.trace> [--seed N] [--flips K]
-//                    [--truncate] [--drop N] [--dup N]
-//       write a deterministically corrupted copy of a raw trace (byte
-//       flips past the header, optional truncation, record drops/dups)
-//   tracemod report <out-prefix> [--replay FILE] [--benchmark KIND]
-//                   [--seed N] [--seconds N]
-//       run one telemetry-enabled modulated benchmark (over the given
-//       replay trace, or a synthetic WaveLAN-like one) and export
-//       <out-prefix>.perfetto.json (load in ui.perfetto.dev) and
-//       <out-prefix>.metrics.txt, printing the human-readable report
-//
-// Exit status: 0 on success, 1 on usage error, 2 on I/O or format error,
-// 3 when verify found a damaged-but-salvageable trace.
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+// Thin entry point; the command line lives in tracemod_cli.cpp so the
+// exit-code and flag contracts are unit-testable.
 #include <string>
 #include <vector>
 
-#include "core/distiller.hpp"
-#include "core/model.hpp"
-#include "scenarios/experiment.hpp"
-#include "trace/fault_injector.hpp"
-#include "trace/trace_io.hpp"
-
-using namespace tracemod;
-
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  tracemod collect <porter|flagstaff|wean|chatterbox> "
-               "<out.trace> [--seed N]\n"
-               "  tracemod distill <in.trace> <out.replay> "
-               "[--window SECONDS] [--step SECONDS] [--salvage]\n"
-               "  tracemod info <file.trace|file.replay>\n"
-               "  tracemod synth <wavelan|step|slow> <out.replay> "
-               "[--seconds N]\n"
-               "  tracemod verify <in.trace>\n"
-               "  tracemod corrupt <in.trace> <out.trace> [--seed N] "
-               "[--flips K] [--truncate] [--drop N] [--dup N]\n"
-               "  tracemod report <out-prefix> [--replay FILE] "
-               "[--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] "
-               "[--seconds N]\n");
-  return 1;
-}
-
-bool has_flag(const std::vector<std::string>& args, const std::string& name) {
-  for (const std::string& a : args) {
-    if (a == name) return true;
-  }
-  return false;
-}
-
-bool flag_value(const std::vector<std::string>& args, const std::string& name,
-                double* out) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == name) {
-      *out = std::stod(args[i + 1]);
-      return true;
-    }
-  }
-  return false;
-}
-
-bool flag_string(const std::vector<std::string>& args, const std::string& name,
-                 std::string* out) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == name) {
-      *out = args[i + 1];
-      return true;
-    }
-  }
-  return false;
-}
-
-int cmd_collect(const std::vector<std::string>& args) {
-  if (args.size() < 2) return usage();
-  const scenarios::Scenario* scenario = nullptr;
-  static const auto all = scenarios::all_scenarios();
-  for (const auto& s : all) {
-    std::string lower = s.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    if (lower == args[0]) scenario = &s;
-  }
-  if (scenario == nullptr) {
-    std::fprintf(stderr, "unknown scenario '%s'\n", args[0].c_str());
-    return 1;
-  }
-  double seed = 1;
-  flag_value(args, "--seed", &seed);
-
-  std::printf("collecting %s (seed %.0f, %.0f s traversal)...\n",
-              scenario->name.c_str(), seed,
-              sim::to_seconds(scenario->collection_duration));
-  const trace::CollectedTrace collected = scenarios::collect_raw_trace(
-      *scenario, static_cast<std::uint64_t>(seed));
-  trace::save_trace(args[1], collected);
-  std::printf("wrote %zu records to %s\n", collected.records.size(),
-              args[1].c_str());
-  return 0;
-}
-
-int cmd_distill(const std::vector<std::string>& args) {
-  if (args.size() < 2) return usage();
-  trace::TraceReadOptions ropts;
-  if (has_flag(args, "--salvage")) ropts.mode = trace::ReadMode::kSalvage;
-  const trace::TraceReadResult loaded = trace::load_trace_ex(args[0], ropts);
-  if (!loaded.report.clean()) {
-    std::printf("salvaged input: %llu records read, %llu skipped "
-                "(%llu crc failures, %llu loss markers added)\n",
-                static_cast<unsigned long long>(loaded.report.records_read),
-                static_cast<unsigned long long>(loaded.report.records_skipped),
-                static_cast<unsigned long long>(loaded.report.crc_failures),
-                static_cast<unsigned long long>(
-                    loaded.report.lost_markers_synthesized));
-  }
-  const trace::CollectedTrace& collected = loaded.trace;
-  core::DistillConfig cfg;
-  double v = 0;
-  if (flag_value(args, "--window", &v)) cfg.window = sim::from_seconds(v);
-  if (flag_value(args, "--step", &v)) cfg.step = sim::from_seconds(v);
-  core::Distiller distiller(cfg);
-  const core::ReplayTrace replay = distiller.distill(collected);
-  replay.save(args[1]);
-  std::printf(
-      "distilled %zu records -> %zu tuples (%zu groups, %zu corrected, "
-      "%zu skipped)\nmean latency %.2f ms, mean bottleneck %.2f Mb/s, "
-      "mean loss %.1f%%\nwrote %s\n",
-      collected.records.size(), replay.size(),
-      distiller.stats().groups_total, distiller.stats().groups_corrected,
-      distiller.stats().groups_skipped, replay.mean_latency_s() * 1e3,
-      replay.mean_bottleneck_per_byte() > 0
-          ? 8.0 / replay.mean_bottleneck_per_byte() / 1e6
-          : 0.0,
-      replay.mean_loss() * 100.0, args[1].c_str());
-  return 0;
-}
-
-int cmd_info(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  // Sniff: binary raw traces start with "TMTR"; replay traces with '#'.
-  std::ifstream in(args[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
-    return 2;
-  }
-  char magic[4] = {};
-  in.read(magic, 4);
-  in.close();
-  if (std::memcmp(magic, "TMTR", 4) == 0) {
-    const trace::CollectedTrace t = trace::load_trace(args[0]);
-    std::size_t packets = 0, device = 0, lost_markers = 0;
-    for (const auto& r : t.records) {
-      if (std::holds_alternative<trace::PacketRecord>(r)) ++packets;
-      if (std::holds_alternative<trace::DeviceRecord>(r)) ++device;
-      if (std::holds_alternative<trace::LostRecords>(r)) ++lost_markers;
-    }
-    std::printf(
-        "raw trace: %zu records over %.1f s\n"
-        "  packet records: %zu (%zu echoes sent, %zu replies received)\n"
-        "  device records: %zu\n"
-        "  loss markers:   %zu (%llu records lost to overruns)\n",
-        t.records.size(), sim::to_seconds(t.duration()), packets,
-        t.echoes_sent().size(), t.echo_replies().size(), device, lost_markers,
-        static_cast<unsigned long long>(t.total_lost_records()));
-    return 0;
-  }
-  const core::ReplayTrace r = core::ReplayTrace::load(args[0]);
-  double worst_loss = 0, worst_latency = 0;
-  for (const auto& t : r.tuples()) {
-    worst_loss = std::max(worst_loss, t.loss);
-    worst_latency = std::max(worst_latency, t.latency_s);
-  }
-  std::printf(
-      "replay trace: %zu tuples covering %.1f s\n"
-      "  mean latency %.2f ms (worst %.1f ms)\n"
-      "  mean bottleneck bandwidth %.2f Mb/s\n"
-      "  mean loss %.1f%% (worst %.0f%%)\n",
-      r.size(), sim::to_seconds(r.total_duration()),
-      r.mean_latency_s() * 1e3, worst_latency * 1e3,
-      r.mean_bottleneck_per_byte() > 0
-          ? 8.0 / r.mean_bottleneck_per_byte() / 1e6
-          : 0.0,
-      r.mean_loss() * 100.0, worst_loss * 100.0);
-  return 0;
-}
-
-int cmd_synth(const std::vector<std::string>& args) {
-  if (args.size() < 2) return usage();
-  double seconds = 300;
-  flag_value(args, "--seconds", &seconds);
-  const sim::Duration total = sim::from_seconds(seconds);
-  core::ReplayTrace trace;
-  if (args[0] == "wavelan") {
-    trace = core::ReplayTrace::wavelan_like(total);
-  } else if (args[0] == "step") {
-    trace = core::ReplayTrace::bandwidth_step(total, sim::seconds(1), 0.003,
-                                              200e3, 1.6e6, sim::seconds(16));
-  } else if (args[0] == "slow") {
-    trace = core::ReplayTrace::constant(total, sim::seconds(1), 0.020, 250e3,
-                                        0.0);
-  } else {
-    std::fprintf(stderr, "unknown synth kind '%s'\n", args[0].c_str());
-    return 1;
-  }
-  trace.save(args[1]);
-  std::printf("wrote %zu tuples to %s\n", trace.size(), args[1].c_str());
-  return 0;
-}
-
-void print_report(const trace::TraceReadReport& r) {
-  std::printf(
-      "  format version:      v%u\n"
-      "  records expected:    %llu\n"
-      "  records read:        %llu\n"
-      "  records skipped:     %llu\n"
-      "  records salvaged:    %llu\n"
-      "  crc failures:        %llu\n"
-      "  unknown tags:        %llu\n"
-      "  resync scans:        %llu (%llu bytes scanned)\n"
-      "  lost markers added:  %llu\n"
-      "  truncated:           %s\n",
-      r.version, static_cast<unsigned long long>(r.records_expected),
-      static_cast<unsigned long long>(r.records_read),
-      static_cast<unsigned long long>(r.records_skipped),
-      static_cast<unsigned long long>(r.records_salvaged),
-      static_cast<unsigned long long>(r.crc_failures),
-      static_cast<unsigned long long>(r.unknown_tags),
-      static_cast<unsigned long long>(r.resync_scans),
-      static_cast<unsigned long long>(r.bytes_scanned),
-      static_cast<unsigned long long>(r.lost_markers_synthesized),
-      r.truncated ? "yes" : "no");
-}
-
-int cmd_verify(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  // Strict pass first: a clean trace needs no salvage.
-  try {
-    const auto strict = trace::load_trace_ex(
-        args[0], {trace::ReadMode::kStrict, nullptr});
-    std::printf("%s: OK (strict)\n", args[0].c_str());
-    print_report(strict.report);
-    return 0;
-  } catch (const trace::TraceFormatError& e) {
-    std::printf("%s: strict parse FAILED\n  %s\n", args[0].c_str(), e.what());
-  }
-  // Damaged: report what a salvage read can recover.
-  const auto salvaged = trace::load_trace_ex(
-      args[0], {trace::ReadMode::kSalvage, nullptr});
-  std::printf("salvage read recovered %zu records\n",
-              salvaged.trace.records.size());
-  print_report(salvaged.report);
-  return 3;
-}
-
-int cmd_corrupt(const std::vector<std::string>& args) {
-  if (args.size() < 2) return usage();
-  double seed = 1, flips = 4, drop = 0, dup = 0;
-  flag_value(args, "--seed", &seed);
-  flag_value(args, "--flips", &flips);
-  flag_value(args, "--drop", &drop);
-  flag_value(args, "--dup", &dup);
-
-  trace::CollectedTrace collected = trace::load_trace(args[0]);
-  trace::FaultInjector injector(
-      sim::Rng(static_cast<std::uint64_t>(seed)));
-  injector.drop_records(collected, static_cast<std::size_t>(drop));
-  injector.duplicate_records(collected, static_cast<std::size_t>(dup));
-
-  std::ostringstream out;
-  trace::write_trace(out, collected);
-  std::string bytes = out.str();
-  // Keep the header intact (magic + version + schema table + count): the
-  // salvage reader needs an anchor; header-corrupting runs are exercised
-  // separately by the fuzzers.
-  const std::size_t protect = bytes.size() < 64 ? bytes.size() / 2 : 64;
-  injector.flip_bytes(bytes, static_cast<std::size_t>(flips), protect);
-  if (has_flag(args, "--truncate")) injector.truncate_bytes(bytes, protect);
-
-  std::ofstream f(args[1], std::ios::binary);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", args[1].c_str());
-    return 2;
-  }
-  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  std::printf(
-      "wrote %s: %zu bytes, %zu records, %d byte flips%s, "
-      "%d dropped, %d duplicated (seed %.0f)\n",
-      args[1].c_str(), bytes.size(), collected.records.size(),
-      static_cast<int>(flips),
-      has_flag(args, "--truncate") ? ", truncated" : "",
-      static_cast<int>(drop), static_cast<int>(dup), seed);
-  return 0;
-}
-
-int cmd_report(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  const std::string prefix = args[0];
-  double seed = 1, seconds = 120;
-  flag_value(args, "--seed", &seed);
-  flag_value(args, "--seconds", &seconds);
-
-  core::ReplayTrace trace;
-  std::string replay_path;
-  if (flag_string(args, "--replay", &replay_path)) {
-    trace = core::ReplayTrace::load(replay_path);
-  } else {
-    trace = core::ReplayTrace::wavelan_like(sim::from_seconds(seconds));
-  }
-
-  scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
-  std::string bm;
-  if (flag_string(args, "--benchmark", &bm)) {
-    if (bm == "web") {
-      kind = scenarios::BenchmarkKind::kWeb;
-    } else if (bm == "ftp-send") {
-      kind = scenarios::BenchmarkKind::kFtpSend;
-    } else if (bm == "ftp-recv") {
-      kind = scenarios::BenchmarkKind::kFtpRecv;
-    } else if (bm == "andrew") {
-      kind = scenarios::BenchmarkKind::kAndrew;
-    } else {
-      std::fprintf(stderr, "unknown benchmark '%s'\n", bm.c_str());
-      return 1;
-    }
-  }
-
-  sim::TelemetryConfig tcfg;
-  tcfg.enabled = true;
-  const scenarios::BenchmarkOutcome outcome = scenarios::run_modulated_benchmark(
-      trace, kind, static_cast<std::uint64_t>(seed), sim::milliseconds(10),
-      0.0, tcfg);
-  if (outcome.telemetry == nullptr) {
-    std::fprintf(stderr, "telemetry capture failed\n");
-    return 2;
-  }
-  const sim::TelemetrySnapshot& snap = *outcome.telemetry;
-
-  const std::string trace_path = prefix + ".perfetto.json";
-  const std::string metrics_path = prefix + ".metrics.txt";
-  {
-    std::ofstream f(trace_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return 2;
-    }
-    sim::write_chrome_trace(f, snap);
-  }
-  {
-    std::ofstream f(metrics_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
-      return 2;
-    }
-    sim::write_metrics_text(f, snap);
-  }
-
-  std::ostringstream report;
-  sim::write_report(report, snap);
-  std::fputs(report.str().c_str(), stdout);
-  std::printf(
-      "\nbenchmark %s: %s in %.2f s (simulated)\n"
-      "wrote %s (load in ui.perfetto.dev) and %s\n",
-      scenarios::to_string(kind), outcome.ok ? "ok" : "FAILED",
-      outcome.elapsed_s, trace_path.c_str(), metrics_path.c_str());
-  return outcome.ok ? 0 : 2;
-}
-
-}  // namespace
+#include "tracemod_cli.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  try {
-    if (cmd == "collect") return cmd_collect(args);
-    if (cmd == "distill") return cmd_distill(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "synth") return cmd_synth(args);
-    if (cmd == "verify") return cmd_verify(args);
-    if (cmd == "corrupt") return cmd_corrupt(args);
-    if (cmd == "report") return cmd_report(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-  return usage();
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return tracemod::cli::run(args);
 }
