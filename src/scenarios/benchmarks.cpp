@@ -1,5 +1,6 @@
 #include "scenarios/benchmarks.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "apps/ftp.hpp"
@@ -17,27 +18,47 @@ const char* to_string(BenchmarkKind kind) {
   return "?";
 }
 
-namespace {
-
-/// Steps the loop until the flag is set, the virtual deadline passes, or
-/// the event queue drains.  (run_until alone would simulate hours of idle
-/// interferer traffic after the benchmark finishes.)
-void run_until_done(sim::EventLoop& loop, const bool& done,
-                    sim::Duration timeout) {
-  const sim::TimePoint deadline = loop.now() + timeout;
-  while (!done && loop.now() < deadline) {
-    if (!loop.step()) break;
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kDrained: return "drained";
+    case RunStatus::kVirtualDeadline: return "virtual-deadline";
+    case RunStatus::kWallStuck: return "wall-stuck";
   }
+  return "?";
 }
 
-}  // namespace
+RunStatus run_event_loop_until(sim::EventLoop& loop, const bool& done,
+                               sim::Duration timeout,
+                               const WatchdogConfig& watchdog) {
+  const sim::TimePoint deadline = loop.now() + timeout;
+  const bool wall = watchdog.wall_budget_s > 0.0;
+  const std::uint64_t interval =
+      watchdog.wall_check_interval > 0 ? watchdog.wall_check_interval : 1;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t steps = 0;
+  while (!done) {
+    if (loop.now() >= deadline) return RunStatus::kVirtualDeadline;
+    if (!loop.step()) return RunStatus::kDrained;
+    if (wall && ++steps % interval == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start;
+      if (elapsed.count() > watchdog.wall_budget_s) {
+        return RunStatus::kWallStuck;
+      }
+    }
+  }
+  return RunStatus::kCompleted;
+}
 
 BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
                                transport::Host& server_host,
                                net::IpAddress server_addr,
-                               sim::EventLoop& loop, sim::Duration timeout) {
+                               sim::EventLoop& loop, sim::Duration timeout,
+                               const WatchdogConfig& watchdog) {
   BenchmarkOutcome outcome;
   bool done = false;
+  RunStatus status = RunStatus::kDrained;
 
   switch (kind) {
     case BenchmarkKind::kWeb: {
@@ -51,7 +72,7 @@ BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
         outcome.elapsed_s = sim::to_seconds(r.elapsed);
         done = true;
       });
-      run_until_done(loop, done, timeout);
+      status = run_event_loop_until(loop, done, timeout, watchdog);
       break;
     }
     case BenchmarkKind::kFtpSend:
@@ -68,7 +89,7 @@ BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
       } else {
         ftp.fetch(kFtpBytes, on_done);
       }
-      run_until_done(loop, done, timeout);
+      status = run_event_loop_until(loop, done, timeout, watchdog);
       break;
     }
     case BenchmarkKind::kAndrew: {
@@ -83,10 +104,13 @@ BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
         outcome.andrew = r;
         done = true;
       });
-      run_until_done(loop, done, timeout);
+      status = run_event_loop_until(loop, done, timeout, watchdog);
       break;
     }
   }
+  outcome.completed = status == RunStatus::kCompleted;
+  outcome.timed_out = status == RunStatus::kVirtualDeadline;
+  outcome.wall_stuck = status == RunStatus::kWallStuck;
   return outcome;
 }
 

@@ -11,6 +11,7 @@
 
 #include "apps/andrew.hpp"
 #include "net/ip_address.hpp"
+#include "sim/event_loop.hpp"
 #include "sim/telemetry.hpp"
 #include "transport/host.hpp"
 
@@ -22,12 +23,50 @@ const char* to_string(BenchmarkKind kind);
 
 struct BenchmarkOutcome {
   bool ok = false;
+  /// True when the benchmark's completion callback fired.  A false value
+  /// means the outcome is partial (deadline, watchdog, or drained event
+  /// queue) and must never be reported as a clean result.
+  bool completed = false;
+  /// The virtual-time budget expired before completion.
+  bool timed_out = false;
+  /// The wall-clock stuck-trial watchdog abandoned the run.
+  bool wall_stuck = false;
   double elapsed_s = 0.0;
   apps::AndrewResult andrew;  ///< populated for kAndrew only
   /// The trial's captured telemetry; null unless the trial ran with
   /// telemetry enabled.  Shared so outcomes stay cheap to copy.
   std::shared_ptr<const sim::TelemetrySnapshot> telemetry;
 };
+
+/// Wall-clock stuck-trial watchdog for a benchmark run.  The event loop's
+/// own dispatch acts as the heartbeat: every wall_check_interval dispatches
+/// the host clock is compared against the budget, so a world that stops
+/// advancing virtual time (a zero-delay livelock) is still abandoned -- no
+/// extra threads per trial.  wall_budget_s == 0 disables the watchdog and
+/// keeps the run free of host-clock reads (bit-identical wall behaviour).
+struct WatchdogConfig {
+  double wall_budget_s = 0.0;
+  std::uint64_t wall_check_interval = 4096;
+};
+
+/// Why a benchmark's event-loop drive returned.
+enum class RunStatus {
+  kCompleted,        ///< the done flag was set
+  kDrained,          ///< event queue empty before completion
+  kVirtualDeadline,  ///< virtual-time budget expired
+  kWallStuck,        ///< wall-clock watchdog fired
+};
+
+const char* to_string(RunStatus status);
+
+/// Steps the loop until `done` is set, the virtual deadline passes, the
+/// queue drains, or the wall-clock watchdog fires.  (Plain run_until would
+/// simulate hours of idle interferer traffic after the benchmark finishes.)
+/// With the watchdog disabled, the dispatch sequence is identical to the
+/// historical deadline loop.
+RunStatus run_event_loop_until(sim::EventLoop& loop, const bool& done,
+                               sim::Duration timeout,
+                               const WatchdogConfig& watchdog = {});
 
 /// Workload seeds are fixed so every trial replays the identical workload
 /// (the paper replays the same Web reference traces and the same source
@@ -45,6 +84,7 @@ BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,
                                transport::Host& server_host,
                                net::IpAddress server_addr,
                                sim::EventLoop& loop,
-                               sim::Duration timeout = sim::seconds(7200));
+                               sim::Duration timeout = sim::seconds(7200),
+                               const WatchdogConfig& watchdog = {});
 
 }  // namespace tracemod::scenarios

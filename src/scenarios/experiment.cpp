@@ -9,6 +9,18 @@ namespace tracemod::scenarios {
 
 double measure_compensation_vb() { return core::Emulator::measure_physical_vb(); }
 
+namespace {
+
+/// The wall-clock watchdog engages only under supervision; a disabled
+/// config keeps benchmark runs free of host-clock reads.
+WatchdogConfig benchmark_watchdog(const ExperimentConfig& cfg) {
+  WatchdogConfig wd;
+  if (cfg.supervision.enabled) wd.wall_budget_s = cfg.supervision.wall_budget_s;
+  return wd;
+}
+
+}  // namespace
+
 BenchmarkOutcome run_live_trial(const Scenario& scenario, BenchmarkKind kind,
                                 const ExperimentConfig& cfg, int trial) {
   LiveTestbedConfig bed_cfg;
@@ -16,7 +28,9 @@ BenchmarkOutcome run_live_trial(const Scenario& scenario, BenchmarkKind kind,
   LiveTestbed bed(scenario, cfg.base_seed + static_cast<std::uint64_t>(trial),
                   bed_cfg);
   BenchmarkOutcome out = run_benchmark(kind, bed.mobile(), bed.server(),
-                                       bed.server_addr(), bed.loop());
+                                       bed.server_addr(), bed.loop(),
+                                       cfg.supervision.virtual_budget,
+                                       benchmark_watchdog(cfg));
   if (cfg.telemetry.enabled) {
     out.telemetry = std::make_shared<sim::TelemetrySnapshot>(
         sim::capture_telemetry(bed.context()));
@@ -40,7 +54,8 @@ BenchmarkOutcome run_modulated_trial(const core::ReplayTrace& trace,
                                      const ExperimentConfig& cfg, int trial) {
   return run_modulated_benchmark(
       trace, kind, cfg.base_seed + 900 + static_cast<std::uint64_t>(trial),
-      cfg.tick, cfg.compensate ? cfg.compensation_vb : 0.0, cfg.telemetry);
+      cfg.tick, cfg.compensate ? cfg.compensation_vb : 0.0, cfg.telemetry,
+      cfg.supervision.virtual_budget, benchmark_watchdog(cfg));
 }
 
 BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
@@ -50,7 +65,7 @@ BenchmarkOutcome run_ethernet_trial(BenchmarkKind kind,
   return run_modulated_benchmark(
       core::ReplayTrace{}, kind,
       cfg.base_seed + 1300 + static_cast<std::uint64_t>(trial), cfg.tick, 0.0,
-      cfg.telemetry);
+      cfg.telemetry, cfg.supervision.virtual_budget, benchmark_watchdog(cfg));
 }
 
 audit::FidelityReport run_trace_audit(const core::ReplayTrace& trace,
@@ -102,7 +117,8 @@ std::vector<core::ReplayTrace> collect_replay_traces(
 BenchmarkOutcome run_modulated_benchmark(
     const core::ReplayTrace& trace, BenchmarkKind kind, std::uint64_t seed,
     sim::Duration tick, double inbound_vb_compensation,
-    const sim::TelemetryConfig& telemetry) {
+    const sim::TelemetryConfig& telemetry, sim::Duration timeout,
+    const WatchdogConfig& watchdog) {
   core::EmulatorConfig ecfg;
   ecfg.seed = seed;
   ecfg.modulation.tick = tick;
@@ -111,7 +127,7 @@ BenchmarkOutcome run_modulated_benchmark(
   core::Emulator emulator(trace, ecfg);
   BenchmarkOutcome out =
       run_benchmark(kind, emulator.mobile(), emulator.server(),
-                    ecfg.server_addr, emulator.loop());
+                    ecfg.server_addr, emulator.loop(), timeout, watchdog);
   if (telemetry.enabled) {
     out.telemetry = std::make_shared<sim::TelemetrySnapshot>(
         sim::capture_telemetry(emulator.context()));

@@ -14,6 +14,7 @@
 #include "core/emulator.hpp"
 #include "scenarios/benchmarks.hpp"
 #include "scenarios/live_testbed.hpp"
+#include "scenarios/supervisor.hpp"
 
 namespace tracemod::scenarios {
 
@@ -40,6 +41,11 @@ struct ExperimentConfig {
   /// untouched, so every benchmark outcome is bit-identical to a config
   /// with auditing disabled (pinned by test and by CI's seed diff).
   audit::AuditOptions audit{};
+  /// Resilient supervision (scenarios/supervisor.hpp): crash-isolated
+  /// trials, watchdogs, deterministic retry.  Disabled by default; a
+  /// disabled config's outputs are bit-identical to the seed behaviour
+  /// (the virtual budget defaults to the historical 7200 s deadline).
+  SupervisionConfig supervision{};
 };
 
 /// Measures the physical modulating network's mean bottleneck per-byte
@@ -116,7 +122,9 @@ std::vector<audit::FidelityReport> run_trace_audits(
 BenchmarkOutcome run_modulated_benchmark(
     const core::ReplayTrace& trace, BenchmarkKind kind, std::uint64_t seed,
     sim::Duration tick, double inbound_vb_compensation,
-    const sim::TelemetryConfig& telemetry = {});
+    const sim::TelemetryConfig& telemetry = {},
+    sim::Duration timeout = sim::seconds(7200),
+    const WatchdogConfig& watchdog = {});
 
 /// Labels each outcome's telemetry snapshot ("<prefix>/trial0", ...) in
 /// trial order for the merged exporters (sim/telemetry.hpp).  Outcomes

@@ -2,10 +2,17 @@
 
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 
 #include "sim/assert.hpp"
 
 namespace tracemod::scenarios {
+
+namespace {
+/// True on threads owned by a TaskPool; run_all asserts against it because
+/// a worker calling run_all would wait forever for its own slot.
+thread_local bool tl_pool_worker = false;
+}  // namespace
 
 TaskPool::TaskPool(unsigned threads) {
   if (threads == 0) {
@@ -28,6 +35,7 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::worker_main() {
+  tl_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,6 +50,7 @@ void TaskPool::worker_main() {
 }
 
 void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
+  TM_ASSERT(!tl_pool_worker);  // reentrant run_all deadlocks on its own slot
   if (tasks.empty()) return;
 
   struct Batch {
@@ -49,10 +58,11 @@ void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
     std::mutex done_mu;
     std::condition_variable done_cv;
     std::mutex err_mu;
-    std::exception_ptr first_error;
+    std::vector<std::exception_ptr> errors;
   };
   Batch batch;
   batch.remaining.store(tasks.size());
+  const std::size_t total = tasks.size();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -63,9 +73,7 @@ void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
           fn();
         } catch (...) {
           std::lock_guard<std::mutex> el(batch.err_mu);
-          if (!batch.first_error) {
-            batch.first_error = std::current_exception();
-          }
+          batch.errors.push_back(std::current_exception());
         }
         // Signal under the lock so the waiter cannot miss the last task
         // finishing between its predicate check and its wait.
@@ -79,7 +87,21 @@ void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
 
   std::unique_lock<std::mutex> lock(batch.done_mu);
   batch.done_cv.wait(lock, [&batch] { return batch.remaining.load() == 0; });
-  if (batch.first_error) std::rethrow_exception(batch.first_error);
+  if (batch.errors.empty()) return;
+  if (batch.errors.size() == 1) std::rethrow_exception(batch.errors.front());
+  // Several tasks failed; none may be silently swallowed.  The combined
+  // error carries the count and one representative message (the first
+  // collected, which depends on scheduling).
+  std::string first_what = "unknown exception";
+  try {
+    std::rethrow_exception(batch.errors.front());
+  } catch (const std::exception& e) {
+    first_what = e.what();
+  } catch (...) {
+  }
+  throw std::runtime_error(std::to_string(batch.errors.size()) + " of " +
+                           std::to_string(total) +
+                           " tasks failed; first: " + first_what);
 }
 
 std::vector<BenchmarkOutcome> ParallelRunner::live_trials(
@@ -133,6 +155,9 @@ std::vector<audit::FidelityReport> ParallelRunner::trace_audits(
 ParallelRunner::CellResult ParallelRunner::experiment(
     const Scenario& scenario, BenchmarkKind kind,
     const ExperimentConfig& cfg) {
+  if (cfg.supervision.enabled) {
+    return run_supervised_experiment(&pool_, scenario, kind, cfg);
+  }
   CellResult cell;
   cell.scenario = scenario.name;
   cell.kind = kind;
@@ -182,6 +207,9 @@ ParallelRunner::CellResult ParallelRunner::experiment(
 ParallelRunner::SweepResult ParallelRunner::sweep(
     const std::vector<Scenario>& scenarios,
     const std::vector<BenchmarkKind>& kinds, const ExperimentConfig& cfg) {
+  if (cfg.supervision.enabled) {
+    return run_supervised_sweep(&pool_, scenarios, kinds, cfg);
+  }
   SweepResult result;
   const auto n = static_cast<std::size_t>(cfg.trials);
   const std::size_t ns = scenarios.size();
@@ -259,7 +287,16 @@ ParallelRunner::SweepResult ParallelRunner::sweep(
     }
   }
   pool_.run_all(std::move(phase_two));
+  // Partial results are never silently clean, supervised or not.
+  tally_timed_out_trials(result);
   return result;
+}
+
+ParallelRunner::SweepResult ParallelRunner::supervised_sweep(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<BenchmarkKind>& kinds, const ExperimentConfig& cfg,
+    const SupervisedSweepOptions& opts) {
+  return run_supervised_sweep(&pool_, scenarios, kinds, cfg, opts);
 }
 
 }  // namespace tracemod::scenarios

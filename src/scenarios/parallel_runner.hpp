@@ -38,9 +38,13 @@ class TaskPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Runs every task on the pool and blocks until all complete.  If any
-  /// task throws, the first exception is rethrown here (after all tasks
-  /// finish).  Not reentrant: do not call run_all from inside a task.
+  /// Runs every task on the pool and blocks until all complete.  Every
+  /// task runs even when siblings throw.  If exactly one task threw, that
+  /// exception is rethrown here; if several threw, a combined
+  /// std::runtime_error reports the failure count and the first collected
+  /// message (collection order, not submission order).  Not reentrant: a
+  /// task that calls run_all on its own pool would deadlock waiting for a
+  /// worker slot, so a debug assertion rejects calls from worker threads.
   void run_all(std::vector<std::function<void()>> tasks);
 
  private:
@@ -93,41 +97,35 @@ class ParallelRunner {
       const std::vector<core::ReplayTrace>& traces, const ExperimentConfig& cfg,
       const std::string& label_prefix = "");
 
-  /// One benchmark x scenario cell of the paper's evaluation.
-  struct CellResult {
-    std::string scenario;
-    BenchmarkKind kind{};
-    std::vector<BenchmarkOutcome> live;
-    std::vector<core::ReplayTrace> traces;
-    std::vector<BenchmarkOutcome> modulated;
-    /// One fidelity report per trace when cfg.audit.enabled; else empty.
-    std::vector<audit::FidelityReport> audits;
-  };
+  /// The result containers live at namespace scope (supervisor.hpp) so the
+  /// serial supervised driver and this engine share them; the historical
+  /// nested names remain as aliases.
+  using CellResult = ::tracemod::scenarios::CellResult;
+  using SweepResult = ::tracemod::scenarios::SweepResult;
 
   /// Full experimental procedure for one cell: live trials, collection
   /// traversals, and distillation fan out together; modulated trials
-  /// follow once their input traces exist.
+  /// follow once their input traces exist.  With cfg.supervision.enabled,
+  /// delegates to run_supervised_experiment (crash-isolated trials).
   CellResult experiment(const Scenario& scenario, BenchmarkKind kind,
                         const ExperimentConfig& cfg);
-
-  struct SweepResult {
-    /// Scenario-major, in the order given (the paper's table order).
-    std::vector<CellResult> cells;
-    /// Bare-Ethernet baseline rows, one vector per benchmark kind.
-    std::vector<std::vector<BenchmarkOutcome>> ethernet;
-    /// Per-scenario fidelity reports (traces are per scenario, so audits
-    /// are too), scenario-major; empty unless cfg.audit.enabled.
-    std::vector<std::vector<audit::FidelityReport>> audits;
-  };
 
   /// The full trial matrix: every benchmark on every scenario plus the
   /// Ethernet baselines.  Collection traversals are per scenario (traces
   /// are benchmark-independent, as in the paper) and shared by that
   /// scenario's cells.  All phase-one worlds -- live trials, traversals,
-  /// Ethernet runs -- are fanned out as one task list.
+  /// Ethernet runs -- are fanned out as one task list.  With
+  /// cfg.supervision.enabled, delegates to run_supervised_sweep.
   SweepResult sweep(const std::vector<Scenario>& scenarios,
                     const std::vector<BenchmarkKind>& kinds,
                     const ExperimentConfig& cfg);
+
+  /// The supervised matrix with journaling/resume options (the sweep tool's
+  /// entry point for --journal/--resume).
+  SweepResult supervised_sweep(const std::vector<Scenario>& scenarios,
+                               const std::vector<BenchmarkKind>& kinds,
+                               const ExperimentConfig& cfg,
+                               const SupervisedSweepOptions& opts = {});
 
  private:
   TaskPool pool_;

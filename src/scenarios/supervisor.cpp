@@ -1,0 +1,1019 @@
+#include "scenarios/supervisor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenarios/experiment.hpp"
+#include "scenarios/parallel_runner.hpp"
+#include "sim/sim_context.hpp"
+#include "sim/metric_names.hpp"
+#include "trace/crc32c.hpp"
+
+namespace tracemod::scenarios {
+
+const char* to_string(TrialErrorKind kind) {
+  switch (kind) {
+    case TrialErrorKind::kException: return "exception";
+    case TrialErrorKind::kTimedOut: return "timed-out";
+    case TrialErrorKind::kStuck: return "stuck";
+  }
+  return "?";
+}
+
+std::string describe(const TrialError& e) {
+  std::string where = e.scenario.empty() ? std::string() : e.scenario;
+  if (!e.benchmark.empty() && e.benchmark != "-") {
+    where += (where.empty() ? "" : "/") + e.benchmark;
+  }
+  std::string out = "[";
+  out += to_string(e.kind);
+  out += "] ";
+  out += e.phase;
+  out += " trial " + std::to_string(e.trial);
+  if (!where.empty()) out += " of " + where;
+  out += " (seed " + std::to_string(e.seed) + ", attempts " +
+         std::to_string(e.attempts) + "): " + e.message;
+  return out;
+}
+
+void export_supervision_metrics(const SupervisionReport& report,
+                                sim::MetricsRegistry& metrics) {
+  metrics.counter(sim::metric::kSweepTrialsFailed) += report.trials_failed;
+  metrics.counter(sim::metric::kSweepTrialsRetried) += report.trials_retried;
+  metrics.counter(sim::metric::kSweepTrialsTimedOut) +=
+      report.trials_timed_out;
+}
+
+// --- guard ------------------------------------------------------------------
+
+namespace {
+
+struct PhaseInfo {
+  const char* name;
+  std::uint64_t seed_offset;  ///< derived-seed offset (experiment.hpp)
+};
+
+constexpr PhaseInfo kPhaseLive{"live", 0};
+constexpr PhaseInfo kPhaseCollect{"collect", 500};
+constexpr PhaseInfo kPhaseModulated{"modulated", 900};
+constexpr PhaseInfo kPhaseEthernet{"ethernet", 1300};
+constexpr PhaseInfo kPhaseAudit{"audit", 1700};
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool fault_matches(const InjectedTrialFault& f, const std::string& scenario,
+                   const char* phase, const std::string& benchmark, int trial,
+                   int attempt) {
+  if (!f.scenario.empty() && !iequals(f.scenario, scenario)) return false;
+  if (!f.benchmark.empty() && !iequals(f.benchmark, benchmark)) return false;
+  if (!f.phase.empty() && f.phase != phase) return false;
+  if (f.trial >= 0 && f.trial != trial) return false;
+  return attempt < f.fail_attempts;
+}
+
+template <typename T>
+bool outcome_timed_out(const T&) { return false; }
+bool outcome_timed_out(const BenchmarkOutcome& o) { return o.timed_out; }
+template <typename T>
+bool outcome_wall_stuck(const T&) { return false; }
+bool outcome_wall_stuck(const BenchmarkOutcome& o) { return o.wall_stuck; }
+
+/// The shared guard path: runs one trial phase with crash isolation and the
+/// bounded retry policy.  Serial and parallel engines both funnel through
+/// here, which is what keeps their error records identical.
+template <typename T, typename Fn>
+Guarded<T> run_guarded(const ExperimentConfig& cfg, const PhaseInfo& phase,
+                       const std::string& scenario,
+                       const std::string& benchmark, int trial, Fn&& run) {
+  Guarded<T> g;
+  const SupervisionConfig& sup = cfg.supervision;
+  if (!sup.enabled) {
+    // Transparent: one attempt, exceptions propagate to the task pool.
+    g.value = run(cfg);
+    return g;
+  }
+  const int max_attempts = 1 + std::max(0, sup.max_retries);
+  std::optional<TrialError> last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ExperimentConfig acfg = cfg;
+    if (sup.perturb_retry_seed && attempt > 0) {
+      acfg.base_seed =
+          cfg.base_seed + kRetrySeedStride * static_cast<std::uint64_t>(attempt);
+    }
+    const std::uint64_t seed =
+        acfg.base_seed + phase.seed_offset + static_cast<std::uint64_t>(trial);
+    auto record = [&](TrialErrorKind kind, std::string message) {
+      last = TrialError{kind,  std::move(message), seed,  scenario,
+                        benchmark, phase.name,     trial, attempt + 1};
+    };
+    try {
+      for (const InjectedTrialFault& f : sup.inject) {
+        if (fault_matches(f, scenario, phase.name, benchmark, trial,
+                          attempt)) {
+          throw std::runtime_error("injected trial fault");
+        }
+      }
+      T value = run(acfg);
+      if (outcome_wall_stuck(value)) {
+        record(TrialErrorKind::kStuck,
+               "wall-clock watchdog fired after " +
+                   std::to_string(sup.wall_budget_s) + " s");
+        g.retries = attempt;
+        continue;  // a stuck wall clock is an environment flake: retry
+      }
+      if (outcome_timed_out(value)) {
+        record(TrialErrorKind::kTimedOut,
+               "virtual-time budget (" +
+                   std::to_string(sim::to_seconds(sup.virtual_budget)) +
+                   " s) expired");
+        g.retries = attempt;
+        if (!sup.perturb_retry_seed) {
+          // Identical seed => identical timeout; keep the partial outcome.
+          g.value = std::move(value);
+          g.error = std::move(last);
+          return g;
+        }
+        continue;
+      }
+      g.value = std::move(value);
+      g.retries = attempt;
+      g.error.reset();
+      return g;
+    } catch (const std::exception& e) {
+      record(TrialErrorKind::kException, e.what());
+    } catch (...) {
+      record(TrialErrorKind::kException, "unknown exception");
+    }
+    g.retries = attempt;
+  }
+  g.retries = max_attempts - 1;
+  g.error = std::move(last);
+  return g;
+}
+
+}  // namespace
+
+Guarded<BenchmarkOutcome> guarded_live_trial(const Scenario& scenario,
+                                             BenchmarkKind kind,
+                                             const ExperimentConfig& cfg,
+                                             int trial) {
+  return run_guarded<BenchmarkOutcome>(
+      cfg, kPhaseLive, scenario.name, to_string(kind), trial,
+      [&](const ExperimentConfig& c) {
+        return run_live_trial(scenario, kind, c, trial);
+      });
+}
+
+Guarded<core::ReplayTrace> guarded_replay_trace(const Scenario& scenario,
+                                                const ExperimentConfig& cfg,
+                                                int trial) {
+  return run_guarded<core::ReplayTrace>(
+      cfg, kPhaseCollect, scenario.name, "-", trial,
+      [&](const ExperimentConfig& c) {
+        return collect_replay_trace(scenario, c, trial);
+      });
+}
+
+Guarded<BenchmarkOutcome> guarded_modulated_trial(
+    const core::ReplayTrace& trace, BenchmarkKind kind,
+    const ExperimentConfig& cfg, int trial) {
+  return run_guarded<BenchmarkOutcome>(
+      cfg, kPhaseModulated, "", to_string(kind), trial,
+      [&](const ExperimentConfig& c) {
+        return run_modulated_trial(trace, kind, c, trial);
+      });
+}
+
+Guarded<BenchmarkOutcome> guarded_ethernet_trial(BenchmarkKind kind,
+                                                 const ExperimentConfig& cfg,
+                                                 int trial) {
+  return run_guarded<BenchmarkOutcome>(
+      cfg, kPhaseEthernet, "", to_string(kind), trial,
+      [&](const ExperimentConfig& c) {
+        return run_ethernet_trial(kind, c, trial);
+      });
+}
+
+Guarded<audit::FidelityReport> guarded_trace_audit(
+    const core::ReplayTrace& trace, const ExperimentConfig& cfg, int trial,
+    const std::string& label) {
+  return run_guarded<audit::FidelityReport>(
+      cfg, kPhaseAudit, label, "-", trial, [&](const ExperimentConfig& c) {
+        return run_trace_audit(trace, c, trial, label);
+      });
+}
+
+void tally_timed_out_trials(SweepResult& result) {
+  std::uint64_t n = 0;
+  auto scan = [&n](const std::vector<BenchmarkOutcome>& outcomes) {
+    for (const BenchmarkOutcome& o : outcomes) {
+      if (o.timed_out || o.wall_stuck) ++n;
+    }
+  };
+  for (const CellResult& c : result.cells) {
+    scan(c.live);
+    scan(c.modulated);
+  }
+  for (const auto& row : result.ethernet) scan(row);
+  result.supervision.trials_timed_out = n;
+}
+
+// --- sweep journal ----------------------------------------------------------
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'T', 'M', 'S', 'J'};
+constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::size_t kJournalHeaderSize = 4 + 2 + 4;  // magic|version|fp
+constexpr std::size_t kFrameHeaderSize = 1 + 4 + 4;    // type|len|crc
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum RecordType : std::uint8_t {
+  kRecordCell = 1,
+  kRecordEthernet = 2,
+  kRecordCollect = 3,
+};
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked little-endian cursor; decode errors throw and the reader
+/// maps them to JournalStatus::kCorrupt.
+struct Cursor {
+  const char* p;
+  const char* end;
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - p) < n) {
+      throw std::runtime_error("journal record truncated mid-field");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p++);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(*p++)) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*p++)) << (8 * i);
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxFramePayload) {
+      throw std::runtime_error("journal string length implausible");
+    }
+    need(n);
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+void put_outcome(std::string& out, const BenchmarkOutcome& o) {
+  std::uint8_t flags = 0;
+  if (o.ok) flags |= 1u << 0;
+  if (o.completed) flags |= 1u << 1;
+  if (o.timed_out) flags |= 1u << 2;
+  if (o.wall_stuck) flags |= 1u << 3;
+  if (o.andrew.ok) flags |= 1u << 4;
+  put_u8(out, flags);
+  put_f64(out, o.elapsed_s);
+  put_f64(out, o.andrew.makedir_s);
+  put_f64(out, o.andrew.copy_s);
+  put_f64(out, o.andrew.scandir_s);
+  put_f64(out, o.andrew.readall_s);
+  put_f64(out, o.andrew.make_s);
+  put_f64(out, o.andrew.total_s);
+  put_u64(out, o.andrew.rpc_calls);
+  put_u64(out, o.andrew.rpc_retransmissions);
+}
+
+BenchmarkOutcome get_outcome(Cursor& c) {
+  BenchmarkOutcome o;
+  const std::uint8_t flags = c.u8();
+  o.ok = flags & (1u << 0);
+  o.completed = flags & (1u << 1);
+  o.timed_out = flags & (1u << 2);
+  o.wall_stuck = flags & (1u << 3);
+  o.andrew.ok = flags & (1u << 4);
+  o.elapsed_s = c.f64();
+  o.andrew.makedir_s = c.f64();
+  o.andrew.copy_s = c.f64();
+  o.andrew.scandir_s = c.f64();
+  o.andrew.readall_s = c.f64();
+  o.andrew.make_s = c.f64();
+  o.andrew.total_s = c.f64();
+  o.andrew.rpc_calls = c.u64();
+  o.andrew.rpc_retransmissions = c.u64();
+  return o;
+}
+
+void put_error(std::string& out, const TrialError& e) {
+  put_u8(out, static_cast<std::uint8_t>(e.kind));
+  put_u64(out, e.seed);
+  put_u32(out, static_cast<std::uint32_t>(e.trial));
+  put_u32(out, static_cast<std::uint32_t>(e.attempts));
+  put_str(out, e.scenario);
+  put_str(out, e.benchmark);
+  put_str(out, e.phase);
+  put_str(out, e.message);
+}
+
+TrialError get_error(Cursor& c) {
+  TrialError e;
+  const std::uint8_t kind = c.u8();
+  if (kind > static_cast<std::uint8_t>(TrialErrorKind::kStuck)) {
+    throw std::runtime_error("journal error record has unknown kind");
+  }
+  e.kind = static_cast<TrialErrorKind>(kind);
+  e.seed = c.u64();
+  e.trial = static_cast<int>(c.u32());
+  e.attempts = static_cast<int>(c.u32());
+  e.scenario = c.str();
+  e.benchmark = c.str();
+  e.phase = c.str();
+  e.message = c.str();
+  return e;
+}
+
+void put_outcomes(std::string& out, const std::vector<BenchmarkOutcome>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const BenchmarkOutcome& o : v) put_outcome(out, o);
+}
+
+std::vector<BenchmarkOutcome> get_outcomes(Cursor& c) {
+  const std::uint32_t n = c.u32();
+  if (n > 1u << 20) {
+    throw std::runtime_error("journal outcome count implausible");
+  }
+  std::vector<BenchmarkOutcome> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_outcome(c));
+  return v;
+}
+
+void put_errors(std::string& out, const std::vector<TrialError>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const TrialError& e : v) put_error(out, e);
+}
+
+std::vector<TrialError> get_errors(Cursor& c) {
+  const std::uint32_t n = c.u32();
+  if (n > 1u << 20) {
+    throw std::runtime_error("journal error count implausible");
+  }
+  std::vector<TrialError> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_error(c));
+  return v;
+}
+
+std::uint8_t record_type(const JournalCellRecord& r) {
+  if (r.collect) return kRecordCollect;
+  if (r.ethernet) return kRecordEthernet;
+  return kRecordCell;
+}
+
+JournalCellRecord decode_journal_record(std::uint8_t type,
+                                        const std::string& payload) {
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  JournalCellRecord r;
+  r.collect = type == kRecordCollect;
+  r.ethernet = type == kRecordEthernet;
+  r.scenario = c.str();
+  const std::uint8_t kind = c.u8();
+  if (kind > static_cast<std::uint8_t>(BenchmarkKind::kAndrew)) {
+    throw std::runtime_error("journal record has unknown benchmark kind");
+  }
+  r.kind = static_cast<BenchmarkKind>(kind);
+  r.live = get_outcomes(c);
+  r.modulated = get_outcomes(c);
+  r.errors = get_errors(c);
+  r.trials_retried = c.u64();
+  if (c.p != c.end) {
+    throw std::runtime_error("journal record has trailing bytes");
+  }
+  return r;
+}
+
+std::string frame_record(const JournalCellRecord& r) {
+  const std::string payload = encode_journal_record(r);
+  const std::uint8_t type = record_type(r);
+  std::string frame;
+  put_u8(frame, type);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  // Like trace format v2, the CRC covers the type byte followed by the
+  // payload, so a flipped type and a flipped length are both caught.
+  std::uint32_t crc = trace::crc32c(&type, 1);
+  crc = trace::crc32c(payload.data(), payload.size(), crc);
+  put_u32(frame, crc);
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+std::string encode_journal_record(const JournalCellRecord& r) {
+  std::string out;
+  put_str(out, r.scenario);
+  put_u8(out, static_cast<std::uint8_t>(r.kind));
+  put_outcomes(out, r.live);
+  put_outcomes(out, r.modulated);
+  put_errors(out, r.errors);
+  put_u64(out, r.trials_retried);
+  return out;
+}
+
+std::uint32_t sweep_fingerprint(const ExperimentConfig& cfg) {
+  std::string bytes;
+  put_u64(bytes, cfg.base_seed);
+  put_u32(bytes, static_cast<std::uint32_t>(cfg.trials));
+  put_u64(bytes, static_cast<std::uint64_t>(cfg.tick.count()));
+  put_u8(bytes, cfg.compensate ? 1 : 0);
+  put_f64(bytes, cfg.compensation_vb);
+  put_u8(bytes, cfg.supervision.enabled ? 1 : 0);
+  put_u32(bytes, static_cast<std::uint32_t>(cfg.supervision.max_retries));
+  put_u8(bytes, cfg.supervision.perturb_retry_seed ? 1 : 0);
+  put_u64(bytes,
+          static_cast<std::uint64_t>(cfg.supervision.virtual_budget.count()));
+  put_f64(bytes, cfg.supervision.wall_budget_s);
+  for (const InjectedTrialFault& f : cfg.supervision.inject) {
+    put_str(bytes, f.scenario);
+    put_str(bytes, f.benchmark);
+    put_str(bytes, f.phase);
+    put_u32(bytes, static_cast<std::uint32_t>(f.trial));
+    put_u32(bytes, static_cast<std::uint32_t>(f.fail_attempts));
+  }
+  return trace::crc32c(bytes.data(), bytes.size());
+}
+
+const char* to_string(JournalStatus status) {
+  switch (status) {
+    case JournalStatus::kMissing: return "missing";
+    case JournalStatus::kClean: return "clean";
+    case JournalStatus::kDroppedTail: return "dropped-tail";
+    case JournalStatus::kCorrupt: return "corrupt";
+    case JournalStatus::kMismatch: return "mismatch";
+  }
+  return "?";
+}
+
+JournalReadResult read_sweep_journal(const std::string& path,
+                                     std::uint32_t fingerprint) {
+  JournalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.status = JournalStatus::kMissing;
+    return result;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  auto corrupt = [&](const std::string& why) {
+    result.status = JournalStatus::kCorrupt;
+    result.message = why;
+    result.records.clear();
+    return result;
+  };
+
+  if (bytes.size() < kJournalHeaderSize) {
+    return corrupt("journal smaller than its header");
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return corrupt("bad journal magic");
+  }
+  Cursor header{bytes.data() + 4, bytes.data() + kJournalHeaderSize};
+  std::uint16_t version = header.u8();
+  version |= static_cast<std::uint16_t>(header.u8()) << 8;
+  if (version != kJournalVersion) {
+    return corrupt("unsupported journal version " + std::to_string(version));
+  }
+  const std::uint32_t fp = header.u32();
+  if (fp != fingerprint) {
+    result.status = JournalStatus::kMismatch;
+    result.message = "journal config fingerprint differs from this run";
+    return result;
+  }
+
+  result.status = JournalStatus::kClean;
+  std::size_t off = kJournalHeaderSize;
+  while (off < bytes.size()) {
+    const std::size_t remaining = bytes.size() - off;
+    if (remaining < kFrameHeaderSize) {
+      result.status = JournalStatus::kDroppedTail;
+      result.message = "dropped partial trailing frame header at offset " +
+                       std::to_string(off);
+      return result;
+    }
+    Cursor fh{bytes.data() + off, bytes.data() + off + kFrameHeaderSize};
+    const std::uint8_t type = fh.u8();
+    const std::uint32_t len = fh.u32();
+    const std::uint32_t crc = fh.u32();
+    if (len > kMaxFramePayload) {
+      return corrupt("frame length implausible at offset " +
+                     std::to_string(off));
+    }
+    if (remaining - kFrameHeaderSize < len) {
+      // A killed sweep's final append: the frame is declared but its
+      // payload never fully landed.  Drop it, keep the intact prefix.
+      result.status = JournalStatus::kDroppedTail;
+      result.message = "dropped partial trailing record at offset " +
+                       std::to_string(off);
+      return result;
+    }
+    const char* payload = bytes.data() + off + kFrameHeaderSize;
+    std::uint32_t actual = trace::crc32c(&type, 1);
+    actual = trace::crc32c(payload, len, actual);
+    if (actual != crc) {
+      return corrupt("record checksum mismatch at offset " +
+                     std::to_string(off));
+    }
+    if (type != kRecordCell && type != kRecordEthernet &&
+        type != kRecordCollect) {
+      return corrupt("unknown record type at offset " + std::to_string(off));
+    }
+    try {
+      result.records.push_back(
+          decode_journal_record(type, std::string(payload, len)));
+    } catch (const std::exception& e) {
+      return corrupt(e.what());
+    }
+    off += kFrameHeaderSize + len;
+  }
+  return result;
+}
+
+bool SweepJournalWriter::open(const std::string& path,
+                              std::uint32_t fingerprint, bool fresh) {
+  path_ = path;
+  open_ = false;
+  if (fresh) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    std::string header(kJournalMagic, sizeof(kJournalMagic));
+    put_u16(header, kJournalVersion);
+    put_u32(header, fingerprint);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.flush();
+    if (!out) return false;
+  } else {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return false;
+  }
+  open_ = true;
+  return true;
+}
+
+void SweepJournalWriter::append(const JournalCellRecord& record) {
+  if (!open_) return;
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) {
+    open_ = false;  // journaling degrades, never aborts the sweep
+    return;
+  }
+  const std::string frame = frame_record(record);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) open_ = false;
+}
+
+// --- supervised sweep driver ------------------------------------------------
+
+namespace {
+
+void run_tasks(TaskPool* pool, std::vector<std::function<void()>> tasks) {
+  if (pool != nullptr) {
+    pool->run_all(std::move(tasks));
+  } else {
+    for (auto& t : tasks) t();
+  }
+}
+
+const JournalCellRecord* find_record(
+    const std::vector<JournalCellRecord>* resume, bool ethernet, bool collect,
+    const std::string& scenario, BenchmarkKind kind) {
+  if (resume == nullptr) return nullptr;
+  for (const JournalCellRecord& r : *resume) {
+    if (r.ethernet != ethernet || r.collect != collect) continue;
+    if (!ethernet && !iequals(r.scenario, scenario)) continue;
+    if (!collect && r.kind != kind) continue;
+    if (collect && !iequals(r.scenario, scenario)) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+struct RowTraces {
+  std::vector<Guarded<core::ReplayTrace>> traces;
+  std::vector<TrialError> errors;
+  std::uint64_t retried = 0;
+  bool collected = false;  ///< ran this session (vs. resumed/skipped)
+};
+
+/// Collects one scenario's replay traces under the guard (n parallel
+/// traversals), accumulating the row's collect errors in trial order.
+RowTraces collect_row(TaskPool* pool, const Scenario& scenario,
+                      const ExperimentConfig& cfg) {
+  const auto n = static_cast<std::size_t>(cfg.trials);
+  RowTraces row;
+  row.traces.resize(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    tasks.push_back([&, t] {
+      row.traces[t] = guarded_replay_trace(scenario, cfg, static_cast<int>(t));
+    });
+  }
+  run_tasks(pool, std::move(tasks));
+  for (const auto& g : row.traces) {
+    if (g.error) row.errors.push_back(*g.error);
+    row.retried += static_cast<std::uint64_t>(g.retries);
+  }
+  row.collected = true;
+  return row;
+}
+
+/// Runs one cell's live + modulated trials (2n tasks, all independent
+/// worlds) against already-collected traces.  A trial whose trace failed to
+/// collect is skipped: its outcome stays default (completed == false) and
+/// the collect error already records the root cause.
+void run_cell_trials(TaskPool* pool, const Scenario& scenario,
+                     BenchmarkKind kind, const ExperimentConfig& cfg,
+                     const RowTraces& row, CellResult& cell) {
+  const auto n = static_cast<std::size_t>(cfg.trials);
+  cell.live.resize(n);
+  cell.modulated.resize(n);
+  std::vector<Guarded<BenchmarkOutcome>> live_g(n), mod_g(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(2 * n);
+  for (std::size_t t = 0; t < n; ++t) {
+    tasks.push_back([&, t] {
+      live_g[t] = guarded_live_trial(scenario, kind, cfg, static_cast<int>(t));
+    });
+    if (!row.traces[t].error) {
+      tasks.push_back([&, t] {
+        mod_g[t] = guarded_modulated_trial(row.traces[t].value, kind, cfg,
+                                           static_cast<int>(t));
+      });
+    }
+  }
+  run_tasks(pool, std::move(tasks));
+  cell.traces.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    cell.live[t] = std::move(live_g[t].value);
+    cell.modulated[t] = std::move(mod_g[t].value);
+    cell.traces[t] = row.traces[t].value;
+    cell.trials_retried += static_cast<std::uint64_t>(live_g[t].retries) +
+                           static_cast<std::uint64_t>(mod_g[t].retries);
+  }
+  for (const auto& g : live_g) {
+    if (g.error) cell.errors.push_back(*g.error);
+  }
+  for (const auto& g : mod_g) {
+    if (g.error) cell.errors.push_back(*g.error);
+  }
+}
+
+void restore_cell(const JournalCellRecord& rec, CellResult& cell) {
+  cell.live = rec.live;
+  cell.modulated = rec.modulated;
+  cell.errors = rec.errors;
+  cell.trials_retried = rec.trials_retried;
+  cell.resumed = true;
+}
+
+}  // namespace
+
+SweepResult run_supervised_sweep(TaskPool* pool,
+                                 const std::vector<Scenario>& scenarios,
+                                 const std::vector<BenchmarkKind>& kinds,
+                                 const ExperimentConfig& cfg,
+                                 const SupervisedSweepOptions& opts) {
+  SweepResult result;
+  const auto n = static_cast<std::size_t>(cfg.trials);
+  const std::size_t ns = scenarios.size();
+  const std::size_t nk = kinds.size();
+  result.cells.resize(ns * nk);
+  result.ethernet.assign(nk, {});
+  if (cfg.audit.enabled) result.audits.assign(ns, {});
+  SupervisionReport& report = result.supervision;
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    const Scenario& scenario = scenarios[s];
+    bool row_missing = false;
+    for (std::size_t k = 0; k < nk; ++k) {
+      if (find_record(opts.resume, false, false, scenario.name, kinds[k]) ==
+          nullptr) {
+        row_missing = true;
+      }
+    }
+    // Audits ride on freshly collected traces, so auditing forces a
+    // collection even for fully resumed rows (the sweep tool rejects
+    // resume + audit; this keeps the library deterministic regardless).
+    if (cfg.audit.enabled) row_missing = true;
+
+    RowTraces row;
+    row.traces.resize(n);
+    if (row_missing) {
+      row = collect_row(pool, scenario, cfg);
+      if (opts.journal != nullptr) {
+        JournalCellRecord rec;
+        rec.collect = true;
+        rec.scenario = scenario.name;
+        rec.errors = row.errors;
+        rec.trials_retried = row.retried;
+        opts.journal->append(rec);
+      }
+    } else if (const JournalCellRecord* rec = find_record(
+                   opts.resume, false, true, scenario.name, kinds.front())) {
+      // Fully resumed row: reuse the journaled collection accounting so
+      // the supervision summary matches the uninterrupted run.
+      row.errors = rec->errors;
+      row.retried = rec->trials_retried;
+    }
+    report.errors.insert(report.errors.end(), row.errors.begin(),
+                         row.errors.end());
+    report.trials_retried += row.retried;
+
+    for (std::size_t k = 0; k < nk; ++k) {
+      CellResult& cell = result.cells[s * nk + k];
+      cell.scenario = scenario.name;
+      cell.kind = kinds[k];
+      if (const JournalCellRecord* rec = find_record(
+              opts.resume, false, false, scenario.name, kinds[k])) {
+        restore_cell(*rec, cell);
+      } else {
+        run_cell_trials(pool, scenario, kinds[k], cfg, row, cell);
+        if (opts.journal != nullptr) {
+          JournalCellRecord rec;
+          rec.scenario = cell.scenario;
+          rec.kind = cell.kind;
+          rec.live = cell.live;
+          rec.modulated = cell.modulated;
+          rec.errors = cell.errors;
+          rec.trials_retried = cell.trials_retried;
+          opts.journal->append(rec);
+        }
+      }
+      report.errors.insert(report.errors.end(), cell.errors.begin(),
+                           cell.errors.end());
+      report.trials_retried += cell.trials_retried;
+    }
+
+    if (cfg.audit.enabled) {
+      result.audits[s].resize(n);
+      std::vector<Guarded<audit::FidelityReport>> audit_g(n);
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (row.traces[t].error) continue;
+        tasks.push_back([&, t] {
+          audit_g[t] = guarded_trace_audit(
+              row.traces[t].value, cfg, static_cast<int>(t),
+              scenario.name + "/trial" + std::to_string(t));
+        });
+      }
+      run_tasks(pool, std::move(tasks));
+      for (std::size_t t = 0; t < n; ++t) {
+        result.audits[s][t] = std::move(audit_g[t].value);
+        report.trials_retried += static_cast<std::uint64_t>(audit_g[t].retries);
+        if (audit_g[t].error) report.errors.push_back(*audit_g[t].error);
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < nk; ++k) {
+    if (const JournalCellRecord* rec =
+            find_record(opts.resume, true, false, "", kinds[k])) {
+      result.ethernet[k] = rec->live;
+      report.errors.insert(report.errors.end(), rec->errors.begin(),
+                           rec->errors.end());
+      report.trials_retried += rec->trials_retried;
+      continue;
+    }
+    std::vector<Guarded<BenchmarkOutcome>> eth_g(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      tasks.push_back([&, t] {
+        eth_g[t] = guarded_ethernet_trial(kinds[k], cfg, static_cast<int>(t));
+      });
+    }
+    run_tasks(pool, std::move(tasks));
+    JournalCellRecord rec;
+    rec.ethernet = true;
+    rec.kind = kinds[k];
+    result.ethernet[k].resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      result.ethernet[k][t] = std::move(eth_g[t].value);
+      rec.trials_retried += static_cast<std::uint64_t>(eth_g[t].retries);
+      if (eth_g[t].error) rec.errors.push_back(*eth_g[t].error);
+    }
+    rec.live = result.ethernet[k];
+    report.errors.insert(report.errors.end(), rec.errors.begin(),
+                         rec.errors.end());
+    report.trials_retried += rec.trials_retried;
+    if (opts.journal != nullptr) opts.journal->append(rec);
+  }
+
+  report.trials_failed = report.errors.size();
+  tally_timed_out_trials(result);
+  return result;
+}
+
+CellResult run_supervised_experiment(TaskPool* pool, const Scenario& scenario,
+                                     BenchmarkKind kind,
+                                     const ExperimentConfig& cfg) {
+  RowTraces row = collect_row(pool, scenario, cfg);
+  CellResult cell;
+  cell.scenario = scenario.name;
+  cell.kind = kind;
+  // Collection failures lead the cell's error list (root causes first).
+  cell.errors = row.errors;
+  cell.trials_retried = row.retried;
+  run_cell_trials(pool, scenario, kind, cfg, row, cell);
+  if (cfg.audit.enabled) {
+    const auto n = static_cast<std::size_t>(cfg.trials);
+    cell.audits.resize(n);
+    std::vector<Guarded<audit::FidelityReport>> audit_g(n);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (row.traces[t].error) continue;
+      tasks.push_back([&, t] {
+        audit_g[t] =
+            guarded_trace_audit(row.traces[t].value, cfg, static_cast<int>(t),
+                                "trial" + std::to_string(t));
+      });
+    }
+    run_tasks(pool, std::move(tasks));
+    for (std::size_t t = 0; t < n; ++t) {
+      cell.audits[t] = std::move(audit_g[t].value);
+      cell.trials_retried += static_cast<std::uint64_t>(audit_g[t].retries);
+      if (audit_g[t].error) cell.errors.push_back(*audit_g[t].error);
+    }
+  }
+  return cell;
+}
+
+// --- sweep JSON -------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_json_outcomes(std::ostream& out,
+                         const std::vector<BenchmarkOutcome>& outcomes) {
+  out << "[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const BenchmarkOutcome& o = outcomes[i];
+    out << (i == 0 ? "" : ", ") << "{\"elapsed_s\": " << json_double(o.elapsed_s)
+        << ", \"ok\": " << (o.ok ? "true" : "false")
+        << ", \"completed\": " << (o.completed ? "true" : "false")
+        << ", \"timed_out\": " << (o.timed_out ? "true" : "false")
+        << ", \"wall_stuck\": " << (o.wall_stuck ? "true" : "false") << "}";
+  }
+  out << "]";
+}
+
+void write_json_errors(std::ostream& out,
+                       const std::vector<TrialError>& errors) {
+  out << "[";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const TrialError& e = errors[i];
+    out << (i == 0 ? "" : ", ") << "{\"kind\": \"" << to_string(e.kind)
+        << "\", \"phase\": \"" << json_escape(e.phase) << "\", \"scenario\": \""
+        << json_escape(e.scenario) << "\", \"benchmark\": \""
+        << json_escape(e.benchmark) << "\", \"trial\": " << e.trial
+        << ", \"seed\": " << e.seed << ", \"attempts\": " << e.attempts
+        << ", \"message\": \"" << json_escape(e.message) << "\"}";
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& out, const SweepResult& result,
+                      const ExperimentConfig& cfg,
+                      const std::vector<BenchmarkKind>& kinds) {
+  out << "{\n\"schema\": \"tracemod-sweep-v1\",\n";
+  out << "\"config\": {\"base_seed\": " << cfg.base_seed
+      << ", \"trials\": " << cfg.trials
+      << ", \"tick_ms\": " << json_double(sim::to_milliseconds(cfg.tick))
+      << ", \"compensate\": " << (cfg.compensate ? "true" : "false")
+      << ", \"supervised\": " << (cfg.supervision.enabled ? "true" : "false")
+      << ", \"max_retries\": " << cfg.supervision.max_retries
+      << ", \"perturb_retry_seed\": "
+      << (cfg.supervision.perturb_retry_seed ? "true" : "false") << "},\n";
+  out << "\"cells\": [";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& c = result.cells[i];
+    const Summary live = summarize_elapsed(c.live);
+    const Summary mod = summarize_elapsed(c.modulated);
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"scenario\": \"" << json_escape(c.scenario)
+        << "\", \"benchmark\": \"" << to_string(c.kind)
+        << "\", \"resumed\": " << (c.resumed ? "true" : "false")
+        << ", \"degraded\": " << (c.errors.empty() ? "false" : "true")
+        << ",\n \"live\": {\"mean_s\": " << json_double(live.mean)
+        << ", \"stddev_s\": " << json_double(live.stddev) << ", \"trials\": ";
+    write_json_outcomes(out, c.live);
+    out << "},\n \"modulated\": {\"mean_s\": " << json_double(mod.mean)
+        << ", \"stddev_s\": " << json_double(mod.stddev) << ", \"trials\": ";
+    write_json_outcomes(out, c.modulated);
+    out << "},\n \"trials_retried\": " << c.trials_retried
+        << ", \"errors\": ";
+    write_json_errors(out, c.errors);
+    out << "}";
+  }
+  out << "\n],\n\"ethernet\": [";
+  for (std::size_t k = 0; k < result.ethernet.size(); ++k) {
+    const Summary eth = summarize_elapsed(result.ethernet[k]);
+    out << (k == 0 ? "\n" : ",\n");
+    out << "{\"benchmark\": \""
+        << to_string(k < kinds.size() ? kinds[k] : BenchmarkKind::kWeb)
+        << "\", \"mean_s\": " << json_double(eth.mean)
+        << ", \"stddev_s\": " << json_double(eth.stddev) << ", \"trials\": ";
+    write_json_outcomes(out, result.ethernet[k]);
+    out << "}";
+  }
+  out << "\n],\n\"supervision\": {\"trials_failed\": "
+      << result.supervision.trials_failed
+      << ", \"trials_retried\": " << result.supervision.trials_retried
+      << ", \"trials_timed_out\": " << result.supervision.trials_timed_out
+      << ", \"errors\": ";
+  write_json_errors(out, result.supervision.errors);
+  out << "}\n}\n";
+}
+
+}  // namespace tracemod::scenarios

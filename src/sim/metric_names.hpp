@@ -104,6 +104,21 @@ inline constexpr const char* kAuditBandwidthRelErr =
 /// Per-window |recovered - reference| loss-rate delta (series).
 inline constexpr const char* kAuditLossDelta = "audit.loss_delta";
 
+// --- experiment-supervision counters (src/scenarios/supervisor.hpp) ---
+//
+// Published by export_supervision_metrics onto whatever registry the sweep
+// driver supplies; never emitted from inside a trial's SimContext.
+
+/// Trials that exhausted their retry budget and recorded a TrialError.
+inline constexpr const char* kSweepTrialsFailed = "sweep.trials_failed";
+
+/// Retry attempts consumed across the sweep (recovered or not).
+inline constexpr const char* kSweepTrialsRetried = "sweep.trials_retried";
+
+/// Benchmark outcomes abandoned by a watchdog (virtual-time budget expiry
+/// or wall-clock stuck-trial detection).
+inline constexpr const char* kSweepTrialsTimedOut = "sweep.trials_timed_out";
+
 /// Every counter name the simulation can emit.  The metric-name drift test
 /// snapshots a full end-to-end run and fails if it sees a counter that is
 /// not in this list.
@@ -113,7 +128,8 @@ inline constexpr const char* kAllCounterNames[] = {
     kNetPacketsReceived, kNetPacketsForwarded, kTcpRetransmits,
     kWirelessRetransmits, kWirelessDrops,      kWirelessHandoffs,
     kModulationDrops,    kAuditWindowsTotal,   kAuditWindowsUnauditable,
-    kAuditWindowsWithinTolerance,
+    kAuditWindowsWithinTolerance, kSweepTrialsFailed, kSweepTrialsRetried,
+    kSweepTrialsTimedOut,
 };
 
 /// Every series channel name, for the same drift test (audit divergence

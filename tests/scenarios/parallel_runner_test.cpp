@@ -81,6 +81,44 @@ TEST(TaskPool, FirstExceptionPropagates) {
   EXPECT_EQ(hits.load(), 1);
 }
 
+TEST(TaskPool, SoleExceptionIsRethrownUnchanged) {
+  TaskPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      if (i == 3) throw std::invalid_argument("only failure");
+    });
+  }
+  // A single failing task's exception must keep its type and message, not
+  // get wrapped in a combined error.
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::invalid_argument);
+}
+
+TEST(TaskPool, EveryExceptionIsCollectedIntoTheCombinedError) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i, &ran] {
+      ++ran;
+      if (i % 4 == 0) throw std::runtime_error("trial failed");
+    });
+  }
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "run_all swallowed 4 exceptions";
+  } catch (const std::runtime_error& e) {
+    // Sibling failures are not swallowed after the first: the combined
+    // error names the full count.  (Which failure's message is quoted
+    // depends on scheduling, so only the count is asserted.)
+    EXPECT_NE(std::string(e.what()).find("4 of 16 tasks failed"),
+              std::string::npos)
+        << e.what();
+  }
+  // Every task still ran despite the failures.
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ParallelRunner, IndexMapLandsResultsInOrder) {
   TaskPool pool(8);
   const auto out = parallel_index_map<std::size_t>(

@@ -20,6 +20,18 @@ std::string tmp(const std::string& name) {
   return testing::TempDir() + "tracemod_cli_" + name;
 }
 
+TEST(TracemodCli, ExitCodesArePinnedAndDistinct) {
+  // The exit-code contract is external API (CI and scripts match on the
+  // numbers): never renumber.  5 is the supervised sweep's
+  // completed-with-degraded-cells code (tools/sweep.cpp).
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitUsage, 1);
+  EXPECT_EQ(kExitIo, 2);
+  EXPECT_EQ(kExitSalvage, 3);
+  EXPECT_EQ(kExitAudit, 4);
+  EXPECT_EQ(kExitDegraded, 5);
+}
+
 TEST(TracemodCli, NoCommandIsAUsageError) {
   EXPECT_EQ(run({}), kExitUsage);
 }

@@ -4,6 +4,10 @@
 //         [--scenarios porter,flagstaff,wean,chatterbox]
 //         [--benchmarks web,ftp-send,ftp-recv,andrew]
 //         [--no-compensate] [--telemetry=PREFIX] [--audit[=FILE]]
+//         [--supervise] [--retries N] [--retry-perturb]
+//         [--budget SECONDS] [--wall-budget SECONDS]
+//         [--poison SCEN:BENCH:PHASE:TRIAL[:FAILS]]
+//         [--journal FILE | --resume FILE] [--json FILE]
 //
 // Every cell of {benchmark} x {scenario} runs the paper's procedure: N
 // live trials, N collection traversals distilled to replay traces, one
@@ -12,7 +16,28 @@
 // base_seed + trial, so the results are bit-identical whether the matrix
 // runs on one thread (--serial) or across all cores; only the wall clock
 // changes.  Exit status: 0 on success, 1 on usage error, 4 when --audit
-// found a fidelity breach.
+// found a fidelity breach, 5 when a supervised sweep completed with
+// degraded cells (at least one trial exhausted its retries; the table
+// still prints and the error records say which trials and seeds failed).
+//
+// Supervision (DESIGN.md section 10, scenarios/supervisor.hpp): with
+// --supervise (implied by the other supervision flags), every trial runs
+// crash-isolated under a guard, watchdogs bound runaway worlds
+// (--budget caps virtual time per trial, --wall-budget abandons trials
+// whose event loop stops making progress), and --retries re-runs a failed
+// trial with the identical derived seed (--retry-perturb opts into
+// explicitly non-bit-identical perturbed retry seeds).  --poison injects
+// a deterministic fault for chaos drills ("-" fields are wildcards;
+// FAILS bounds how many attempts fail, default all).
+//
+// Resumable sweeps: --journal FILE persists each completed cell to a
+// CRC-framed journal as the sweep runs; after a crash or kill,
+// --resume FILE skips the journaled cells and re-runs only the rest, with
+// final output byte-identical to an uninterrupted run of the same config.
+// A damaged journal degrades safely: a partial trailing record (the
+// normal kill-mid-append case) is dropped with a warning, and a corrupt
+// or config-mismatched journal falls back to a full re-run.  Resuming is
+// incompatible with --audit and --telemetry (neither is journaled).
 //
 // --audit additionally runs one closed-loop fidelity audit per collected
 // trace (src/audit/) in its own dedicated world, prints a verdict table,
@@ -35,6 +60,7 @@
 #include <vector>
 
 #include "scenarios/parallel_runner.hpp"
+#include "tracemod_cli.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -48,15 +74,19 @@ int usage() {
       "             [--scenarios porter,flagstaff,...] "
       "[--benchmarks web,ftp-recv,...]\n"
       "             [--no-compensate] [--telemetry=PREFIX] "
-      "[--audit[=FILE]]\n");
-  return 1;
+      "[--audit[=FILE]]\n"
+      "             [--supervise] [--retries N] [--retry-perturb]\n"
+      "             [--budget SECONDS] [--wall-budget SECONDS]\n"
+      "             [--poison SCEN:BENCH:PHASE:TRIAL[:FAILS]]\n"
+      "             [--journal FILE | --resume FILE] [--json FILE]\n");
+  return cli::kExitUsage;
 }
 
-std::vector<std::string> split_csv(const std::string& s) {
+std::vector<std::string> split_csv_with(const std::string& s, char sep) {
   std::vector<std::string> out;
   std::size_t start = 0;
   while (start <= s.size()) {
-    const std::size_t comma = s.find(',', start);
+    const std::size_t comma = s.find(sep, start);
     if (comma == std::string::npos) {
       out.push_back(s.substr(start));
       break;
@@ -65,6 +95,36 @@ std::vector<std::string> split_csv(const std::string& s) {
     start = comma + 1;
   }
   return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  return split_csv_with(s, ',');
+}
+
+/// "wean:web:live:0" or "wean:web:live:0:2"; "-" fields are wildcards.
+bool parse_poison(const std::string& spec, InjectedTrialFault* out) {
+  const std::vector<std::string> parts = split_csv_with(spec, ':');
+  if (parts.size() < 4 || parts.size() > 5) return false;
+  InjectedTrialFault f;
+  if (parts[0] != "-") f.scenario = parts[0];
+  if (parts[1] != "-") f.benchmark = parts[1];
+  if (parts[2] != "-") {
+    if (parts[2] != "live" && parts[2] != "collect" &&
+        parts[2] != "modulated" && parts[2] != "ethernet" &&
+        parts[2] != "audit") {
+      return false;
+    }
+    f.phase = parts[2];
+  }
+  try {
+    if (parts[3] != "-") f.trial = std::stoi(parts[3]);
+    if (parts.size() == 5) f.fail_attempts = std::stoi(parts[4]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (f.fail_attempts <= 0) return false;
+  *out = f;
+  return true;
 }
 
 bool parse_benchmark(const std::string& name, BenchmarkKind* out) {
@@ -87,6 +147,9 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   std::string telemetry_prefix;
   std::string audit_path;
+  std::string journal_path;
+  std::string resume_path;
+  std::string json_path;
   ExperimentConfig cfg;
   std::vector<Scenario> scenarios = all_scenarios();
   std::vector<BenchmarkKind> kinds = {BenchmarkKind::kWeb,
@@ -118,6 +181,50 @@ int main(int argc, char** argv) {
       cfg.base_seed = std::stoull(v);
     } else if (arg == "--no-compensate") {
       cfg.compensate = false;
+    } else if (arg == "--supervise") {
+      cfg.supervision.enabled = true;
+    } else if (arg == "--retries") {
+      const char* v = next_value("--retries");
+      if (v == nullptr) return usage();
+      cfg.supervision.max_retries = std::stoi(v);
+      cfg.supervision.enabled = true;
+    } else if (arg == "--retry-perturb") {
+      cfg.supervision.perturb_retry_seed = true;
+      cfg.supervision.enabled = true;
+    } else if (arg == "--budget") {
+      const char* v = next_value("--budget");
+      if (v == nullptr) return usage();
+      cfg.supervision.virtual_budget = sim::from_seconds(std::stod(v));
+      cfg.supervision.enabled = true;
+    } else if (arg == "--wall-budget") {
+      const char* v = next_value("--wall-budget");
+      if (v == nullptr) return usage();
+      cfg.supervision.wall_budget_s = std::stod(v);
+      cfg.supervision.enabled = true;
+    } else if (arg == "--poison") {
+      const char* v = next_value("--poison");
+      if (v == nullptr) return usage();
+      InjectedTrialFault fault;
+      if (!parse_poison(v, &fault)) {
+        std::fprintf(stderr, "bad --poison spec '%s'\n", v);
+        return usage();
+      }
+      cfg.supervision.inject.push_back(fault);
+      cfg.supervision.enabled = true;
+    } else if (arg == "--journal") {
+      const char* v = next_value("--journal");
+      if (v == nullptr) return usage();
+      journal_path = v;
+      cfg.supervision.enabled = true;
+    } else if (arg == "--resume") {
+      const char* v = next_value("--resume");
+      if (v == nullptr) return usage();
+      resume_path = v;
+      cfg.supervision.enabled = true;
+    } else if (arg == "--json") {
+      const char* v = next_value("--json");
+      if (v == nullptr) return usage();
+      json_path = v;
     } else if (arg == "--audit") {
       audit_path = "BENCH_fidelity.json";
       cfg.audit.enabled = true;
@@ -178,6 +285,17 @@ int main(int argc, char** argv) {
     }
   }
   if (scenarios.empty() || kinds.empty() || cfg.trials <= 0) return usage();
+  if (!journal_path.empty() && !resume_path.empty()) {
+    std::fprintf(stderr, "--journal and --resume are mutually exclusive "
+                         "(--resume keeps journaling to its own file)\n");
+    return usage();
+  }
+  if (!resume_path.empty() &&
+      (cfg.audit.enabled || cfg.telemetry.enabled)) {
+    std::fprintf(stderr, "--resume is incompatible with --audit and "
+                         "--telemetry (neither is journaled)\n");
+    return usage();
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg.compensate) {
@@ -192,7 +310,60 @@ int main(int argc, char** argv) {
               scenarios.size(), kinds.size(), cfg.trials,
               runner.thread_count());
 
-  const auto result = runner.sweep(scenarios, kinds, cfg);
+  // Journal / resume plumbing.  Resume-specific notices go to stderr so a
+  // resumed run's stdout stays byte-comparable to an uninterrupted one.
+  SweepJournalWriter journal;
+  JournalReadResult resumed;
+  SupervisedSweepOptions opts;
+  const std::uint32_t fingerprint = sweep_fingerprint(cfg);
+  if (!journal_path.empty()) {
+    if (!journal.open(journal_path, fingerprint, /*fresh=*/true)) {
+      std::fprintf(stderr, "cannot write sweep journal '%s'\n",
+                   journal_path.c_str());
+      return cli::kExitIo;
+    }
+    opts.journal = &journal;
+  } else if (!resume_path.empty()) {
+    resumed = read_sweep_journal(resume_path, fingerprint);
+    switch (resumed.status) {
+      case JournalStatus::kMissing:
+        std::fprintf(stderr, "resume: no journal at '%s'; running the full "
+                             "sweep\n", resume_path.c_str());
+        journal.open(resume_path, fingerprint, /*fresh=*/true);
+        break;
+      case JournalStatus::kClean:
+        journal.open(resume_path, fingerprint, /*fresh=*/false);
+        break;
+      case JournalStatus::kDroppedTail:
+        // The normal kill-mid-append shape: keep the intact prefix and
+        // rewrite the journal without the partial tail.
+        std::fprintf(stderr, "resume: %s; keeping %zu intact record(s)\n",
+                     resumed.message.c_str(), resumed.records.size());
+        if (journal.open(resume_path, fingerprint, /*fresh=*/true)) {
+          for (const auto& r : resumed.records) journal.append(r);
+        }
+        break;
+      case JournalStatus::kCorrupt:
+      case JournalStatus::kMismatch:
+        // A damaged or foreign journal must never skip work: warn, drop
+        // every record, and re-run the full sweep.
+        std::fprintf(stderr, "resume: journal '%s' unusable (%s: %s); "
+                             "re-running the full sweep\n",
+                     resume_path.c_str(), to_string(resumed.status),
+                     resumed.message.c_str());
+        resumed.records.clear();
+        journal.open(resume_path, fingerprint, /*fresh=*/true);
+        break;
+    }
+    if (!resumed.records.empty()) opts.resume = &resumed.records;
+    if (journal.is_open()) opts.journal = &journal;
+    std::fprintf(stderr, "resume: %zu journaled record(s) reused\n",
+                 resumed.records.size());
+  }
+
+  const auto result = cfg.supervision.enabled
+                          ? runner.supervised_sweep(scenarios, kinds, cfg, opts)
+                          : runner.sweep(scenarios, kinds, cfg);
 
   std::printf("%-11s %-9s | %18s %18s | %s\n", "scenario", "benchmark",
               "real(s)", "modulated(s)", "check");
@@ -207,6 +378,18 @@ int main(int argc, char** argv) {
     const Summary eth = summarize_elapsed(result.ethernet[k]);
     std::printf("%-11s %-9s | %18s %18s |\n", "Ethernet",
                 to_string(kinds[k]), cell(eth).c_str(), "-");
+  }
+
+  if (cfg.supervision.enabled) {
+    const SupervisionReport& sup = result.supervision;
+    std::printf("\nsupervision: %llu trial(s) failed, %llu retry attempt(s), "
+                "%llu timed out\n",
+                static_cast<unsigned long long>(sup.trials_failed),
+                static_cast<unsigned long long>(sup.trials_retried),
+                static_cast<unsigned long long>(sup.trials_timed_out));
+    for (const TrialError& e : sup.errors) {
+      std::printf("  %s\n", describe(e).c_str());
+    }
   }
 
   bool audit_breach = false;
@@ -291,6 +474,21 @@ int main(int argc, char** argv) {
                 snaps.size(), json_path.c_str(), metrics_path.c_str());
   }
 
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write sweep json '%s'\n",
+                   json_path.c_str());
+      return cli::kExitIo;
+    }
+    write_sweep_json(out, result, cfg, kinds);
+    std::printf("\nsweep json: -> %s\n", json_path.c_str());
+  }
+
   std::printf("\ntotal wall clock: %.2f s\n", seconds_since(t0));
-  return audit_breach ? 4 : 0;
+  // Degraded cells outrank an audit breach: exit 5 says "every cell ran,
+  // but these trials carry error records" (the contract tracemod_cli.hpp
+  // pins as kExitDegraded).
+  if (result.supervision.degraded()) return cli::kExitDegraded;
+  return audit_breach ? cli::kExitAudit : cli::kExitOk;
 }

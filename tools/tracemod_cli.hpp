@@ -7,7 +7,10 @@
 //   - I/O and trace-format failures return kExitIo;
 //   - `verify` returns kExitSalvage for damaged-but-salvageable traces;
 //   - `audit` returns kExitAudit when the fidelity verdict is breach or
-//     unauditable.
+//     unauditable;
+//   - kExitDegraded is reserved for supervised sweeps that completed with
+//     degraded cells (tools/sweep.cpp): every cell ran, but at least one
+//     trial exhausted its retries and carries a TrialError record.
 #pragma once
 
 #include <string>
@@ -20,6 +23,7 @@ inline constexpr int kExitUsage = 1;
 inline constexpr int kExitIo = 2;
 inline constexpr int kExitSalvage = 3;
 inline constexpr int kExitAudit = 4;
+inline constexpr int kExitDegraded = 5;
 
 /// Runs one tracemod invocation.  `args` excludes argv[0]; the first
 /// element is the subcommand.  Never throws: failures map to the exit
