@@ -1,0 +1,103 @@
+#include "wireless/cell_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::wireless {
+
+double association_range_m(double tx_dbm, double ref_loss_db,
+                           double path_exponent, double rx_floor_dbm) {
+  // Invert tx - (ref_loss + 10 n log10(d)) = floor for d; clamp at the
+  // 1 m reference distance the path-loss model bottoms out at.
+  const double exponent = (tx_dbm - ref_loss_db - rx_floor_dbm) /
+                          (10.0 * path_exponent);
+  return std::max(1.0, std::pow(10.0, exponent));
+}
+
+CellIndex::CellKey CellIndex::key_of(std::int64_t ix, std::int64_t iy) const {
+  // Pack two 32-bit coordinates; campus geometry is metres-scale, so the
+  // truncation can never wrap in practice.
+  return (static_cast<CellKey>(static_cast<std::uint32_t>(ix)) << 32) |
+         static_cast<CellKey>(static_cast<std::uint32_t>(iy));
+}
+
+CellIndex::CellKey CellIndex::cell_of(Vec2 p) const {
+  if (!sharded()) return 0;
+  return key_of(static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+                static_cast<std::int64_t>(std::floor(p.y / cell_size_)));
+}
+
+void CellIndex::insert(std::uint32_t id, Vec2 p) {
+  TM_ASSERT(where_.find(id) == where_.end());
+  const CellKey key = cell_of(p);
+  cells_[key].entries.push_back(id);
+  where_.emplace(id, key);
+}
+
+void CellIndex::update(std::uint32_t id, Vec2 p) {
+  auto it = where_.find(id);
+  TM_ASSERT(it != where_.end());
+  const CellKey key = cell_of(p);
+  if (key == it->second) return;
+  std::vector<std::uint32_t>& old_bucket = cells_[it->second].entries;
+  old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+  // Re-registration appends: within a cell, order is arrival order, which
+  // is deterministic for a deterministic simulation.
+  cells_[key].entries.push_back(id);
+  it->second = key;
+}
+
+void CellIndex::cell_span(Vec2 p, double radius, std::int64_t* x0,
+                          std::int64_t* x1, std::int64_t* y0,
+                          std::int64_t* y1) const {
+  *x0 = static_cast<std::int64_t>(std::floor((p.x - radius) / cell_size_));
+  *x1 = static_cast<std::int64_t>(std::floor((p.x + radius) / cell_size_));
+  *y0 = static_cast<std::int64_t>(std::floor((p.y - radius) / cell_size_));
+  *y1 = static_cast<std::int64_t>(std::floor((p.y + radius) / cell_size_));
+}
+
+void CellIndex::for_each_candidate(
+    Vec2 p, double radius, const std::function<void(std::uint32_t)>& fn) const {
+  if (!sharded()) {
+    auto it = cells_.find(0);
+    if (it == cells_.end()) return;
+    for (std::uint32_t id : it->second.entries) fn(id);
+    return;
+  }
+  std::int64_t x0, x1, y0, y1;
+  cell_span(p, radius, &x0, &x1, &y0, &y1);
+  for (std::int64_t iy = y0; iy <= y1; ++iy) {
+    for (std::int64_t ix = x0; ix <= x1; ++ix) {
+      auto it = cells_.find(key_of(ix, iy));
+      if (it == cells_.end()) continue;
+      for (std::uint32_t id : it->second.entries) fn(id);
+    }
+  }
+}
+
+void CellIndex::covered_cells(Vec2 p, double radius,
+                              std::vector<CellKey>* out) const {
+  if (!sharded()) {
+    out->push_back(0);
+    return;
+  }
+  std::int64_t x0, x1, y0, y1;
+  cell_span(p, radius, &x0, &x1, &y0, &y1);
+  for (std::int64_t iy = y0; iy <= y1; ++iy) {
+    for (std::int64_t ix = x0; ix <= x1; ++ix) {
+      out->push_back(key_of(ix, iy));
+    }
+  }
+}
+
+std::size_t CellIndex::occupied_cells() const {
+  std::size_t n = 0;
+  for (const auto& [key, bucket] : cells_) {
+    if (!bucket.entries.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace tracemod::wireless

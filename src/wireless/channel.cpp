@@ -11,10 +11,18 @@ namespace tracemod::wireless {
 
 WirelessChannel::WirelessChannel(sim::EventLoop& loop, SignalModel model,
                                  ChannelConfig cfg, sim::Rng rng)
-    : loop_(loop), model_(std::move(model)), cfg_(cfg), rng_(rng) {}
+    : loop_(loop),
+      model_(std::move(model)),
+      cfg_(cfg),
+      rng_(rng),
+      wp_index_(cfg.spatial.cell_size) {}
 
 void WirelessChannel::add_wavepoint(BaseStation* wp) {
   TM_ASSERT(wp != nullptr);
+  // WavePoints are fixed infrastructure: index them once at their mounting
+  // position.  Ids are registration indices into wavepoints_.
+  wp_index_.insert(static_cast<std::uint32_t>(wavepoints_.size()),
+                   wp->position());
   wavepoints_.push_back(wp);
 }
 
@@ -23,6 +31,10 @@ void WirelessChannel::add_mobile(Transceiver* mobile, net::IpAddress addr) {
   // Registration is closed once the channel starts: pending handoff events
   // hold pointers into mobiles_.
   TM_ASSERT(!started_);
+  TM_ASSERT(mobile_by_radio_.find(mobile) == mobile_by_radio_.end());
+  TM_ASSERT(mobile_by_addr_.find(addr) == mobile_by_addr_.end());
+  mobile_by_radio_.emplace(mobile, mobiles_.size());
+  mobile_by_addr_.emplace(addr, mobiles_.size());
   mobiles_.push_back(MobileEntry{mobile, addr, nullptr, false, {}});
 }
 
@@ -45,26 +57,20 @@ void WirelessChannel::start() {
 
 WirelessChannel::MobileEntry* WirelessChannel::find_mobile(
     const Transceiver* radio) {
-  for (MobileEntry& e : mobiles_) {
-    if (e.radio == radio) return &e;
-  }
-  return nullptr;
+  auto it = mobile_by_radio_.find(radio);
+  return it != mobile_by_radio_.end() ? &mobiles_[it->second] : nullptr;
 }
 
 const WirelessChannel::MobileEntry* WirelessChannel::find_mobile(
     const Transceiver* radio) const {
-  for (const MobileEntry& e : mobiles_) {
-    if (e.radio == radio) return &e;
-  }
-  return nullptr;
+  auto it = mobile_by_radio_.find(radio);
+  return it != mobile_by_radio_.end() ? &mobiles_[it->second] : nullptr;
 }
 
 WirelessChannel::MobileEntry* WirelessChannel::find_mobile_by_addr(
     net::IpAddress addr) {
-  for (MobileEntry& e : mobiles_) {
-    if (e.addr == addr) return &e;
-  }
-  return nullptr;
+  auto it = mobile_by_addr_.find(addr);
+  return it != mobile_by_addr_.end() ? &mobiles_[it->second] : nullptr;
 }
 
 BaseStation* WirelessChannel::associated(const Transceiver* mobile) const {
@@ -88,6 +94,24 @@ double WirelessChannel::frame_error_prob(double snr_db,
   return std::clamp(scaled, 0.0, 1.0);
 }
 
+sim::TimePoint WirelessChannel::busy_floor_at(Vec2 pos) {
+  covered_scratch_.clear();
+  wp_index_.covered_cells(pos, cfg_.spatial.radio_range_m, &covered_scratch_);
+  sim::TimePoint floor = sim::kEpoch;
+  for (CellIndex::CellKey key : covered_scratch_) {
+    auto it = cell_busy_.find(key);
+    if (it != cell_busy_.end()) floor = std::max(floor, it->second);
+  }
+  return floor;
+}
+
+void WirelessChannel::occupy_covered(sim::TimePoint until) {
+  for (CellIndex::CellKey key : covered_scratch_) {
+    sim::TimePoint& busy = cell_busy_[key];
+    busy = std::max(busy, until);
+  }
+}
+
 void WirelessChannel::transmit_from_mobile(Transceiver* mobile,
                                            net::Packet pkt) {
   MobileEntry* entry = find_mobile(mobile);
@@ -105,7 +129,7 @@ void WirelessChannel::transmit_from_mobile(Transceiver* mobile,
     ++stats_.frames_dropped_unassociated;
     return;
   }
-  if (busy_until_ - loop_.now() > cfg_.backlog_cap) {
+  if (busy_floor_at(mobile->position()) - loop_.now() > cfg_.backlog_cap) {
     ++stats_.frames_dropped_backlog;
     return;
   }
@@ -123,7 +147,7 @@ void WirelessChannel::transmit_from_wavepoint(BaseStation* wp,
     ++stats_.frames_dropped_handoff;
     return;
   }
-  if (busy_until_ - loop_.now() > cfg_.backlog_cap) {
+  if (busy_floor_at(wp->position()) - loop_.now() > cfg_.backlog_cap) {
     ++stats_.frames_dropped_backlog;
     return;
   }
@@ -136,8 +160,12 @@ void WirelessChannel::start_attempt(Attempt attempt) {
   const auto slots = rng_.uniform_int(0, (std::int64_t{1} << exp) - 1);
   const sim::Duration backoff = cfg_.slot * slots;
 
+  // Carrier sense covers every cell within radio range of the transmitter
+  // (in the flat configuration that is the single global cell, i.e. the
+  // seed's scalar busy horizon).
+  const sim::TimePoint floor = busy_floor_at(attempt.from->position());
   const sim::TimePoint start =
-      std::max(loop_.now(), busy_until_) + cfg_.difs + backoff;
+      std::max(loop_.now(), floor) + cfg_.difs + backoff;
   // Duration uses the median SNR at reservation time: the radio picks its
   // timing before knowing whether the frame will survive.
   const double rx =
@@ -147,8 +175,10 @@ void WirelessChannel::start_attempt(Attempt attempt) {
   const sim::Duration tx_time =
       cfg_.preamble +
       sim::from_seconds(attempt.pkt.wire_size() * 8.0 / rate);
-  busy_until_ = start + tx_time;
-  const sim::TimePoint done = busy_until_;
+  const sim::TimePoint done = start + tx_time;
+  // The reservation keeps every covered cell deferring, so a station just
+  // across a cell border still backs off this transmission.
+  occupy_covered(done);
   if (tel_ != nullptr) {
     // The reservation window is known now; record the span with its
     // (future) endpoints instead of scheduling anything.
@@ -211,63 +241,106 @@ void WirelessChannel::associate(MobileEntry& entry, BaseStation* wp) {
   if (wp != nullptr) wp->claim_mobile(entry.addr);
 }
 
-void WirelessChannel::poll_associations() {
-  for (MobileEntry& entry : mobiles_) {
-    if (entry.in_handoff) continue;
-    const Vec2 pos = entry.radio->position();
-    BaseStation* best = nullptr;
-    double best_rx = -1e9;
-    for (BaseStation* wp : wavepoints_) {
-      const double rx = model_.median_rx_dbm(wp->position(),
-                                             wp->tx_power_dbm(), pos);
-      if (rx > best_rx) {
-        best_rx = rx;
-        best = wp;
-      }
-    }
-    if (best == nullptr) continue;
+WirelessChannel::ScanResult WirelessChannel::scan_mobile(
+    const MobileEntry& entry) const {
+  ScanResult scan;
+  if (entry.in_handoff) {
+    scan.skipped = true;
+    return scan;
+  }
+  const Vec2 pos = entry.radio->position();
+  // Candidate query: in the flat configuration this visits every WavePoint
+  // in registration order (the seed's full scan); sharded, only WavePoints
+  // in cells overlapping the interaction disc -- the fix for the old
+  // O(mobiles x wavepoints) poll.
+  wp_index_.for_each_candidate(
+      pos, cfg_.spatial.radio_range_m, [&](std::uint32_t id) {
+        BaseStation* wp = wavepoints_[id];
+        const double rx =
+            model_.median_rx_dbm(wp->position(), wp->tx_power_dbm(), pos);
+        if (rx > scan.best_rx) {
+          scan.best_rx = rx;
+          scan.best = wp;
+        }
+      });
+  if (entry.assoc != nullptr) {
+    scan.cur_rx = model_.median_rx_dbm(entry.assoc->position(),
+                                       entry.assoc->tx_power_dbm(), pos);
+  }
+  return scan;
+}
 
-    if (entry.assoc == nullptr) {
-      if (best_rx >= cfg_.association_floor_dbm) associate(entry, best);
-      continue;
+void WirelessChannel::apply_scan(MobileEntry& entry, const ScanResult& scan) {
+  if (scan.skipped) return;
+  BaseStation* best = scan.best;
+  const double best_rx = scan.best_rx;
+  if (best == nullptr) return;
+
+  if (entry.assoc == nullptr) {
+    if (best_rx >= cfg_.association_floor_dbm) associate(entry, best);
+    return;
+  }
+  // Out of range of everything: the roaming protocol drops the
+  // association entirely (5 dB of hysteresis against flapping).
+  if (best_rx < cfg_.association_floor_dbm - 5.0) {
+    associate(entry, nullptr);
+    return;
+  }
+  if (best == entry.assoc) return;
+  if (best_rx > scan.cur_rx + cfg_.handoff_hysteresis_db) {
+    // Roaming protocol: brief outage, then re-association (the paper's
+    // WavePoint handoffs).
+    entry.assoc->unclaim_mobile(entry.addr);
+    entry.assoc = nullptr;
+    entry.in_handoff = true;
+    ++stats_.handoffs;
+    if (m_handoffs_ != nullptr) ++*m_handoffs_;
+    if (tel_ != nullptr) {
+      tel_->recorder().begin(trk_air_, "handoff", stats_.handoffs,
+                             loop_.now());
+      tel_->recorder().end(trk_air_, "handoff", stats_.handoffs,
+                           loop_.now() + cfg_.handoff_outage);
     }
-    // Out of range of everything: the roaming protocol drops the
-    // association entirely (5 dB of hysteresis against flapping).
-    if (best_rx < cfg_.association_floor_dbm - 5.0) {
-      associate(entry, nullptr);
-      continue;
-    }
-    if (best == entry.assoc) continue;
-    const double cur_rx = model_.median_rx_dbm(
-        entry.assoc->position(), entry.assoc->tx_power_dbm(), pos);
-    if (best_rx > cur_rx + cfg_.handoff_hysteresis_db) {
-      // Roaming protocol: brief outage, then re-association (the paper's
-      // WavePoint handoffs).
-      entry.assoc->unclaim_mobile(entry.addr);
-      entry.assoc = nullptr;
-      entry.in_handoff = true;
-      ++stats_.handoffs;
-      if (m_handoffs_ != nullptr) ++*m_handoffs_;
-      if (tel_ != nullptr) {
-        tel_->recorder().begin(trk_air_, "handoff", stats_.handoffs,
-                               loop_.now());
-        tel_->recorder().end(trk_air_, "handoff", stats_.handoffs,
-                             loop_.now() + cfg_.handoff_outage);
+    MobileEntry* entry_ptr = &entry;
+    loop_.schedule(
+        cfg_.handoff_outage,
+        [this, entry_ptr, best] {
+          entry_ptr->in_handoff = false;
+          associate(*entry_ptr, best);
+          // Flush the frames the driver held back during the handoff.
+          std::vector<net::Packet> held = std::move(entry_ptr->deferred);
+          entry_ptr->deferred.clear();
+          for (net::Packet& pkt : held) {
+            start_attempt(Attempt{entry_ptr->radio, best, std::move(pkt), 0});
+          }
+        },
+        "wireless.handoff");
+  }
+}
+
+void WirelessChannel::poll_associations() {
+  // scan_mobile is pure (positions and median signal only -- no RNG, no
+  // scheduling), so the scan phase is order-independent; apply_scan runs
+  // serially in registration order either way.  That makes the serial and
+  // parallel paths bit-identical, and the flat path identical to the seed's
+  // interleaved scan-then-apply loop.
+  if (cfg_.spatial.sharded() && parallel_for_ && !mobiles_.empty()) {
+    std::vector<ScanResult> scans(mobiles_.size());
+    const std::size_t chunk = 256;
+    const std::size_t n_chunks = (mobiles_.size() + chunk - 1) / chunk;
+    parallel_for_(n_chunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, mobiles_.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        scans[i] = scan_mobile(mobiles_[i]);
       }
-      MobileEntry* entry_ptr = &entry;
-      loop_.schedule(
-          cfg_.handoff_outage,
-          [this, entry_ptr, best] {
-            entry_ptr->in_handoff = false;
-            associate(*entry_ptr, best);
-            // Flush the frames the driver held back during the handoff.
-            std::vector<net::Packet> held = std::move(entry_ptr->deferred);
-            entry_ptr->deferred.clear();
-            for (net::Packet& pkt : held) {
-              start_attempt(Attempt{entry_ptr->radio, best, std::move(pkt), 0});
-            }
-          },
-          "wireless.handoff");
+    });
+    for (std::size_t i = 0; i < mobiles_.size(); ++i) {
+      apply_scan(mobiles_[i], scans[i]);
+    }
+  } else {
+    for (MobileEntry& entry : mobiles_) {
+      apply_scan(entry, scan_mobile(entry));
     }
   }
   loop_.schedule(cfg_.association_poll, [this] { poll_associations(); },

@@ -1,7 +1,7 @@
-// The WaveLAN-like shared wireless channel.
+// The WaveLAN-like wireless medium: one shared CSMA cell in the seed
+// configuration, a sharded spatial medium at campus scale.
 //
-// One 2 Mb/s-class CSMA medium shared by every mobile and WavePoint in a
-// scenario.  The channel implements:
+// The channel implements:
 //   - carrier-sense serialization with DIFS + random backoff,
 //   - SNR-dependent frame error with bounded link-layer retries (this is
 //     what turns deep fades into the paper's correlated latency spikes and
@@ -12,6 +12,23 @@
 //   - an optional bursty interference process,
 //   - a bounded transmit backlog; overflow drops model interface-queue
 //     overruns.
+//
+// Spatial sharding (ChannelConfig::spatial, DESIGN.md section 11): with a
+// positive cell_size the plane is partitioned by a CellIndex and
+//   - carrier-sense/backoff state is per cell: a transmission marks every
+//     cell within radio range of the transmitter busy, so stations at a
+//     cell border still defer to each other (correct cross-cell
+//     interference) while distant cells transmit concurrently;
+//   - the association/handoff scan asks the cell index for nearby
+//     WavePoints instead of walking all of them -- the seed's
+//     O(mobiles x wavepoints) poll becomes O(mobiles x nearby);
+//   - the pure signal-strength scan of the association poll can fan out
+//     across worker threads via set_parallel_for; mutations are applied
+//     serially in registration order, so serial and parallel sharded runs
+//     are bit-identical.
+// The default spatial config (cell_size 0) is the degenerate single-cell
+// grid: every code path reduces to the seed's flat-medium arithmetic and
+// outputs stay bit-identical to it (pinned by tests and the sweep golden).
 //
 // Uplink and downlink differ in transmit power, so marginal links are
 // asymmetric -- the effect the paper's FTP benchmark exposes (Section 5.3).
@@ -27,6 +44,7 @@
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "sim/telemetry.hpp"
+#include "wireless/cell_index.hpp"
 #include "wireless/signal_model.hpp"
 
 namespace tracemod::sim {
@@ -80,6 +98,9 @@ struct ChannelConfig {
   double burst_extra_err = 0.0;
   sim::Duration burst_mean_on = sim::milliseconds(200);
   sim::Duration burst_mean_off = sim::seconds(4);
+  /// Spatial sharding of the medium (cell_index.hpp).  The default keeps
+  /// the flat single-cell seed behaviour.
+  SpatialConfig spatial{};
 };
 
 class WirelessChannel {
@@ -93,6 +114,13 @@ class WirelessChannel {
     std::uint64_t retry_attempts = 0;
     std::uint64_t handoffs = 0;
   };
+
+  /// Runs shard-scan bodies 0..n-1, possibly concurrently; must block
+  /// until all complete.  Bodies are pure (no RNG, no event scheduling),
+  /// so any execution order yields the identical result.
+  using ParallelFor =
+      std::function<void(std::size_t n,
+                         const std::function<void(std::size_t)>& body)>;
 
   WirelessChannel(sim::EventLoop& loop, SignalModel model, ChannelConfig cfg,
                   sim::Rng rng);
@@ -128,6 +156,21 @@ class WirelessChannel {
   /// ("channel/air" track).  Call once from the world builder.
   void set_telemetry(sim::SimContext& ctx);
 
+  /// Installs a fork-join executor for the sharded association scan (the
+  /// campus runner wires this to its TaskPool).  Only the pure
+  /// signal-strength scan runs on workers; association changes and handoff
+  /// scheduling stay on the event-loop thread in registration order, so a
+  /// run with an executor is bit-identical to one without.  Ignored in
+  /// flat (non-sharded) configurations.
+  void set_parallel_for(ParallelFor fn) { parallel_for_ = std::move(fn); }
+
+  /// The WavePoint cell index (diagnostics and tests).
+  const CellIndex& wavepoint_index() const { return wp_index_; }
+
+  /// Distinct grid cells currently carrying or having carried a
+  /// transmission (diagnostics; 1 in flat mode once anything transmitted).
+  std::size_t busy_cells_tracked() const { return cell_busy_.size(); }
+
  private:
   struct MobileEntry {
     Transceiver* radio = nullptr;
@@ -144,6 +187,16 @@ class WirelessChannel {
     int tries = 0;
   };
 
+  /// Result of the pure association scan for one mobile: the strongest
+  /// candidate WavePoint within interaction range and, when associated,
+  /// the current WavePoint's median signal at the same instant.
+  struct ScanResult {
+    BaseStation* best = nullptr;
+    double best_rx = -1e9;
+    double cur_rx = -1e9;
+    bool skipped = false;  ///< mobile was mid-handoff at scan time
+  };
+
   void start_attempt(Attempt attempt);
   void finish_attempt(Attempt attempt, sim::TimePoint started);
   void poll_associations();
@@ -153,13 +206,36 @@ class WirelessChannel {
   const MobileEntry* find_mobile(const Transceiver* radio) const;
   MobileEntry* find_mobile_by_addr(net::IpAddress addr);
 
+  /// The pure scan (no RNG, no mutation): safe to run on shard workers.
+  ScanResult scan_mobile(const MobileEntry& entry) const;
+  /// Applies one mobile's scan result: the seed's association/handoff
+  /// logic, verbatim.  Event-loop thread only.
+  void apply_scan(MobileEntry& entry, const ScanResult& scan);
+
+  /// Earliest instant the medium is free across every cell within radio
+  /// range of a transmitter at `pos` (the flat config reduces this to the
+  /// seed's single busy_until_ read).  Fills covered_scratch_.
+  sim::TimePoint busy_floor_at(Vec2 pos);
+  /// Marks every cell in covered_scratch_ busy until `until`.
+  void occupy_covered(sim::TimePoint until);
+
   sim::EventLoop& loop_;
   SignalModel model_;
   ChannelConfig cfg_;
   sim::Rng rng_;
   std::vector<BaseStation*> wavepoints_;
   std::vector<MobileEntry> mobiles_;
-  sim::TimePoint busy_until_ = sim::kEpoch;
+  /// O(1) mobile lookups; the seed's linear scans made every frame O(N)
+  /// and the whole medium O(N^2) at campus host counts.
+  std::unordered_map<const Transceiver*, std::size_t> mobile_by_radio_;
+  std::unordered_map<net::IpAddress, std::size_t> mobile_by_addr_;
+  /// WavePoints bucketed by grid cell; candidate queries for association
+  /// and handoff go through this instead of scanning all of them.
+  CellIndex wp_index_;
+  /// Per-cell carrier-sense horizon (key 0 only in flat mode).
+  std::unordered_map<CellIndex::CellKey, sim::TimePoint> cell_busy_;
+  std::vector<CellIndex::CellKey> covered_scratch_;
+  ParallelFor parallel_for_;
   bool burst_active_ = false;
   bool started_ = false;
   Stats stats_;

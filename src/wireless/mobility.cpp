@@ -1,5 +1,8 @@
 #include "wireless/mobility.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/assert.hpp"
 
 namespace tracemod::wireless {
@@ -33,23 +36,103 @@ MobilityModel::MobilityModel(std::vector<Waypoint> waypoints) {
 Vec2 MobilityModel::position(sim::TimePoint t) const {
   if (t <= knots_.front().at) return knots_.front().pos;
   if (t >= knots_.back().at) return knots_.back().pos;
-  for (std::size_t i = 1; i < knots_.size(); ++i) {
-    if (t <= knots_[i].at) {
-      const Knot& a = knots_[i - 1];
-      const Knot& b = knots_[i];
-      const auto span = b.at - a.at;
-      if (span.count() == 0) return b.pos;
-      const double frac = static_cast<double>((t - a.at).count()) /
-                          static_cast<double>(span.count());
-      return lerp(a.pos, b.pos, frac);
-    }
-  }
-  return knots_.back().pos;
+  // Binary search for the first knot at or after t.  Long generated paths
+  // (a campus hour of random-waypoint legs) made the old linear scan the
+  // hot spot of every association poll; lower_bound picks the identical
+  // interval the scan did.
+  const auto it = std::lower_bound(
+      knots_.begin() + 1, knots_.end(), t,
+      [](const Knot& k, sim::TimePoint when) { return k.at < when; });
+  const Knot& a = *(it - 1);
+  const Knot& b = *it;
+  const auto span = b.at - a.at;
+  if (span.count() == 0) return b.pos;
+  const double frac = static_cast<double>((t - a.at).count()) /
+                      static_cast<double>(span.count());
+  return lerp(a.pos, b.pos, frac);
 }
 
 MobilityModel MobilityModel::stationary(Vec2 pos, sim::Duration dwell,
                                         const std::string& label) {
   return MobilityModel({Waypoint{label, pos, 1.0, dwell}});
+}
+
+MobilityModel MobilityModel::trace_replay(
+    const std::vector<TracePoint>& points, const std::string& label_prefix) {
+  TM_ASSERT(!points.empty());
+  MobilityModel m;
+  // Anchor at the epoch so the track is defined from t = 0 even when the
+  // recording starts later.
+  if (points.front().at > sim::kEpoch) {
+    m.knots_.push_back(Knot{sim::kEpoch, points.front().pos});
+  }
+  sim::TimePoint prev_at = sim::kEpoch;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    TM_ASSERT(points[i].at >= prev_at);
+    prev_at = points[i].at;
+    m.knots_.push_back(Knot{points[i].at, points[i].pos});
+    m.checkpoints_.push_back(Checkpoint{
+        label_prefix + std::to_string(i), points[i].at, points[i].pos});
+  }
+  m.duration_ = points.back().at - sim::kEpoch;
+  return m;
+}
+
+MobilityModel random_waypoint(const RandomWaypointConfig& cfg, sim::Rng& rng) {
+  TM_ASSERT(cfg.area_max.x >= cfg.area_min.x);
+  TM_ASSERT(cfg.area_max.y >= cfg.area_min.y);
+  TM_ASSERT(cfg.speed_max_mps >= cfg.speed_min_mps);
+  TM_ASSERT(cfg.speed_min_mps > 0.0);
+  auto draw_point = [&] {
+    // Fixed draw order (x then y) -- part of the determinism contract.
+    const double x = rng.uniform(cfg.area_min.x, cfg.area_max.x);
+    const double y = rng.uniform(cfg.area_min.y, cfg.area_max.y);
+    return Vec2{x, y};
+  };
+  auto draw_pause = [&] {
+    return sim::from_seconds(rng.uniform(sim::to_seconds(cfg.pause_min),
+                                         sim::to_seconds(cfg.pause_max)));
+  };
+  std::vector<MobilityModel::Waypoint> wps;
+  std::size_t n = 0;
+  Vec2 prev = draw_point();
+  sim::TimePoint t = sim::kEpoch;
+  const sim::Duration pause0 = draw_pause();
+  wps.push_back(MobilityModel::Waypoint{cfg.label_prefix + std::to_string(n++),
+                                        prev, 1.0, pause0});
+  t += pause0;
+  while (t - sim::kEpoch < cfg.horizon) {
+    const Vec2 next = draw_point();
+    const double speed = rng.uniform(cfg.speed_min_mps, cfg.speed_max_mps);
+    const sim::Duration pause = draw_pause();
+    t += sim::from_seconds(distance(prev, next) / speed) + pause;
+    wps.push_back(MobilityModel::Waypoint{
+        cfg.label_prefix + std::to_string(n++), next, speed, pause});
+    prev = next;
+    // A zero-area box with zero pauses never advances time; bail instead
+    // of spinning (the path is stationary anyway).
+    if (t == sim::kEpoch && wps.size() > 1) break;
+  }
+  return MobilityModel(std::move(wps));
+}
+
+std::size_t GroupMobility::add_member(Vec2 offset) {
+  offsets_.push_back(offset);
+  return offsets_.size() - 1;
+}
+
+void GroupMobility::add_ring(std::size_t count, double radius) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double theta =
+        2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+        static_cast<double>(count == 0 ? 1 : count);
+    add_member(Vec2{radius * std::cos(theta), radius * std::sin(theta)});
+  }
+}
+
+Vec2 GroupMobility::position(std::size_t member, sim::TimePoint t) const {
+  TM_ASSERT(member < offsets_.size());
+  return leader_.position(t) + offsets_[member];
 }
 
 }  // namespace tracemod::wireless

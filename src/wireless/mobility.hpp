@@ -1,14 +1,26 @@
-// Checkpointed mobility paths.
+// Checkpointed mobility paths and the campus mobility-model family.
 //
 // The paper's scenarios are traversals of labeled checkpoints (Porter x0-x6,
 // Flagstaff y0-y9, Wean z0-z7).  A MobilityModel is a sequence of waypoints
 // with walking speeds and pauses; it yields position as a function of time
 // and the checkpoint schedule used for the figures' location axes.
+//
+// Every member of the family reduces to that one representation -- a
+// piecewise-linear position track -- so the channel, devices, and traces
+// never care which generator produced a path:
+//   - random_waypoint() draws waypoints/speeds/pauses from an Rng into a
+//     bounding box until a horizon is filled (the classic model; with a
+//     degenerate box or zero horizon it collapses to stationary());
+//   - GroupMobility superimposes fixed member offsets on one shared leader
+//     track (leader/follower groups walking a campus together);
+//   - MobilityModel::trace_replay() replays a recorded (time, position)
+//     track verbatim, for paths captured from real traces.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "wireless/geometry.hpp"
 
@@ -45,7 +57,19 @@ class MobilityModel {
   static MobilityModel stationary(Vec2 pos, sim::Duration dwell,
                                   const std::string& label = "s0");
 
+  /// Replays a recorded (time, position) track verbatim: the model passes
+  /// through each sample at exactly its timestamp, linearly interpolating
+  /// between samples.  Times must be non-decreasing from kEpoch.
+  struct TracePoint {
+    sim::TimePoint at;
+    Vec2 pos;
+  };
+  static MobilityModel trace_replay(const std::vector<TracePoint>& points,
+                                    const std::string& label_prefix = "t");
+
  private:
+  MobilityModel() = default;  // for trace_replay
+
   struct Knot {
     sim::TimePoint at;
     Vec2 pos;
@@ -54,6 +78,51 @@ class MobilityModel {
   std::vector<Knot> knots_;  // piecewise-linear position track
   std::vector<Checkpoint> checkpoints_;
   sim::Duration duration_{};
+};
+
+/// Parameters for the random-waypoint generator.  Draw order per waypoint
+/// is fixed (x, y, speed, pause) so a path is a pure function of the seed.
+struct RandomWaypointConfig {
+  Vec2 area_min{0.0, 0.0};  ///< bounding box of the walkable area
+  Vec2 area_max{100.0, 100.0};
+  double speed_min_mps = 0.7;  ///< slow stroll
+  double speed_max_mps = 2.0;  ///< brisk walk
+  sim::Duration pause_min{};
+  sim::Duration pause_max = sim::seconds(30);
+  /// Waypoints are appended until the path's duration covers the horizon.
+  sim::Duration horizon = sim::seconds(600);
+  std::string label_prefix = "rw";
+};
+
+/// The classic random-waypoint model: pick a uniform point in the box, walk
+/// to it at a uniform speed, pause, repeat until the horizon is filled.
+/// A zero-size box or zero horizon degenerates to a stationary model.
+MobilityModel random_waypoint(const RandomWaypointConfig& cfg, sim::Rng& rng);
+
+/// Group mobility by leader/offset superposition (the INET-style reference
+/// point group model): one shared leader track, and each member rides at a
+/// fixed offset from the leader's current position.  Offsets are constant,
+/// so intra-group geometry is rigid -- a tour group crossing the campus.
+class GroupMobility {
+ public:
+  explicit GroupMobility(MobilityModel leader) : leader_(std::move(leader)) {}
+
+  /// Adds a member at the given offset from the leader; returns its index.
+  std::size_t add_member(Vec2 offset);
+
+  /// Adds `count` members on a deterministic ring of the given radius
+  /// around the leader (evenly spaced; no RNG involved).
+  void add_ring(std::size_t count, double radius);
+
+  Vec2 position(std::size_t member, sim::TimePoint t) const;
+
+  std::size_t members() const { return offsets_.size(); }
+  const MobilityModel& leader() const { return leader_; }
+  Vec2 offset(std::size_t member) const { return offsets_[member]; }
+
+ private:
+  MobilityModel leader_;
+  std::vector<Vec2> offsets_;
 };
 
 }  // namespace tracemod::wireless

@@ -1,0 +1,212 @@
+// The sharded-medium contracts (DESIGN.md section 11):
+//   - distant cells transmit concurrently instead of serializing on one
+//     global carrier-sense horizon;
+//   - stations within radio range still defer across a cell border;
+//   - a single giant cell is bit-identical to the flat (seed) medium;
+//   - the two-phase parallel association scan changes nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "wireless/channel.hpp"
+#include "wireless/wavelan_device.hpp"
+#include "wireless/wavepoint.hpp"
+
+namespace tracemod::wireless {
+namespace {
+
+net::Packet udp_packet(net::IpAddress src, net::IpAddress dst,
+                       std::uint32_t size) {
+  static std::uint64_t next_id = 1;
+  net::Packet p = net::make_udp_packet(src, dst, 1, 2, size);
+  p.id = next_id++;
+  return p;
+}
+
+/// Two WavePoint islands `gap` metres apart, one mobile parked on each,
+/// separate backbones with wired sinks recording delivery times.
+struct TwoIslands {
+  sim::EventLoop loop;
+  WirelessChannel channel;
+  net::EthernetSegment backbone_a{loop};
+  net::EthernetSegment backbone_b{loop};
+  WavePoint wp_a;
+  WavePoint wp_b;
+  net::EthernetDevice sink_a{backbone_a, "sink-a"};
+  net::EthernetDevice sink_b{backbone_b, "sink-b"};
+  net::IpAddress addr_a{10, 0, 0, 2};
+  net::IpAddress addr_b{10, 0, 0, 3};
+  net::IpAddress server_a{10, 0, 1, 1};
+  net::IpAddress server_b{10, 0, 1, 2};
+  WaveLanDevice radio_a;
+  WaveLanDevice radio_b;
+  std::vector<double> deliveries_a;
+  std::vector<double> deliveries_b;
+
+  TwoIslands(double cell_size, double gap)
+      : channel(loop, SignalModel(SignalConfig{}, {}, {}, sim::Rng(2)),
+                make_cfg(cell_size), sim::Rng(3)),
+        wp_a(channel, backbone_a, {0, 0}, "wp-a"),
+        wp_b(channel, backbone_b, {gap, 0}, "wp-b"),
+        radio_a(channel, addr_a, [] { return Vec2{5, 0}; }, "wl-a"),
+        radio_b(channel, addr_b, [gap] { return Vec2{gap - 5, 0}; }, "wl-b") {
+    sink_a.claim_address(server_a);
+    sink_a.set_receive_callback([this](net::Packet) {
+      deliveries_a.push_back(sim::to_seconds(loop.now() - sim::kEpoch));
+    });
+    sink_b.claim_address(server_b);
+    sink_b.set_receive_callback([this](net::Packet) {
+      deliveries_b.push_back(sim::to_seconds(loop.now() - sim::kEpoch));
+    });
+    channel.start();
+    loop.run_for(sim::milliseconds(1));  // associations settle
+  }
+
+  static ChannelConfig make_cfg(double cell_size) {
+    ChannelConfig cfg;
+    cfg.spatial.cell_size = cell_size;
+    cfg.spatial.radio_range_m = 130.0;
+    return cfg;
+  }
+
+  /// Both mobiles transmit one large frame at the same instant.
+  void simultaneous_uplinks() {
+    loop.schedule(sim::milliseconds(10), [this] {
+      radio_a.transmit(udp_packet(addr_a, server_a, 1400));
+      radio_b.transmit(udp_packet(addr_b, server_b, 1400));
+    });
+    loop.run_for(sim::seconds(1));
+  }
+};
+
+TEST(ShardedChannel, DistantCellsTransmitConcurrently) {
+  // 1 km apart: different cells, far outside radio range.
+  TwoIslands sharded(130.0, 1000.0);
+  sharded.simultaneous_uplinks();
+  ASSERT_EQ(sharded.deliveries_a.size(), 1u);
+  ASSERT_EQ(sharded.deliveries_b.size(), 1u);
+  EXPECT_GT(sharded.channel.busy_cells_tracked(), 1u);
+
+  TwoIslands flat(0.0, 1000.0);
+  flat.simultaneous_uplinks();
+  ASSERT_EQ(flat.deliveries_a.size(), 1u);
+  ASSERT_EQ(flat.deliveries_b.size(), 1u);
+  EXPECT_EQ(flat.channel.busy_cells_tracked(), 1u);
+
+  // Flat: one global busy horizon serializes the two frames, so the later
+  // one lands a full transmission time after the earlier.  Sharded: the
+  // cells don't interact; both frames are in flight together.
+  const double tx_time = 1400.0 * 8.0 / flat.channel.rate_bps(30.0);
+  const double flat_spread =
+      std::abs(flat.deliveries_a[0] - flat.deliveries_b[0]);
+  const double sharded_spread =
+      std::abs(sharded.deliveries_a[0] - sharded.deliveries_b[0]);
+  EXPECT_GT(flat_spread, tx_time * 0.9);
+  EXPECT_LT(sharded_spread, tx_time * 0.9);
+}
+
+TEST(ShardedChannel, CrossCellBorderStillDefers) {
+  // Gap 140 puts the radios at x = 5 and x = 135: grid cells 0 and 1 with
+  // a 130 m cell edge, but only 130 m apart -- inside interaction range
+  // across the border.
+  TwoIslands sharded(130.0, 140.0);
+  sharded.simultaneous_uplinks();
+  TwoIslands flat(0.0, 140.0);
+  flat.simultaneous_uplinks();
+
+  // Within radio range across the border: the sharded medium must
+  // serialize exactly like the flat one -- identical delivery times.
+  ASSERT_EQ(sharded.deliveries_a.size(), 1u);
+  ASSERT_EQ(sharded.deliveries_b.size(), 1u);
+  EXPECT_EQ(sharded.deliveries_a, flat.deliveries_a);
+  EXPECT_EQ(sharded.deliveries_b, flat.deliveries_b);
+}
+
+/// Drives a little uplink traffic from both islands on a fixed schedule
+/// and returns every (delivery time, which island) observation.
+std::vector<std::pair<double, int>> traffic_log(TwoIslands& w) {
+  std::vector<std::pair<double, int>> log;
+  auto record = [&log, &w](int island) {
+    log.emplace_back(sim::to_seconds(w.loop.now() - sim::kEpoch), island);
+  };
+  w.sink_a.set_receive_callback([record](net::Packet) { record(0); });
+  w.sink_b.set_receive_callback([record](net::Packet) { record(1); });
+  for (int i = 0; i < 20; ++i) {
+    w.loop.schedule(sim::milliseconds(40 * i + 7), [&w] {
+      w.radio_a.transmit(udp_packet(w.addr_a, w.server_a, 700));
+    });
+    w.loop.schedule(sim::milliseconds(40 * i + 9), [&w] {
+      w.radio_b.transmit(udp_packet(w.addr_b, w.server_b, 900));
+    });
+  }
+  w.loop.run_for(sim::seconds(2));
+  return log;
+}
+
+TEST(ShardedChannel, OneGiantCellIsBitIdenticalToFlat) {
+  // A cell large enough to hold all geometry reduces sharding to the flat
+  // medium: same candidate order, same busy arithmetic, same rng draws.
+  TwoIslands giant(1e6, 300.0);
+  TwoIslands flat(0.0, 300.0);
+  const auto log_giant = traffic_log(giant);
+  const auto log_flat = traffic_log(flat);
+  EXPECT_EQ(log_giant, log_flat);
+  EXPECT_EQ(giant.channel.stats().frames_delivered,
+            flat.channel.stats().frames_delivered);
+  EXPECT_EQ(giant.channel.stats().retry_attempts,
+            flat.channel.stats().retry_attempts);
+}
+
+TEST(ShardedChannel, ParallelAssociationScanIsBitIdentical) {
+  // Same world twice; one runs its association scans through a real
+  // thread fan-out.  Everything observable must match exactly.
+  TwoIslands serial(130.0, 400.0);
+  TwoIslands parallel(130.0, 400.0);
+  parallel.channel.set_parallel_for(
+      [](std::size_t n, const std::function<void(std::size_t)>& body) {
+        std::vector<std::thread> threads;
+        threads.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) threads.emplace_back(body, i);
+        for (std::thread& t : threads) t.join();
+      });
+  const auto log_serial = traffic_log(serial);
+  const auto log_parallel = traffic_log(parallel);
+  EXPECT_EQ(log_serial, log_parallel);
+  EXPECT_EQ(serial.channel.associated(&serial.radio_a), &serial.wp_a);
+  EXPECT_EQ(parallel.channel.associated(&parallel.radio_a), &parallel.wp_a);
+}
+
+TEST(ShardedChannel, HandoffScanFindsNewWavePointThroughCellIndex) {
+  // A mobile walking between two WavePoints 200 m apart must hand off via
+  // the cell-index candidate query (the WavePoints sit in different
+  // cells).
+  sim::EventLoop loop;
+  ChannelConfig cfg = TwoIslands::make_cfg(130.0);
+  WirelessChannel channel(loop, SignalModel(SignalConfig{}, {}, {},
+                                            sim::Rng(2)),
+                          cfg, sim::Rng(3));
+  net::EthernetSegment backbone_a(loop), backbone_b(loop);
+  WavePoint wp_a(channel, backbone_a, {0, 0}, "wp-a");
+  WavePoint wp_b(channel, backbone_b, {200, 0}, "wp-b");
+  Vec2 pos{5, 0};
+  WaveLanDevice radio(channel, {10, 0, 0, 2}, [&pos] { return pos; }, "wl");
+  channel.start();
+  loop.run_for(sim::milliseconds(1));
+  ASSERT_EQ(channel.associated(&radio), &wp_a);
+
+  // Walk across over 20 virtual seconds.
+  for (int step = 1; step <= 20; ++step) {
+    loop.schedule(sim::seconds(step) - sim::milliseconds(1),
+                  [&pos, step] { pos = Vec2{5.0 + 9.5 * step, 0}; });
+  }
+  loop.run_for(sim::seconds(21));
+  EXPECT_EQ(channel.associated(&radio), &wp_b);
+  EXPECT_GE(channel.stats().handoffs, 1u);
+}
+
+}  // namespace
+}  // namespace tracemod::wireless

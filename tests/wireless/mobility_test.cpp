@@ -83,5 +83,156 @@ TEST(Mobility, ContinuityEverywhere) {
   }
 }
 
+RandomWaypointConfig golden_cfg() {
+  RandomWaypointConfig cfg;
+  cfg.area_min = {0, 0};
+  cfg.area_max = {300, 200};
+  cfg.speed_min_mps = 0.8;
+  cfg.speed_max_mps = 1.8;
+  cfg.pause_min = sim::seconds(1);
+  cfg.pause_max = sim::seconds(5);
+  cfg.horizon = sim::seconds(120);
+  cfg.label_prefix = "g";
+  return cfg;
+}
+
+TEST(RandomWaypoint, PositionGoldensUnderFixedSeed) {
+  // Pinned against the fixed draw order (x, y, speed, pause).  Any change
+  // to the generator's rng consumption shows up here before it silently
+  // perturbs a campus run.
+  sim::Rng rng(12345);
+  const MobilityModel m = random_waypoint(golden_cfg(), rng);
+  EXPECT_NEAR(sim::to_seconds(m.duration()), 284.40905045100004, 1e-9);
+  const struct {
+    double t, x, y;
+  } golden[] = {
+      {0.0, 223.1424489469768, 26.009106925566904},
+      {10.0, 219.27869382706442, 27.583707420377603},
+      {30.0, 204.26408785957742, 33.702626775269039},
+      {60.0, 181.74217890834692, 42.881005807606186},
+      {90.0, 159.22026995711639, 52.059384839943334},
+      {120.0, 136.69836100588589, 61.237763872280489},
+  };
+  for (const auto& g : golden) {
+    const Vec2 p = m.position(sim::kEpoch + sim::from_seconds(g.t));
+    EXPECT_NEAR(p.x, g.x, 1e-9) << "t=" << g.t;
+    EXPECT_NEAR(p.y, g.y, 1e-9) << "t=" << g.t;
+  }
+}
+
+TEST(RandomWaypoint, StaysInsideTheArea) {
+  sim::Rng rng(7);
+  RandomWaypointConfig cfg = golden_cfg();
+  cfg.horizon = sim::seconds(3600);
+  const MobilityModel m = random_waypoint(cfg, rng);
+  for (int i = 0; i <= 720; ++i) {
+    const Vec2 p = m.position(sim::kEpoch + sim::seconds(5 * i));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 300.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 200.0);
+  }
+}
+
+TEST(RandomWaypoint, ZeroHorizonDegeneratesToStationary) {
+  // With no horizon to fill, the generator emits the initial waypoint
+  // only -- the path must behave exactly like MobilityModel::stationary
+  // at the drawn point.
+  sim::Rng rng(42);
+  RandomWaypointConfig cfg = golden_cfg();
+  cfg.horizon = {};
+  const MobilityModel m = random_waypoint(cfg, rng);
+  ASSERT_EQ(m.checkpoints().size(), 1u);
+  const Vec2 home = m.checkpoints()[0].pos;
+  const MobilityModel still =
+      MobilityModel::stationary(home, m.duration(), "x");
+  for (double t : {0.0, 1.0, 100.0, 10000.0}) {
+    const sim::TimePoint at = sim::kEpoch + sim::from_seconds(t);
+    EXPECT_EQ(m.position(at), still.position(at)) << "t=" << t;
+    EXPECT_EQ(m.position(at), home);
+  }
+  EXPECT_EQ(m.duration(), still.duration());
+}
+
+TEST(RandomWaypoint, SameSeedSamePathDifferentSeedDifferentPath) {
+  sim::Rng a(5), b(5), c(6);
+  const MobilityModel ma = random_waypoint(golden_cfg(), a);
+  const MobilityModel mb = random_waypoint(golden_cfg(), b);
+  const MobilityModel mc = random_waypoint(golden_cfg(), c);
+  const sim::TimePoint at = sim::kEpoch + sim::seconds(47);
+  EXPECT_EQ(ma.position(at), mb.position(at));
+  EXPECT_NE(ma.position(at), mc.position(at));
+}
+
+TEST(GroupMobility, MembersTrackTheLeaderAtRigidOffsets) {
+  // Golden walk for a 4-member group (leader + center member + 3-ring)
+  // under a fixed seed: every member is the leader plus its offset at
+  // every instant.
+  sim::Rng rng(999);
+  RandomWaypointConfig cfg = golden_cfg();
+  cfg.horizon = sim::seconds(60);
+  GroupMobility grp(random_waypoint(cfg, rng));
+  EXPECT_EQ(grp.add_member({0, 0}), 0u);
+  grp.add_ring(3, 2.5);
+  ASSERT_EQ(grp.members(), 4u);
+
+  const struct {
+    double t;
+    std::size_t k;
+    double x, y;
+  } golden[] = {
+      {0.0, 0, 25.755252857758528, 79.621263577183086},
+      {0.0, 1, 28.255252857758528, 79.621263577183086},
+      {0.0, 2, 24.505252857758528, 81.786327086644178},
+      {0.0, 3, 24.505252857758528, 77.456200067721994},
+      {20.0, 0, 41.830690158181454, 64.427051145345573},
+      {20.0, 1, 44.330690158181454, 64.427051145345573},
+      {20.0, 2, 40.580690158181454, 66.592114654806664},
+      {20.0, 3, 40.580690158181454, 62.261987635884473},
+      {45.0, 0, 66.438198015844563, 41.168480020962704},
+      {45.0, 1, 68.938198015844563, 41.168480020962704},
+      {45.0, 2, 65.188198015844563, 43.333543530423803},
+      {45.0, 3, 65.188198015844563, 39.003416511501605},
+  };
+  for (const auto& g : golden) {
+    const Vec2 p = grp.position(g.k, sim::kEpoch + sim::from_seconds(g.t));
+    EXPECT_NEAR(p.x, g.x, 1e-9) << "t=" << g.t << " k=" << g.k;
+    EXPECT_NEAR(p.y, g.y, 1e-9) << "t=" << g.t << " k=" << g.k;
+  }
+
+  // Rigid formation: pairwise spacing is time-invariant.
+  const sim::TimePoint t0 = sim::kEpoch;
+  const sim::TimePoint t1 = sim::kEpoch + sim::seconds(33);
+  for (std::size_t k = 1; k < grp.members(); ++k) {
+    EXPECT_NEAR(distance(grp.position(0, t0), grp.position(k, t0)),
+                distance(grp.position(0, t1), grp.position(k, t1)), 1e-12);
+  }
+}
+
+TEST(TraceReplay, HitsRecordedSamplesExactly) {
+  const MobilityModel m = MobilityModel::trace_replay(
+      {
+          {sim::kEpoch + sim::seconds(2), {10, 20}},
+          {sim::kEpoch + sim::seconds(6), {30, 20}},
+          {sim::kEpoch + sim::seconds(7), {30, 25}},
+      },
+      "t");
+  // Recorded samples reproduce verbatim.
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(2)), (Vec2{10, 20}));
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(6)), (Vec2{30, 20}));
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(7)), (Vec2{30, 25}));
+  // Anchored at the epoch before the first sample.
+  EXPECT_EQ(m.position(sim::kEpoch), (Vec2{10, 20}));
+  // Linear between samples, clamped after the last.
+  const Vec2 mid = m.position(sim::kEpoch + sim::seconds(4));
+  EXPECT_NEAR(mid.x, 20.0, 1e-9);
+  EXPECT_NEAR(mid.y, 20.0, 1e-9);
+  EXPECT_EQ(m.position(sim::kEpoch + sim::seconds(60)), (Vec2{30, 25}));
+  EXPECT_EQ(m.duration(), sim::seconds(7));
+  ASSERT_EQ(m.checkpoints().size(), 3u);
+  EXPECT_EQ(m.checkpoints()[0].label, "t0");
+  EXPECT_EQ(m.checkpoints()[2].label, "t2");
+}
+
 }  // namespace
 }  // namespace tracemod::wireless

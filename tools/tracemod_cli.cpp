@@ -27,6 +27,12 @@
 //       run one telemetry-enabled modulated benchmark and export
 //       <out-prefix>.perfetto.json and <out-prefix>.metrics.txt; with
 //       --audit the exports also carry the fidelity divergence series
+//   tracemod campus [--hosts N] [--cell M] [--threads N] [--seconds S]
+//                   [--seed N] [--wall-budget S] [--json FILE]
+//       generate and run an N-host campus on the sharded wireless medium
+//       (scenarios/campus.hpp); prints the deterministic result digest and
+//       events/sec, exits kExitDegraded if the run did not reach its
+//       virtual horizon
 #include "tracemod_cli.hpp"
 
 #include <cctype>
@@ -41,6 +47,7 @@
 #include "audit/auditor.hpp"
 #include "core/distiller.hpp"
 #include "core/model.hpp"
+#include "scenarios/campus.hpp"
 #include "scenarios/experiment.hpp"
 #include "trace/fault_injector.hpp"
 #include "trace/trace_io.hpp"
@@ -70,8 +77,12 @@ int usage() {
       "  tracemod report <out-prefix> [--replay FILE] "
       "[--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] [--seconds N] "
       "[--audit]\n"
+      "  tracemod campus [--hosts N] [--cell METERS] [--threads N] "
+      "[--seconds S]\n"
+      "                  [--seed N] [--wall-budget S] [--json FILE]\n"
       "exit codes: 0 ok, 1 usage, 2 I/O or format error, "
-      "3 damaged-but-salvageable trace, 4 fidelity breach\n");
+      "3 damaged-but-salvageable trace, 4 fidelity breach, "
+      "5 degraded/incomplete run\n");
   return kExitUsage;
 }
 
@@ -566,6 +577,90 @@ int cmd_report(const std::vector<std::string>& args) {
   return outcome.ok ? kExitOk : kExitIo;
 }
 
+int cmd_campus(const std::vector<std::string>& args) {
+  const Parsed p = parse("campus", args,
+                         {{"--hosts", true},
+                          {"--cell", true},
+                          {"--threads", true},
+                          {"--seconds", true},
+                          {"--seed", true},
+                          {"--wall-budget", true},
+                          {"--json", true}},
+                         0, 0);
+  if (p.failed) return usage();
+  double hosts = 1000, cell = 130.0, threads = 0, seconds = 30, seed = 42,
+         wall_budget = 0;
+  bool bad = false;
+  checked_number("campus", p, "--hosts", &hosts, &bad);
+  checked_number("campus", p, "--cell", &cell, &bad);
+  checked_number("campus", p, "--threads", &threads, &bad);
+  checked_number("campus", p, "--seconds", &seconds, &bad);
+  checked_number("campus", p, "--seed", &seed, &bad);
+  checked_number("campus", p, "--wall-budget", &wall_budget, &bad);
+  if (bad) return usage();
+  if (hosts < 1 || seconds <= 0 || threads < 0 || wall_budget < 0) {
+    std::fprintf(stderr, "tracemod campus: invalid parameter value\n");
+    return usage();
+  }
+
+  scenarios::CampusConfig cfg;
+  cfg.hosts = static_cast<std::size_t>(hosts);
+  cfg.cell_size_m = cell;
+  cfg.threads = static_cast<unsigned>(threads);
+  cfg.horizon = sim::from_seconds(seconds);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.watchdog.wall_budget_s = wall_budget;
+
+  const scenarios::CampusResult r = scenarios::run_campus(cfg);
+  std::printf(
+      "campus: %zu hosts, %zu wavepoints, %s medium (%zu occupied cells)\n"
+      "        %s after %.1f virtual s: %llu events in %.2f s wall "
+      "(%.0f events/s)\n"
+      "        air: %llu delivered, %llu dropped, %llu handoffs; "
+      "app: %llu up, %llu echoes\n"
+      "        digest %016llx\n",
+      r.hosts, r.wavepoints, cell > 0 ? "sharded" : "flat", r.occupied_cells,
+      scenarios::to_string(r.status), r.virtual_s,
+      static_cast<unsigned long long>(r.events), r.wall_s, r.events_per_sec,
+      static_cast<unsigned long long>(r.frames_delivered),
+      static_cast<unsigned long long>(r.frames_dropped),
+      static_cast<unsigned long long>(r.handoffs),
+      static_cast<unsigned long long>(r.uplink_sent),
+      static_cast<unsigned long long>(r.echoes_received),
+      static_cast<unsigned long long>(r.digest));
+
+  std::string json_path;
+  if (p.str("--json", &json_path)) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return kExitIo;
+    }
+    f << "{\n"
+      << "  \"schema\": \"tracemod-campus-v1\",\n"
+      << "  \"hosts\": " << r.hosts << ",\n"
+      << "  \"wavepoints\": " << r.wavepoints << ",\n"
+      << "  \"cell_size_m\": " << cell << ",\n"
+      << "  \"threads\": " << cfg.threads << ",\n"
+      << "  \"status\": \"" << scenarios::to_string(r.status) << "\",\n"
+      << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n"
+      << "  \"virtual_s\": " << r.virtual_s << ",\n"
+      << "  \"events\": " << r.events << ",\n"
+      << "  \"wall_s\": " << r.wall_s << ",\n"
+      << "  \"events_per_sec\": " << r.events_per_sec << ",\n"
+      << "  \"frames_delivered\": " << r.frames_delivered << ",\n"
+      << "  \"frames_dropped\": " << r.frames_dropped << ",\n"
+      << "  \"handoffs\": " << r.handoffs << ",\n"
+      << "  \"uplink_sent\": " << r.uplink_sent << ",\n"
+      << "  \"echoes_received\": " << r.echoes_received << ",\n"
+      << "  \"occupied_cells\": " << r.occupied_cells << ",\n"
+      << "  \"digest\": \"" << std::hex << r.digest << std::dec << "\"\n"
+      << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return r.ok ? kExitOk : kExitDegraded;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args) {
@@ -581,6 +676,7 @@ int run(const std::vector<std::string>& args) {
     if (cmd == "corrupt") return cmd_corrupt(rest);
     if (cmd == "audit") return cmd_audit(rest);
     if (cmd == "report") return cmd_report(rest);
+    if (cmd == "campus") return cmd_campus(rest);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitIo;

@@ -8,9 +8,11 @@
 //   - `verify` returns kExitSalvage for damaged-but-salvageable traces;
 //   - `audit` returns kExitAudit when the fidelity verdict is breach or
 //     unauditable;
-//   - kExitDegraded is reserved for supervised sweeps that completed with
-//     degraded cells (tools/sweep.cpp): every cell ran, but at least one
-//     trial exhausted its retries and carries a TrialError record.
+//   - kExitDegraded is returned by supervised sweeps that completed with
+//     degraded cells (tools/sweep.cpp: every cell ran, but at least one
+//     trial exhausted its retries and carries a TrialError record) and by
+//     `campus` runs that did not reach their virtual horizon (watchdog or
+//     drained queue).
 #pragma once
 
 #include <string>
