@@ -6,6 +6,7 @@
 #include <map>
 #include <ostream>
 
+#include "core/stream_distiller.hpp"
 #include "sim/metric_names.hpp"
 #include "sim/sim_context.hpp"
 
@@ -51,6 +52,11 @@ const char* to_string(Verdict v) {
     case Verdict::kUnauditable: return "unauditable";
   }
   return "?";
+}
+
+Verdict window_verdict(const core::WindowSummary& window) {
+  if (window.damaged || window.shed) return Verdict::kUnauditable;
+  return Verdict::kPass;
 }
 
 Baseline measure_baseline(const SecondOrderConfig& cfg,

@@ -24,6 +24,10 @@
 #include "audit/second_order.hpp"
 #include "sim/telemetry.hpp"
 
+namespace tracemod::core {
+struct WindowSummary;
+}
+
 namespace tracemod::audit {
 
 /// Aggregate ceilings.  The calibration anchors are the paper's Section 5
@@ -50,6 +54,12 @@ struct FidelityThresholds {
 
 enum class Verdict : std::uint8_t { kPass = 0, kBreach = 1, kUnauditable = 2 };
 const char* to_string(Verdict v);
+
+/// Verdict for one streaming-distillation corpus window
+/// (core/stream_distiller.hpp).  Salvaged damage and budget shedding are
+/// collection degradation, not modulation defects, so a damaged or shed
+/// window is kUnauditable -- never kBreach -- and a clean window passes.
+Verdict window_verdict(const core::WindowSummary& window);
 
 /// The opt-in face experiments see (scenarios::ExperimentConfig::audit).
 struct AuditOptions {

@@ -8,11 +8,9 @@
 
 namespace tracemod::core {
 
-std::vector<Distiller::Group> Distiller::reconstruct_groups(
-    const trace::CollectedTrace& trace) {
-  const auto sent = trace.echoes_sent();
-  const auto replies = trace.echo_replies();
-  std::map<std::uint16_t, const trace::PacketRecord*> reply_by_seq;
+std::vector<EchoGroup> reconstruct_echo_groups(
+    const std::vector<EchoSent>& sent, const std::vector<EchoReply>& replies) {
+  std::map<std::uint16_t, const EchoReply*> reply_by_seq;
   for (const auto& r : replies) reply_by_seq[r.icmp_seq] = &r;
 
   // Identify the workload's two packet sizes: the smallest observed size is
@@ -25,7 +23,7 @@ std::vector<Distiller::Group> Distiller::reconstruct_groups(
   }
   if (s_small >= s_large) return {};  // degenerate workload
 
-  std::vector<Group> groups;
+  std::vector<EchoGroup> groups;
   for (std::size_t i = 0; i + 2 < sent.size(); ++i) {
     const auto& e1 = sent[i];
     const auto& e2 = sent[i + 1];
@@ -47,11 +45,11 @@ std::vector<Distiller::Group> Distiller::reconstruct_groups(
                          : nullptr;
     if (r1 == nullptr || r2 == nullptr || r3 == nullptr) continue;
 
-    Group g;
+    EchoGroup g;
     g.at = r3->at;
-    g.t1_s = sim::to_seconds(r1->rtt());
-    g.t2_s = sim::to_seconds(r2->rtt());
-    g.t3_s = sim::to_seconds(r3->rtt());
+    g.t1_s = sim::to_seconds(r1->rtt);
+    g.t2_s = sim::to_seconds(r2->rtt);
+    g.t3_s = sim::to_seconds(r3->rtt);
     g.s1_bytes = s_small;
     g.s2_bytes = s_large;
     if (g.t1_s <= 0 || g.t2_s <= 0 || g.t3_s <= 0) continue;
@@ -60,11 +58,12 @@ std::vector<Distiller::Group> Distiller::reconstruct_groups(
   return groups;
 }
 
-void Distiller::estimate_delays(const std::vector<Group>& groups) {
-  estimates_.clear();
-  std::optional<Estimate> last_good;  // correction baseline; never corrected
-  for (const Group& g : groups) {
-    ++stats_.groups_total;
+std::vector<Distiller::Estimate> estimate_delay_parameters(
+    const std::vector<EchoGroup>& groups, Distiller::Stats* stats) {
+  std::vector<Distiller::Estimate> estimates;
+  std::optional<Distiller::Estimate> last_good;  // correction baseline
+  for (const EchoGroup& g : groups) {
+    ++stats->groups_total;
     // Equations (5)-(8).
     const double v = (g.t2_s - g.t1_s) / (2.0 * (g.s2_bytes - g.s1_bytes));
     double f = g.t1_s / 2.0 - g.s1_bytes * v;
@@ -84,13 +83,13 @@ void Distiller::estimate_delays(const std::vector<Group>& groups) {
     if (f < 0.0 && f >= -0.1 * g.t1_s) f = 0.0;
 
     if (f >= 0.0 && vb >= 0.0 && vr >= 0.0) {
-      Estimate e{g.at, f, vb, vr, false};
-      estimates_.push_back(e);
+      Distiller::Estimate e{g.at, f, vb, vr, false};
+      estimates.push_back(e);
       last_good = e;
       continue;
     }
     if (!last_good) {
-      ++stats_.groups_skipped;
+      ++stats->groups_skipped;
       continue;
     }
     // Negative parameter: the packets saw different conditions.  Reuse the
@@ -111,17 +110,29 @@ void Distiller::estimate_delays(const std::vector<Group>& groups) {
                                   g.t3_s - t3_exp}) /
                         2.0;
     const double f_corrected = std::max(0.0, last_good->latency_s + diff);
-    estimates_.push_back(Estimate{g.at, f_corrected,
-                                  last_good->per_byte_bottleneck,
-                                  last_good->per_byte_residual, true});
-    ++stats_.groups_corrected;
+    estimates.push_back(Distiller::Estimate{g.at, f_corrected,
+                                            last_good->per_byte_bottleneck,
+                                            last_good->per_byte_residual,
+                                            true});
+    ++stats->groups_corrected;
   }
+  return estimates;
 }
 
-double Distiller::window_loss(const std::vector<trace::PacketRecord>& replies,
-                              std::uint64_t echoes_sent_total,
-                              sim::TimePoint w_begin, sim::TimePoint w_end,
-                              double previous) const {
+double loss_from_gap(std::int64_t in_window, std::int64_t seq_lo,
+                     std::int64_t seq_hi, double previous, double max_loss) {
+  const std::int64_t a = seq_hi - seq_lo - 1;
+  if (a <= 0) return previous;
+  const double ratio = std::min(
+      1.0, static_cast<double>(in_window) / static_cast<double>(a));
+  const double loss = 1.0 - std::sqrt(ratio);
+  return std::clamp(loss, 0.0, max_loss);
+}
+
+double window_loss_over_replies(const std::vector<EchoReply>& replies,
+                                std::uint64_t echoes_sent_total,
+                                sim::TimePoint w_begin, sim::TimePoint w_end,
+                                double previous, double max_loss) {
   if (replies.empty() || echoes_sent_total == 0) return previous;
 
   // Sequence of the last reply strictly before the window, and of the first
@@ -139,25 +150,16 @@ double Distiller::window_loss(const std::vector<trace::PacketRecord>& replies,
       ++b;
     }
   }
-  const std::int64_t a = seq_hi - seq_lo - 1;
-  if (a <= 0) return previous;
-  const double ratio =
-      std::min(1.0, static_cast<double>(b) / static_cast<double>(a));
-  const double loss = 1.0 - std::sqrt(ratio);
-  return std::clamp(loss, 0.0, cfg_.max_loss);
+  return loss_from_gap(b, seq_lo, seq_hi, previous, max_loss);
 }
 
-ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
-  stats_ = Stats{};
-  const auto groups = reconstruct_groups(trace);
-  estimate_delays(groups);
-
-  if (trace.records.empty()) return ReplayTrace{};
-  const sim::TimePoint t0 = trace::record_time(trace.records.front());
-  const sim::TimePoint t_end = trace::record_time(trace.records.back());
-  const auto replies = trace.echo_replies();
-  const std::uint64_t echoes_total = trace.echoes_sent().size();
-
+ReplayTrace assemble_replay(
+    const DistillConfig& cfg,
+    const std::vector<Distiller::Estimate>& estimates, sim::TimePoint t0,
+    sim::TimePoint t_end,
+    const std::function<double(sim::TimePoint, sim::TimePoint, double)>&
+        window_loss,
+    Distiller::Stats* stats) {
   struct WindowResult {
     bool have_delay = false;
     double f = 0, vb = 0, vr = 0;
@@ -167,15 +169,15 @@ ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
 
   double prev_loss = 0.0;
   for (sim::TimePoint step_start = t0; step_start < t_end;
-       step_start += cfg_.step) {
-    const sim::TimePoint mid = step_start + cfg_.step / 2;
-    const sim::TimePoint w_begin = mid - cfg_.window / 2;
-    const sim::TimePoint w_end = mid + cfg_.window / 2;
+       step_start += cfg.step) {
+    const sim::TimePoint mid = step_start + cfg.step / 2;
+    const sim::TimePoint w_begin = mid - cfg.window / 2;
+    const sim::TimePoint w_end = mid + cfg.window / 2;
 
     WindowResult w;
     double f_sum = 0, vb_sum = 0, vr_sum = 0;
     std::size_t n = 0;
-    for (const Estimate& e : estimates_) {
+    for (const Distiller::Estimate& e : estimates) {
       if (e.at >= w_begin && e.at < w_end) {
         f_sum += e.latency_s;
         vb_sum += e.per_byte_bottleneck;
@@ -189,11 +191,11 @@ ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
       w.vb = vb_sum / static_cast<double>(n);
       w.vr = vr_sum / static_cast<double>(n);
     } else {
-      ++stats_.windows_empty;
+      ++stats->windows_empty;
     }
     wins.push_back(w);
 
-    prev_loss = window_loss(replies, echoes_total, w_begin, w_end, prev_loss);
+    prev_loss = window_loss(w_begin, w_end, prev_loss);
     losses.push_back(prev_loss);
   }
 
@@ -215,9 +217,37 @@ ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
   for (std::size_t i = 0; i < wins.size(); ++i) {
     if (!wins[i].have_delay) continue;  // trace had no usable group at all
     tuples.push_back(
-        QualityTuple{cfg_.step, wins[i].f, wins[i].vb, wins[i].vr, losses[i]});
+        QualityTuple{cfg.step, wins[i].f, wins[i].vb, wins[i].vr, losses[i]});
   }
   return ReplayTrace(std::move(tuples));
+}
+
+ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
+  stats_ = Stats{};
+  std::vector<EchoSent> sent;
+  std::vector<EchoReply> replies;
+  for (const auto& e : trace.echoes_sent()) {
+    sent.push_back(EchoSent{e.icmp_seq, e.ip_bytes});
+  }
+  for (const auto& r : trace.echo_replies()) {
+    replies.push_back(EchoReply{r.at, r.rtt(), r.icmp_seq});
+  }
+
+  const auto groups = reconstruct_echo_groups(sent, replies);
+  estimates_ = estimate_delay_parameters(groups, &stats_);
+
+  if (trace.records.empty()) return ReplayTrace{};
+  const sim::TimePoint t0 = trace::record_time(trace.records.front());
+  const sim::TimePoint t_end = trace::record_time(trace.records.back());
+  const std::uint64_t echoes_total = sent.size();
+
+  return assemble_replay(
+      cfg_, estimates_, t0, t_end,
+      [&](sim::TimePoint w_begin, sim::TimePoint w_end, double prev) {
+        return window_loss_over_replies(replies, echoes_total, w_begin, w_end,
+                                        prev, cfg_.max_loss);
+      },
+      &stats_);
 }
 
 }  // namespace tracemod::core

@@ -13,8 +13,15 @@
 //      tuple per step as the window average;
 //   5. per window, estimate the loss rate from ECHOREPLY sequence-number
 //      gaps in and immediately surrounding the window: L = 1 - sqrt(b/a).
+//
+// The pipeline stages are free functions over compact echo projections so
+// the in-memory Distiller and the corpus-scale streaming distiller
+// (stream_distiller.hpp) run the exact same arithmetic in the exact same
+// order -- that is what makes their outputs bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -27,6 +34,41 @@ struct DistillConfig {
   sim::Duration window = sim::seconds(5);
   sim::Duration step = sim::seconds(1);
   double max_loss = 0.99;  ///< cap so modulation never fully blackholes
+};
+
+// --- compact echo projections -----------------------------------------------
+//
+// Everything distillation reads from a packet record, and nothing else;
+// the streaming distiller buffers windows of these (18 bytes a reply)
+// instead of full TraceRecords.
+
+struct EchoSent {
+  std::uint16_t icmp_seq = 0;
+  std::uint32_t ip_bytes = 0;
+};
+
+struct EchoReply {
+  sim::TimePoint at{};
+  sim::Duration rtt{};
+  std::uint16_t icmp_seq = 0;
+};
+
+inline bool is_echo_sent(const trace::PacketRecord& p) {
+  return p.icmp_kind == trace::IcmpKind::kEcho &&
+         p.dir == trace::PacketDirection::kOutgoing;
+}
+
+inline bool is_echo_reply(const trace::PacketRecord& p) {
+  return p.icmp_kind == trace::IcmpKind::kEchoReply &&
+         p.dir == trace::PacketDirection::kIncoming;
+}
+
+/// One reconstructed probe group: round-trip times and sizes for the
+/// small/large/large triple.
+struct EchoGroup {
+  sim::TimePoint at;          ///< completion time (stage-1 reply)
+  double t1_s, t2_s, t3_s;    ///< round-trip times, seconds
+  double s1_bytes, s2_bytes;  ///< packet sizes (IP bytes)
 };
 
 class Distiller {
@@ -59,21 +101,45 @@ class Distiller {
   const DistillConfig& config() const { return cfg_; }
 
  private:
-  struct Group {
-    sim::TimePoint at;
-    double t1_s, t2_s, t3_s;   ///< round-trip times, seconds
-    double s1_bytes, s2_bytes; ///< packet sizes (IP bytes)
-  };
-
-  std::vector<Group> reconstruct_groups(const trace::CollectedTrace& trace);
-  void estimate_delays(const std::vector<Group>& groups);
-  double window_loss(const std::vector<trace::PacketRecord>& replies,
-                     std::uint64_t echoes_sent_total, sim::TimePoint w_begin,
-                     sim::TimePoint w_end, double previous) const;
-
   DistillConfig cfg_;
   std::vector<Estimate> estimates_;
   Stats stats_;
 };
+
+// --- shared pipeline stages -------------------------------------------------
+
+/// Stage 1: reconstruct complete small/large/large probe groups from the
+/// send order and the reply sequence numbers (last reply per seq wins).
+std::vector<EchoGroup> reconstruct_echo_groups(
+    const std::vector<EchoSent>& sent, const std::vector<EchoReply>& replies);
+
+/// Stages 2-3: equations (5)-(8) plus the negative-parameter correction.
+/// Sequential over groups (the correction baseline threads through).
+std::vector<Distiller::Estimate> estimate_delay_parameters(
+    const std::vector<EchoGroup>& groups, Distiller::Stats* stats);
+
+/// Stage 5 arithmetic: L = 1 - sqrt(b/a) from integer gap inputs, with the
+/// previous window's loss carried through unmeasurable windows.  Shared so
+/// the streaming distiller's merged integer summaries yield the identical
+/// double.
+double loss_from_gap(std::int64_t in_window, std::int64_t seq_lo,
+                     std::int64_t seq_hi, double previous, double max_loss);
+
+/// Per-step-window loss over a reply projection (the in-memory stage 5).
+double window_loss_over_replies(const std::vector<EchoReply>& replies,
+                                std::uint64_t echoes_sent_total,
+                                sim::TimePoint w_begin, sim::TimePoint w_end,
+                                double previous, double max_loss);
+
+/// Stage 4 + assembly: slide the window over the estimates, average per
+/// step, fill empty windows from neighbours, and pair each step with the
+/// loss the callback reports.  The callback is invoked once per step in
+/// step order with (w_begin, w_end, previous_loss).
+ReplayTrace assemble_replay(
+    const DistillConfig& cfg, const std::vector<Distiller::Estimate>& estimates,
+    sim::TimePoint t0, sim::TimePoint t_end,
+    const std::function<double(sim::TimePoint, sim::TimePoint, double)>&
+        window_loss,
+    Distiller::Stats* stats);
 
 }  // namespace tracemod::core

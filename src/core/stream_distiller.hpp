@@ -1,0 +1,149 @@
+// Bounded-memory streaming distillation for production-volume corpora
+// (ROADMAP item 5: multi-GB traces, faster than real time, salvage
+// semantics and auditor verdicts intact).
+//
+// Two passes over the file, neither of which slurps it:
+//
+//   Pass 1 (serial scan, flat RSS): stream every record once through
+//   trace::TraceStreamReader in salvage mode.  Produces the *plan*: the
+//   corpus partitioned into byte-range windows (a new window starts at the
+//   first frame whose record time is a span past the window's first), the
+//   global damage report, per-window record/echo counts, and the complete
+//   integer loss lattice -- for every output step, the reply count inside
+//   the step window and the sequence gap around it.  Loss is therefore
+//   final after pass 1: it never depends on which windows later shed their
+//   buffers, so budget pressure can never fabricate a loss spike.
+//
+//   Pass 2 (parallel over sim::TaskPool): each window independently
+//   re-reads its byte range (headerless frame-range mode) and extracts the
+//   compact echo projections (core::EchoSent / core::EchoReply) into an
+//   exactly-sized arena allocation.  Window extraction is deterministic
+//   byte-range parsing, so results are identical however windows are
+//   scheduled -- serial and parallel runs merge the same bytes.
+//
+//   Merge (serial): concatenate window projections in index order and run
+//   the exact shared pipeline from distiller.hpp -- same arithmetic, same
+//   order, bit-identical to core::Distiller on the same records.
+//
+// MemoryBudget: per-window arena sizes are known after pass 1, so the shed
+// plan is decided up front, deterministically, in window-index order --
+// independent of thread count and scheduling.  A window is shed when it
+// alone exceeds budget/max_inflight or when cumulative retained bytes
+// exceed the budget; shedding drops the window's delay contribution
+// (neighbour-filled, like any deep outage) but keeps its loss summaries,
+// and the run degrades to DistillStatus::kDegraded instead of throwing
+// bad_alloc.
+//
+// Checkpoints: with a journal path configured, the plan and every finished
+// window are appended to a CRC-framed TMDJ journal (the TMSJ idiom from
+// scenario supervision).  A killed run re-validates the journal against a
+// fingerprint of the input and config, reuses the plan and intact windows,
+// recomputes the rest, and produces byte-identical output -- the journal
+// stores only integers, so there is no round-trip drift.
+//
+// Damage containment: a corrupted region becomes LostRecords markers in
+// pass 1 (stream_reader salvage), which mark their windows damaged; those
+// windows surface as audit::Verdict::kUnauditable through
+// audit::window_verdict, never as a breach, and never abort the corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distiller.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracemod::sim {
+class MetricsRegistry;
+class TaskPool;
+}
+
+namespace tracemod::core {
+
+/// Hard cap on the echo projections retained across windows.  Zero bytes
+/// means unlimited.  max_inflight is the shed granularity (a single window
+/// may not hold more than bytes/max_inflight) and the parallelism cap; it
+/// is part of the shed plan, so runs with different thread counts shed the
+/// same windows.
+struct MemoryBudget {
+  std::uint64_t bytes = 0;
+  unsigned max_inflight = 8;
+};
+
+struct StreamDistillConfig {
+  DistillConfig distill;
+  /// Target time span of one corpus window (byte-range re-read unit).
+  sim::Duration span = sim::seconds(60);
+  MemoryBudget budget;
+  /// Worker threads for pass 2; 0 picks hardware concurrency.  Output is
+  /// identical for every value.
+  unsigned threads = 0;
+  /// CRC-framed checkpoint journal; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Reuse a valid journal left by a killed run (fingerprint-checked).
+  bool resume = false;
+  /// Optional distill.* counters (sim/metric_names.hpp).
+  sim::MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-window accounting, surfaced for auditing and reporting.
+struct WindowSummary {
+  std::uint64_t begin_offset = 0;  ///< first byte of the window's frames
+  std::uint64_t end_offset = 0;    ///< one past the last byte
+  std::uint64_t records = 0;       ///< records decoded in the range
+  std::uint64_t sent_echoes = 0;
+  std::uint64_t replies = 0;
+  bool damaged = false;  ///< salvage markers fell inside the range
+  bool shed = false;     ///< echo buffers dropped to honour the budget
+  bool resumed = false;  ///< restored from the checkpoint journal
+};
+
+enum class DistillStatus : std::uint8_t {
+  kOk = 0,        ///< clean corpus, full fidelity
+  kSalvaged = 1,  ///< damage contained to unauditable windows
+  kDegraded = 2,  ///< memory budget forced shedding
+};
+
+struct StreamDistillStats {
+  std::uint64_t windows_total = 0;
+  std::uint64_t windows_damaged = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t windows_resumed = 0;
+  std::uint64_t records_streamed = 0;
+  std::uint64_t retained_bytes = 0;  ///< echo projections kept (<= budget)
+  std::uint64_t steps = 0;           ///< output step count
+};
+
+struct StreamDistillResult {
+  ReplayTrace replay;
+  trace::TraceReadReport read_report;  ///< pass-1 global salvage report
+  std::vector<WindowSummary> windows;
+  Distiller::Stats distill_stats;
+  StreamDistillStats stats;
+  DistillStatus status = DistillStatus::kOk;
+};
+
+/// Runs the tolerant checkpoint-journal reader (the resume path, with the
+/// fingerprint gate skipped) over arbitrary bytes and returns how many
+/// frames decoded intact.  Any input must parse without crashing,
+/// throwing, or over-allocating: this is the fuzz surface for the TMDJ
+/// format (tests/fuzz/fuzz_distill_journal.cpp).
+std::size_t probe_checkpoint_journal(const char* data, std::size_t size);
+
+class StreamDistiller {
+ public:
+  explicit StreamDistiller(StreamDistillConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Distills a v2 (or v1) trace file.  Throws trace::TraceFormatError on
+  /// an unusable header and std::runtime_error on I/O failure; all other
+  /// damage is salvaged into the result.
+  StreamDistillResult distill_file(const std::string& path);
+
+  const StreamDistillConfig& config() const { return cfg_; }
+
+ private:
+  StreamDistillConfig cfg_;
+};
+
+}  // namespace tracemod::core

@@ -10,67 +10,20 @@
 // regardless of thread count or scheduling.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "scenarios/experiment.hpp"
+#include "sim/task_pool.hpp"
 
 namespace tracemod::scenarios {
 
-/// A minimal fixed-size thread pool.  Tasks must be independent of each
-/// other (no task may block on another); that is exactly the shape of a
-/// trial matrix.
-class TaskPool {
- public:
-  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
-  explicit TaskPool(unsigned threads = 0);
-  ~TaskPool();
-
-  TaskPool(const TaskPool&) = delete;
-  TaskPool& operator=(const TaskPool&) = delete;
-
-  unsigned thread_count() const {
-    return static_cast<unsigned>(workers_.size());
-  }
-
-  /// Runs every task on the pool and blocks until all complete.  Every
-  /// task runs even when siblings throw.  If exactly one task threw, that
-  /// exception is rethrown here; if several threw, a combined
-  /// std::runtime_error reports the failure count and the first collected
-  /// message (collection order, not submission order).  Not reentrant: a
-  /// task that calls run_all on its own pool would deadlock waiting for a
-  /// worker slot, so a debug assertion rejects calls from worker threads.
-  void run_all(std::vector<std::function<void()>> tasks);
-
- private:
-  void worker_main();
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> pending_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
-
-/// out[i] = fn(i), computed on the pool; results land in index order no
-/// matter which thread finishes first.
-template <typename T>
-std::vector<T> parallel_index_map(TaskPool& pool, std::size_t n,
-                                  std::function<T(std::size_t)> fn) {
-  std::vector<T> out(n);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tasks.push_back([&out, &fn, i] { out[i] = fn(i); });
-  }
-  pool.run_all(std::move(tasks));
-  return out;
-}
+// The pool itself lives in sim/task_pool.hpp (the streaming distiller fans
+// corpus windows out on it too); the historical scenarios-level names
+// remain as aliases.
+using sim::TaskPool;
+using sim::parallel_index_map;
 
 /// Parallel counterparts of the serial drivers in experiment.hpp.  Both
 /// call the same per-trial building blocks, so for a given config the

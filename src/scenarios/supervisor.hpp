@@ -32,12 +32,13 @@
 
 namespace tracemod::sim {
 class MetricsRegistry;
+class TaskPool;  // sim/task_pool.hpp
 }
 
 namespace tracemod::scenarios {
 
 struct ExperimentConfig;  // experiment.hpp (which includes this header)
-class TaskPool;           // parallel_runner.hpp
+using sim::TaskPool;
 
 // --- error taxonomy ---------------------------------------------------------
 

@@ -1,0 +1,108 @@
+#include "sim/task_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "sim/assert.hpp"
+
+namespace tracemod::sim {
+
+namespace {
+/// True on threads owned by a TaskPool; run_all asserts against it because
+/// a worker calling run_all would wait forever for its own slot.
+thread_local bool tl_pool_worker = false;
+}  // namespace
+
+TaskPool::TaskPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::worker_main() {
+  tl_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and drained
+      task = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskPool::run_all(std::vector<std::function<void()>> tasks) {
+  TM_ASSERT(!tl_pool_worker);  // reentrant run_all deadlocks on its own slot
+  if (tasks.empty()) return;
+
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex err_mu;
+    std::vector<std::exception_ptr> errors;
+  };
+  Batch batch;
+  batch.remaining.store(tasks.size());
+  const std::size_t total = tasks.size();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TM_ASSERT(!stop_);
+    for (auto& t : tasks) {
+      pending_.push_back([&batch, fn = std::move(t)] {
+        try {
+          fn();
+        } catch (...) {
+          std::lock_guard<std::mutex> el(batch.err_mu);
+          batch.errors.push_back(std::current_exception());
+        }
+        // Signal under the lock so the waiter cannot miss the last task
+        // finishing between its predicate check and its wait.
+        std::lock_guard<std::mutex> dl(batch.done_mu);
+        batch.remaining.fetch_sub(1);
+        batch.done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.done_mu);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining.load() == 0; });
+  if (batch.errors.empty()) return;
+  if (batch.errors.size() == 1) std::rethrow_exception(batch.errors.front());
+  // Several tasks failed; none may be silently swallowed.  The combined
+  // error carries the count and one representative message (the first
+  // collected, which depends on scheduling).
+  std::string first_what = "unknown exception";
+  try {
+    std::rethrow_exception(batch.errors.front());
+  } catch (const std::exception& e) {
+    first_what = e.what();
+  } catch (...) {
+  }
+  throw std::runtime_error(std::to_string(batch.errors.size()) + " of " +
+                           std::to_string(total) +
+                           " tasks failed; first: " + first_what);
+}
+
+}  // namespace tracemod::sim

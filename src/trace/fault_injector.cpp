@@ -1,6 +1,8 @@
 #include "trace/fault_injector.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
 #include "sim/metric_names.hpp"
 #include "sim/sim_context.hpp"
@@ -22,6 +24,62 @@ void FaultInjector::flip_bytes(std::string& bytes, std::size_t flips,
     bytes[pos] = static_cast<char>(
         static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
   }
+}
+
+void FaultInjector::flip_bytes_in_range(std::string& bytes, std::size_t flips,
+                                        std::size_t begin, std::size_t end) {
+  end = std::min(end, bytes.size());
+  if (begin >= end) return;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(begin),
+                         static_cast<std::int64_t>(end) - 1));
+    const auto bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+  }
+}
+
+std::size_t FaultInjector::flip_file_range(const std::string& path,
+                                           std::size_t flips,
+                                           std::uint64_t begin,
+                                           std::uint64_t end) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return 0;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  if (end == 0 || end > size) end = size;
+  if (begin >= end) return 0;
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = static_cast<std::uint64_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(begin),
+                         static_cast<std::int64_t>(end) - 1));
+    const auto bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    char c = 0;
+    f.seekg(static_cast<std::streamoff>(pos));
+    f.read(&c, 1);
+    c = static_cast<char>(static_cast<unsigned char>(c) ^ (1u << bit));
+    f.seekp(static_cast<std::streamoff>(pos));
+    f.write(&c, 1);
+    if (!f) return applied;
+    ++applied;
+  }
+  f.flush();
+  return f ? applied : 0;
+}
+
+std::optional<std::uint64_t> FaultInjector::truncate_file(
+    const std::string& path, std::uint64_t min_keep) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size <= min_keep) return std::nullopt;
+  const auto keep = static_cast<std::uint64_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(min_keep),
+                       static_cast<std::int64_t>(size) - 1));
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) return std::nullopt;
+  return keep;
 }
 
 void FaultInjector::truncate_bytes(std::string& bytes, std::size_t min_keep) {

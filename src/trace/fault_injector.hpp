@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -54,6 +55,27 @@ class FaultInjector {
   /// `protect_prefix` (use it to keep the file header intact).
   void flip_bytes(std::string& bytes, std::size_t flips,
                   std::size_t protect_prefix = 0);
+
+  /// Flips `flips` random bits inside [begin, end) -- offset-ranged
+  /// corruption, for landing damage inside one chosen region (say, a
+  /// single distillation window's byte range) and nowhere else.
+  void flip_bytes_in_range(std::string& bytes, std::size_t flips,
+                           std::size_t begin, std::size_t end);
+
+  /// flip_bytes_in_range against a file on disk, one read-modify-write
+  /// per flip: a multi-GB corpus can be damaged mid-file with flat
+  /// memory.  `end` == 0 means end of file; the range is clamped to the
+  /// file.  Returns the flips applied (0 if the clamped range is empty
+  /// or the file cannot be opened).
+  std::size_t flip_file_range(const std::string& path, std::size_t flips,
+                              std::uint64_t begin, std::uint64_t end = 0);
+
+  /// truncate_bytes against a file on disk (no slurp): cuts at a random
+  /// offset in [min_keep, size - 1], always removing at least one byte.
+  /// Returns the new size, or nullopt when the file is missing or already
+  /// no larger than min_keep.
+  std::optional<std::uint64_t> truncate_file(const std::string& path,
+                                             std::uint64_t min_keep = 0);
 
   /// Truncates at a random offset in [min_keep, size - 1]: always removes
   /// at least one byte (a no-op is not a fault).

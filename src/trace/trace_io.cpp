@@ -1,474 +1,23 @@
 #include "trace/trace_io.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <vector>
 
-#include "sim/metric_names.hpp"
-#include "sim/sim_context.hpp"
-#include "trace/crc32c.hpp"
+#include "trace/frame_format.hpp"
+#include "trace/stream_reader.hpp"
 
 namespace tracemod::trace {
-
-namespace {
-
-constexpr char kMagic[4] = {'T', 'M', 'T', 'R'};
-
-// v2 frame: tag u8 | payload length u32 | crc32c u32 | payload.
-constexpr std::size_t kFrameHeaderBytes = 1 + 4 + 4;
-// Real payloads are <= 40 bytes today; anything past this bound is a
-// corrupted length, not a future record type.
-constexpr std::size_t kMaxRecordPayload = 4096;
-// Smallest on-disk record across both versions (v1 LostRecords: tag + time +
-// two u32 counters).  Used to clamp the header count before reserving.
-constexpr std::size_t kMinRecordBytes = 17;
-
-enum class RecordTag : std::uint8_t {
-  kPacket = 1,
-  kDevice = 2,
-  kLost = 3,
-};
-
-struct SchemaEntry {
-  std::uint8_t tag;
-  const char* name;
-  std::vector<const char*> fields;
-};
-
-const std::vector<SchemaEntry>& schema() {
-  static const std::vector<SchemaEntry> s = {
-      {static_cast<std::uint8_t>(RecordTag::kPacket),
-       "packet",
-       {"at_ns", "dir", "protocol", "ip_bytes", "icmp_kind", "icmp_id",
-        "icmp_seq", "echo_origin_ns", "src_port", "dst_port", "tcp_seq",
-        "tcp_flags"}},
-      {static_cast<std::uint8_t>(RecordTag::kDevice),
-       "device",
-       {"at_ns", "signal_level", "signal_quality", "silence_level"}},
-      {static_cast<std::uint8_t>(RecordTag::kLost),
-       "lost_records",
-       {"at_ns", "lost_packet_records", "lost_device_records"}},
-  };
-  return s;
-}
-
-// --- primitive writers (little-endian) -------------------------------------
-
-template <typename T>
-void put(std::ostream& out, T v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  unsigned char buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
-}
-
-void put_string(std::ostream& out, const std::string& s) {
-  if (s.size() > 0xffff) throw TraceFormatError("string too long");
-  put<std::uint16_t>(out, static_cast<std::uint16_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-template <typename T>
-void append(std::string& buf, T v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  unsigned char raw[sizeof(T)];
-  std::memcpy(raw, &v, sizeof(T));
-  buf.append(reinterpret_cast<const char*>(raw), sizeof(T));
-}
-
-void append_time(std::string& buf, sim::TimePoint t) {
-  append<std::int64_t>(buf, t.time_since_epoch().count());
-}
-
-// --- in-memory parse cursor -------------------------------------------------
-//
-// The whole stream is slurped into memory and parsed from a cursor that
-// knows its absolute offset and the index of the record being decoded, so
-// every failure can say exactly where it happened.  Parsing from memory is
-// also what makes salvage resynchronization (arbitrary byte-scans) and the
-// reserve clamp (remaining size is known) cheap.
-
-struct Cursor {
-  const unsigned char* data;
-  std::size_t size;
-  std::size_t pos = 0;
-  std::size_t base = 0;          ///< absolute offset of data[0] in the stream
-  std::uint64_t record = 0;      ///< record index, for error messages
-
-  std::size_t remaining() const { return size - pos; }
-  std::uint64_t offset() const { return base + pos; }
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw TraceFormatError(what, offset(), record);
-  }
-
-  template <typename T>
-  T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (remaining() < sizeof(T)) fail("unexpected end of stream");
-    T v;
-    std::memcpy(&v, data + pos, sizeof(T));
-    pos += sizeof(T);
-    return v;
-  }
-
-  std::string get_string() {
-    const auto n = get<std::uint16_t>();
-    if (remaining() < n) fail("unexpected end of stream in string");
-    std::string s(reinterpret_cast<const char*>(data + pos), n);
-    pos += n;
-    return s;
-  }
-
-  sim::TimePoint get_time() {
-    return sim::TimePoint{sim::Duration{get<std::int64_t>()}};
-  }
-};
-
-// --- record payload codecs --------------------------------------------------
-
-void encode_payload(std::string& buf, const TraceRecord& r, RecordTag* tag) {
-  if (const auto* p = std::get_if<PacketRecord>(&r)) {
-    *tag = RecordTag::kPacket;
-    append_time(buf, p->at);
-    append<std::uint8_t>(buf, static_cast<std::uint8_t>(p->dir));
-    append<std::uint8_t>(buf, static_cast<std::uint8_t>(p->protocol));
-    append<std::uint32_t>(buf, p->ip_bytes);
-    append<std::uint8_t>(buf, static_cast<std::uint8_t>(p->icmp_kind));
-    append<std::uint16_t>(buf, p->icmp_id);
-    append<std::uint16_t>(buf, p->icmp_seq);
-    append_time(buf, p->echo_origin);
-    append<std::uint16_t>(buf, p->src_port);
-    append<std::uint16_t>(buf, p->dst_port);
-    append<std::uint64_t>(buf, p->tcp_seq);
-    append<std::uint8_t>(buf, p->tcp_flags);
-  } else if (const auto* d = std::get_if<DeviceRecord>(&r)) {
-    *tag = RecordTag::kDevice;
-    append_time(buf, d->at);
-    append<double>(buf, d->signal_level);
-    append<double>(buf, d->signal_quality);
-    append<double>(buf, d->silence_level);
-  } else {
-    const auto& l = std::get<LostRecords>(r);
-    *tag = RecordTag::kLost;
-    append_time(buf, l.at);
-    append<std::uint32_t>(buf, l.lost_packet_records);
-    append<std::uint32_t>(buf, l.lost_device_records);
-  }
-}
-
-/// Decodes one record body (sans tag) from the cursor.  Shared by the v1
-/// reader (cursor over the whole stream) and the v2 reader (cursor over one
-/// frame's payload).
-TraceRecord decode_payload(RecordTag tag, Cursor& cur) {
-  switch (tag) {
-    case RecordTag::kPacket: {
-      PacketRecord p;
-      p.at = cur.get_time();
-      p.dir = static_cast<PacketDirection>(cur.get<std::uint8_t>());
-      p.protocol = static_cast<net::Protocol>(cur.get<std::uint8_t>());
-      p.ip_bytes = cur.get<std::uint32_t>();
-      p.icmp_kind = static_cast<IcmpKind>(cur.get<std::uint8_t>());
-      p.icmp_id = cur.get<std::uint16_t>();
-      p.icmp_seq = cur.get<std::uint16_t>();
-      p.echo_origin = cur.get_time();
-      p.src_port = cur.get<std::uint16_t>();
-      p.dst_port = cur.get<std::uint16_t>();
-      p.tcp_seq = cur.get<std::uint64_t>();
-      p.tcp_flags = cur.get<std::uint8_t>();
-      return p;
-    }
-    case RecordTag::kDevice: {
-      DeviceRecord d;
-      d.at = cur.get_time();
-      d.signal_level = cur.get<double>();
-      d.signal_quality = cur.get<double>();
-      d.silence_level = cur.get<double>();
-      return d;
-    }
-    case RecordTag::kLost: {
-      LostRecords l;
-      l.at = cur.get_time();
-      l.lost_packet_records = cur.get<std::uint32_t>();
-      l.lost_device_records = cur.get<std::uint32_t>();
-      return l;
-    }
-  }
-  cur.fail("unknown record tag " +
-           std::to_string(static_cast<int>(tag)));
-}
-
-bool known_tag(std::uint8_t tag) {
-  return tag == static_cast<std::uint8_t>(RecordTag::kPacket) ||
-         tag == static_cast<std::uint8_t>(RecordTag::kDevice) ||
-         tag == static_cast<std::uint8_t>(RecordTag::kLost);
-}
-
-std::uint32_t frame_crc(std::uint8_t tag, const unsigned char* payload,
-                        std::size_t len) {
-  const std::uint32_t tag_crc = crc32c(&tag, 1);
-  return crc32c(payload, len, tag_crc);
-}
-
-/// True when the 9 bytes at `pos` look like a decodable frame header whose
-/// payload fits in the buffer and whose CRC validates.
-bool frame_validates(const Cursor& cur, std::size_t pos) {
-  if (cur.size - pos < kFrameHeaderBytes) return false;
-  const std::uint8_t tag = cur.data[pos];
-  std::uint32_t len, crc;
-  std::memcpy(&len, cur.data + pos + 1, sizeof(len));
-  std::memcpy(&crc, cur.data + pos + 5, sizeof(crc));
-  if (len > kMaxRecordPayload) return false;
-  if (cur.size - pos - kFrameHeaderBytes < len) return false;
-  return frame_crc(tag, cur.data + pos + kFrameHeaderBytes, len) == crc;
-}
-
-// --- salvage bookkeeping ----------------------------------------------------
-
-/// Accumulates one contiguous damaged region and flushes it as a single
-/// LostRecords marker, timestamped with the last successfully decoded
-/// record's time (the epoch before any record decoded) -- the same shape a
-/// kernel-buffer overrun leaves in the stream.
-struct DamageAccumulator {
-  std::uint32_t lost_packet = 0;
-  std::uint32_t lost_device = 0;
-  sim::TimePoint last_good = sim::kEpoch;
-
-  bool pending() const { return lost_packet > 0 || lost_device > 0; }
-
-  void add(std::uint8_t tag, std::uint32_t n = 1) {
-    if (tag == static_cast<std::uint8_t>(RecordTag::kDevice)) {
-      lost_device += n;
-    } else {
-      lost_packet += n;
-    }
-  }
-
-  void flush(CollectedTrace& trace, TraceReadReport& report) {
-    if (!pending()) return;
-    trace.records.emplace_back(LostRecords{last_good, lost_packet,
-                                           lost_device});
-    ++report.lost_markers_synthesized;
-    lost_packet = 0;
-    lost_device = 0;
-  }
-};
-
-void emit_good_record(CollectedTrace& trace, TraceRecord rec,
-                      TraceReadReport& report, DamageAccumulator& damage,
-                      bool damage_seen) {
-  damage.flush(trace, report);
-  damage.last_good = record_time(rec);
-  trace.records.push_back(std::move(rec));
-  ++report.records_read;
-  if (damage_seen) ++report.records_salvaged;
-}
-
-// --- v1 body ----------------------------------------------------------------
-
-void read_body_v1(Cursor& cur, const TraceReadOptions& options,
-                  CollectedTrace& trace, TraceReadReport& report) {
-  DamageAccumulator damage;
-  for (std::uint64_t i = 0; i < report.records_expected; ++i) {
-    cur.record = i;
-    if (options.mode == ReadMode::kStrict) {
-      const auto tag = static_cast<RecordTag>(cur.get<std::uint8_t>());
-      trace.records.push_back(decode_payload(tag, cur));
-      ++report.records_read;
-      continue;
-    }
-    // Salvage: v1 frames carry no length prefix, so damage cannot be
-    // skipped over -- parsing stops at the first problem and the remainder
-    // of the header's promised records becomes one LostRecords marker.
-    const std::size_t mark = cur.pos;
-    try {
-      const auto tag = static_cast<RecordTag>(cur.get<std::uint8_t>());
-      TraceRecord rec = decode_payload(tag, cur);
-      emit_good_record(trace, std::move(rec), report, damage, false);
-    } catch (const TraceFormatError&) {
-      cur.pos = mark;
-      report.truncated = true;
-      const std::uint64_t lost = report.records_expected - i;
-      report.records_skipped += lost;
-      damage.add(static_cast<std::uint8_t>(RecordTag::kPacket),
-                 static_cast<std::uint32_t>(
-                     std::min<std::uint64_t>(lost, 0xffffffffu)));
-      break;
-    }
-  }
-  damage.flush(trace, report);
-}
-
-// --- v2 body ----------------------------------------------------------------
-
-void read_body_v2(Cursor& cur, const TraceReadOptions& options,
-                  CollectedTrace& trace, TraceReadReport& report) {
-  const bool strict = options.mode == ReadMode::kStrict;
-  DamageAccumulator damage;
-  bool damage_seen = false;
-
-  // Scans forward from just past `frame_start` for the next offset that
-  // checksums as a frame; returns false at end of stream.
-  const auto resync = [&](std::size_t frame_start) {
-    ++report.resync_scans;
-    std::size_t p = frame_start + 1;
-    while (p < cur.size && !frame_validates(cur, p)) ++p;
-    report.bytes_scanned += p - frame_start;
-    if (p >= cur.size) {
-      report.truncated = true;
-      cur.pos = cur.size;
-      return false;
-    }
-    cur.pos = p;
-    return true;
-  };
-
-  while (cur.remaining() > 0) {
-    cur.record = report.records_read + report.records_skipped;
-    if (strict && report.records_read >= report.records_expected) break;
-    const std::size_t frame_start = cur.pos;
-
-    if (cur.remaining() < kFrameHeaderBytes) {
-      if (strict) cur.fail("unexpected end of stream in frame header");
-      report.truncated = true;
-      ++report.records_skipped;
-      damage.add(0);
-      damage_seen = true;
-      cur.pos = cur.size;
-      break;
-    }
-    const auto tag = cur.get<std::uint8_t>();
-    const auto len = cur.get<std::uint32_t>();
-    const auto crc = cur.get<std::uint32_t>();
-
-    // A length that cannot fit the buffer (or is absurd) means the header
-    // itself is corrupt: the length cannot be trusted to skip forward, so
-    // resynchronize by scanning for the next frame that checksums.
-    if (len > kMaxRecordPayload || cur.remaining() < len) {
-      if (strict) {
-        if (len > kMaxRecordPayload) {
-          cur.fail("implausible record length " + std::to_string(len));
-        }
-        cur.fail("unexpected end of stream in record payload");
-      }
-      damage.add(0);
-      damage_seen = true;
-      ++report.records_skipped;
-      if (!resync(frame_start)) break;
-      continue;
-    }
-
-    const unsigned char* payload = cur.data + cur.pos;
-    const std::size_t payload_off = cur.pos;
-    cur.pos += len;
-
-    if (frame_crc(tag, payload, len) != crc) {
-      if (strict) {
-        throw TraceFormatError("record checksum mismatch",
-                               cur.base + frame_start, cur.record);
-      }
-      ++report.crc_failures;
-      ++report.records_skipped;
-      damage.add(tag);
-      damage_seen = true;
-      // The length field may be part of the damage (a plausible-but-wrong
-      // value skips into the middle of a later frame and cascades).  Only
-      // trust the skip if it lands on a frame that checksums, or on EOF.
-      if (cur.pos < cur.size && !frame_validates(cur, cur.pos)) {
-        if (!resync(frame_start)) break;
-      }
-      continue;
-    }
-    if (!known_tag(tag)) {
-      if (strict) {
-        throw TraceFormatError("unknown record tag " + std::to_string(tag),
-                               cur.base + frame_start, cur.record);
-      }
-      ++report.unknown_tags;
-      ++report.records_skipped;
-      damage.add(tag);
-      damage_seen = true;
-      continue;
-    }
-
-    // A checksummed frame of a known type.  Decode from the payload span;
-    // a payload longer than the fields we know is a newer minor revision
-    // (extra fields are ignored), a shorter one is damage the CRC cannot
-    // see (it was written that way), which strict mode rejects.
-    Cursor body{cur.data + payload_off, len, 0, cur.base + payload_off,
-                cur.record};
-    try {
-      TraceRecord rec = decode_payload(static_cast<RecordTag>(tag), body);
-      emit_good_record(trace, std::move(rec), report, damage, damage_seen);
-    } catch (const TraceFormatError&) {
-      if (strict) throw;
-      ++report.records_skipped;
-      damage.add(tag);
-      damage_seen = true;
-    }
-  }
-
-  if (strict && report.records_read < report.records_expected) {
-    cur.fail("unexpected end of stream");
-  }
-  // Clean EOF but fewer frames than the header declared: the stream lost
-  // its tail (or the count field itself is damaged) -- either way the
-  // reader delivered less than promised, which salvage must report.  This
-  // also catches truncation that lands exactly on a frame boundary.
-  if (!strict &&
-      report.records_read + report.records_skipped <
-          report.records_expected) {
-    report.truncated = true;
-  }
-  damage.flush(trace, report);
-}
-
-}  // namespace
 
 // --- writer -----------------------------------------------------------------
 
 void write_trace(std::ostream& out, const CollectedTrace& trace,
                  std::uint16_t version) {
-  if (version != kTraceFormatVersionV1 && version != kTraceFormatVersionV2) {
-    throw TraceFormatError("unsupported version " + std::to_string(version));
-  }
-  out.write(kMagic, sizeof(kMagic));
-  put<std::uint16_t>(out, version);
-
-  // Self-descriptive schema table.
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(schema().size()));
-  for (const SchemaEntry& e : schema()) {
-    put<std::uint8_t>(out, e.tag);
-    put_string(out, e.name);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(e.fields.size()));
-    for (const char* f : e.fields) put_string(out, f);
-  }
-
-  put<std::uint64_t>(out, trace.records.size());
-  std::string payload;
+  wire::write_container_header(out, version, trace.records.size());
   for (const TraceRecord& r : trace.records) {
-    payload.clear();
-    RecordTag tag{};
-    encode_payload(payload, r, &tag);
-    if (version == kTraceFormatVersionV1) {
-      put<std::uint8_t>(out, static_cast<std::uint8_t>(tag));
-      out.write(payload.data(),
-                static_cast<std::streamsize>(payload.size()));
-    } else {
-      const auto tag_byte = static_cast<std::uint8_t>(tag);
-      put<std::uint8_t>(out, tag_byte);
-      put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
-      put<std::uint32_t>(
-          out, frame_crc(tag_byte,
-                         reinterpret_cast<const unsigned char*>(
-                             payload.data()),
-                         payload.size()));
-      out.write(payload.data(),
-                static_cast<std::streamsize>(payload.size()));
-    }
+    const std::string frame = wire::encode_frame(r, version);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   }
 }
 
@@ -476,60 +25,31 @@ void write_trace(std::ostream& out, const CollectedTrace& trace,
 
 TraceReadResult read_trace_ex(std::istream& in,
                               const TraceReadOptions& options) {
-  // Slurp: in-memory parsing is what makes resynchronization scans and
-  // exact remaining-size bounds possible.
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  Cursor cur{reinterpret_cast<const unsigned char*>(bytes.data()),
-             bytes.size()};
-
-  if (cur.remaining() < sizeof(kMagic) ||
-      std::memcmp(cur.data, kMagic, sizeof(kMagic)) != 0) {
-    throw TraceFormatError("bad magic");
-  }
-  cur.pos = sizeof(kMagic);
+  // The incremental reader makes every decision the old slurping parse made
+  // (same errors, same offsets, same salvage markers); this facade just
+  // collects its records into memory.
+  TraceStreamReader reader(in, options);
 
   TraceReadResult result;
-  TraceReadReport& report = result.report;
-  report.mode = options.mode;
-  report.version = cur.get<std::uint16_t>();
-  if (report.version != kTraceFormatVersionV1 &&
-      report.version != kTraceFormatVersionV2) {
-    throw TraceFormatError("unsupported version " +
-                           std::to_string(report.version));
-  }
-
-  // Parse (and sanity-check) the schema table.  The header must be intact
-  // even for salvage: without it there is no trustworthy record framing to
-  // resynchronize against.
-  const auto n_schemas = cur.get<std::uint8_t>();
-  for (std::uint8_t i = 0; i < n_schemas; ++i) {
-    (void)cur.get<std::uint8_t>();  // tag
-    (void)cur.get_string();         // name
-    const auto n_fields = cur.get<std::uint8_t>();
-    for (std::uint8_t f = 0; f < n_fields; ++f) (void)cur.get_string();
-  }
-
-  report.records_expected = cur.get<std::uint64_t>();
   // The count field is attacker/corruption-controlled: never trust it with
-  // an allocation.  The stream cannot hold more records than remaining
-  // bytes allow, so clamp the reservation to that bound.
+  // an allocation.  The stream cannot hold more records than its size
+  // allows, so clamp the reservation to that bound (a conservative constant
+  // when the stream is not seekable).
+  const std::uint64_t expected = reader.report().records_expected;
+  std::uint64_t size_bound = 1024;
+  if (reader.stream_size()) {
+    const std::uint64_t body = *reader.stream_size() > reader.header_bytes()
+                                   ? *reader.stream_size() -
+                                         reader.header_bytes()
+                                   : 0;
+    size_bound = body / wire::kMinRecordBytes + 1;
+  }
   result.trace.records.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(report.records_expected,
-                              cur.remaining() / kMinRecordBytes + 1)));
+      std::min<std::uint64_t>(expected, size_bound)));
 
-  if (report.version == kTraceFormatVersionV1) {
-    read_body_v1(cur, options, result.trace, report);
-  } else {
-    read_body_v2(cur, options, result.trace, report);
-  }
-
-  if (options.metrics != nullptr) {
-    sim::MetricsRegistry& m = *options.metrics;
-    m.counter(sim::metric::kRecordsSalvaged) += report.records_salvaged;
-    m.counter(sim::metric::kCrcFailures) += report.crc_failures;
-    m.counter(sim::metric::kResyncScans) += report.resync_scans;
-  }
+  TraceRecord rec;
+  while (reader.next(&rec)) result.trace.records.push_back(std::move(rec));
+  result.report = reader.report();
   return result;
 }
 

@@ -1,0 +1,305 @@
+// The streaming-distillation contract (core/stream_distiller.hpp,
+// DESIGN.md section 12): the windowed two-pass pipeline is bit-identical
+// to the in-memory distiller -- clean or damaged, serial or parallel;
+// damage spanning a window boundary marks both windows and never aborts;
+// a damaged or torn checkpoint journal costs only the affected windows a
+// re-distillation while the output stays byte-identical; budget shedding
+// degrades delay but never perturbs loss; and every window maps onto an
+// audit verdict that is pass or unauditable, never a breach.
+#include "core/stream_distiller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "core/distiller.hpp"
+#include "sim/random.hpp"
+#include "trace/fault_injector.hpp"
+#include "trace/stream_reader.hpp"
+#include "trace/synthetic_corpus.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracemod::core {
+namespace {
+
+std::string tmp(const std::string& name) {
+  return testing::TempDir() + "tracemod_stream_distiller_" + name;
+}
+
+/// Writes a ~2-window synthetic ping corpus and returns its path.
+std::string make_corpus(const std::string& name, double reply_loss = 0.02,
+                        sim::Duration duration = sim::seconds(150)) {
+  const std::string path = tmp(name);
+  trace::CorpusSpec spec;
+  spec.duration = duration;
+  spec.reply_loss = reply_loss;
+  spec.seed = 42;
+  trace::generate_ping_corpus(path, spec);
+  return path;
+}
+
+std::string serialize(const ReplayTrace& replay) {
+  std::ostringstream out;
+  replay.serialize(out);
+  return out.str();
+}
+
+/// The reference result: slurp the whole file (salvage mode) and run the
+/// in-memory distiller -- the arithmetic the stream must reproduce.
+std::string in_memory_reference(const std::string& path) {
+  trace::TraceReadOptions ropts;
+  ropts.mode = trace::ReadMode::kSalvage;
+  const trace::TraceReadResult loaded = trace::load_trace_ex(path, ropts);
+  Distiller distiller;
+  return serialize(distiller.distill(loaded.trace));
+}
+
+StreamDistillResult stream_distill(const std::string& path,
+                                   StreamDistillConfig cfg = {}) {
+  StreamDistiller distiller(cfg);
+  return distiller.distill_file(path);
+}
+
+TEST(StreamDistiller, BitIdenticalToInMemoryOnCleanTrace) {
+  const std::string path = make_corpus("clean.tmtr");
+  const std::string reference = in_memory_reference(path);
+
+  StreamDistillConfig cfg;
+  cfg.threads = 1;
+  const auto serial = stream_distill(path, cfg);
+  EXPECT_EQ(serial.status, DistillStatus::kOk);
+  EXPECT_EQ(serialize(serial.replay), reference);
+
+  cfg.threads = 4;
+  const auto parallel = stream_distill(path, cfg);
+  EXPECT_EQ(serialize(parallel.replay), reference);
+
+  // Window accounting covers the whole corpus exactly once.
+  EXPECT_GE(serial.stats.windows_total, 2u);
+  EXPECT_EQ(serial.stats.windows_damaged, 0u);
+  EXPECT_EQ(serial.stats.windows_shed, 0u);
+  std::uint64_t records = 0;
+  for (const WindowSummary& w : serial.windows) {
+    EXPECT_LT(w.begin_offset, w.end_offset);
+    records += w.records;
+  }
+  EXPECT_EQ(records, serial.stats.records_streamed);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamDistiller, BitIdenticalToInMemorySalvageOnDamagedTrace) {
+  const std::string path = make_corpus("damaged.tmtr");
+  trace::FaultInjector inject{sim::Rng(9)};
+  const std::uint64_t size = std::filesystem::file_size(path);
+  // Keep the header intact: salvage cannot survive header damage, and the
+  // in-memory reference would refuse the file entirely.
+  inject.flip_file_range(path, 10, 512, size);
+
+  const std::string reference = in_memory_reference(path);
+  const auto streamed = stream_distill(path);
+  EXPECT_EQ(streamed.status, DistillStatus::kSalvaged);
+  EXPECT_FALSE(streamed.read_report.clean());
+  EXPECT_GT(streamed.stats.windows_damaged, 0u);
+  EXPECT_EQ(serialize(streamed.replay), reference);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamDistiller, DamageSpanningTwoWindowsMarksBothAndNeverAborts) {
+  const std::string path = make_corpus("boundary.tmtr");
+
+  // First pass on the clean file to learn the window boundary offsets.
+  const auto clean = stream_distill(path);
+  ASSERT_GE(clean.windows.size(), 2u);
+  const std::uint64_t boundary = clean.windows[1].begin_offset;
+  ASSERT_EQ(clean.windows[0].end_offset, boundary);
+
+  // Straddle the boundary: flips on both sides of it corrupt frames in
+  // window 0 and window 1.
+  trace::FaultInjector inject{sim::Rng(5)};
+  inject.flip_file_range(path, 16, boundary - 600, boundary + 600);
+
+  const auto damaged = stream_distill(path);
+  EXPECT_EQ(damaged.status, DistillStatus::kSalvaged);
+  ASSERT_GE(damaged.windows.size(), 2u);
+  EXPECT_TRUE(damaged.windows[0].damaged);
+  EXPECT_TRUE(damaged.windows[1].damaged);
+  // Salvage still matches the in-memory distiller on the damaged bytes.
+  EXPECT_EQ(serialize(damaged.replay), in_memory_reference(path));
+  std::filesystem::remove(path);
+}
+
+TEST(StreamDistiller, ResumeFromJournalIsByteIdentical) {
+  const std::string path = make_corpus("resume.tmtr");
+  const std::string journal = tmp("resume.tmdj");
+
+  StreamDistillConfig cfg;
+  cfg.checkpoint_path = journal;
+  const auto first = stream_distill(path, cfg);
+  ASSERT_GE(first.stats.windows_total, 2u);
+  EXPECT_EQ(first.stats.windows_resumed, 0u);
+
+  cfg.resume = true;
+  const auto resumed = stream_distill(path, cfg);
+  EXPECT_EQ(resumed.stats.windows_resumed, resumed.stats.windows_total);
+  EXPECT_EQ(serialize(resumed.replay), serialize(first.replay));
+  for (const WindowSummary& w : resumed.windows) EXPECT_TRUE(w.resumed);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(journal);
+}
+
+TEST(StreamDistiller, DamagedJournalFrameRecomputesOnlyThatWindow) {
+  const std::string path = make_corpus("journal_damage.tmtr");
+  const std::string journal = tmp("journal_damage.tmdj");
+
+  StreamDistillConfig cfg;
+  cfg.checkpoint_path = journal;
+  const auto first = stream_distill(path, cfg);
+  ASSERT_GE(first.stats.windows_total, 2u);
+
+  // Corrupt the tail of the journal: the last window frame fails its
+  // checksum and is skipped; the plan and earlier windows stay intact.
+  const std::uint64_t jsize = std::filesystem::file_size(journal);
+  trace::FaultInjector inject{sim::Rng(3)};
+  inject.flip_file_range(journal, 4, jsize - 32, jsize);
+
+  cfg.resume = true;
+  const auto resumed = stream_distill(path, cfg);
+  EXPECT_GT(resumed.stats.windows_resumed, 0u);
+  EXPECT_LT(resumed.stats.windows_resumed, resumed.stats.windows_total);
+  EXPECT_EQ(serialize(resumed.replay), serialize(first.replay));
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(journal);
+}
+
+TEST(StreamDistiller, TruncatedJournalResumesByteIdentical) {
+  // The kill drill: a SIGKILL mid-append leaves a torn trailing frame.
+  // Resume must drop the tail, reuse what checksums, and reproduce the
+  // uninterrupted output bit for bit.
+  const std::string path = make_corpus("kill.tmtr");
+  const std::string journal = tmp("kill.tmdj");
+
+  StreamDistillConfig cfg;
+  cfg.checkpoint_path = journal;
+  const auto first = stream_distill(path, cfg);
+  ASSERT_GE(first.stats.windows_total, 2u);
+
+  const std::uint64_t jsize = std::filesystem::file_size(journal);
+  std::filesystem::resize_file(journal, jsize - 15);
+
+  cfg.resume = true;
+  const auto resumed = stream_distill(path, cfg);
+  EXPECT_LT(resumed.stats.windows_resumed, resumed.stats.windows_total);
+  EXPECT_EQ(serialize(resumed.replay), serialize(first.replay));
+
+  // And a journal for a *different* input must be rejected outright: the
+  // fingerprint covers file size and leading bytes, so nothing resumes.
+  const std::string other = make_corpus("kill_other.tmtr", 0.10);
+  StreamDistillConfig ocfg;
+  ocfg.checkpoint_path = journal;
+  ocfg.resume = true;
+  const auto fresh = stream_distill(other, ocfg);
+  EXPECT_EQ(fresh.stats.windows_resumed, 0u);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(other);
+  std::filesystem::remove(journal);
+}
+
+TEST(StreamDistiller, BudgetSheddingDegradesButNeverPerturbsLoss) {
+  const std::string path = make_corpus("budget.tmtr", 0.05);
+  const auto full = stream_distill(path);
+  ASSERT_EQ(full.status, DistillStatus::kOk);
+  ASSERT_GT(full.stats.retained_bytes, 0u);
+
+  // Budget for roughly half the echo projections, one window in flight:
+  // the deterministic shed plan keeps the early windows and sheds the
+  // rest once the cumulative retained bytes cross the budget.
+  StreamDistillConfig cfg;
+  cfg.budget.bytes = full.stats.retained_bytes / 2;
+  cfg.budget.max_inflight = 1;
+  const auto shed = stream_distill(path, cfg);
+  EXPECT_EQ(shed.status, DistillStatus::kDegraded);
+  EXPECT_GT(shed.stats.windows_shed, 0u);
+  EXPECT_LT(shed.stats.windows_shed, shed.stats.windows_total);
+  EXPECT_LE(shed.stats.retained_bytes, cfg.budget.bytes);
+
+  // The loss lattice is final after pass 1: shedding drops delay samples,
+  // never loss.  Same step count, same loss column.
+  ASSERT_EQ(shed.replay.tuples().size(), full.replay.tuples().size());
+  for (std::size_t i = 0; i < full.replay.tuples().size(); ++i) {
+    EXPECT_EQ(shed.replay.tuples()[i].loss, full.replay.tuples()[i].loss)
+        << "step " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StreamDistiller, EmptyTraceDistillsToEmptyReplay) {
+  const std::string path = tmp("empty.tmtr");
+  {
+    trace::TraceStreamWriter writer(path);
+    writer.finalize();
+  }
+  const auto result = stream_distill(path);
+  EXPECT_EQ(result.status, DistillStatus::kOk);
+  EXPECT_EQ(result.stats.records_streamed, 0u);
+  EXPECT_TRUE(result.replay.tuples().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(StreamDistiller, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW(stream_distill(tmp("nonexistent.tmtr")), std::runtime_error);
+}
+
+TEST(WindowVerdict, DamagedOrShedIsUnauditableNeverBreach) {
+  WindowSummary clean;
+  EXPECT_EQ(audit::window_verdict(clean), audit::Verdict::kPass);
+
+  WindowSummary damaged;
+  damaged.damaged = true;
+  EXPECT_EQ(audit::window_verdict(damaged), audit::Verdict::kUnauditable);
+
+  WindowSummary shed;
+  shed.shed = true;
+  EXPECT_EQ(audit::window_verdict(shed), audit::Verdict::kUnauditable);
+
+  WindowSummary both;
+  both.damaged = both.shed = true;
+  EXPECT_EQ(audit::window_verdict(both), audit::Verdict::kUnauditable);
+
+  // Exhaustive: no WindowSummary state can produce kBreach.
+  for (int d = 0; d < 2; ++d) {
+    for (int s = 0; s < 2; ++s) {
+      WindowSummary w;
+      w.damaged = d != 0;
+      w.shed = s != 0;
+      EXPECT_NE(audit::window_verdict(w), audit::Verdict::kBreach);
+    }
+  }
+}
+
+TEST(JournalProbe, ToleratesArbitraryBytes) {
+  // The fuzz surface, pinned deterministically: torn, lying, and hostile
+  // inputs parse to zero-or-more intact frames without crash or throw.
+  EXPECT_EQ(probe_checkpoint_journal(nullptr, 0), 0u);
+  const std::string junk = "TMDJ\x01\x00\xff\xff\xff\xff not a journal";
+  EXPECT_EQ(probe_checkpoint_journal(junk.data(), junk.size()), 0u);
+  // A length prefix claiming 4 GB on a 32-byte input must not allocate.
+  std::string lying = "TMDJ";
+  lying.append("\x01\x00\xde\xad\xbe\xef", 6);
+  lying.push_back('\x02');                      // window frame
+  lying.append("\xff\xff\xff\xff", 4);          // len: 4 GB
+  lying.append("\x00\x00\x00\x00", 4);          // crc
+  lying.append(16, '\x00');
+  EXPECT_EQ(probe_checkpoint_journal(lying.data(), lying.size()), 0u);
+}
+
+}  // namespace
+}  // namespace tracemod::core

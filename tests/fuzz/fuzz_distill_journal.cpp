@@ -1,0 +1,17 @@
+// libFuzzer harness for the TMDJ checkpoint-journal reader: arbitrary
+// bytes through the tolerant resume-path parser.  The reader's contract is
+// total: any input -- torn frames, lying length prefixes, giant counts --
+// must decode what checksums and silently skip the rest.  A crash, hang,
+// throw, or allocation blow-up is a bug (a damaged checkpoint must cost a
+// re-distillation, never the corpus run).
+#include <cstddef>
+#include <cstdint>
+
+#include "core/stream_distiller.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tracemod::core::probe_checkpoint_journal(
+      reinterpret_cast<const char*>(data), size);
+  return 0;
+}

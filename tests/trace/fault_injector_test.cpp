@@ -3,6 +3,9 @@
 // crash, hang, or blow up allocation in the salvage reader.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -111,6 +114,65 @@ TEST(FaultInjector, DropAndDuplicateAdjustRecordCounts) {
   // Dropping more than exist empties the trace instead of underflowing.
   inj.drop_records(trace, original * 2);
   EXPECT_TRUE(trace.records.empty());
+}
+
+TEST(FaultInjector, FlipBytesInRangeStaysInsideTheRange) {
+  const std::string original(512, '\0');
+  FaultInjector inj{sim::Rng(19)};
+  for (int round = 0; round < 40; ++round) {
+    std::string bytes = original;
+    inj.flip_bytes_in_range(bytes, 3, 100, 200);
+    EXPECT_EQ(bytes.substr(0, 100), original.substr(0, 100));
+    EXPECT_EQ(bytes.substr(200), original.substr(200));
+    std::size_t changed = 0;
+    for (std::size_t i = 100; i < 200; ++i) changed += bytes[i] != original[i];
+    // Flips may collide on a byte, but at least one must land.
+    EXPECT_GE(changed, 1u);
+    EXPECT_LE(changed, 3u);
+  }
+}
+
+TEST(FaultInjector, FlipFileRangeOnlyTouchesTheRange) {
+  const std::string path =
+      testing::TempDir() + "tracemod_fault_range.bin";
+  const std::string original(1024, '\x5a');
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(original.data(), static_cast<std::streamsize>(original.size()));
+  }
+  FaultInjector inj{sim::Rng(23)};
+  const std::size_t applied = inj.flip_file_range(path, 8, 600, 700);
+  EXPECT_EQ(applied, 8u);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), original.size());
+  EXPECT_EQ(bytes.substr(0, 600), original.substr(0, 600));
+  EXPECT_EQ(bytes.substr(700), original.substr(700));
+  EXPECT_NE(bytes.substr(600, 100), original.substr(600, 100));
+  std::filesystem::remove(path);
+}
+
+TEST(FaultInjector, TruncateFileRespectsMinKeep) {
+  const std::string path =
+      testing::TempDir() + "tracemod_fault_truncate.bin";
+  FaultInjector inj{sim::Rng(29)};
+  for (int i = 0; i < 20; ++i) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      const std::string filler(400, 'y');
+      out.write(filler.data(), static_cast<std::streamsize>(filler.size()));
+    }
+    const auto kept = inj.truncate_file(path, 150);
+    ASSERT_TRUE(kept.has_value());
+    EXPECT_GE(*kept, 150u);
+    EXPECT_LT(*kept, 400u);
+    EXPECT_EQ(std::filesystem::file_size(path), *kept);
+  }
+  std::filesystem::remove(path);
+  // A missing file reports failure instead of throwing.
+  EXPECT_FALSE(inj.truncate_file(path, 0).has_value());
 }
 
 TEST(FaultInjector, DaemonStallFollowsConfiguredChance) {

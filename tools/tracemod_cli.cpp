@@ -4,9 +4,23 @@
 //       run a collection traversal of a built-in scenario and write the
 //       raw trace (binary, self-descriptive format)
 //   tracemod distill <in.trace> <out.replay> [--window S] [--step S]
-//                    [--salvage]
+//                    [--salvage] [--stream] [--corpus-window S]
+//                    [--threads N] [--budget-mb N] [--checkpoint FILE]
+//                    [--resume] [--json FILE]
 //       distill a raw trace into a replay trace (text format);
-//       --salvage reads around damage instead of failing on it
+//       --salvage reads around damage instead of failing on it.
+//       --stream runs the bounded-memory streaming distiller
+//       (core/stream_distiller.hpp): windowed two-pass distillation with
+//       flat RSS, optional CRC-framed checkpoints (--checkpoint) that a
+//       killed run resumes byte-identically (--resume), and graceful
+//       degradation under --budget-mb instead of bad_alloc; exits 0 on a
+//       clean corpus, 3 when damage was salvaged into unauditable
+//       windows, 5 when the budget forced shedding
+//   tracemod gen-corpus <out.trace> [--seconds N] [--interval S]
+//                       [--target-mb N] [--loss P] [--seed N]
+//       generate a synthetic ping-workload corpus with flat memory
+//       (trace/synthetic_corpus.hpp); --target-mb pads with device
+//       records toward the requested file size
 //   tracemod info <file>
 //       summarize a raw trace or a replay trace (auto-detected)
 //   tracemod synth <kind> <out.replay> [--seconds N]
@@ -16,7 +30,12 @@
 //       whose damage report is printed
 //   tracemod corrupt <in.trace> <out.trace> [--seed N] [--flips K]
 //                    [--truncate] [--drop N] [--dup N]
-//       write a deterministically corrupted copy of a raw trace
+//                    [--range-begin OFF] [--range-end OFF]
+//       write a deterministically corrupted copy of a raw trace; the
+//       copy is streamed record-by-record and the byte faults are
+//       applied in place, so a multi-GB corpus corrupts with flat
+//       memory.  --range-begin/--range-end confine the byte flips to an
+//       offset range (e.g. one distillation window)
 //   tracemod audit <in.replay> [--tick MS] [--seed N] [--json FILE] ...
 //       close the loop over a replay trace: replay it through the
 //       modulated testbed, collect a second-order trace with the standard
@@ -39,17 +58,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "audit/auditor.hpp"
 #include "core/distiller.hpp"
 #include "core/model.hpp"
+#include "core/stream_distiller.hpp"
 #include "scenarios/campus.hpp"
 #include "scenarios/experiment.hpp"
 #include "trace/fault_injector.hpp"
+#include "trace/stream_reader.hpp"
+#include "trace/synthetic_corpus.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tracemod::cli {
@@ -64,11 +88,17 @@ int usage() {
       "[--seed N]\n"
       "  tracemod distill <in.trace> <out.replay> [--window SECONDS] "
       "[--step SECONDS] [--salvage]\n"
+      "                   [--stream] [--corpus-window SECONDS] [--threads N] "
+      "[--budget-mb N]\n"
+      "                   [--checkpoint FILE] [--resume] [--json FILE]\n"
+      "  tracemod gen-corpus <out.trace> [--seconds N] [--interval S] "
+      "[--target-mb N] [--loss P] [--seed N]\n"
       "  tracemod info <file.trace|file.replay>\n"
       "  tracemod synth <wavelan|step|slow> <out.replay> [--seconds N]\n"
       "  tracemod verify <in.trace>\n"
       "  tracemod corrupt <in.trace> <out.trace> [--seed N] [--flips K] "
       "[--truncate] [--drop N] [--dup N]\n"
+      "                   [--range-begin OFF] [--range-end OFF]\n"
       "  tracemod audit <in.replay> [--tick MS] [--seed N] [--json FILE]\n"
       "                 [--baseline-seconds N] [--max-latency X] "
       "[--max-bandwidth X]\n"
@@ -195,11 +225,109 @@ int cmd_collect(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+/// The streaming-distillation path of cmd_distill: bounded memory,
+/// checkpoints, and the 0/3/5 exit-code contract.
+int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
+  core::StreamDistillConfig scfg;
+  scfg.distill = dcfg;
+  double v = 0;
+  bool bad = false;
+  if (checked_number("distill", p, "--corpus-window", &v, &bad)) {
+    scfg.span = sim::from_seconds(v);
+  }
+  if (checked_number("distill", p, "--threads", &v, &bad)) {
+    scfg.threads = static_cast<unsigned>(v);
+  }
+  if (checked_number("distill", p, "--budget-mb", &v, &bad)) {
+    scfg.budget.bytes =
+        static_cast<std::uint64_t>(v * 1024.0 * 1024.0);
+  }
+  if (bad) return usage();
+  p.str("--checkpoint", &scfg.checkpoint_path);
+  scfg.resume = p.has("--resume");
+
+  core::StreamDistiller distiller(scfg);
+  const core::StreamDistillResult res = distiller.distill_file(p.pos[0]);
+  res.replay.save(p.pos[1]);
+
+  const char* status = res.status == core::DistillStatus::kOk ? "ok"
+                       : res.status == core::DistillStatus::kSalvaged
+                           ? "salvaged"
+                           : "degraded";
+  std::printf(
+      "streamed %llu records through %llu windows "
+      "(%llu damaged, %llu shed, %llu resumed)\n"
+      "retained %llu bytes of echo projections; %zu tuples -> %s [%s]\n",
+      static_cast<unsigned long long>(res.stats.records_streamed),
+      static_cast<unsigned long long>(res.stats.windows_total),
+      static_cast<unsigned long long>(res.stats.windows_damaged),
+      static_cast<unsigned long long>(res.stats.windows_shed),
+      static_cast<unsigned long long>(res.stats.windows_resumed),
+      static_cast<unsigned long long>(res.stats.retained_bytes),
+      res.replay.size(), p.pos[1].c_str(), status);
+
+  std::string json_path;
+  if (p.str("--json", &json_path)) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return kExitIo;
+    }
+    const trace::TraceReadReport& r = res.read_report;
+    f << "{\n"
+      << "  \"schema\": \"tracemod-distill-v1\",\n"
+      << "  \"status\": \"" << status << "\",\n"
+      << "  \"records_streamed\": " << res.stats.records_streamed << ",\n"
+      << "  \"windows_total\": " << res.stats.windows_total << ",\n"
+      << "  \"windows_damaged\": " << res.stats.windows_damaged << ",\n"
+      << "  \"windows_shed\": " << res.stats.windows_shed << ",\n"
+      << "  \"windows_resumed\": " << res.stats.windows_resumed << ",\n"
+      << "  \"retained_bytes\": " << res.stats.retained_bytes << ",\n"
+      << "  \"steps\": " << res.stats.steps << ",\n"
+      << "  \"tuples\": " << res.replay.size() << ",\n"
+      << "  \"records_read\": " << r.records_read << ",\n"
+      << "  \"records_skipped\": " << r.records_skipped << ",\n"
+      << "  \"crc_failures\": " << r.crc_failures << ",\n"
+      << "  \"lost_markers\": " << r.lost_markers_synthesized << ",\n"
+      << "  \"truncated\": " << (r.truncated ? "true" : "false") << "\n"
+      << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  switch (res.status) {
+    case core::DistillStatus::kOk: return kExitOk;
+    case core::DistillStatus::kSalvaged: return kExitSalvage;
+    case core::DistillStatus::kDegraded: return kExitDegraded;
+  }
+  return kExitIo;
+}
+
 int cmd_distill(const std::vector<std::string>& args) {
-  const Parsed p = parse(
-      "distill", args,
-      {{"--window", true}, {"--step", true}, {"--salvage", false}}, 2, 2);
+  const Parsed p = parse("distill", args,
+                         {{"--window", true},
+                          {"--step", true},
+                          {"--salvage", false},
+                          {"--stream", false},
+                          {"--corpus-window", true},
+                          {"--threads", true},
+                          {"--budget-mb", true},
+                          {"--checkpoint", true},
+                          {"--resume", false},
+                          {"--json", true}},
+                         2, 2);
   if (p.failed) return usage();
+  core::DistillConfig cfg;
+  {
+    double v = 0;
+    bool bad = false;
+    if (checked_number("distill", p, "--window", &v, &bad)) {
+      cfg.window = sim::from_seconds(v);
+    }
+    if (checked_number("distill", p, "--step", &v, &bad)) {
+      cfg.step = sim::from_seconds(v);
+    }
+    if (bad) return usage();
+  }
+  if (p.has("--stream")) return cmd_distill_stream(p, cfg);
   trace::TraceReadOptions ropts;
   if (p.has("--salvage")) ropts.mode = trace::ReadMode::kSalvage;
   const trace::TraceReadResult loaded = trace::load_trace_ex(p.pos[0], ropts);
@@ -213,16 +341,6 @@ int cmd_distill(const std::vector<std::string>& args) {
                     loaded.report.lost_markers_synthesized));
   }
   const trace::CollectedTrace& collected = loaded.trace;
-  core::DistillConfig cfg;
-  double v = 0;
-  bool bad = false;
-  if (checked_number("distill", p, "--window", &v, &bad)) {
-    cfg.window = sim::from_seconds(v);
-  }
-  if (checked_number("distill", p, "--step", &v, &bad)) {
-    cfg.step = sim::from_seconds(v);
-  }
-  if (bad) return usage();
   core::Distiller distiller(cfg);
   const core::ReplayTrace replay = distiller.distill(collected);
   replay.save(p.pos[1]);
@@ -340,26 +458,43 @@ void print_report(const trace::TraceReadReport& r) {
       r.truncated ? "yes" : "no");
 }
 
+/// Streams the whole file through TraceStreamReader without retaining
+/// records: RSS stays flat however large the trace is.  Returns the count
+/// of records the pass yielded.
+std::uint64_t streamed_record_count(const std::string& path,
+                                    trace::ReadMode mode,
+                                    trace::TraceReadReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  trace::TraceStreamReader reader(in, {mode, nullptr});
+  trace::TraceRecord rec;
+  std::uint64_t n = 0;
+  while (reader.next(&rec)) ++n;
+  *report = reader.report();
+  return n;
+}
+
 int cmd_verify(const std::vector<std::string>& args) {
   const Parsed p = parse("verify", args, {}, 1, 1);
   if (p.failed) return usage();
-  // Strict pass first: a clean trace needs no salvage.
+  // Strict pass first: a clean trace needs no salvage.  Both passes
+  // stream, so verification of a multi-GB corpus runs in constant memory.
+  trace::TraceReadReport report;
   try {
-    const auto strict = trace::load_trace_ex(
-        p.pos[0], {trace::ReadMode::kStrict, nullptr});
+    streamed_record_count(p.pos[0], trace::ReadMode::kStrict, &report);
     std::printf("%s: OK (strict)\n", p.pos[0].c_str());
-    print_report(strict.report);
+    print_report(report);
     return kExitOk;
   } catch (const trace::TraceFormatError& e) {
     std::printf("%s: strict parse FAILED\n  %s\n", p.pos[0].c_str(),
                 e.what());
   }
   // Damaged: report what a salvage read can recover.
-  const auto salvaged = trace::load_trace_ex(
-      p.pos[0], {trace::ReadMode::kSalvage, nullptr});
-  std::printf("salvage read recovered %zu records\n",
-              salvaged.trace.records.size());
-  print_report(salvaged.report);
+  const std::uint64_t recovered =
+      streamed_record_count(p.pos[0], trace::ReadMode::kSalvage, &report);
+  std::printf("salvage read recovered %llu records\n",
+              static_cast<unsigned long long>(recovered));
+  print_report(report);
   return kExitSalvage;
 }
 
@@ -369,46 +504,127 @@ int cmd_corrupt(const std::vector<std::string>& args) {
                           {"--flips", true},
                           {"--truncate", false},
                           {"--drop", true},
-                          {"--dup", true}},
+                          {"--dup", true},
+                          {"--range-begin", true},
+                          {"--range-end", true}},
                          2, 2);
   if (p.failed) return usage();
   double seed = 1, flips = 4, drop = 0, dup = 0;
+  double range_begin = 0, range_end = 0;
   bool bad = false;
   checked_number("corrupt", p, "--seed", &seed, &bad);
   checked_number("corrupt", p, "--flips", &flips, &bad);
   checked_number("corrupt", p, "--drop", &drop, &bad);
   checked_number("corrupt", p, "--dup", &dup, &bad);
+  checked_number("corrupt", p, "--range-begin", &range_begin, &bad);
+  checked_number("corrupt", p, "--range-end", &range_end, &bad);
   if (bad) return usage();
 
-  trace::CollectedTrace collected = trace::load_trace(p.pos[0]);
-  trace::FaultInjector injector(
-      sim::Rng(static_cast<std::uint64_t>(seed)));
-  injector.drop_records(collected, static_cast<std::size_t>(drop));
-  injector.duplicate_records(collected, static_cast<std::size_t>(dup));
-
-  std::ostringstream out;
-  trace::write_trace(out, collected);
-  std::string bytes = out.str();
-  // Keep the header intact (magic + version + schema table + count): the
-  // salvage reader needs an anchor; header-corrupting runs are exercised
-  // separately by the fuzzers.
-  const std::size_t protect = bytes.size() < 64 ? bytes.size() / 2 : 64;
-  injector.flip_bytes(bytes, static_cast<std::size_t>(flips), protect);
-  if (p.has("--truncate")) injector.truncate_bytes(bytes, protect);
-
-  std::ofstream f(p.pos[1], std::ios::binary);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", p.pos[1].c_str());
+  // Record-level faults ride along a streaming copy: the input is never
+  // resident, so a multi-GB corpus corrupts with flat memory.
+  std::ifstream in(p.pos[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", p.pos[0].c_str());
     return kExitIo;
   }
-  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  trace::TraceStreamReader reader(in, {trace::ReadMode::kStrict, nullptr});
+  const std::uint64_t expected = reader.report().records_expected;
+
+  trace::FaultInjector injector(sim::Rng(static_cast<std::uint64_t>(seed)));
+  std::set<std::uint64_t> dropped;
+  std::multiset<std::uint64_t> duplicated;
+  if (expected > 0) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(drop); ++i) {
+      dropped.insert(static_cast<std::uint64_t>(injector.rng().uniform_int(
+          0, static_cast<std::int64_t>(expected) - 1)));
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(dup); ++i) {
+      duplicated.insert(static_cast<std::uint64_t>(injector.rng().uniform_int(
+          0, static_cast<std::int64_t>(expected) - 1)));
+    }
+  }
+
+  std::uint64_t written = 0;
+  {
+    trace::TraceStreamWriter writer(p.pos[1]);
+    trace::TraceRecord rec;
+    std::uint64_t index = 0;
+    while (reader.next(&rec)) {
+      const std::uint64_t copies =
+          (dropped.count(index) ? 0 : 1) + duplicated.count(index);
+      for (std::uint64_t c = 0; c < copies; ++c) writer.append(rec);
+      ++index;
+    }
+    writer.finalize();
+    written = writer.records_written();
+  }
+
+  // Byte faults applied in place.  Keep the header intact (magic +
+  // version + schema table + count): the salvage reader needs an anchor;
+  // header-corrupting runs are exercised separately by the fuzzers.
+  std::error_code ec;
+  std::uint64_t size = std::filesystem::file_size(p.pos[1], ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot stat %s\n", p.pos[1].c_str());
+    return kExitIo;
+  }
+  const std::uint64_t protect = size < 64 ? size / 2 : 64;
+  const std::uint64_t begin =
+      std::max(protect, static_cast<std::uint64_t>(range_begin));
+  injector.flip_file_range(p.pos[1], static_cast<std::size_t>(flips), begin,
+                           static_cast<std::uint64_t>(range_end));
+  if (p.has("--truncate")) {
+    injector.truncate_file(p.pos[1], protect);
+  }
+  size = std::filesystem::file_size(p.pos[1], ec);
+
   std::printf(
-      "wrote %s: %zu bytes, %zu records, %d byte flips%s, "
+      "wrote %s: %llu bytes, %llu records, %d byte flips%s, "
       "%d dropped, %d duplicated (seed %.0f)\n",
-      p.pos[1].c_str(), bytes.size(), collected.records.size(),
-      static_cast<int>(flips),
-      p.has("--truncate") ? ", truncated" : "",
-      static_cast<int>(drop), static_cast<int>(dup), seed);
+      p.pos[1].c_str(), static_cast<unsigned long long>(size),
+      static_cast<unsigned long long>(written), static_cast<int>(flips),
+      p.has("--truncate") ? ", truncated" : "", static_cast<int>(drop),
+      static_cast<int>(dup), seed);
+  return kExitOk;
+}
+
+int cmd_gen_corpus(const std::vector<std::string>& args) {
+  const Parsed p = parse("gen-corpus", args,
+                         {{"--seconds", true},
+                          {"--interval", true},
+                          {"--target-mb", true},
+                          {"--loss", true},
+                          {"--seed", true}},
+                         1, 1);
+  if (p.failed) return usage();
+  double seconds = 3600, interval = 1.0, target_mb = 0, loss = 0.01, seed = 1;
+  bool bad = false;
+  checked_number("gen-corpus", p, "--seconds", &seconds, &bad);
+  checked_number("gen-corpus", p, "--interval", &interval, &bad);
+  checked_number("gen-corpus", p, "--target-mb", &target_mb, &bad);
+  checked_number("gen-corpus", p, "--loss", &loss, &bad);
+  checked_number("gen-corpus", p, "--seed", &seed, &bad);
+  if (bad) return usage();
+  if (seconds <= 0 || interval <= 0 || loss < 0 || loss > 1 ||
+      target_mb < 0) {
+    std::fprintf(stderr, "tracemod gen-corpus: invalid parameter value\n");
+    return usage();
+  }
+
+  trace::CorpusSpec spec;
+  spec.duration = sim::from_seconds(seconds);
+  spec.group_interval = sim::from_seconds(interval);
+  spec.target_bytes = static_cast<std::uint64_t>(target_mb * 1024.0 * 1024.0);
+  spec.reply_loss = loss;
+  spec.seed = static_cast<std::uint64_t>(seed);
+  const trace::CorpusInfo info = trace::generate_ping_corpus(p.pos[0], spec);
+  std::printf(
+      "wrote %s: %llu records (%llu probe groups, %llu replies dropped), "
+      "%.1f MB\n",
+      p.pos[0].c_str(), static_cast<unsigned long long>(info.records),
+      static_cast<unsigned long long>(info.groups),
+      static_cast<unsigned long long>(info.replies_dropped),
+      static_cast<double>(info.bytes) / (1024.0 * 1024.0));
   return kExitOk;
 }
 
@@ -670,6 +886,7 @@ int run(const std::vector<std::string>& args) {
   try {
     if (cmd == "collect") return cmd_collect(rest);
     if (cmd == "distill") return cmd_distill(rest);
+    if (cmd == "gen-corpus") return cmd_gen_corpus(rest);
     if (cmd == "info") return cmd_info(rest);
     if (cmd == "synth") return cmd_synth(rest);
     if (cmd == "verify") return cmd_verify(rest);
