@@ -16,6 +16,8 @@
 #include "report.hpp"
 #include "scenarios/experiment.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 using namespace tracemod::scenarios;
 
@@ -37,7 +39,8 @@ core::ReplayTrace split_direction(const core::ReplayTrace& in,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Ablation: the symmetry assumption",
                  "Flagstaff (marginal uplink): round-trip vs one-way traces");
 

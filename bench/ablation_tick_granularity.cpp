@@ -9,10 +9,13 @@
 #include "report.hpp"
 #include "scenarios/experiment.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 using namespace tracemod::scenarios;
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Ablation: modulation scheduling granularity",
                  "one Wean replay trace; tick resolution swept");
 

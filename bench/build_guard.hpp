@@ -1,0 +1,79 @@
+// Build-type guard for benchmark binaries.
+//
+// A Debug-build benchmark number is worse than no number: it looks like a
+// regression (or masks one) when compared against Release baselines, and
+// committed baseline snapshots poisoned by a Debug run corrupt the perf
+// trajectory for everyone after.  Every bench main calls
+// require_release_build() first:
+//   - in an optimized build (Release/RelWithDebInfo/MinSizeRel with
+//     NDEBUG) it is silent;
+//   - otherwise it refuses to run and exits kExitNonReleaseBuild (6),
+//     unless --allow-debug was passed, in which case it prints a loud
+//     UNOFFICIAL tag and continues (for smoke-testing the binaries
+//     themselves, as the CI Debug jobs do).
+// The build type itself comes from the TRACEMOD_BUILD_TYPE compile
+// definition (bench/CMakeLists.txt stamps CMAKE_BUILD_TYPE); result
+// artifacts should embed build_type() so a snapshot's provenance is
+// auditable (micro_core stamps it as benchmark context, perf_gate into
+// its JSON).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tracemod::bench {
+
+/// Exit code for "refused to benchmark a non-Release build".  Disjoint
+/// from the tracemod CLI contract (0-5, tools/tracemod_cli.hpp).
+inline constexpr int kExitNonReleaseBuild = 6;
+
+/// The build type this binary was compiled as, lower-cased by CMake
+/// convention ("release", "debug", ...); "unknown" when the generator did
+/// not stamp one (multi-config), in which case NDEBUG still decides.
+inline const char* build_type() {
+#if defined(TRACEMOD_BUILD_TYPE)
+  return TRACEMOD_BUILD_TYPE[0] != '\0' ? TRACEMOD_BUILD_TYPE : "unknown";
+#else
+  return "unknown";
+#endif
+}
+
+/// True for the optimized build family benchmark numbers may come from.
+inline bool is_release_build() {
+#if !defined(NDEBUG)
+  return false;  // asserts compiled in: never an official number
+#else
+  const char* t = build_type();
+  return std::strcmp(t, "debug") != 0 && std::strcmp(t, "Debug") != 0;
+#endif
+}
+
+/// Call first in every bench main.  Returns true to proceed; on a
+/// non-Release build, exits kExitNonReleaseBuild unless --allow-debug is
+/// among the arguments (then tags the output UNOFFICIAL and proceeds).
+/// Benches without argv can call require_release_build(0, nullptr).
+inline bool require_release_build(int argc, char** argv) {
+  if (is_release_build()) return true;
+  bool allow = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-debug") == 0) allow = true;
+  }
+  if (!allow) {
+    std::fprintf(
+        stderr,
+        "refusing to benchmark a '%s' build: numbers from unoptimized "
+        "builds are not comparable to Release baselines.\n"
+        "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
+        "--allow-debug to run anyway (results tagged UNOFFICIAL).\n",
+        build_type());
+    std::exit(kExitNonReleaseBuild);
+  }
+  std::fprintf(stderr,
+               "WARNING: '%s' build -- results are UNOFFICIAL and must "
+               "not be committed as baselines.\n",
+               build_type());
+  return false;
+}
+
+}  // namespace tracemod::bench

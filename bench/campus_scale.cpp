@@ -16,6 +16,8 @@
 #include "report.hpp"
 #include "scenarios/campus.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
 namespace {
@@ -84,6 +86,7 @@ void write_json(const std::string& path, const std::vector<Point>& pts,
 }  // namespace
 
 int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   std::vector<std::size_t> sizes = {100, 1000, 10000};
   double seconds = 30.0;
   unsigned threads = 0;
@@ -104,6 +107,8 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::atoi(next("--threads")));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
+    } else if (std::strcmp(argv[i], "--allow-debug") == 0) {
+      // Consumed by require_release_build() above.
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;

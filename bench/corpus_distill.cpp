@@ -22,6 +22,8 @@
 #include "report.hpp"
 #include "trace/synthetic_corpus.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
 namespace {
@@ -51,6 +53,7 @@ const char* status_name(core::DistillStatus s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   double mb = 1024.0;
   double seconds = 7200.0;
   unsigned threads = 0;
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
       out_path = next("--out");
     } else if (std::strcmp(argv[i], "--keep") == 0) {
       keep = true;
+    } else if (std::strcmp(argv[i], "--allow-debug") == 0) {
+      // Consumed by require_release_build() above.
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;

@@ -17,6 +17,8 @@
 #include "core/emulator.hpp"
 #include "report.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
 namespace {
@@ -66,7 +68,8 @@ void sweep(const char* label, const core::ReplayTrace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading(
       "Figure 1: Effect of Delay Compensation",
       "FTP elapsed times over a synthetic trace; a perfect realization of "

@@ -12,9 +12,12 @@
 // worst early on the patio and at the end of Porter Hall.
 #include "scenario_figure.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 2: Porter Traces",
                  "ranges across 4 trials per checkpoint interval");
   const auto scenario = scenarios::porter();

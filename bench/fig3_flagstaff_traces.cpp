@@ -9,9 +9,12 @@
 // loss significantly worse than Porter, particularly late in the path.
 #include "scenario_figure.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 3: Flagstaff Traces",
                  "ranges across 4 trials per checkpoint interval");
   const auto scenario = scenarios::flagstaff();

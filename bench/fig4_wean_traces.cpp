@@ -11,9 +11,12 @@
 // atrocious.
 #include "scenario_figure.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 4: Wean Traces",
                  "ranges across 4 trials per checkpoint interval\n"
                  "(z3..z4 = waiting for the elevator, z4..z5 = riding it)");

@@ -9,9 +9,12 @@
 // of contention; loss rates reasonable.
 #include "scenario_figure.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
-int main() {
+int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 5: Chatterbox Traces",
                  "distributions across 4 trials (stationary host, "
                  "5 SynRGen interferers)");

@@ -10,6 +10,8 @@
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 using namespace tracemod::scenarios;
 
@@ -29,6 +31,7 @@ constexpr double kPaperEthernetSd = 3.07;
 }  // namespace
 
 int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 6: Elapsed Times for World Wide Web Benchmark",
                  "mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;

@@ -10,6 +10,8 @@
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 using namespace tracemod::scenarios;
 
@@ -28,6 +30,7 @@ constexpr PaperRow kPaper[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 7: Elapsed Times for FTP Benchmark",
                  "10 MB disk-to-disk; mean (stddev) seconds over 4 trials");
   ExperimentConfig cfg;

@@ -12,6 +12,8 @@
 #include "scenarios/parallel_runner.hpp"
 #include "telemetry_option.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 using namespace tracemod::scenarios;
 
@@ -57,6 +59,7 @@ constexpr PaperTotals kPaper[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tracemod::bench::require_release_build(argc, argv);
   bench::heading("Figure 8: Elapsed Times for Andrew Benchmark Phases",
                  "mean (stddev) seconds over 4 trials; NFS over UDP");
   ExperimentConfig cfg;

@@ -15,6 +15,8 @@
 #include "trace/ping.hpp"
 #include "trace/trace_io.hpp"
 
+#include "build_guard.hpp"
+
 using namespace tracemod;
 
 namespace {
@@ -131,10 +133,18 @@ BENCHMARK(BM_LiveWirelessSecond)->Unit(benchmark::kMillisecond);
 // chose a --benchmark_out, results also land in BENCH_core.json so CI can
 // archive the perf trajectory without wrapping the invocation.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  tracemod::bench::require_release_build(argc, argv);
+  benchmark::AddCustomContext("tracemod_build_type",
+                              tracemod::bench::build_type());
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
+    // --allow-debug belongs to the build guard; google-benchmark would
+    // reject it as unrecognized.
+    if (i > 0 && std::strcmp(argv[i], "--allow-debug") == 0) continue;
     if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    args.push_back(argv[i]);
   }
   static char out_flag[] = "--benchmark_out=BENCH_core.json";
   static char fmt_flag[] = "--benchmark_out_format=json";

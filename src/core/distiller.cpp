@@ -5,6 +5,7 @@
 #include <map>
 
 #include "sim/assert.hpp"
+#include "sim/perf/perf.hpp"
 
 namespace tracemod::core {
 
@@ -223,6 +224,8 @@ ReplayTrace assemble_replay(
 }
 
 ReplayTrace Distiller::distill(const trace::CollectedTrace& trace) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kDistill,
+                                  "distill.run");
   stats_ = Stats{};
   std::vector<EchoSent> sent;
   std::vector<EchoReply> replies;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/metric_names.hpp"
+#include "sim/perf/perf.hpp"
 #include "sim/sim_context.hpp"
 
 namespace tracemod::core {
@@ -65,6 +66,8 @@ void ModulationLayer::on_inbound(net::Packet pkt) {
 }
 
 void ModulationLayer::modulate(net::Packet pkt, Direction dir) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kModulation,
+                                  "modulation.modulate");
   if (!refresh_tuple()) {
     // No model parameters yet: transparent pass-through.
     ++stats_.passed_unmodulated;

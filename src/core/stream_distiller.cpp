@@ -14,6 +14,7 @@
 #include <variant>
 
 #include "sim/metric_names.hpp"
+#include "sim/perf/perf.hpp"
 #include "sim/sim_context.hpp"
 #include "sim/task_pool.hpp"
 #include "trace/crc32c.hpp"
@@ -209,6 +210,8 @@ std::uint64_t file_size_of(const std::string& path) {
 }
 
 Plan run_pass1(const std::string& path, const StreamDistillConfig& cfg) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kDistill,
+                                  "distill.pass1");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
   trace::TraceReadOptions opts;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/metric_names.hpp"
+#include "sim/perf/perf.hpp"
 
 namespace tracemod::net {
 
@@ -84,6 +85,8 @@ void Node::transmit_via(std::size_t interface, Packet pkt) {
 }
 
 bool Node::send(Packet pkt) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kPacketPath,
+                                  "node.send");
   const Route* route = lookup_route(pkt.dst);
   if (route == nullptr) {
     ++stats_.no_route;
@@ -180,6 +183,8 @@ void Node::deliver_local(const Packet& pkt) {
 }
 
 void Node::on_receive(Packet pkt) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kPacketPath,
+                                  "node.receive");
   if (has_address(pkt.dst)) {
     ++stats_.received;
     ++m_received_;

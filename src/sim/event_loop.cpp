@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "sim/assert.hpp"
+#include "sim/perf/perf.hpp"
 
 namespace tracemod::sim {
 
@@ -70,12 +71,23 @@ bool EventLoop::dispatch_one() {
     TM_ASSERT(e.at >= now_);
     now_ = e.at;
     ++dispatched_;
+    // The wall-clock perf plane observes only (virtual time is untouched
+    // and no randomness is drawn); when no profiler is attached to this
+    // thread the two hooks cost a TLS load plus a predicted branch.
+    perf::PerfProfiler* const pp = perf::current();
+    if (pp != nullptr) pp->on_dispatch(now_, live_.size());
     if (profiler_ == nullptr) {
+      perf::PerfScope scope(pp, perf::Domain::kEventLoop,
+                            e.tag != nullptr ? e.tag : "(untagged)");
       e.fn();
       return true;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    e.fn();
+    {
+      perf::PerfScope scope(pp, perf::Domain::kEventLoop,
+                            e.tag != nullptr ? e.tag : "(untagged)");
+      e.fn();
+    }
     const std::chrono::duration<double> self =
         std::chrono::steady_clock::now() - t0;
     profiler_->note(e.tag, self.count());

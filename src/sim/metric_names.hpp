@@ -131,6 +131,40 @@ inline constexpr const char* kDistillWindowsResumed =
 inline constexpr const char* kDistillRecordsStreamed =
     "distill.records_streamed";
 
+// --- wall-clock perf-plane metrics (src/sim/perf/) ---
+//
+// Appended onto a TelemetrySnapshot by append_perf_to_telemetry when a
+// PerfSession profiled the run; never emitted from inside a simulated
+// world (the profiler observes wall time only).
+
+/// Event-loop dispatches observed by the attached profiler (counter).
+inline constexpr const char* kPerfEventsProfiled = "perf.events_profiled";
+
+/// Process-wide operator-new calls while the profiler was attached
+/// (counter; from the allocation interposer).
+inline constexpr const char* kPerfAllocs = "perf.allocs";
+
+/// Process-wide operator-delete calls while attached (counter).
+inline constexpr const char* kPerfFrees = "perf.frees";
+
+/// Bytes allocated while attached (counter; usable-size accounting).
+inline constexpr const char* kPerfAllocBytes = "perf.alloc_bytes";
+
+/// Live heap bytes at each periodic counter sample (series, bytes,
+/// sampled at the dispatch's virtual time).
+inline constexpr const char* kPerfHeapLiveBytes = "perf.heap_live_bytes";
+
+/// Event-loop pending-queue depth at each counter sample (series).
+inline constexpr const char* kPerfEventQueueDepth =
+    "perf.event_queue_depth";
+
+/// Wall-clock dispatch throughput between consecutive counter samples
+/// (series, events per wall second).
+inline constexpr const char* kPerfEventsPerSec = "perf.events_per_sec";
+
+/// Sampled event-loop dispatch self-times (histogram, microseconds).
+inline constexpr const char* kPerfDispatchSelfUs = "perf.dispatch_self_us";
+
 // --- experiment-supervision counters (src/scenarios/supervisor.hpp) ---
 //
 // Published by export_supervision_metrics onto whatever registry the sweep
@@ -158,6 +192,8 @@ inline constexpr const char* kAllCounterNames[] = {
     kAuditWindowsWithinTolerance, kSweepTrialsFailed, kSweepTrialsRetried,
     kSweepTrialsTimedOut, kDistillWindowsTotal, kDistillWindowsSalvaged,
     kDistillWindowsShed, kDistillWindowsResumed, kDistillRecordsStreamed,
+    kPerfEventsProfiled, kPerfAllocs,           kPerfFrees,
+    kPerfAllocBytes,
 };
 
 /// Every series channel name, for the same drift test (audit divergence
@@ -165,11 +201,13 @@ inline constexpr const char* kAllCounterNames[] = {
 inline constexpr const char* kAllSeriesNames[] = {
     kDelayQueueDepth,    kBottleneckBacklog,   kReplayBufferDepth,
     kAuditLatencyRelErr, kAuditBandwidthRelErr, kAuditLossDelta,
+    kPerfHeapLiveBytes,  kPerfEventQueueDepth, kPerfEventsPerSec,
 };
 
 /// Every histogram name, for the same drift test.
 inline constexpr const char* kAllHistogramNames[] = {
     kE2eLatencyMs,
+    kPerfDispatchSelfUs,
 };
 
 }  // namespace tracemod::sim::metric

@@ -1,0 +1,75 @@
+// Allocation telemetry: a global operator-new/delete interposer that
+// counts every C++ heap allocation and free, per thread, with relaxed
+// atomics (TSan-clean by construction).  The wall-clock perf plane
+// (sim/perf/perf.hpp) reads these counters around scoped regions to
+// attribute allocations to subsystems and to prove -- or refute -- "zero
+// heap allocations in steady state" claims per domain.
+//
+// Properties:
+//   - counting only: allocation behaviour, addresses, and failure
+//     semantics are unchanged, so simulations are bit-identical whether
+//     or not anyone reads the counters;
+//   - per-thread counter blocks registered once per thread and leaked
+//     reachable (never freed), so snapshots may race thread exit safely
+//     and LeakSanitizer stays quiet;
+//   - byte counts use malloc_usable_size on glibc, so alloc/free byte
+//     totals are symmetric even through unsized operator delete;
+//   - the interposer lives in one translation unit inside tracemod_sim;
+//     SimContext anchors it (ensure_alloc_interposer) so every binary
+//     that simulates anything gets process-wide counting.
+#pragma once
+
+#include <cstdint>
+
+namespace tracemod::sim::perf {
+
+/// Monotonic allocation counters.  Deltas between two snapshots bound the
+/// allocations of the code that ran in between (on one thread for
+/// thread_alloc_totals, process-wide for alloc_totals).
+struct AllocTotals {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_freed = 0;
+
+  /// Bytes currently live (allocated minus freed); approximate when
+  /// allocations cross suspension windows.
+  std::int64_t live_bytes() const {
+    return static_cast<std::int64_t>(bytes_allocated) -
+           static_cast<std::int64_t>(bytes_freed);
+  }
+};
+
+inline AllocTotals operator-(const AllocTotals& a, const AllocTotals& b) {
+  return {a.allocs - b.allocs, a.frees - b.frees,
+          a.bytes_allocated - b.bytes_allocated,
+          a.bytes_freed - b.bytes_freed};
+}
+
+/// True when the interposing operator new/delete pair is linked into this
+/// binary (always the case once ensure_alloc_interposer is reachable).
+bool alloc_interposer_active();
+
+/// Process-wide totals: the sum over every thread that ever allocated.
+AllocTotals alloc_totals();
+
+/// Totals for the calling thread only.
+AllocTotals thread_alloc_totals();
+
+/// Link anchor: forces the interposer's translation unit (and therefore
+/// the replaced global operator new/delete) into the final binary.
+/// SimContext's constructor calls this; it costs one predicted branch.
+void ensure_alloc_interposer();
+
+/// Suspends counting on the calling thread while alive.  The profiler
+/// wraps its own bookkeeping in this guard so the instrument's
+/// allocations are never attributed to the code under measurement.
+class AllocSuspendGuard {
+ public:
+  AllocSuspendGuard();
+  ~AllocSuspendGuard();
+  AllocSuspendGuard(const AllocSuspendGuard&) = delete;
+  AllocSuspendGuard& operator=(const AllocSuspendGuard&) = delete;
+};
+
+}  // namespace tracemod::sim::perf

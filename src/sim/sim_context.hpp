@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/event_loop.hpp"
+#include "sim/perf/alloc_telemetry.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/telemetry.hpp"
@@ -69,7 +70,11 @@ class MetricsRegistry {
 
 class SimContext {
  public:
-  explicit SimContext(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+  explicit SimContext(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {
+    // Anchors the allocation-telemetry interposer (sim/perf/) into every
+    // binary that simulates anything; costs one no-op call.
+    perf::ensure_alloc_interposer();
+  }
 
   /// Builds a world with telemetry configured up front, so every component
   /// constructed against this context can resolve its track handles in its
@@ -77,6 +82,7 @@ class SimContext {
   /// SimContext(seed).
   SimContext(std::uint64_t seed, const TelemetryConfig& cfg)
       : seed_(seed), rng_(seed) {
+    perf::ensure_alloc_interposer();
     telemetry_.enable(cfg);
     if (telemetry_.enabled()) loop_.set_profiler(&telemetry_.loop_profiler());
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/assert.hpp"
+#include "sim/perf/perf.hpp"
 
 namespace tracemod::wireless {
 
@@ -37,6 +38,8 @@ void CellIndex::insert(std::uint32_t id, Vec2 p) {
 }
 
 void CellIndex::update(std::uint32_t id, Vec2 p) {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kCellIndex,
+                                  "cell.update");
   auto it = where_.find(id);
   TM_ASSERT(it != where_.end());
   const CellKey key = cell_of(p);
@@ -60,6 +63,8 @@ void CellIndex::cell_span(Vec2 p, double radius, std::int64_t* x0,
 
 void CellIndex::for_each_candidate(
     Vec2 p, double radius, const std::function<void(std::uint32_t)>& fn) const {
+  sim::perf::PerfScope perf_scope(sim::perf::Domain::kCellIndex,
+                                  "cell.query");
   if (!sharded()) {
     auto it = cells_.find(0);
     if (it == cells_.end()) return;

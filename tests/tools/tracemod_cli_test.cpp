@@ -4,11 +4,13 @@
 // side effect.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
+#include "scenarios/campus.hpp"
 #include "trace/records.hpp"
 #include "trace/trace_io.hpp"
 #include "tracemod_cli.hpp"
@@ -126,6 +128,69 @@ TEST(TracemodCli, AuditPassesFaithfulAndFlagsPerturbedModulation) {
   // doubled tick quantum) must exit with the distinct audit code.
   EXPECT_EQ(run({"audit", path, "--tick", "20", "--baseline-seconds", "10"}),
             kExitAudit);
+}
+
+TEST(TracemodCli, PerfRejectsMalformedInvocations) {
+  EXPECT_EQ(run({"perf"}), kExitUsage);  // missing output prefix
+  EXPECT_EQ(run({"perf", tmp("p"), "--campus", "--pipeline", "porter"}),
+            kExitUsage);  // exclusive modes
+  EXPECT_EQ(run({"perf", tmp("p"), "--stride", "0"}), kExitUsage);
+  EXPECT_EQ(run({"perf", tmp("p"), "--benchmark", "bogus"}), kExitUsage);
+  EXPECT_EQ(run({"perf", tmp("p"), "--pipeline", "atlantis"}), kExitUsage);
+}
+
+TEST(TracemodCli, PerfWritesTheV1ReportAndSidecars) {
+  const std::string prefix = tmp("perfrun");
+  ASSERT_EQ(run({"perf", prefix, "--seconds", "30"}), kExitOk);
+
+  std::ifstream json(prefix + ".perf.json");
+  ASSERT_TRUE(json.good());
+  std::string contents((std::istreambuf_iterator<char>(json)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"schema\": \"tracemod-perf-v1\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"workload\": \"benchmark-ftp-recv\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"hotspots\""), std::string::npos);
+
+  std::ifstream folded(prefix + ".folded.txt");
+  ASSERT_TRUE(folded.good());
+  std::string stacks((std::istreambuf_iterator<char>(folded)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(stacks.find("event_loop;"), std::string::npos);
+
+  std::ifstream counters(prefix + ".perf-counters.json");
+  ASSERT_TRUE(counters.good());
+  std::string tracks((std::istreambuf_iterator<char>(counters)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(tracks.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(tracks.find("perf.heap_live_bytes"), std::string::npos);
+}
+
+TEST(TracemodCli, PerfCampusMatchesUnprofiledCampusDigest) {
+  // Virtual-time identity at the CLI surface: profiling a campus run must
+  // leave its digest exactly where `tracemod campus` puts it.
+  const std::string prefix = tmp("perfcampus");
+  ASSERT_EQ(run({"perf", prefix, "--campus", "--hosts", "50", "--seconds",
+                 "2"}),
+            kExitOk);
+  std::ifstream json(prefix + ".perf.json");
+  ASSERT_TRUE(json.good());
+  std::string contents((std::istreambuf_iterator<char>(json)),
+                       std::istreambuf_iterator<char>());
+  const std::size_t at = contents.find("\"digest\": \"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string profiled_digest = contents.substr(at + 11, 16);
+
+  scenarios::CampusConfig cfg;
+  cfg.hosts = 50;
+  cfg.horizon = sim::from_seconds(2);
+  cfg.seed = 42;  // cmd_campus and cmd_perf default
+  const scenarios::CampusResult plain = scenarios::run_campus(cfg);
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "%016llx",
+                static_cast<unsigned long long>(plain.digest));
+  EXPECT_EQ(profiled_digest, expect);
 }
 
 TEST(TracemodCli, AuditThresholdFlagsAreHonored) {

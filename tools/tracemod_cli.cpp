@@ -52,6 +52,20 @@
 //       (scenarios/campus.hpp); prints the deterministic result digest and
 //       events/sec, exits kExitDegraded if the run did not reach its
 //       virtual horizon
+//   tracemod perf <out-prefix> [--pipeline SCENARIO | --campus]
+//                 [--replay FILE] [--benchmark KIND] [--seed N]
+//                 [--seconds N] [--hosts N] [--cell M] [--threads N]
+//                 [--stride N] [--top N]
+//       run one workload under the wall-clock profiler (sim/perf/) and
+//       write <out-prefix>.perf.json (tracemod-perf-v1: top-N self-time
+//       hotspots, allocs/event, events/sec, sim-seconds per wall-second),
+//       <out-prefix>.folded.txt (collapsed-stack flamegraph text), and
+//       <out-prefix>.perf-counters.json (Perfetto counter tracks).
+//       Default workload is a modulated benchmark (--replay / synthetic);
+//       --pipeline runs collect -> distill -> modulated benchmark over a
+//       built-in scenario; --campus runs the N-host campus and carries
+//       its result digest (profiling never changes virtual time, so the
+//       digest equals an unprofiled run's)
 #include "tracemod_cli.hpp"
 
 #include <cctype>
@@ -62,6 +76,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -71,6 +86,8 @@
 #include "core/stream_distiller.hpp"
 #include "scenarios/campus.hpp"
 #include "scenarios/experiment.hpp"
+#include "sim/perf/perf.hpp"
+#include "sim/perf/report.hpp"
 #include "trace/fault_injector.hpp"
 #include "trace/stream_reader.hpp"
 #include "trace/synthetic_corpus.hpp"
@@ -106,10 +123,16 @@ int usage() {
       "[--min-auditable X]\n"
       "  tracemod report <out-prefix> [--replay FILE] "
       "[--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] [--seconds N] "
-      "[--audit]\n"
+      "[--audit] [--perf]\n"
       "  tracemod campus [--hosts N] [--cell METERS] [--threads N] "
       "[--seconds S]\n"
       "                  [--seed N] [--wall-budget S] [--json FILE]\n"
+      "  tracemod perf <out-prefix> [--pipeline SCENARIO | --campus] "
+      "[--replay FILE]\n"
+      "                [--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] "
+      "[--seconds N]\n"
+      "                [--hosts N] [--cell METERS] [--threads N] "
+      "[--stride N] [--top N]\n"
       "exit codes: 0 ok, 1 usage, 2 I/O or format error, "
       "3 damaged-but-salvageable trace, 4 fidelity breach, "
       "5 degraded/incomplete run\n");
@@ -684,13 +707,34 @@ int cmd_audit(const std::vector<std::string>& args) {
   return report.passed() ? kExitOk : kExitAudit;
 }
 
+/// Parses a --benchmark value; returns false (and prints) on an unknown
+/// kind.  Shared by cmd_report and cmd_perf.
+bool parse_benchmark_kind(const Parsed& p, scenarios::BenchmarkKind* kind) {
+  std::string bm;
+  if (!p.str("--benchmark", &bm)) return true;
+  if (bm == "web") {
+    *kind = scenarios::BenchmarkKind::kWeb;
+  } else if (bm == "ftp-send") {
+    *kind = scenarios::BenchmarkKind::kFtpSend;
+  } else if (bm == "ftp-recv") {
+    *kind = scenarios::BenchmarkKind::kFtpRecv;
+  } else if (bm == "andrew") {
+    *kind = scenarios::BenchmarkKind::kAndrew;
+  } else {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bm.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_report(const std::vector<std::string>& args) {
   const Parsed p = parse("report", args,
                          {{"--replay", true},
                           {"--benchmark", true},
                           {"--seed", true},
                           {"--seconds", true},
-                          {"--audit", false}},
+                          {"--audit", false},
+                          {"--perf", false}},
                          1, 1);
   if (p.failed) return usage();
   const std::string prefix = p.pos[0];
@@ -709,33 +753,33 @@ int cmd_report(const std::vector<std::string>& args) {
   }
 
   scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
-  std::string bm;
-  if (p.str("--benchmark", &bm)) {
-    if (bm == "web") {
-      kind = scenarios::BenchmarkKind::kWeb;
-    } else if (bm == "ftp-send") {
-      kind = scenarios::BenchmarkKind::kFtpSend;
-    } else if (bm == "ftp-recv") {
-      kind = scenarios::BenchmarkKind::kFtpRecv;
-    } else if (bm == "andrew") {
-      kind = scenarios::BenchmarkKind::kAndrew;
-    } else {
-      std::fprintf(stderr, "unknown benchmark '%s'\n", bm.c_str());
-      return usage();
-    }
-  }
+  if (!parse_benchmark_kind(p, &kind)) return usage();
 
   sim::TelemetryConfig tcfg;
   tcfg.enabled = true;
-  const scenarios::BenchmarkOutcome outcome =
-      scenarios::run_modulated_benchmark(
-          trace, kind, static_cast<std::uint64_t>(seed),
-          sim::milliseconds(10), 0.0, tcfg);
+  // With --perf the same run is also profiled on the wall-clock plane;
+  // the profiler never touches virtual time, so the telemetry content is
+  // identical either way.
+  sim::perf::PerfProfiler profiler;
+  scenarios::BenchmarkOutcome outcome;
+  {
+    std::optional<sim::perf::PerfSession> session;
+    if (p.has("--perf")) session.emplace(profiler);
+    outcome = scenarios::run_modulated_benchmark(
+        trace, kind, static_cast<std::uint64_t>(seed), sim::milliseconds(10),
+        0.0, tcfg);
+  }
   if (outcome.telemetry == nullptr) {
     std::fprintf(stderr, "telemetry capture failed\n");
     return kExitIo;
   }
-  const sim::TelemetrySnapshot& snap = *outcome.telemetry;
+  auto tel = std::make_shared<sim::TelemetrySnapshot>(*outcome.telemetry);
+  sim::perf::PerfSnapshot perf_snap;
+  if (p.has("--perf")) {
+    perf_snap = sim::perf::capture_perf(profiler);
+    sim::perf::append_perf_to_telemetry(*tel, perf_snap);
+  }
+  const sim::TelemetrySnapshot& snap = *tel;
 
   // With --audit, close the loop on the same replay trace and carry the
   // divergence series alongside the benchmark's telemetry in every export.
@@ -758,8 +802,7 @@ int cmd_report(const std::vector<std::string>& args) {
       return kExitIo;
     }
     if (audit_snap != nullptr) {
-      sim::write_chrome_trace(
-          f, {{"bench", outcome.telemetry}, {"audit", audit_snap}});
+      sim::write_chrome_trace(f, {{"bench", tel}, {"audit", audit_snap}});
     } else {
       sim::write_chrome_trace(f, snap);
     }
@@ -771,8 +814,7 @@ int cmd_report(const std::vector<std::string>& args) {
       return kExitIo;
     }
     if (audit_snap != nullptr) {
-      sim::write_metrics_text(
-          f, {{"bench", outcome.telemetry}, {"audit", audit_snap}});
+      sim::write_metrics_text(f, {{"bench", tel}, {"audit", audit_snap}});
     } else {
       sim::write_metrics_text(f, snap);
     }
@@ -780,6 +822,10 @@ int cmd_report(const std::vector<std::string>& args) {
 
   std::ostringstream report;
   sim::write_report(report, snap);
+  if (p.has("--perf")) {
+    report << "\n";
+    sim::perf::write_perf_report(report, perf_snap);
+  }
   if (audit_snap != nullptr) {
     report << "\n";
     audit::write_fidelity_report(report, fidelity);
@@ -877,6 +923,174 @@ int cmd_campus(const std::vector<std::string>& args) {
   return r.ok ? kExitOk : kExitDegraded;
 }
 
+int cmd_perf(const std::vector<std::string>& args) {
+  const Parsed p = parse("perf", args,
+                         {{"--pipeline", true},
+                          {"--campus", false},
+                          {"--replay", true},
+                          {"--benchmark", true},
+                          {"--seed", true},
+                          {"--seconds", true},
+                          {"--hosts", true},
+                          {"--cell", true},
+                          {"--threads", true},
+                          {"--stride", true},
+                          {"--top", true}},
+                         1, 1);
+  if (p.failed) return usage();
+  const std::string prefix = p.pos[0];
+  double seed = 1, seconds = 0, hosts = 1000, cell = 130.0, threads = 0,
+         stride = 1, top = 10;
+  bool bad = false;
+  checked_number("perf", p, "--seed", &seed, &bad);
+  checked_number("perf", p, "--seconds", &seconds, &bad);
+  checked_number("perf", p, "--hosts", &hosts, &bad);
+  checked_number("perf", p, "--cell", &cell, &bad);
+  checked_number("perf", p, "--threads", &threads, &bad);
+  checked_number("perf", p, "--stride", &stride, &bad);
+  checked_number("perf", p, "--top", &top, &bad);
+  if (bad) return usage();
+  if (p.has("--campus") && p.has("--pipeline")) {
+    std::fprintf(stderr,
+                 "tracemod perf: --campus and --pipeline are exclusive\n");
+    return usage();
+  }
+  if (stride < 1 || top < 1 || hosts < 1) {
+    std::fprintf(stderr, "tracemod perf: invalid parameter value\n");
+    return usage();
+  }
+
+  sim::perf::PerfConfig pcfg;
+  pcfg.sampling_stride = static_cast<std::uint32_t>(stride);
+  sim::perf::PerfProfiler profiler(pcfg);
+
+  std::string workload;
+  std::string extra;
+  double sim_s = 0.0;
+  bool ok = true;
+
+  if (p.has("--campus")) {
+    scenarios::CampusConfig cfg;
+    cfg.hosts = static_cast<std::size_t>(hosts);
+    cfg.cell_size_m = cell;
+    cfg.threads = static_cast<unsigned>(threads);
+    cfg.horizon = sim::from_seconds(seconds > 0 ? seconds : 30);
+    // Match cmd_campus's default seed so `tracemod perf --campus` and
+    // `tracemod campus` produce the same digest out of the box (the
+    // virtual-time-identity check in CI diffs exactly that).
+    cfg.seed = p.has("--seed") ? static_cast<std::uint64_t>(seed) : 42;
+    scenarios::CampusResult r;
+    {
+      sim::perf::PerfSession session(profiler);
+      r = scenarios::run_campus(cfg);
+    }
+    workload = "campus-" + std::to_string(cfg.hosts);
+    sim_s = r.virtual_s;
+    ok = r.ok;
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(r.digest));
+    extra = std::string("\"digest\": \"") + digest + "\"";
+    std::printf("campus: %zu hosts, %s after %.1f virtual s, digest %s\n",
+                r.hosts, scenarios::to_string(r.status), r.virtual_s, digest);
+  } else if (p.has("--pipeline")) {
+    std::string name;
+    p.str("--pipeline", &name);
+    const scenarios::Scenario* scenario = nullptr;
+    static const auto all = scenarios::all_scenarios();
+    for (const auto& s : all) {
+      std::string lower = s.name;
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      if (lower == name) scenario = &s;
+    }
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+      return usage();
+    }
+    scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
+    if (!parse_benchmark_kind(p, &kind)) return usage();
+    scenarios::BenchmarkOutcome outcome;
+    {
+      sim::perf::PerfSession session(profiler);
+      const trace::CollectedTrace collected = scenarios::collect_raw_trace(
+          *scenario, static_cast<std::uint64_t>(seed));
+      core::Distiller distiller(core::DistillConfig{});
+      const core::ReplayTrace replay = distiller.distill(collected);
+      outcome = scenarios::run_modulated_benchmark(
+          replay, kind, static_cast<std::uint64_t>(seed),
+          sim::milliseconds(10), 0.0);
+    }
+    workload = "pipeline-" + name + "-" + scenarios::to_string(kind);
+    sim_s = sim::to_seconds(scenario->collection_duration) +
+            outcome.elapsed_s;
+    ok = outcome.ok;
+    std::printf("pipeline %s: collect+distill+%s %s in %.2f s (simulated)\n",
+                name.c_str(), scenarios::to_string(kind),
+                outcome.ok ? "ok" : "FAILED", outcome.elapsed_s);
+  } else {
+    core::ReplayTrace trace;
+    std::string replay_path;
+    if (p.str("--replay", &replay_path)) {
+      trace = core::ReplayTrace::load(replay_path);
+    } else {
+      trace = core::ReplayTrace::wavelan_like(
+          sim::from_seconds(seconds > 0 ? seconds : 120));
+    }
+    scenarios::BenchmarkKind kind = scenarios::BenchmarkKind::kFtpRecv;
+    if (!parse_benchmark_kind(p, &kind)) return usage();
+    scenarios::BenchmarkOutcome outcome;
+    {
+      sim::perf::PerfSession session(profiler);
+      outcome = scenarios::run_modulated_benchmark(
+          trace, kind, static_cast<std::uint64_t>(seed),
+          sim::milliseconds(10), 0.0);
+    }
+    workload = std::string("benchmark-") + scenarios::to_string(kind);
+    sim_s = outcome.elapsed_s;
+    ok = outcome.ok;
+    std::printf("benchmark %s: %s in %.2f s (simulated)\n",
+                scenarios::to_string(kind), outcome.ok ? "ok" : "FAILED",
+                outcome.elapsed_s);
+  }
+
+  const sim::perf::PerfSnapshot snap = sim::perf::capture_perf(profiler);
+  const std::string json_path = prefix + ".perf.json";
+  const std::string folded_path = prefix + ".folded.txt";
+  const std::string counters_path = prefix + ".perf-counters.json";
+  {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return kExitIo;
+    }
+    sim::perf::write_perf_json(f, snap, workload, sim_s,
+                               static_cast<std::size_t>(top), extra);
+  }
+  {
+    std::ofstream f(folded_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", folded_path.c_str());
+      return kExitIo;
+    }
+    sim::perf::write_flamegraph(f, snap);
+  }
+  {
+    std::ofstream f(counters_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", counters_path.c_str());
+      return kExitIo;
+    }
+    sim::perf::write_perf_chrome(f, snap);
+  }
+
+  std::ostringstream report;
+  sim::perf::write_perf_report(report, snap, static_cast<std::size_t>(top));
+  std::fputs(report.str().c_str(), stdout);
+  std::printf("wrote %s, %s, and %s\n", json_path.c_str(),
+              folded_path.c_str(), counters_path.c_str());
+  return ok ? kExitOk : kExitDegraded;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args) {
@@ -894,6 +1108,7 @@ int run(const std::vector<std::string>& args) {
     if (cmd == "audit") return cmd_audit(rest);
     if (cmd == "report") return cmd_report(rest);
     if (cmd == "campus") return cmd_campus(rest);
+    if (cmd == "perf") return cmd_perf(rest);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitIo;
