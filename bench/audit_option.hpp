@@ -20,6 +20,7 @@
 
 #include "audit/auditor.hpp"
 #include "scenarios/experiment.hpp"
+#include "version.hpp"
 
 namespace tracemod::bench {
 
@@ -80,6 +81,7 @@ class AuditOption {
       return 1;
     }
     out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
+        << "\"tool_version\": \"" << kToolVersion << "\",\n"
         << "\"reports\": [";
     for (std::size_t i = 0; i < reports_.size(); ++i) {
       out << (i == 0 ? "\n" : ",\n");

@@ -15,6 +15,7 @@
 
 #include "report.hpp"
 #include "scenarios/campus.hpp"
+#include "version.hpp"
 
 #include "build_guard.hpp"
 
@@ -64,6 +65,7 @@ void write_json(const std::string& path, const std::vector<Point>& pts,
   std::ofstream out(path);
   out << "{\n"
       << "  \"schema\": \"tracemod-campus-bench-v1\",\n"
+      << "  \"tool_version\": \"" << kToolVersion << "\",\n"
       << "  \"virtual_seconds\": " << seconds << ",\n"
       << "  \"threads\": " << threads << ",\n"
       << "  \"scaling_exponent\": " << scaling_exponent(pts) << ",\n"

@@ -21,6 +21,7 @@
 #include "core/stream_distiller.hpp"
 #include "report.hpp"
 #include "trace/synthetic_corpus.hpp"
+#include "version.hpp"
 
 #include "build_guard.hpp"
 
@@ -137,6 +138,7 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"schema\": \"tracemod-corpus-bench-v1\",\n"
+      << "  \"tool_version\": \"" << kToolVersion << "\",\n"
       << "  \"corpus_bytes\": " << info.bytes << ",\n"
       << "  \"corpus_records\": " << info.records << ",\n"
       << "  \"corpus_virtual_seconds\": " << seconds << ",\n"

@@ -8,6 +8,7 @@
 #include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "status_option.hpp"
 #include "telemetry_option.hpp"
 
 #include "build_guard.hpp"
@@ -37,13 +38,17 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
   bench::AuditOption audits(argc, argv, cfg);
+  bench::StatusOption status(argc, argv, cfg, "fig6-web");
+  status.set_units("scenarios", static_cast<double>(all_scenarios().size() + 1));
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s | %18s %18s | %18s %18s | %s", "scenario", "real(s)",
               "modulated(s)", "paper real", "paper mod", "check");
 
   for (const Scenario& s : all_scenarios()) {
+    status.phase(s.name);
     const auto c = runner.experiment(s, BenchmarkKind::kWeb, cfg);
+    status.step();
     telemetry.add(c.live, s.name + "/live");
     telemetry.add(c.modulated, s.name + "/mod");
     audits.add(c.audits, s.name);
@@ -58,7 +63,9 @@ int main(int argc, char** argv) {
                 p->real_mean, p->real_sd, p->mod_mean, p->mod_sd,
                 check_label(r, m).c_str());
   }
+  status.phase("ethernet");
   const auto eth_trials = runner.ethernet_trials(BenchmarkKind::kWeb, cfg);
+  status.step();
   telemetry.add(eth_trials, "ethernet");
   const Summary eth = summarize_elapsed(eth_trials);
   bench::rowf("%-11s | %18s %18s | %9.2f (%5.2f) %18s |", "Ethernet",
@@ -68,5 +75,7 @@ int main(int argc, char** argv) {
       "scenario slower than Ethernet; Chatterbox the most variable.");
   const int audit_rc = audits.finish();
   const int telemetry_rc = telemetry.finish();
-  return audit_rc != 0 ? audit_rc : telemetry_rc;
+  const int rc = audit_rc != 0 ? audit_rc : telemetry_rc;
+  status.finish(rc);
+  return rc;
 }

@@ -8,6 +8,7 @@
 #include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "status_option.hpp"
 #include "telemetry_option.hpp"
 
 #include "build_guard.hpp"
@@ -36,12 +37,15 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
   bench::AuditOption audits(argc, argv, cfg);
+  bench::StatusOption status(argc, argv, cfg, "fig7-ftp");
+  status.set_units("scenarios", static_cast<double>(all_scenarios().size() + 1));
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s | %16s %16s | %16s %16s | %s", "scenario", "dir",
               "real(s)", "modulated(s)", "paper real", "paper mod", "check");
 
   for (const Scenario& s : all_scenarios()) {
+    status.phase(s.name);
     const auto traces = runner.replay_traces(s, cfg);
     // Traces are shared by both FTP directions; audit each trace once.
     if (audits.enabled()) {
@@ -69,7 +73,9 @@ int main(int argc, char** argv) {
                   send ? p->msend_sd : p->mrecv_sd,
                   check_label(r, m).c_str());
     }
+    status.step();
   }
+  status.phase("ethernet");
   for (const bool send : {true, false}) {
     const BenchmarkKind kind =
         send ? BenchmarkKind::kFtpSend : BenchmarkKind::kFtpRecv;
@@ -81,11 +87,14 @@ int main(int argc, char** argv) {
                 send ? "send" : "recv", cell(eth).c_str(), "-",
                 send ? 20.50 : 18.83, send ? 0.08 : 0.17, "-");
   }
+  status.step();
   bench::rowf(
       "\nExpected shape: real send > real recv (asymmetric WaveLAN);\n"
       "modulated send ~ modulated recv, both near the mean of the real\n"
       "directions (the symmetry assumption, Section 5.3); Ethernet ~ 20 s.");
   const int audit_rc = audits.finish();
   const int telemetry_rc = telemetry.finish();
-  return audit_rc != 0 ? audit_rc : telemetry_rc;
+  const int rc = audit_rc != 0 ? audit_rc : telemetry_rc;
+  status.finish(rc);
+  return rc;
 }

@@ -10,6 +10,7 @@
 #include "audit_option.hpp"
 #include "report.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "status_option.hpp"
 #include "telemetry_option.hpp"
 
 #include "build_guard.hpp"
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   bench::TelemetryOption telemetry(argc, argv, cfg);
   bench::AuditOption audits(argc, argv, cfg);
+  bench::StatusOption status(argc, argv, cfg, "fig8-andrew");
+  status.set_units("scenarios", static_cast<double>(all_scenarios().size() + 1));
   cfg.compensation_vb = measure_compensation_vb();
   ParallelRunner runner;
   bench::rowf("%-11s %-5s %13s %15s %15s %15s %16s %16s", "scenario", "",
@@ -72,7 +75,9 @@ int main(int argc, char** argv) {
               "Total(s)");
 
   for (const Scenario& s : all_scenarios()) {
+    status.phase(s.name);
     const auto c = runner.experiment(s, BenchmarkKind::kAndrew, cfg);
+    status.step();
     telemetry.add(c.live, s.name + "/live");
     telemetry.add(c.modulated, s.name + "/mod");
     audits.add(c.audits, s.name);
@@ -93,7 +98,9 @@ int main(int argc, char** argv) {
                     ? "yes"
                     : "no");
   }
+  status.phase("ethernet");
   const auto eth_trials = runner.ethernet_trials(BenchmarkKind::kAndrew, cfg);
+  status.step();
   telemetry.add(eth_trials, "ethernet");
   const PhaseSummary eth = summarize_phases(eth_trials);
   print_row("Ethernet", "Real", eth);
@@ -106,5 +113,7 @@ int main(int argc, char** argv) {
       "fall below the 10 ms scheduling threshold (Section 5.4).");
   const int audit_rc = audits.finish();
   const int telemetry_rc = telemetry.finish();
-  return audit_rc != 0 ? audit_rc : telemetry_rc;
+  const int rc = audit_rc != 0 ? audit_rc : telemetry_rc;
+  status.finish(rc);
+  return rc;
 }

@@ -14,6 +14,7 @@
 #include "scenarios/live_testbed.hpp"
 #include "trace/ping.hpp"
 #include "trace/trace_io.hpp"
+#include "version.hpp"
 
 #include "build_guard.hpp"
 
@@ -136,6 +137,7 @@ int main(int argc, char** argv) {
   tracemod::bench::require_release_build(argc, argv);
   benchmark::AddCustomContext("tracemod_build_type",
                               tracemod::bench::build_type());
+  benchmark::AddCustomContext("tracemod_tool_version", tracemod::kToolVersion);
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   bool has_out = false;

@@ -43,6 +43,7 @@
 #include "sim/perf/perf.hpp"
 #include "sim/perf/report.hpp"
 #include "trace/ping.hpp"
+#include "version.hpp"
 
 #include "build_guard.hpp"
 
@@ -216,6 +217,7 @@ void write_gate_json(std::ostream& out, const std::vector<WorkloadResult>& ws,
                      int repeat) {
   out << "{\n"
       << "  \"schema\": \"tracemod-perf-gate-v1\",\n"
+      << "  \"tool_version\": \"" << kToolVersion << "\",\n"
       << "  \"build_type\": \"" << bench::build_type() << "\",\n"
       << "  \"best_of\": " << repeat << ",\n"
       << "  \"workloads\": [\n";

@@ -1,0 +1,70 @@
+// --status=PREFIX support for the figure-reproduction benches.
+//
+// Mirrors telemetry_option.hpp / audit_option.hpp: each fig6/7/8 binary
+// constructs one StatusOption from its argv.  When the flag is absent the
+// option is inert (the ExperimentConfig is untouched, so the run is
+// bit-identical to the flagless binary and every method is a no-op).  When
+// present, the option owns a StatusBoard publishing crash-safe
+// tracemod-status-v1 snapshots to PREFIX.status: the event-loop heartbeat
+// feeds events/sim-clock through ExperimentConfig::status, the binary
+// marks scenario boundaries with phase(), counts finished cells with
+// step(), and finish() publishes the terminal snapshot with the exit code.
+// Poll a running bench with `tracemod status PREFIX.status [--follow]`.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "scenarios/experiment.hpp"
+#include "sim/status/status.hpp"
+
+namespace tracemod::bench {
+
+class StatusOption {
+ public:
+  StatusOption(int argc, char** argv, scenarios::ExperimentConfig& cfg,
+               const std::string& driver) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--status=", 9) == 0 && arg[9] != '\0') {
+        sim::status::StatusBoard::Config bcfg;
+        bcfg.path = std::string(arg + 9) + ".status";
+        bcfg.driver = driver;
+        if (board_.configure(std::move(bcfg))) {
+          cfg.status = &board_;
+        } else {
+          // A bad prefix degrades to a status-less run rather than killing
+          // the bench; the warning is the only trace.
+          std::fprintf(stderr, "cannot write status file at prefix '%s'; "
+                               "running without status\n", arg + 9);
+        }
+      }
+    }
+  }
+
+  bool enabled() const { return board_.enabled(); }
+
+  /// Declares the progress axis once the cell count is known.
+  void set_units(const std::string& label, double total) {
+    board_.set_units(label, total);
+    board_.publish_now();
+  }
+
+  /// Marks a phase boundary (publishes immediately when enabled).
+  void phase(const std::string& name) { board_.set_phase(name); }
+
+  /// Counts one finished cell.
+  void step() {
+    board_.add_units_done(1);
+    board_.maybe_publish();
+  }
+
+  /// Publishes the terminal snapshot; safe when disabled.
+  void finish(int exit_code) { board_.finish(exit_code); }
+
+ private:
+  sim::status::StatusBoard board_;
+};
+
+}  // namespace tracemod::bench

@@ -9,6 +9,7 @@
 #include "core/stream_distiller.hpp"
 #include "sim/metric_names.hpp"
 #include "sim/sim_context.hpp"
+#include "version.hpp"
 
 namespace tracemod::audit {
 
@@ -249,6 +250,7 @@ void write_fidelity_json(std::ostream& out, const FidelityReport& report) {
   const DivergenceScores& s = report.scores;
   out << "{\n";
   out << "  \"schema\": \"tracemod-fidelity-v1\",\n";
+  out << "  \"tool_version\": \"" << kToolVersion << "\",\n";
   out << "  \"label\": \"" << escape(report.label) << "\",\n";
   out << "  \"verdict\": \"" << to_string(report.verdict) << "\",\n";
   out << "  \"baseline\": {\"latency_s\": "

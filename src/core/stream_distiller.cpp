@@ -228,9 +228,19 @@ Plan run_pass1(const std::string& path, const StreamDistillConfig& cfg) {
   bool window_open = false;
   sim::TimePoint window_first{};
 
+  sim::status::StatusBoard* board =
+      cfg.status != nullptr && cfg.status->enabled() ? cfg.status : nullptr;
+  if (board != nullptr) board->set_phase("plan");
+  std::uint64_t reported = 0;
+
   trace::TraceRecord rec;
   while (reader.next(&rec)) {
     ++plan.records_streamed;
+    if (board != nullptr && (plan.records_streamed & 0xFFFFu) == 0) {
+      board->add_records_streamed(plan.records_streamed - reported);
+      reported = plan.records_streamed;
+      board->maybe_publish();
+    }
     const sim::TimePoint t = trace::record_time(rec);
     const bool marker = std::holds_alternative<trace::LostRecords>(rec);
     if (!plan.any_records) {
@@ -274,6 +284,10 @@ Plan run_pass1(const std::string& path, const StreamDistillConfig& cfg) {
   if (window_open) {
     cur.end = reader.next_frame_offset();
     plan.windows.push_back(cur);
+  }
+  if (board != nullptr && plan.records_streamed > reported) {
+    board->add_records_streamed(plan.records_streamed - reported);
+    board->maybe_publish();
   }
   plan.report = reader.report();
   if (plan.file_size == 0) plan.file_size = reader.next_frame_offset();
@@ -707,17 +721,44 @@ StreamDistillResult StreamDistiller::distill_file(const std::string& path) {
 
   // Pass 2: every remaining non-shed window, fanned out.  Extraction is
   // deterministic byte-range parsing, so scheduling cannot change results.
+  sim::status::StatusBoard* board =
+      cfg_.status != nullptr && cfg_.status->enabled() ? cfg_.status
+                                                       : nullptr;
+  if (board != nullptr) {
+    board->set_units("windows", static_cast<double>(n_windows));
+    // Windows the plan shed and windows adopted from the journal are
+    // already settled; account them up front so done reaches total.
+    for (std::size_t k = 0; k < n_windows; ++k) {
+      if (plan.windows[k].shed) {
+        board->add_windows_shed(1);
+        board->add_units_done(1);
+      } else if (window_ok[k]) {
+        board->add_windows_distilled(1);
+        board->add_units_done(1);
+      }
+    }
+    board->set_phase("distill");
+  }
   {
     std::vector<std::function<void()>> tasks;
     for (std::size_t k = 0; k < n_windows; ++k) {
       if (plan.windows[k].shed || window_ok[k]) continue;
-      tasks.push_back([&, k] {
+      tasks.push_back([&, k, board] {
         if (extract_window(path, plan.trace_version, plan.windows[k],
                            &window_data[k])) {
           window_ok[k] = 1;
           if (journaling) {
             journal.append(kFrameWindow, encode_window(k, window_data[k]));
           }
+        }
+        if (board != nullptr) {
+          if (window_ok[k]) {
+            board->add_windows_distilled(1);
+          } else {
+            board->add_windows_shed(1);
+          }
+          board->add_units_done(1);
+          board->maybe_publish();
         }
       });
     }
@@ -731,6 +772,7 @@ StreamDistillResult StreamDistiller::distill_file(const std::string& path) {
   }
 
   // Merge, in window-index order, through the exact in-memory pipeline.
+  if (board != nullptr) board->set_phase("merge");
   StreamDistillResult result;
   result.read_report = plan.report;
 

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "core/distiller.hpp"
+#include "sim/status/status.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tracemod::sim {
@@ -85,6 +86,10 @@ struct StreamDistillConfig {
   bool resume = false;
   /// Optional distill.* counters (sim/metric_names.hpp).
   sim::MetricsRegistry* metrics = nullptr;
+  /// Live status board (sim/status/status.hpp): pass 1 publishes records
+  /// streamed, pass 2 per-window progress.  Null (default) adds no code to
+  /// the pipeline; the distilled output is identical either way.
+  sim::status::StatusBoard* status = nullptr;
 };
 
 /// Per-window accounting, surfaced for auditing and reporting.

@@ -33,22 +33,46 @@ RunStatus run_event_loop_until(sim::EventLoop& loop, const bool& done,
                                const WatchdogConfig& watchdog) {
   const sim::TimePoint deadline = loop.now() + timeout;
   const bool wall = watchdog.wall_budget_s > 0.0;
+  sim::status::StatusBoard* status =
+      watchdog.status != nullptr && watchdog.status->enabled()
+          ? watchdog.status
+          : nullptr;
+  // One combined heartbeat predicate: with neither the watchdog nor status
+  // enabled the loop body is branch-for-branch the historical one, so
+  // status-off runs dispatch the identical sequence.
+  const bool beat = wall || status != nullptr;
   const std::uint64_t interval =
       watchdog.wall_check_interval > 0 ? watchdog.wall_check_interval : 1;
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t steps = 0;
+  std::uint64_t reported = 0;
+  // Reconciles the heartbeat's stride-granular accounting with the loop's
+  // true end state, so the final published snapshot is exact.
+  const auto leave = [&](RunStatus st) {
+    if (status != nullptr && steps > reported) {
+      status->note_dispatch(steps - reported, sim::to_seconds(loop.now()));
+    }
+    return st;
+  };
   while (!done) {
-    if (loop.now() >= deadline) return RunStatus::kVirtualDeadline;
-    if (!loop.step()) return RunStatus::kDrained;
-    if (wall && ++steps % interval == 0) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - wall_start;
-      if (elapsed.count() > watchdog.wall_budget_s) {
-        return RunStatus::kWallStuck;
+    if (loop.now() >= deadline) return leave(RunStatus::kVirtualDeadline);
+    if (!loop.step()) return leave(RunStatus::kDrained);
+    if (beat) ++steps;
+    if (beat && steps % interval == 0) {
+      if (status != nullptr) {
+        status->note_dispatch(steps - reported, sim::to_seconds(loop.now()));
+        reported = steps;
+      }
+      if (wall) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - wall_start;
+        if (elapsed.count() > watchdog.wall_budget_s) {
+          return leave(RunStatus::kWallStuck);
+        }
       }
     }
   }
-  return RunStatus::kCompleted;
+  return leave(RunStatus::kCompleted);
 }
 
 BenchmarkOutcome run_benchmark(BenchmarkKind kind, transport::Host& client,

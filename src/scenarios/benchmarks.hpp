@@ -12,6 +12,7 @@
 #include "apps/andrew.hpp"
 #include "net/ip_address.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/status/status.hpp"
 #include "sim/telemetry.hpp"
 #include "transport/host.hpp"
 
@@ -47,6 +48,11 @@ struct BenchmarkOutcome {
 struct WatchdogConfig {
   double wall_budget_s = 0.0;
   std::uint64_t wall_check_interval = 4096;
+  /// Live status board fed by the same dispatch heartbeat (events
+  /// dispatched + the world's virtual clock, every wall_check_interval
+  /// dispatches).  Null (the default) keeps the loop free of status code;
+  /// non-null adds only host-clock reads and never touches virtual time.
+  sim::status::StatusBoard* status = nullptr;
 };
 
 /// Why a benchmark's event-loop drive returned.

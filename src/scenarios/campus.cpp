@@ -211,6 +211,14 @@ CampusResult CampusWorld::run() {
   CampusResult r;
   r.hosts = cfg_.hosts;
   r.wavepoints = wavepoints_.size();
+  if (sim::status::StatusBoard* board = cfg_.watchdog.status;
+      board != nullptr && board->enabled()) {
+    // A campus run's natural progress axis is the virtual horizon; the
+    // dispatch heartbeat advances units_done via the published sim clock.
+    board->set_units("sim-seconds", sim::to_seconds(cfg_.horizon));
+    board->set_units_follow_sim(true);
+    board->set_phase("campus:" + std::to_string(cfg_.hosts) + "-hosts");
+  }
   // The +1s slack means the status tells us what actually happened: the
   // done flag (kCompleted) rather than the deadline fence.
   r.status = run_event_loop_until(loop, done_, cfg_.horizon + sim::seconds(1),

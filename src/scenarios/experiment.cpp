@@ -16,6 +16,7 @@ namespace {
 WatchdogConfig benchmark_watchdog(const ExperimentConfig& cfg) {
   WatchdogConfig wd;
   if (cfg.supervision.enabled) wd.wall_budget_s = cfg.supervision.wall_budget_s;
+  wd.status = cfg.status;
   return wd;
 }
 

@@ -46,6 +46,11 @@ struct ExperimentConfig {
   /// disabled config's outputs are bit-identical to the seed behaviour
   /// (the virtual budget defaults to the historical 7200 s deadline).
   SupervisionConfig supervision{};
+  /// Live status board (sim/status/status.hpp).  Null (default) compiles
+  /// every status hook down to one never-taken branch; non-null lets the
+  /// guarded trial path and the event-loop dispatch heartbeat publish
+  /// progress without touching virtual time, RNG, or trial outputs.
+  sim::status::StatusBoard* status = nullptr;
 };
 
 /// Measures the physical modulating network's mean bottleneck per-byte

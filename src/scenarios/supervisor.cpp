@@ -15,6 +15,7 @@
 #include "sim/sim_context.hpp"
 #include "sim/metric_names.hpp"
 #include "trace/crc32c.hpp"
+#include "version.hpp"
 
 namespace tracemod::scenarios {
 
@@ -98,9 +99,11 @@ bool outcome_wall_stuck(const BenchmarkOutcome& o) { return o.wall_stuck; }
 /// bounded retry policy.  Serial and parallel engines both funnel through
 /// here, which is what keeps their error records identical.
 template <typename T, typename Fn>
-Guarded<T> run_guarded(const ExperimentConfig& cfg, const PhaseInfo& phase,
-                       const std::string& scenario,
-                       const std::string& benchmark, int trial, Fn&& run) {
+Guarded<T> run_guarded_impl(const ExperimentConfig& cfg,
+                            const PhaseInfo& phase,
+                            const std::string& scenario,
+                            const std::string& benchmark, int trial,
+                            Fn&& run) {
   Guarded<T> g;
   const SupervisionConfig& sup = cfg.supervision;
   if (!sup.enabled) {
@@ -164,6 +167,27 @@ Guarded<T> run_guarded(const ExperimentConfig& cfg, const PhaseInfo& phase,
   }
   g.retries = max_attempts - 1;
   g.error = std::move(last);
+  return g;
+}
+
+/// run_guarded_impl plus status accounting.  Serial and parallel engines
+/// both funnel through here, so the status board sees identical counter
+/// streams from either; with status off this is one never-taken branch.
+template <typename T, typename Fn>
+Guarded<T> run_guarded(const ExperimentConfig& cfg, const PhaseInfo& phase,
+                       const std::string& scenario,
+                       const std::string& benchmark, int trial, Fn&& run) {
+  Guarded<T> g = run_guarded_impl<T>(cfg, phase, scenario, benchmark, trial,
+                                     std::forward<Fn>(run));
+  if (sim::status::StatusBoard* board = cfg.status;
+      board != nullptr && board->enabled()) {
+    board->add_units_done(1);
+    if (g.retries > 0) {
+      board->add_retries(static_cast<std::uint64_t>(g.retries));
+    }
+    if (g.error) board->add_errors(1);
+    board->maybe_publish();
+  }
   return g;
 }
 
@@ -742,6 +766,33 @@ SweepResult run_supervised_sweep(TaskPool* pool,
   if (cfg.audit.enabled) result.audits.assign(ns, {});
   SupervisionReport& report = result.supervision;
 
+  // Status totals mirror the resume logic below exactly, so a resumed
+  // sweep's board counts only the work it will actually redo.
+  sim::status::StatusBoard* board =
+      cfg.status != nullptr && cfg.status->enabled() ? cfg.status : nullptr;
+  if (board != nullptr) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      bool missing = cfg.audit.enabled;
+      for (std::size_t k = 0; k < nk; ++k) {
+        if (find_record(opts.resume, false, false, scenarios[s].name,
+                        kinds[k]) == nullptr) {
+          missing = true;
+          total += 2 * n;  // live + modulated trials of the cell
+        }
+      }
+      if (missing) total += n;                 // collection traversals
+      if (cfg.audit.enabled) total += n;       // per-trace audits
+    }
+    for (std::size_t k = 0; k < nk; ++k) {
+      if (find_record(opts.resume, true, false, "", kinds[k]) == nullptr) {
+        total += n;                            // ethernet baseline trials
+      }
+    }
+    board->set_units("trials", static_cast<double>(total));
+    board->publish_now();
+  }
+
   for (std::size_t s = 0; s < ns; ++s) {
     const Scenario& scenario = scenarios[s];
     bool row_missing = false;
@@ -759,6 +810,7 @@ SweepResult run_supervised_sweep(TaskPool* pool,
     RowTraces row;
     row.traces.resize(n);
     if (row_missing) {
+      if (board != nullptr) board->set_phase("collect:" + scenario.name);
       row = collect_row(pool, scenario, cfg);
       if (opts.journal != nullptr) {
         JournalCellRecord rec;
@@ -787,6 +839,10 @@ SweepResult run_supervised_sweep(TaskPool* pool,
               opts.resume, false, false, scenario.name, kinds[k])) {
         restore_cell(*rec, cell);
       } else {
+        if (board != nullptr) {
+          board->set_phase("bench:" + scenario.name + "/" +
+                           to_string(kinds[k]));
+        }
         run_cell_trials(pool, scenario, kinds[k], cfg, row, cell);
         if (opts.journal != nullptr) {
           JournalCellRecord rec;
@@ -805,11 +861,17 @@ SweepResult run_supervised_sweep(TaskPool* pool,
     }
 
     if (cfg.audit.enabled) {
+      if (board != nullptr) board->set_phase("audit:" + scenario.name);
       result.audits[s].resize(n);
       std::vector<Guarded<audit::FidelityReport>> audit_g(n);
       std::vector<std::function<void()>> tasks;
       for (std::size_t t = 0; t < n; ++t) {
-        if (row.traces[t].error) continue;
+        // A skipped audit (errored trace) is still accounted so a finished
+        // sweep reports units_done == units_total.
+        if (row.traces[t].error) {
+          if (board != nullptr) board->add_units_done(1);
+          continue;
+        }
         tasks.push_back([&, t] {
           audit_g[t] = guarded_trace_audit(
               row.traces[t].value, cfg, static_cast<int>(t),
@@ -825,6 +887,7 @@ SweepResult run_supervised_sweep(TaskPool* pool,
     }
   }
 
+  if (board != nullptr) board->set_phase("ethernet");
   for (std::size_t k = 0; k < nk; ++k) {
     if (const JournalCellRecord* rec =
             find_record(opts.resume, true, false, "", kinds[k])) {
@@ -861,6 +924,7 @@ SweepResult run_supervised_sweep(TaskPool* pool,
 
   report.trials_failed = report.errors.size();
   tally_timed_out_trials(result);
+  if (board != nullptr) board->publish_now();
   return result;
 }
 
@@ -967,6 +1031,7 @@ void write_sweep_json(std::ostream& out, const SweepResult& result,
                       const ExperimentConfig& cfg,
                       const std::vector<BenchmarkKind>& kinds) {
   out << "{\n\"schema\": \"tracemod-sweep-v1\",\n";
+  out << "\"tool_version\": \"" << kToolVersion << "\",\n";
   out << "\"config\": {\"base_seed\": " << cfg.base_seed
       << ", \"trials\": " << cfg.trials
       << ", \"tick_ms\": " << json_double(sim::to_milliseconds(cfg.tick))

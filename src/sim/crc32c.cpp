@@ -1,8 +1,8 @@
-#include "trace/crc32c.hpp"
+#include "sim/crc32c.hpp"
 
 #include <array>
 
-namespace tracemod::trace {
+namespace tracemod::sim {
 
 namespace {
 
@@ -33,4 +33,4 @@ std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
   return ~crc;
 }
 
-}  // namespace tracemod::trace
+}  // namespace tracemod::sim

@@ -8,6 +8,7 @@
 #include "sim/metric_names.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace_event.hpp"
+#include "version.hpp"
 
 namespace tracemod::sim::perf {
 
@@ -231,6 +232,7 @@ void write_perf_json(std::ostream& out, const PerfSnapshot& snap,
                      std::size_t top_n, const std::string& extra) {
   out << "{\n";
   out << "  \"schema\": \"tracemod-perf-v1\",\n";
+  out << "  \"tool_version\": \"" << kToolVersion << "\",\n";
   out << "  \"workload\": \"" << json_escape(workload) << "\",\n";
   out << "  \"wall_s\": " << fmt("%.6f", snap.wall_s) << ",\n";
   out << "  \"sim_s\": " << fmt("%.6f", sim_seconds) << ",\n";

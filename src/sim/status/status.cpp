@@ -1,0 +1,495 @@
+#include "sim/status/status.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/crc32c.hpp"
+#include "version.hpp"
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace tracemod::sim::status {
+
+// --- TMST codec -------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'S', 'T'};
+constexpr std::size_t kHeaderSize = 4 + 2 + 4 + 4;  // magic|version|len|crc
+constexpr std::uint32_t kMaxPayload = 1u << 20;     // snapshots are tiny
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, (v >> (8 * i)) & 0xff);
+}
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked little-endian cursor; decode errors throw and
+/// decode_status maps them to StatusReadStatus::kCorrupt.
+struct Cursor {
+  const char* p;
+  const char* end;
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - p) < n) {
+      throw std::runtime_error("status snapshot truncated mid-field");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p++);
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(*p++))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(*p++))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*p++))
+           << (8 * i);
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxPayload) {
+      throw std::runtime_error("status string length implausible");
+    }
+    need(n);
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+std::string encode_payload(const StatusSnapshot& s) {
+  std::string out;
+  put_str(out, s.tool_version);
+  put_str(out, s.driver);
+  put_str(out, s.phase);
+  put_str(out, s.units_label);
+  put_u64(out, s.seq);
+  put_u64(out, s.pid);
+  put_u64(out, s.published_unix_ms);
+  put_f64(out, s.units_done);
+  put_f64(out, s.units_total);
+  put_u64(out, s.events_dispatched);
+  put_u64(out, s.retries);
+  put_u64(out, s.errors);
+  put_u64(out, s.windows_distilled);
+  put_u64(out, s.windows_shed);
+  put_u64(out, s.records_streamed);
+  put_f64(out, s.sim_seconds);
+  put_f64(out, s.wall_seconds);
+  put_f64(out, s.sim_per_wall);
+  put_f64(out, s.eta_seconds);
+  put_u8(out, s.finished ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(s.exit_code));
+  return out;
+}
+
+StatusSnapshot decode_payload(const char* data, std::size_t size) {
+  Cursor c{data, data + size};
+  StatusSnapshot s;
+  s.tool_version = c.str();
+  s.driver = c.str();
+  s.phase = c.str();
+  s.units_label = c.str();
+  s.seq = c.u64();
+  s.pid = c.u64();
+  s.published_unix_ms = c.u64();
+  s.units_done = c.f64();
+  s.units_total = c.f64();
+  s.events_dispatched = c.u64();
+  s.retries = c.u64();
+  s.errors = c.u64();
+  s.windows_distilled = c.u64();
+  s.windows_shed = c.u64();
+  s.records_streamed = c.u64();
+  s.sim_seconds = c.f64();
+  s.wall_seconds = c.f64();
+  s.sim_per_wall = c.f64();
+  s.eta_seconds = c.f64();
+  s.finished = c.u8() != 0;
+  s.exit_code = static_cast<std::int32_t>(c.u32());
+  if (c.p != c.end) {
+    throw std::runtime_error("status snapshot has trailing bytes");
+  }
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::uint64_t current_pid() {
+#if defined(_WIN32)
+  return static_cast<std::uint64_t>(_getpid());
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+std::uint64_t unix_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_status(const StatusSnapshot& snap) {
+  const std::string payload = encode_payload(snap);
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u16(out, kStatusFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(payload.data(), payload.size()));
+  out += payload;
+  return std::vector<std::uint8_t>(out.begin(), out.end());
+}
+
+StatusReadResult decode_status(const std::uint8_t* data, std::size_t size) {
+  StatusReadResult r;
+  r.status = StatusReadStatus::kCorrupt;
+  if (size < kHeaderSize) {
+    r.message = "file shorter than the TMST header (torn write?)";
+    return r;
+  }
+  const char* p = reinterpret_cast<const char*>(data);
+  if (std::char_traits<char>::compare(p, kMagic, sizeof(kMagic)) != 0) {
+    r.message = "bad magic: not a TMST status file";
+    return r;
+  }
+  Cursor header{p + 4, p + kHeaderSize};
+  const std::uint16_t version = header.u16();
+  if (version != kStatusFormatVersion) {
+    r.message = "unsupported TMST version " + std::to_string(version);
+    return r;
+  }
+  const std::uint32_t len = header.u32();
+  const std::uint32_t crc = header.u32();
+  if (len > kMaxPayload) {
+    r.message = "payload length implausible";
+    return r;
+  }
+  if (size != kHeaderSize + len) {
+    r.message = "payload truncated: header claims " + std::to_string(len) +
+                " bytes, file carries " +
+                std::to_string(size - kHeaderSize);
+    return r;
+  }
+  if (crc32c(p + kHeaderSize, len) != crc) {
+    r.message = "CRC mismatch: snapshot payload is damaged";
+    return r;
+  }
+  try {
+    r.snapshot = decode_payload(p + kHeaderSize, len);
+  } catch (const std::exception& e) {
+    r.message = e.what();
+    return r;
+  }
+  r.status = StatusReadStatus::kOk;
+  return r;
+}
+
+StatusReadResult read_status_file(const std::string& path) {
+  StatusReadResult r;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    r.status = StatusReadStatus::kMissing;
+    r.message = "no status file at " + path;
+    return r;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return decode_status(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       bytes.size());
+}
+
+void write_status_json(std::ostream& out, const StatusSnapshot& s) {
+  out << "{\"schema\": \"" << kStatusSchema << "\"";
+  out << ",\n \"tool_version\": \"" << json_escape(s.tool_version) << "\"";
+  out << ",\n \"driver\": \"" << json_escape(s.driver) << "\"";
+  out << ",\n \"phase\": \"" << json_escape(s.phase) << "\"";
+  out << ",\n \"seq\": " << s.seq;
+  out << ",\n \"pid\": " << s.pid;
+  out << ",\n \"published_unix_ms\": " << s.published_unix_ms;
+  out << ",\n \"units\": {\"label\": \"" << json_escape(s.units_label)
+      << "\", \"done\": " << json_double(s.units_done)
+      << ", \"total\": " << json_double(s.units_total) << "}";
+  out << ",\n \"events_dispatched\": " << s.events_dispatched;
+  out << ",\n \"retries\": " << s.retries;
+  out << ",\n \"errors\": " << s.errors;
+  out << ",\n \"windows_distilled\": " << s.windows_distilled;
+  out << ",\n \"windows_shed\": " << s.windows_shed;
+  out << ",\n \"records_streamed\": " << s.records_streamed;
+  out << ",\n \"sim_seconds\": " << json_double(s.sim_seconds);
+  out << ",\n \"wall_seconds\": " << json_double(s.wall_seconds);
+  out << ",\n \"sim_per_wall\": " << json_double(s.sim_per_wall);
+  if (s.eta_seconds >= 0.0) {
+    out << ",\n \"eta_seconds\": " << json_double(s.eta_seconds);
+  } else {
+    out << ",\n \"eta_seconds\": null";
+  }
+  out << ",\n \"finished\": " << (s.finished ? "true" : "false");
+  if (s.finished) {
+    out << ",\n \"exit_code\": " << s.exit_code;
+  } else {
+    out << ",\n \"exit_code\": null";
+  }
+  out << "}\n";
+}
+
+// --- StatusBoard ------------------------------------------------------------
+
+bool StatusBoard::configure(Config cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(cfg.path);
+  driver_ = std::move(cfg.driver);
+  min_interval_s_ = cfg.min_publish_interval_s;
+  wall_start_ = std::chrono::steady_clock::now();
+  phase_ = "starting";
+  enabled_.store(true, std::memory_order_relaxed);
+  publish_locked();
+  if (write_failures_.load(std::memory_order_relaxed) > 0) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void StatusBoard::set_phase(const std::string& phase) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = phase;
+  publish_locked();
+}
+
+void StatusBoard::set_units(const std::string& label, double total) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  units_label_ = label;
+  units_total_ = total;
+}
+
+void StatusBoard::set_units_follow_sim(bool follow) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  units_follow_sim_ = follow;
+}
+
+void StatusBoard::add_units_done(std::uint64_t n) {
+  units_done_.fetch_add(n, std::memory_order_relaxed);
+}
+void StatusBoard::add_retries(std::uint64_t n) {
+  retries_.fetch_add(n, std::memory_order_relaxed);
+}
+void StatusBoard::add_errors(std::uint64_t n) {
+  errors_.fetch_add(n, std::memory_order_relaxed);
+}
+void StatusBoard::add_windows_distilled(std::uint64_t n) {
+  windows_distilled_.fetch_add(n, std::memory_order_relaxed);
+}
+void StatusBoard::add_windows_shed(std::uint64_t n) {
+  windows_shed_.fetch_add(n, std::memory_order_relaxed);
+}
+void StatusBoard::add_records_streamed(std::uint64_t n) {
+  records_streamed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void StatusBoard::note_dispatch(std::uint64_t delta_events,
+                                double sim_now_s) {
+  events_.fetch_add(delta_events, std::memory_order_relaxed);
+  // Monotone max across concurrently heartbeating worlds: the published
+  // virtual clock never runs backwards.
+  std::uint64_t cur = sim_now_bits_.load(std::memory_order_relaxed);
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(sim_now_s);
+  while (sim_now_s > std::bit_cast<double>(cur) &&
+         !sim_now_bits_.compare_exchange_weak(cur, bits,
+                                              std::memory_order_relaxed)) {
+  }
+  maybe_publish();
+}
+
+void StatusBoard::maybe_publish() {
+  if (!enabled()) return;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  const std::int64_t interval_ns =
+      static_cast<std::int64_t>(min_interval_s_ * 1e9);
+  if (now_ns - last_publish_ns_.load(std::memory_order_relaxed) <
+      interval_ns) {
+    return;
+  }
+  // try_lock, not lock: a worker thread must never block on a slow disk.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (now_ns - last_publish_ns_.load(std::memory_order_relaxed) <
+      interval_ns) {
+    return;  // lost the race to a concurrent publisher
+  }
+  publish_locked();
+}
+
+void StatusBoard::publish_now() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_locked();
+}
+
+void StatusBoard::finish(int exit_code) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ = true;
+  exit_code_ = exit_code;
+  if (phase_ != "finished") phase_ = "finished";
+  publish_locked();
+}
+
+StatusSnapshot StatusBoard::peek() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_snapshot_locked();
+}
+
+StatusSnapshot StatusBoard::build_snapshot_locked() const {
+  StatusSnapshot s;
+  s.tool_version = kToolVersion;
+  s.driver = driver_;
+  s.phase = phase_;
+  s.units_label = units_label_;
+  s.seq = seq_.load(std::memory_order_relaxed) + 1;
+  s.pid = current_pid();
+  s.published_unix_ms = unix_now_ms();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start_;
+  s.wall_seconds = wall.count();
+  s.sim_seconds =
+      std::bit_cast<double>(sim_now_bits_.load(std::memory_order_relaxed));
+  s.units_total = units_total_;
+  s.units_done = units_follow_sim_
+                     ? (units_total_ > 0.0
+                            ? std::min(s.sim_seconds, units_total_)
+                            : s.sim_seconds)
+                     : static_cast<double>(
+                           units_done_.load(std::memory_order_relaxed));
+  s.events_dispatched = events_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.windows_distilled = windows_distilled_.load(std::memory_order_relaxed);
+  s.windows_shed = windows_shed_.load(std::memory_order_relaxed);
+  s.records_streamed = records_streamed_.load(std::memory_order_relaxed);
+  if (s.wall_seconds > 0.0 && s.sim_seconds > 0.0) {
+    s.sim_per_wall = s.sim_seconds / s.wall_seconds;
+  }
+  s.finished = finished_;
+  s.exit_code = exit_code_;
+  if (finished_) {
+    s.eta_seconds = 0.0;
+  } else if (s.units_total > 0.0 && s.units_done > 0.0 &&
+             s.units_done <= s.units_total) {
+    s.eta_seconds =
+        s.wall_seconds * (s.units_total - s.units_done) / s.units_done;
+  }
+  return s;
+}
+
+void StatusBoard::publish_locked() {
+  const StatusSnapshot snap = build_snapshot_locked();
+  const std::vector<std::uint8_t> image = encode_status(snap);
+  const std::string tmp = path_ + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    ok = static_cast<bool>(out);
+  }
+  // rename(2) over the live path is atomic within a directory: readers see
+  // either the previous complete snapshot or this one, never a mix.
+  if (ok) ok = std::rename(tmp.c_str(), path_.c_str()) == 0;
+  if (!ok) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::remove(tmp.c_str());
+    return;
+  }
+  seq_.fetch_add(1, std::memory_order_relaxed);
+  last_publish_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wall_start_)
+                             .count(),
+                         std::memory_order_relaxed);
+}
+
+}  // namespace tracemod::sim::status

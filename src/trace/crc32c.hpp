@@ -1,21 +1,14 @@
-// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
-//
-// The per-record checksum of trace format v2 (trace_io.hpp).  CRC32C is the
-// standard choice for storage framing (iSCSI, ext4, Btrfs): it catches all
-// burst errors up to 32 bits and has good Hamming distance at trace-record
-// payload sizes.  Table-driven software implementation; no hardware
-// dependencies, identical output on every platform.
+// CRC32C, forwarded from sim/crc32c.hpp where the implementation now lives
+// (the status plane in sim/status/ frames its snapshot file with the same
+// checksum and sits below this library in the link order).  Kept so the
+// historical include path and trace::crc32c spelling keep working for the
+// v2 trace format and the TMSJ/TMDJ journals.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "sim/crc32c.hpp"
 
 namespace tracemod::trace {
 
-/// CRC32C of the buffer, continuing from `seed` (pass the previous return
-/// value to checksum discontiguous spans as one message).  The empty-buffer
-/// CRC of seed 0 is 0.
-std::uint32_t crc32c(const void* data, std::size_t size,
-                     std::uint32_t seed = 0);
+using sim::crc32c;
 
 }  // namespace tracemod::trace

@@ -11,6 +11,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -403,6 +404,91 @@ TEST(SweepJournal, FingerprintTracksPolicyButNotMatrix) {
   b = a;
   b.supervision.inject.push_back({});
   EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+}
+
+// --- sweep JSON -------------------------------------------------------------
+
+/// Pulls `"key": "value"` out of a JSON object substring.
+std::string json_str_field(const std::string& obj, const std::string& key) {
+  const std::string marker = "\"" + key + "\": \"";
+  const std::size_t at = obj.find(marker);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + marker.size();
+  return obj.substr(start, obj.find('"', start) - start);
+}
+
+/// Pulls a numeric `"key": 123` out of a JSON object substring.
+long long json_int_field(const std::string& obj, const std::string& key) {
+  const std::string marker = "\"" + key + "\": ";
+  const std::size_t at = obj.find(marker);
+  if (at == std::string::npos) return -1;
+  return std::stoll(obj.substr(at + marker.size()));
+}
+
+TEST(SweepJson, TrialErrorSurvivesTheJsonRoundTrip) {
+  // An error record written into tracemod-sweep-v1 must come back with its
+  // full identity -- taxonomy kind, matrix position, derived seed, and
+  // attempt count -- so postmortem tooling can reproduce the failure.
+  TrialError err;
+  err.kind = TrialErrorKind::kTimedOut;
+  err.message = "virtual-time budget (1.000000 s) expired";
+  err.seed = 10'001;
+  err.scenario = "Wean";
+  err.benchmark = "web";
+  err.phase = "live";
+  err.trial = 1;
+  err.attempts = 2;
+
+  SweepResult result;
+  CellResult cell;
+  cell.scenario = "Wean";
+  cell.kind = BenchmarkKind::kWeb;
+  cell.live.resize(2);
+  cell.modulated.resize(2);
+  cell.errors.push_back(err);
+  result.cells.push_back(cell);
+  result.ethernet.resize(1);
+  result.ethernet[0].resize(2);
+  result.supervision.errors.push_back(err);
+  result.supervision.trials_failed = 1;
+
+  ExperimentConfig cfg;
+  cfg.supervision.enabled = true;
+  std::ostringstream out;
+  write_sweep_json(out, result, cfg, {BenchmarkKind::kWeb});
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"tracemod-sweep-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tool_version\""), std::string::npos);
+
+  // Parse the first emitted error record back into a TrialError and
+  // demand equality with what went in.
+  const std::size_t errs = json.find("\"errors\": [");
+  ASSERT_NE(errs, std::string::npos);
+  const std::size_t open = json.find('{', errs);
+  ASSERT_NE(open, std::string::npos);
+  const std::string obj = json.substr(open, json.find('}', open) - open + 1);
+
+  TrialError parsed;
+  const std::string kind = json_str_field(obj, "kind");
+  bool kind_known = false;
+  for (TrialErrorKind k : {TrialErrorKind::kException,
+                           TrialErrorKind::kTimedOut,
+                           TrialErrorKind::kStuck}) {
+    if (kind == to_string(k)) {
+      parsed.kind = k;
+      kind_known = true;
+    }
+  }
+  EXPECT_TRUE(kind_known) << "unparseable kind '" << kind << "'";
+  parsed.message = json_str_field(obj, "message");
+  parsed.seed = static_cast<std::uint64_t>(json_int_field(obj, "seed"));
+  parsed.scenario = json_str_field(obj, "scenario");
+  parsed.benchmark = json_str_field(obj, "benchmark");
+  parsed.phase = json_str_field(obj, "phase");
+  parsed.trial = static_cast<int>(json_int_field(obj, "trial"));
+  parsed.attempts = static_cast<int>(json_int_field(obj, "attempts"));
+  EXPECT_EQ(parsed, err);
 }
 
 TEST(SweepJournal, ResumedSweepReproducesTheUninterruptedRun) {

@@ -24,14 +24,17 @@ std::string tmp(const std::string& name) {
 
 TEST(TracemodCli, ExitCodesArePinnedAndDistinct) {
   // The exit-code contract is external API (CI and scripts match on the
-  // numbers): never renumber.  5 is the supervised sweep's
-  // completed-with-degraded-cells code (tools/sweep.cpp).
+  // numbers; README.md carries the full 0-6 table): never renumber.  5 is
+  // the supervised sweep's completed-with-degraded-cells code
+  // (tools/sweep.cpp); 6 is reserved by the benchmark build guard and
+  // never returned by tracemod itself.
   EXPECT_EQ(kExitOk, 0);
   EXPECT_EQ(kExitUsage, 1);
   EXPECT_EQ(kExitIo, 2);
   EXPECT_EQ(kExitSalvage, 3);
   EXPECT_EQ(kExitAudit, 4);
   EXPECT_EQ(kExitDegraded, 5);
+  EXPECT_EQ(kExitNonReleaseBuild, 6);
 }
 
 TEST(TracemodCli, NoCommandIsAUsageError) {
@@ -191,6 +194,75 @@ TEST(TracemodCli, PerfCampusMatchesUnprofiledCampusDigest) {
   std::snprintf(expect, sizeof(expect), "%016llx",
                 static_cast<unsigned long long>(plain.digest));
   EXPECT_EQ(profiled_digest, expect);
+}
+
+TEST(TracemodCli, VersionCommandSucceedsInBothSpellings) {
+  EXPECT_EQ(run({"version"}), kExitOk);
+  EXPECT_EQ(run({"--version"}), kExitOk);
+  EXPECT_EQ(run({"version", "extra"}), kExitUsage);
+}
+
+TEST(TracemodCli, StatusCommandDistinguishesMissingFromDamaged) {
+  EXPECT_EQ(run({"status"}), kExitUsage);
+  EXPECT_EQ(run({"status", tmp("nonexistent.status")}), kExitIo);
+
+  // A file that is not a TMST snapshot is damage, not absence.
+  const std::string garbage = tmp("garbage.status");
+  std::ofstream(garbage) << "this is not a status file";
+  EXPECT_EQ(run({"status", garbage}), kExitIo);
+  EXPECT_EQ(run({"status", garbage, "--json"}), kExitIo);
+}
+
+TEST(TracemodCli, CampusStatusLeavesAReadableFinishedSnapshot) {
+  const std::string prefix = tmp("campusstatus");
+  ASSERT_EQ(run({"campus", "--hosts", "50", "--seconds", "2", "--status",
+                 prefix}),
+            kExitOk);
+  // Both renderings read the snapshot back cleanly.
+  EXPECT_EQ(run({"status", prefix + ".status"}), kExitOk);
+  EXPECT_EQ(run({"status", prefix + ".status", "--json"}), kExitOk);
+
+  // A truncated snapshot (the torn-write drill) flips to the I/O code.
+  std::ifstream in(prefix + ".status", std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 8u);
+  const std::string torn = tmp("torn.status");
+  std::ofstream(torn, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  EXPECT_EQ(run({"status", torn}), kExitIo);
+}
+
+TEST(TracemodCli, DistillStatusRequiresTheStreamingPath) {
+  EXPECT_EQ(run({"distill", tmp("in.trace"), tmp("out.replay"), "--status",
+                 tmp("s")}),
+            kExitUsage);
+}
+
+TEST(TracemodCli, CampusStatusOffDigestMatchesStatusOn) {
+  // The zero-perturbation contract at the CLI surface: --status must not
+  // move the campus digest.
+  const std::string plain_json = tmp("campus_plain.json");
+  const std::string status_json = tmp("campus_status.json");
+  ASSERT_EQ(run({"campus", "--hosts", "50", "--seconds", "2", "--json",
+                 plain_json}),
+            kExitOk);
+  ASSERT_EQ(run({"campus", "--hosts", "50", "--seconds", "2", "--json",
+                 status_json, "--status", tmp("campus_digest")}),
+            kExitOk);
+  auto digest_of = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    const std::size_t at = contents.find("\"digest\": \"");
+    if (at == std::string::npos) return std::string();
+    const std::size_t start = at + 11;
+    return contents.substr(start, contents.find('"', start) - start);
+  };
+  const std::string plain = digest_of(plain_json);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, digest_of(status_json));
 }
 
 TEST(TracemodCli, AuditThresholdFlagsAreHonored) {

@@ -51,6 +51,10 @@
 // world and writes the merged exports to PREFIX.perfetto.json (load in
 // ui.perfetto.dev) and PREFIX.metrics.txt.  Snapshots merge in trial
 // order, so the files are identical for serial and parallel runs.
+//
+// --status=PREFIX (implies --supervise) publishes a live crash-safe
+// tracemod-status-v1 snapshot to PREFIX.status as the sweep runs; poll it
+// with `tracemod status PREFIX.status [--follow]` (DESIGN.md section 14).
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -61,7 +65,9 @@
 
 #include "scenarios/campus.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "sim/status/status.hpp"
 #include "tracemod_cli.hpp"
+#include "version.hpp"
 
 using namespace tracemod;
 using namespace tracemod::scenarios;
@@ -79,7 +85,8 @@ int usage() {
       "             [--supervise] [--retries N] [--retry-perturb]\n"
       "             [--budget SECONDS] [--wall-budget SECONDS]\n"
       "             [--poison SCEN:BENCH:PHASE:TRIAL[:FAILS]]\n"
-      "             [--journal FILE | --resume FILE] [--json FILE]\n");
+      "             [--journal FILE | --resume FILE] [--json FILE]\n"
+      "             [--status=PREFIX]\n");
   return cli::kExitUsage;
 }
 
@@ -147,6 +154,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   std::string telemetry_prefix;
+  std::string status_prefix;
   std::string audit_path;
   std::string journal_path;
   std::string resume_path;
@@ -248,6 +256,14 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       telemetry_prefix = v;
       cfg.telemetry.enabled = true;
+    } else if (arg.rfind("--status=", 0) == 0) {
+      status_prefix = arg.substr(std::strlen("--status="));
+      if (status_prefix.empty()) {
+        std::fprintf(stderr, "--status needs a file prefix\n");
+        return usage();
+      }
+      // Per-trial progress accounting lives in the supervised path.
+      cfg.supervision.enabled = true;
     } else if (arg == "--scenarios") {
       const char* v = next_value("--scenarios");
       if (v == nullptr) return usage();
@@ -300,6 +316,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume is incompatible with --audit and "
                          "--telemetry (neither is journaled)\n");
     return usage();
+  }
+
+  sim::status::StatusBoard board;
+  if (!status_prefix.empty()) {
+    sim::status::StatusBoard::Config bcfg;
+    bcfg.path = status_prefix + ".status";
+    bcfg.driver = "sweep";
+    if (!board.configure(bcfg)) {
+      std::fprintf(stderr, "cannot write status file '%s'\n",
+                   bcfg.path.c_str());
+      return cli::kExitIo;
+    }
+    cfg.status = &board;
+    std::printf("status: -> %s (poll with `tracemod status %s`)\n",
+                bcfg.path.c_str(), bcfg.path.c_str());
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -430,6 +461,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
+        << "\"tool_version\": \"" << kToolVersion << "\",\n"
         << "\"reports\": [";
     bool first = true;
     for (const auto& per_scenario : result.audits) {
@@ -494,6 +526,9 @@ int main(int argc, char** argv) {
   // Degraded cells outrank an audit breach: exit 5 says "every cell ran,
   // but these trials carry error records" (the contract tracemod_cli.hpp
   // pins as kExitDegraded).
-  if (result.supervision.degraded()) return cli::kExitDegraded;
-  return audit_breach ? cli::kExitAudit : cli::kExitOk;
+  const int exit_code = result.supervision.degraded()
+                            ? cli::kExitDegraded
+                            : (audit_breach ? cli::kExitAudit : cli::kExitOk);
+  board.finish(exit_code);
+  return exit_code;
 }

@@ -88,10 +88,15 @@
 #include "scenarios/experiment.hpp"
 #include "sim/perf/perf.hpp"
 #include "sim/perf/report.hpp"
+#include "sim/status/status.hpp"
 #include "trace/fault_injector.hpp"
 #include "trace/stream_reader.hpp"
 #include "trace/synthetic_corpus.hpp"
 #include "trace/trace_io.hpp"
+#include "version.hpp"
+
+#include <chrono>
+#include <thread>
 
 namespace tracemod::cli {
 
@@ -132,10 +137,15 @@ int usage() {
       "                [--benchmark web|ftp-send|ftp-recv|andrew] [--seed N] "
       "[--seconds N]\n"
       "                [--hosts N] [--cell METERS] [--threads N] "
-      "[--stride N] [--top N]\n"
+      "[--stride N] [--top N] [--status PREFIX]\n"
+      "  tracemod status <file.status> [--json] [--follow] [--interval S]\n"
+      "  tracemod version\n"
+      "(campus and `distill --stream` also accept --status PREFIX: publish "
+      "live progress\n to PREFIX.status, readable by `tracemod status` "
+      "while the run executes)\n"
       "exit codes: 0 ok, 1 usage, 2 I/O or format error, "
       "3 damaged-but-salvageable trace, 4 fidelity breach, "
-      "5 degraded/incomplete run\n");
+      "5 degraded/incomplete run (6 is bench-only; see README)\n");
   return kExitUsage;
 }
 
@@ -218,6 +228,25 @@ bool checked_number(const char* cmd, const Parsed& p, const std::string& name,
   return true;
 }
 
+/// Arms `board` when --status PREFIX was given: snapshots go to
+/// PREFIX.status.  Returns false (after diagnosing) only when the flag was
+/// given but the status file is unwritable -- callers map that to usage,
+/// so a typo'd prefix fails loudly instead of running dark.
+bool arm_status_board(const char* cmd, const Parsed& p, const char* driver,
+                      sim::status::StatusBoard* board) {
+  std::string prefix;
+  if (!p.str("--status", &prefix)) return true;
+  sim::status::StatusBoard::Config cfg;
+  cfg.path = prefix + ".status";
+  cfg.driver = driver;
+  if (!board->configure(std::move(cfg))) {
+    std::fprintf(stderr, "tracemod %s: cannot write status file %s.status\n",
+                 cmd, prefix.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_collect(const std::vector<std::string>& args) {
   const Parsed p = parse("collect", args, {{"--seed", true}}, 2, 2);
   if (p.failed) return usage();
@@ -268,6 +297,9 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
   if (bad) return usage();
   p.str("--checkpoint", &scfg.checkpoint_path);
   scfg.resume = p.has("--resume");
+  sim::status::StatusBoard board;
+  if (!arm_status_board("distill", p, "distill", &board)) return usage();
+  if (board.enabled()) scfg.status = &board;
 
   core::StreamDistiller distiller(scfg);
   const core::StreamDistillResult res = distiller.distill_file(p.pos[0]);
@@ -299,6 +331,7 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
     const trace::TraceReadReport& r = res.read_report;
     f << "{\n"
       << "  \"schema\": \"tracemod-distill-v1\",\n"
+      << "  \"tool_version\": \"" << kToolVersion << "\",\n"
       << "  \"status\": \"" << status << "\",\n"
       << "  \"records_streamed\": " << res.stats.records_streamed << ",\n"
       << "  \"windows_total\": " << res.stats.windows_total << ",\n"
@@ -316,12 +349,14 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
+  int exit_code = kExitIo;
   switch (res.status) {
-    case core::DistillStatus::kOk: return kExitOk;
-    case core::DistillStatus::kSalvaged: return kExitSalvage;
-    case core::DistillStatus::kDegraded: return kExitDegraded;
+    case core::DistillStatus::kOk: exit_code = kExitOk; break;
+    case core::DistillStatus::kSalvaged: exit_code = kExitSalvage; break;
+    case core::DistillStatus::kDegraded: exit_code = kExitDegraded; break;
   }
-  return kExitIo;
+  board.finish(exit_code);
+  return exit_code;
 }
 
 int cmd_distill(const std::vector<std::string>& args) {
@@ -335,9 +370,16 @@ int cmd_distill(const std::vector<std::string>& args) {
                           {"--budget-mb", true},
                           {"--checkpoint", true},
                           {"--resume", false},
-                          {"--json", true}},
+                          {"--json", true},
+                          {"--status", true}},
                          2, 2);
   if (p.failed) return usage();
+  if (p.has("--status") && !p.has("--stream")) {
+    std::fprintf(stderr,
+                 "tracemod distill: --status requires --stream (the "
+                 "in-memory path is too short to watch)\n");
+    return usage();
+  }
   core::DistillConfig cfg;
   {
     double v = 0;
@@ -847,7 +889,8 @@ int cmd_campus(const std::vector<std::string>& args) {
                           {"--seconds", true},
                           {"--seed", true},
                           {"--wall-budget", true},
-                          {"--json", true}},
+                          {"--json", true},
+                          {"--status", true}},
                          0, 0);
   if (p.failed) return usage();
   double hosts = 1000, cell = 130.0, threads = 0, seconds = 30, seed = 42,
@@ -872,6 +915,9 @@ int cmd_campus(const std::vector<std::string>& args) {
   cfg.horizon = sim::from_seconds(seconds);
   cfg.seed = static_cast<std::uint64_t>(seed);
   cfg.watchdog.wall_budget_s = wall_budget;
+  sim::status::StatusBoard board;
+  if (!arm_status_board("campus", p, "campus", &board)) return usage();
+  if (board.enabled()) cfg.watchdog.status = &board;
 
   const scenarios::CampusResult r = scenarios::run_campus(cfg);
   std::printf(
@@ -900,6 +946,7 @@ int cmd_campus(const std::vector<std::string>& args) {
     }
     f << "{\n"
       << "  \"schema\": \"tracemod-campus-v1\",\n"
+      << "  \"tool_version\": \"" << kToolVersion << "\",\n"
       << "  \"hosts\": " << r.hosts << ",\n"
       << "  \"wavepoints\": " << r.wavepoints << ",\n"
       << "  \"cell_size_m\": " << cell << ",\n"
@@ -920,7 +967,9 @@ int cmd_campus(const std::vector<std::string>& args) {
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return r.ok ? kExitOk : kExitDegraded;
+  const int exit_code = r.ok ? kExitOk : kExitDegraded;
+  board.finish(exit_code);
+  return exit_code;
 }
 
 int cmd_perf(const std::vector<std::string>& args) {
@@ -935,7 +984,8 @@ int cmd_perf(const std::vector<std::string>& args) {
                           {"--cell", true},
                           {"--threads", true},
                           {"--stride", true},
-                          {"--top", true}},
+                          {"--top", true},
+                          {"--status", true}},
                          1, 1);
   if (p.failed) return usage();
   const std::string prefix = p.pos[0];
@@ -964,6 +1014,11 @@ int cmd_perf(const std::vector<std::string>& args) {
   pcfg.sampling_stride = static_cast<std::uint32_t>(stride);
   sim::perf::PerfProfiler profiler(pcfg);
 
+  sim::status::StatusBoard board;
+  if (!arm_status_board("perf", p, "perf", &board)) return usage();
+  scenarios::WatchdogConfig perf_watchdog;
+  if (board.enabled()) perf_watchdog.status = &board;
+
   std::string workload;
   std::string extra;
   double sim_s = 0.0;
@@ -979,6 +1034,7 @@ int cmd_perf(const std::vector<std::string>& args) {
     // `tracemod campus` produce the same digest out of the box (the
     // virtual-time-identity check in CI diffs exactly that).
     cfg.seed = p.has("--seed") ? static_cast<std::uint64_t>(seed) : 42;
+    cfg.watchdog = perf_watchdog;
     scenarios::CampusResult r;
     {
       sim::perf::PerfSession session(profiler);
@@ -1012,13 +1068,16 @@ int cmd_perf(const std::vector<std::string>& args) {
     scenarios::BenchmarkOutcome outcome;
     {
       sim::perf::PerfSession session(profiler);
+      board.set_phase("collect");
       const trace::CollectedTrace collected = scenarios::collect_raw_trace(
           *scenario, static_cast<std::uint64_t>(seed));
+      board.set_phase("distill");
       core::Distiller distiller(core::DistillConfig{});
       const core::ReplayTrace replay = distiller.distill(collected);
+      board.set_phase("modulated");
       outcome = scenarios::run_modulated_benchmark(
           replay, kind, static_cast<std::uint64_t>(seed),
-          sim::milliseconds(10), 0.0);
+          sim::milliseconds(10), 0.0, {}, sim::seconds(7200), perf_watchdog);
     }
     workload = "pipeline-" + name + "-" + scenarios::to_string(kind);
     sim_s = sim::to_seconds(scenario->collection_duration) +
@@ -1041,9 +1100,10 @@ int cmd_perf(const std::vector<std::string>& args) {
     scenarios::BenchmarkOutcome outcome;
     {
       sim::perf::PerfSession session(profiler);
+      board.set_phase("modulated");
       outcome = scenarios::run_modulated_benchmark(
           trace, kind, static_cast<std::uint64_t>(seed),
-          sim::milliseconds(10), 0.0);
+          sim::milliseconds(10), 0.0, {}, sim::seconds(7200), perf_watchdog);
     }
     workload = std::string("benchmark-") + scenarios::to_string(kind);
     sim_s = outcome.elapsed_s;
@@ -1053,6 +1113,7 @@ int cmd_perf(const std::vector<std::string>& args) {
                 outcome.elapsed_s);
   }
 
+  board.set_phase("export");
   const sim::perf::PerfSnapshot snap = sim::perf::capture_perf(profiler);
   const std::string json_path = prefix + ".perf.json";
   const std::string folded_path = prefix + ".folded.txt";
@@ -1088,7 +1149,107 @@ int cmd_perf(const std::vector<std::string>& args) {
   std::fputs(report.str().c_str(), stdout);
   std::printf("wrote %s, %s, and %s\n", json_path.c_str(),
               folded_path.c_str(), counters_path.c_str());
-  return ok ? kExitOk : kExitDegraded;
+  const int exit_code = ok ? kExitOk : kExitDegraded;
+  board.finish(exit_code);
+  return exit_code;
+}
+
+void print_status_human(const sim::status::StatusSnapshot& s) {
+  std::printf("%s", s.driver.c_str());
+  if (!s.phase.empty()) std::printf(" [%s]", s.phase.c_str());
+  if (s.units_total > 0.0) {
+    std::printf("  %.0f/%.0f %s (%.1f%%)", s.units_done, s.units_total,
+                s.units_label.c_str(),
+                100.0 * s.units_done / s.units_total);
+  } else if (s.units_done > 0.0) {
+    std::printf("  %.0f %s", s.units_done, s.units_label.c_str());
+  }
+  if (s.eta_seconds >= 0.0 && !s.finished) {
+    std::printf("  ETA %.1fs", s.eta_seconds);
+  }
+  std::printf("\n  wall %.1fs", s.wall_seconds);
+  if (s.sim_seconds > 0.0) {
+    std::printf("  sim %.1fs (%.1fx real time)", s.sim_seconds,
+                s.sim_per_wall);
+  }
+  if (s.events_dispatched > 0) {
+    std::printf("  events %llu",
+                static_cast<unsigned long long>(s.events_dispatched));
+  }
+  std::printf("\n");
+  if (s.retries > 0 || s.errors > 0) {
+    std::printf("  retries %llu  errors %llu\n",
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.errors));
+  }
+  if (s.records_streamed > 0 || s.windows_distilled > 0 ||
+      s.windows_shed > 0) {
+    std::printf("  records %llu  windows %llu distilled, %llu shed\n",
+                static_cast<unsigned long long>(s.records_streamed),
+                static_cast<unsigned long long>(s.windows_distilled),
+                static_cast<unsigned long long>(s.windows_shed));
+  }
+  std::printf("  seq %llu  pid %llu  tool %s\n",
+              static_cast<unsigned long long>(s.seq),
+              static_cast<unsigned long long>(s.pid),
+              s.tool_version.c_str());
+  if (s.finished) std::printf("  finished: exit %d\n", s.exit_code);
+}
+
+int cmd_status(const std::vector<std::string>& args) {
+  const Parsed p = parse(
+      "status", args,
+      {{"--json", false}, {"--follow", false}, {"--interval", true}}, 1, 1);
+  if (p.failed) return usage();
+  double interval = 0.5;
+  bool bad = false;
+  checked_number("status", p, "--interval", &interval, &bad);
+  if (bad || interval <= 0) return usage();
+  const bool as_json = p.has("--json");
+  const bool follow = p.has("--follow");
+
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    const sim::status::StatusReadResult r =
+        sim::status::read_status_file(p.pos[0]);
+    if (r.status == sim::status::StatusReadStatus::kOk) {
+      if (r.snapshot.seq != last_seq) {
+        last_seq = r.snapshot.seq;
+        if (as_json) {
+          write_status_json(std::cout, r.snapshot);
+          std::cout.flush();
+        } else {
+          print_status_human(r.snapshot);
+          std::fflush(stdout);
+        }
+      }
+      if (!follow || r.snapshot.finished) return kExitOk;
+    } else if (r.status == sim::status::StatusReadStatus::kCorrupt) {
+      // Publishes are atomic renames, so damage is never a benign race:
+      // report it even in follow mode.
+      std::fprintf(stderr, "tracemod status: %s\n", r.message.c_str());
+      return kExitIo;
+    } else if (!follow) {
+      std::fprintf(stderr, "tracemod status: %s\n", r.message.c_str());
+      return kExitIo;
+    }
+    // kMissing under --follow waits for the run to publish its first
+    // snapshot; so does an unchanged seq.
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}
+
+int cmd_version(const std::vector<std::string>& args) {
+  const Parsed p = parse("version", args, {}, 0, 0);
+  if (p.failed) return usage();
+  std::printf("tracemod %s (%s build)\n", kToolVersion, build_type());
+  std::printf(
+      "binary formats: trace v2 (TMTR), sweep journal TMSJ v1, "
+      "distill checkpoint TMDJ v1, status snapshot TMST v1\n");
+  std::printf("json schemas:");
+  for (const char* kind : kJsonSchemaKinds) std::printf(" %s", kind);
+  std::printf("\n");
+  return kExitOk;
 }
 
 }  // namespace
@@ -1109,6 +1270,8 @@ int run(const std::vector<std::string>& args) {
     if (cmd == "report") return cmd_report(rest);
     if (cmd == "campus") return cmd_campus(rest);
     if (cmd == "perf") return cmd_perf(rest);
+    if (cmd == "status") return cmd_status(rest);
+    if (cmd == "version" || cmd == "--version") return cmd_version(rest);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitIo;

@@ -12,7 +12,11 @@
 //     degraded cells (tools/sweep.cpp: every cell ran, but at least one
 //     trial exhausted its retries and carries a TrialError record) and by
 //     `campus` runs that did not reach their virtual horizon (watchdog or
-//     drained queue).
+//     drained queue);
+//   - exit code 6 is reserved by the benchmark build guard
+//     (bench/build_guard.hpp: refused to benchmark a non-Release build)
+//     and is never returned by tracemod itself.
+// README.md carries the full 0-6 table.
 #pragma once
 
 #include <string>
@@ -26,6 +30,9 @@ inline constexpr int kExitIo = 2;
 inline constexpr int kExitSalvage = 3;
 inline constexpr int kExitAudit = 4;
 inline constexpr int kExitDegraded = 5;
+/// Bench-only (bench/build_guard.hpp defines the authoritative constant);
+/// mirrored here so the CLI test can pin the whole 0-6 contract disjoint.
+inline constexpr int kExitNonReleaseBuild = 6;
 
 /// Runs one tracemod invocation.  `args` excludes argv[0]; the first
 /// element is the subcommand.  Never throws: failures map to the exit
