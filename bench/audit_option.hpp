@@ -15,11 +15,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "audit/auditor.hpp"
 #include "scenarios/experiment.hpp"
+#include "sim/io/durable.hpp"
 #include "version.hpp"
 
 namespace tracemod::bench {
@@ -74,12 +76,7 @@ class AuditOption {
     std::printf("audit: %zu pass, %zu breach, %zu unauditable\n", pass,
                 breach, unauditable);
 
-    std::ofstream out(path_);
-    if (!out) {
-      std::fprintf(stderr, "cannot write fidelity trajectory '%s'\n",
-                   path_.c_str());
-      return 1;
-    }
+    std::ostringstream out;
     out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
         << "\"tool_version\": \"" << kToolVersion << "\",\n"
         << "\"reports\": [";
@@ -88,6 +85,7 @@ class AuditOption {
       audit::write_fidelity_json(out, reports_[i]);
     }
     out << "\n]\n}\n";
+    if (!sim::io::write_artifact_or_complain(path_, out.str())) return 1;
     std::printf("fidelity trajectory: %zu report(s) -> %s\n",
                 reports_.size(), path_.c_str());
     return breach > 0 ? 4 : 0;

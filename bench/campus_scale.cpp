@@ -10,11 +10,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "report.hpp"
 #include "scenarios/campus.hpp"
+#include "sim/io/durable.hpp"
 #include "version.hpp"
 
 #include "build_guard.hpp"
@@ -60,9 +62,9 @@ double scaling_exponent(const std::vector<Point>& pts) {
   return (n * sxy - sx * sy) / (n * sxx - sx * sx);
 }
 
-void write_json(const std::string& path, const std::vector<Point>& pts,
+bool write_json(const std::string& path, const std::vector<Point>& pts,
                 double seconds, unsigned threads) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"schema\": \"tracemod-campus-bench-v1\",\n"
       << "  \"tool_version\": \"" << kToolVersion << "\",\n"
@@ -83,6 +85,7 @@ void write_json(const std::string& path, const std::vector<Point>& pts,
         << (i + 1 < pts.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  return sim::io::write_artifact_or_complain(path, out.str());
 }
 
 }  // namespace
@@ -142,7 +145,7 @@ int main(int argc, char** argv) {
   const double expo = scaling_exponent(pts);
   bench::rowf("scaling exponent (log wall / log hosts): %.2f  [%s]", expo,
               expo < 1.8 ? "sub-quadratic" : "QUADRATIC-ISH");
-  write_json(out_path, pts, seconds, threads);
+  if (!write_json(out_path, pts, seconds, threads)) return 2;
   bench::rowf("wrote %s", out_path.c_str());
   return all_ok ? 0 : 1;
 }

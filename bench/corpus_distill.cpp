@@ -16,10 +16,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/stream_distiller.hpp"
 #include "report.hpp"
+#include "sim/io/durable.hpp"
 #include "trace/synthetic_corpus.hpp"
 #include "version.hpp"
 
@@ -135,7 +137,7 @@ int main(int argc, char** argv) {
   bench::rowf("peak RSS %.1f MB vs %.0f MB cap (corpus %.1f MB): %s", rss_mb,
               rss_cap_mb, corpus_mb, flat_rss ? "flat" : "BLOWN");
 
-  std::ofstream out(out_path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"schema\": \"tracemod-corpus-bench-v1\",\n"
       << "  \"tool_version\": \"" << kToolVersion << "\",\n"
@@ -158,7 +160,10 @@ int main(int argc, char** argv) {
       << "  \"tuples\": " << res.replay.size() << ",\n"
       << "  \"status\": \"" << status_name(res.status) << "\"\n"
       << "}\n";
-  out.close();
+  if (!sim::io::write_artifact_or_complain(out_path, out.str())) {
+    if (!keep) std::filesystem::remove(corpus_path);
+    return 2;
+  }
   bench::rowf("wrote %s", out_path.c_str());
 
   if (!keep) std::filesystem::remove(corpus_path);

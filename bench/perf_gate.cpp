@@ -40,6 +40,7 @@
 #include "scenarios/campus.hpp"
 #include "scenarios/experiment.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/io/durable.hpp"
 #include "sim/perf/perf.hpp"
 #include "sim/perf/report.hpp"
 #include "trace/ping.hpp"
@@ -322,8 +323,9 @@ int main(int argc, char** argv) {
   }
 
   if (!out_path.empty()) {
-    std::ofstream f(out_path);
+    std::ostringstream f;
     write_gate_json(f, results, repeat);
+    if (!sim::io::write_artifact_or_complain(out_path, f.str())) return 2;
     bench::rowf("wrote %s", out_path.c_str());
   }
 
@@ -333,12 +335,11 @@ int main(int argc, char** argv) {
                    "perf_gate: refusing --update from a non-Release build\n");
       return 1;
     }
-    std::ofstream f(baseline_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", baseline_path.c_str());
+    std::ostringstream f;
+    write_gate_json(f, results, repeat);
+    if (!sim::io::write_artifact_or_complain(baseline_path, f.str())) {
       return 1;
     }
-    write_gate_json(f, results, repeat);
     bench::rowf("baseline updated: %s", baseline_path.c_str());
     return 0;
   }

@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenarios/experiment.hpp"
+#include "sim/io/durable.hpp"
 
 namespace tracemod::bench {
 
@@ -49,15 +51,14 @@ class TelemetryOption {
     if (!enabled()) return 0;
     const std::string json_path = prefix_ + ".perfetto.json";
     const std::string metrics_path = prefix_ + ".metrics.txt";
-    std::ofstream json(json_path);
-    std::ofstream metrics(metrics_path);
-    if (!json || !metrics) {
-      std::fprintf(stderr, "cannot write telemetry files at prefix '%s'\n",
-                   prefix_.c_str());
-      return 1;
-    }
+    std::ostringstream json;
+    std::ostringstream metrics;
     sim::write_chrome_trace(json, snaps_);
     sim::write_metrics_text(metrics, snaps_);
+    if (!sim::io::write_artifact_or_complain(json_path, json.str()) ||
+        !sim::io::write_artifact_or_complain(metrics_path, metrics.str())) {
+      return 1;
+    }
     std::printf("\ntelemetry: %zu snapshot(s) -> %s (load in "
                 "ui.perfetto.dev) and %s\n",
                 snaps_.size(), json_path.c_str(), metrics_path.c_str());

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sim/assert.hpp"
+#include "sim/io/durable.hpp"
 
 namespace tracemod::core {
 
@@ -119,9 +120,18 @@ ReplayTrace ReplayTrace::parse(std::istream& in) {
 }
 
 void ReplayTrace::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Atomic replace: a distilled replay trace is a final artifact; a crash
+  // mid-save must not leave a half-serialized file at the target path.
+  std::ostringstream out;
   serialize(out);
+  const sim::io::IoResult r = sim::io::write_file_atomic(path, out.str());
+  if (!r.ok) {
+    if (r.error.op == sim::io::IoOp::kOpen) {
+      throw std::runtime_error("cannot open for writing: " + path);
+    }
+    throw std::runtime_error("write failed: " + path + " (" +
+                             r.error.describe() + ")");
+  }
 }
 
 ReplayTrace ReplayTrace::load(const std::string& path) {

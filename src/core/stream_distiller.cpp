@@ -1,5 +1,7 @@
 #include "core/stream_distiller.hpp"
 
+#include "sim/io/durable.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -495,40 +497,58 @@ bool decode_window(const std::string& payload, std::uint64_t* index,
   return true;
 }
 
-/// Append-side journal handle.  I/O failure degrades to not-journaling
+/// Append-side journal handle over the durable write plane
+/// (sim/io/durable.hpp).  I/O failure degrades to not-journaling
 /// (checkpointing is an optimization; the distillation must not die for
-/// it).
+/// it), truncating back so a failed append never masquerades as a
+/// committed frame, and the degradation is reported so drivers can flag
+/// the run non-resumable.
 class JournalWriter {
  public:
-  void open(const std::string& path, std::uint32_t fingerprint) {
-    out_.open(path, std::ios::binary | std::ios::trunc);
-    if (!out_) return;
+  void open(const std::string& path, std::uint32_t fingerprint,
+            sim::io::FaultPlan* plan) {
     std::string head;
     head.append(kJournalMagic, sizeof(kJournalMagic));
     put<std::uint16_t>(head, kJournalVersion);
     put<std::uint32_t>(head, fingerprint);
-    out_.write(head.data(), static_cast<std::streamsize>(head.size()));
-    out_.flush();
-    open_ = static_cast<bool>(out_);
+    // Window frames land at task-pool cadence; periodic fdatasync bounds
+    // the resumable-progress loss without a sync per window.
+    sim::io::AppendJournalWriter::Options options;
+    options.plan = plan;
+    const sim::io::IoResult r = writer_.open_fresh(path, head, options);
+    if (!r.ok) note_degraded();
   }
 
   void append(std::uint8_t type, const std::string& payload) {
-    if (!open_) return;
     std::lock_guard<std::mutex> lock(mu_);
+    if (!writer_.is_open()) return;
     std::string frame;
     put<std::uint8_t>(frame, type);
     put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
     put<std::uint32_t>(frame, frame_checksum(type, payload));
-    out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-    out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out_.flush();
-    if (!out_) open_ = false;
+    frame += payload;
+    const sim::io::IoResult r = writer_.append(frame);
+    if (!r.ok) note_degraded();
   }
 
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writer_.is_open()) return;
+    const sim::io::IoResult r = writer_.close();
+    if (!r.ok) note_degraded();
+  }
+
+  /// True once any checkpoint write failed; the run is complete but not
+  /// resumable past the journal's intact prefix.
+  bool degraded() const { return writer_.degraded(); }
+
  private:
-  std::ofstream out_;
+  void note_degraded() {
+    sim::io::note_degraded_plane("distill-checkpoint", writer_.last_error());
+  }
+
+  sim::io::AppendJournalWriter writer_;
   std::mutex mu_;
-  bool open_ = false;
 };
 
 /// Tolerant journal read: header + fingerprint gate, then every frame that
@@ -694,7 +714,8 @@ StreamDistillResult StreamDistiller::distill_file(const std::string& path) {
   // as they finish.  A kill at any point leaves a valid prefix.
   JournalWriter journal;
   if (journaling) {
-    journal.open(cfg_.checkpoint_path, fingerprint);
+    journal.open(cfg_.checkpoint_path, fingerprint,
+                 cfg_.checkpoint_fault_plan);
     journal.append(kFramePlan, encode_plan(plan));
   }
 
@@ -834,7 +855,9 @@ StreamDistillResult StreamDistiller::distill_file(const std::string& path) {
   }
 
   // Accounting and status.
+  if (journaling) journal.close();
   StreamDistillStats& st = result.stats;
+  st.checkpoint_degraded = journaling && journal.degraded();
   st.windows_total = n_windows;
   st.records_streamed = plan.records_streamed;
   st.steps = plan.loss_b.size();
@@ -861,6 +884,7 @@ StreamDistillResult StreamDistiller::distill_file(const std::string& path) {
     m.counter(sim::metric::kDistillWindowsShed) += st.windows_shed;
     m.counter(sim::metric::kDistillWindowsResumed) += st.windows_resumed;
     m.counter(sim::metric::kDistillRecordsStreamed) += st.records_streamed;
+    sim::io::export_io_metrics(m);
   }
   return result;
 }

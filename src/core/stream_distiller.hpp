@@ -59,6 +59,9 @@ namespace tracemod::sim {
 class MetricsRegistry;
 class TaskPool;
 }
+namespace tracemod::sim::io {
+class FaultPlan;
+}
 
 namespace tracemod::core {
 
@@ -84,6 +87,11 @@ struct StreamDistillConfig {
   std::string checkpoint_path;
   /// Reuse a valid journal left by a killed run (fingerprint-checked).
   bool resume = false;
+  /// Fault plan for the checkpoint journal's syscalls; nullptr consults
+  /// the ambient TRACEMOD_IO_FAULTS plan (tests inject locally, CI chaos
+  /// drills via environment).  Faults here can only degrade resumability,
+  /// never the distilled output.
+  sim::io::FaultPlan* checkpoint_fault_plan = nullptr;
   /// Optional distill.* counters (sim/metric_names.hpp).
   sim::MetricsRegistry* metrics = nullptr;
   /// Live status board (sim/status/status.hpp): pass 1 publishes records
@@ -118,6 +126,12 @@ struct StreamDistillStats {
   std::uint64_t records_streamed = 0;
   std::uint64_t retained_bytes = 0;  ///< echo projections kept (<= budget)
   std::uint64_t steps = 0;           ///< output step count
+
+  /// The checkpoint journal stopped mid-run after a write failure (ENOSPC,
+  /// EIO, ...): the distillation result is complete and correct, but a
+  /// killed re-run could not resume past the journal's intact prefix.
+  /// Drivers surface this as exit-code 5 (degraded).
+  bool checkpoint_degraded = false;
 };
 
 struct StreamDistillResult {

@@ -50,6 +50,9 @@ void export_supervision_metrics(const SupervisionReport& report,
   metrics.counter(sim::metric::kSweepTrialsRetried) += report.trials_retried;
   metrics.counter(sim::metric::kSweepTrialsTimedOut) +=
       report.trials_timed_out;
+  // Ride-along: the write plane's process-global health (io.write_errors,
+  // io.degraded_planes, ...) lands on the same registry.
+  sim::io::export_io_metrics(metrics);
 }
 
 // --- guard ------------------------------------------------------------------
@@ -612,37 +615,45 @@ JournalReadResult read_sweep_journal(const std::string& path,
 }
 
 bool SweepJournalWriter::open(const std::string& path,
-                              std::uint32_t fingerprint, bool fresh) {
-  path_ = path;
-  open_ = false;
+                              std::uint32_t fingerprint, bool fresh,
+                              sim::io::FaultPlan* plan) {
+  // Cells complete at minutes-apart cadence, so every frame is synced
+  // (sync_every_frames = 1): a resumed sweep trusts everything the writer
+  // acknowledged, even across power loss.
+  sim::io::AppendJournalWriter::Options options;
+  options.sync_every_frames = 1;
+  options.plan = plan;
+  sim::io::IoResult r = sim::io::IoResult::success();
   if (fresh) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
     std::string header(kJournalMagic, sizeof(kJournalMagic));
     put_u16(header, kJournalVersion);
     put_u32(header, fingerprint);
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    out.flush();
-    if (!out) return false;
+    r = writer_.open_fresh(path, header, options);
   } else {
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    if (!out) return false;
+    r = writer_.open_existing(path, options);
   }
-  open_ = true;
-  return true;
+  return r.ok;
+}
+
+std::string SweepJournalWriter::degraded_reason() const {
+  if (!writer_.degraded()) return {};
+  return writer_.last_error().describe();
 }
 
 void SweepJournalWriter::append(const JournalCellRecord& record) {
-  if (!open_) return;
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) {
-    open_ = false;  // journaling degrades, never aborts the sweep
-    return;
-  }
+  if (!writer_.is_open()) return;
   const std::string frame = frame_record(record);
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out) open_ = false;
+  // A failed append is truncated back to the previous frame boundary and
+  // the writer degrades: journaling stops, the sweep keeps computing, and
+  // no partially-written record can masquerade as a committed cell.
+  const sim::io::IoResult r = writer_.append(frame);
+  if (!r.ok) {
+    sim::io::note_degraded_plane("sweep-journal", writer_.last_error());
+  }
+}
+
+void SweepJournalWriter::close() {
+  if (writer_.is_open()) (void)writer_.close();
 }
 
 // --- supervised sweep driver ------------------------------------------------

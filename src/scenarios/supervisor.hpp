@@ -28,6 +28,7 @@
 #include "core/model.hpp"
 #include "scenarios/benchmarks.hpp"
 #include "scenarios/scenario.hpp"
+#include "sim/io/durable.hpp"
 #include "sim/time.hpp"
 
 namespace tracemod::sim {
@@ -266,24 +267,40 @@ struct JournalReadResult {
 JournalReadResult read_sweep_journal(const std::string& path,
                                      std::uint32_t fingerprint);
 
-/// Appends CRC-framed records; each append is flushed so a killed sweep
-/// loses at most the record being written (which the reader then drops as
-/// a partial tail).
+/// Appends CRC-framed records through the durable write plane
+/// (sim/io/durable.hpp); each append is synced so a killed sweep loses at
+/// most the record being written (which the reader then drops as a
+/// partial tail), and a failed append is truncated back so it is never
+/// visible as a committed frame.
 class SweepJournalWriter {
  public:
   SweepJournalWriter() = default;
 
   /// Opens the journal.  fresh=true truncates and writes a new header;
   /// fresh=false appends to an existing clean journal.  Returns false on
-  /// I/O failure (journaling is then disabled, never fatal).
-  bool open(const std::string& path, std::uint32_t fingerprint, bool fresh);
+  /// I/O failure (journaling is then disabled, never fatal).  plan ==
+  /// nullptr consults the ambient fault plan (tests inject locally, CI
+  /// chaos drills inject via TRACEMOD_IO_FAULTS).
+  bool open(const std::string& path, std::uint32_t fingerprint, bool fresh,
+            sim::io::FaultPlan* plan = nullptr);
 
-  bool is_open() const { return open_; }
+  bool is_open() const { return writer_.is_open(); }
+
+  /// True once any journal write failed: the sweep keeps computing but is
+  /// no longer resumable, so drivers must report degradation (exit 5).
+  bool degraded() const { return writer_.degraded(); }
+
+  /// Human-readable cause of the degradation (empty when not degraded).
+  std::string degraded_reason() const;
+
   void append(const JournalCellRecord& record);
 
+  /// Final sync + close (safe to skip; the destructor closes without the
+  /// final sync).
+  void close();
+
  private:
-  std::string path_;
-  bool open_ = false;
+  sim::io::AppendJournalWriter writer_;
 };
 
 /// Encodes/decodes one record's frame payload (exposed for tests and for

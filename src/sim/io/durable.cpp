@@ -1,0 +1,263 @@
+#include "sim/io/durable.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace tracemod::sim::io {
+
+namespace {
+
+std::uint64_t current_pid() {
+#ifdef _WIN32
+  return static_cast<std::uint64_t>(_getpid());
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+// "Alive" errs on the side of keeping files: only a definitive ESRCH
+// makes a tmp reclaimable, so a sweeper racing a live writer (or lacking
+// permission to signal it) leaves the tmp alone.
+bool pid_alive(std::uint64_t pid) {
+#ifdef _WIN32
+  (void)pid;
+  return true;
+#else
+  if (pid == 0 || pid > static_cast<std::uint64_t>(
+                            std::numeric_limits<pid_t>::max())) {
+    return true;
+  }
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+#endif
+}
+
+bool parse_tmp_pid(const std::string& name, const std::string& prefix,
+                   std::uint64_t* pid) {
+  // name == prefix + "<pid>.<seq>", both fields non-empty digit runs.
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  std::size_t i = prefix.size();
+  std::size_t digits = 0;
+  for (; i < name.size() && name[i] >= '0' && name[i] <= '9'; ++i, ++digits) {
+    value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  if (digits == 0 || i >= name.size() || name[i] != '.') return false;
+  for (++i, digits = 0; i < name.size(); ++i, ++digits) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  if (digits == 0) return false;
+  *pid = value;
+  return true;
+}
+
+std::string unique_tmp_path(const std::string& target) {
+  static std::atomic<std::uint64_t> seq{0};
+  return target + ".tmp." + std::to_string(current_pid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+// --- AtomicFileWriter -------------------------------------------------------
+
+AtomicFileWriter::AtomicFileWriter(std::string path, FaultPlan* plan)
+    : path_(std::move(path)), plan_(resolve_plan(plan)) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (open_ && !committed_) abort();
+}
+
+IoResult AtomicFileWriter::open() {
+  sweep_stale_tmp(path_);
+  tmp_path_ = unique_tmp_path(path_);
+  IoResult r = sink_.open(tmp_path_, FileSink::Mode::kTruncate, plan_);
+  open_ = r.ok;
+  return r;
+}
+
+IoResult AtomicFileWriter::write(const void* data, std::size_t size) {
+  if (!open_) {
+    return IoResult::failure(IoOp::kWrite, EBADF, tmp_path_,
+                             "writer is not open");
+  }
+  return sink_.write(data, size);
+}
+
+IoResult AtomicFileWriter::commit() {
+  if (!open_) {
+    return IoResult::failure(IoOp::kRename, EBADF, tmp_path_,
+                             "writer is not open");
+  }
+  // Renaming bytes that never reached stable storage would publish an
+  // artifact power loss can still un-write, so a failed sync drops the
+  // snapshot and leaves the previous artifact in place.
+  IoResult r = sink_.datasync();
+  if (r.ok) r = sink_.close();
+  if (r.ok) r = rename_path(tmp_path_, path_, plan_);
+  if (r.ok) r = sync_parent_dir(path_, plan_);
+  if (!r.ok) {
+    abort();
+    return r;
+  }
+  open_ = false;
+  committed_ = true;
+  return r;
+}
+
+void AtomicFileWriter::abort() {
+  if (!open_) return;
+  open_ = false;
+  if (sink_.is_open()) (void)sink_.close();
+  // A crashed plan means the process "died" here: the tmp stays on disk
+  // as real SIGKILL wreckage and a later writer's sweep reclaims it.
+  if (plan_ != nullptr && plan_->crashed()) return;
+  (void)remove_path(tmp_path_, plan_);
+}
+
+std::size_t AtomicFileWriter::sweep_stale_tmp(const std::string& target_path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(target_path);
+  fs::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = target.filename().string() + ".tmp.";
+  const std::uint64_t self = current_pid();
+  std::size_t removed = 0;
+
+  // The fixed name the pre-PR-10 status writer used; no owner encoded, so
+  // any leftover is stale by definition once a new writer runs.
+  const fs::path legacy = fs::path(target_path + ".tmp");
+  if (fs::remove(legacy, ec)) ++removed;
+
+  fs::directory_iterator it(dir, fs::directory_options::skip_permission_denied,
+                            ec);
+  if (ec) return removed;
+  for (const fs::directory_entry& entry : it) {
+    std::uint64_t pid = 0;
+    if (!parse_tmp_pid(entry.path().filename().string(), prefix, &pid)) {
+      continue;
+    }
+    if (pid == self || pid_alive(pid)) continue;
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
+IoResult write_file_atomic(const std::string& path, std::string_view content,
+                           FaultPlan* plan) {
+  AtomicFileWriter writer(path, plan);
+  IoResult r = writer.open();
+  if (r.ok) r = writer.write(content);
+  if (r.ok) return writer.commit();
+  writer.abort();
+  return r;
+}
+
+bool write_artifact_or_complain(const std::string& path,
+                                std::string_view content, FaultPlan* plan) {
+  const IoResult r = write_file_atomic(path, content, plan);
+  if (!r.ok) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 r.error.describe().c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- AppendJournalWriter ----------------------------------------------------
+
+IoResult AppendJournalWriter::open_fresh(const std::string& path,
+                                         std::string_view header,
+                                         Options options) {
+  options_ = options;
+  options_.plan = resolve_plan(options.plan);
+  IoResult r = sink_.open(path, FileSink::Mode::kTruncate, options_.plan);
+  if (r.ok && !header.empty()) r = sink_.write(header);
+  if (r.ok) r = sink_.datasync();
+  if (!r.ok) return degrade(r);
+  open_ = true;
+  committed_ = header.size();
+  appends_since_sync_ = 0;
+  return r;
+}
+
+IoResult AppendJournalWriter::open_existing(const std::string& path,
+                                            Options options) {
+  options_ = options;
+  options_.plan = resolve_plan(options.plan);
+  IoResult r = sink_.open(path, FileSink::Mode::kAppend, options_.plan);
+  if (!r.ok) return degrade(r);
+  open_ = true;
+  committed_ = sink_.offset();
+  appends_since_sync_ = 0;
+  return r;
+}
+
+IoResult AppendJournalWriter::append(std::string_view frame) {
+  if (!open_) {
+    return IoResult::failure(IoOp::kWrite, EBADF, sink_.path(),
+                             degraded_ ? "journal plane is degraded"
+                                       : "journal is not open");
+  }
+  IoResult r = sink_.write(frame);
+  if (!r.ok) return degrade(r);
+  committed_ += frame.size();
+  if (options_.sync_every_frames != 0 &&
+      ++appends_since_sync_ >= options_.sync_every_frames) {
+    appends_since_sync_ = 0;
+    r = sink_.datasync();
+    if (!r.ok) return degrade(r);
+  }
+  return r;
+}
+
+IoResult AppendJournalWriter::sync() {
+  if (!open_) {
+    return IoResult::failure(IoOp::kFsync, EBADF, sink_.path(),
+                             "journal is not open");
+  }
+  appends_since_sync_ = 0;
+  IoResult r = sink_.datasync();
+  if (!r.ok) return degrade(r);
+  return r;
+}
+
+IoResult AppendJournalWriter::close() {
+  if (!open_) return IoResult::success();
+  IoResult r = sink_.datasync();
+  if (r.ok) r = sink_.close();
+  if (!r.ok) return degrade(r);
+  open_ = false;
+  return r;
+}
+
+IoResult AppendJournalWriter::degrade(IoResult r) {
+  last_error_ = r.error;
+  degraded_ = true;
+  open_ = false;
+  if (sink_.is_open()) {
+    // committed_ was advanced only for fully-landed frames, so truncating
+    // back drops at most a torn tail, never an acknowledged frame.
+    (void)sink_.truncate_to(committed_);
+    (void)sink_.close();
+  }
+  return r;
+}
+
+}  // namespace tracemod::sim::io

@@ -1,0 +1,144 @@
+// The two durability contracts of the write plane (DESIGN.md section 15),
+// built on FileSink:
+//
+//   Atomic replace (AtomicFileWriter) -- for artifacts whose readers need
+//   a complete file or nothing: TMST status snapshots, final JSON
+//   reports, distilled replay traces, collected trace files.  The
+//   sequence is write tmp -> fdatasync(tmp) -> rename(tmp, target) ->
+//   fsync(parent dir).  A crash at any syscall leaves either the previous
+//   complete artifact or the new complete artifact at the target path,
+//   never a mix, and the rename is refused after a failed fsync (renaming
+//   un-synced bytes would publish data that power loss can still
+//   un-write).  Tmp names are pid/seq-unique so concurrent runs
+//   publishing to one PREFIX never collide, and stale tmps from killed
+//   writers are swept on open (dead-pid check).
+//
+//   Append journal (AppendJournalWriter) -- for artifacts whose readers
+//   tolerate a torn tail: TMSJ sweep journals, TMDJ distillation
+//   checkpoints.  Frames append with periodic fdatasync; a failed or
+//   short append is truncated back to the last committed frame boundary
+//   (best-effort), so a failed append is never visible as a committed
+//   frame, and the writer degrades to closed instead of lying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/io/file_sink.hpp"
+
+namespace tracemod::sim::io {
+
+/// Write-tmp-then-rename writer with full durability barriers.
+class AtomicFileWriter {
+ public:
+  /// plan == nullptr consults the ambient plan (fault_plan.hpp).
+  explicit AtomicFileWriter(std::string path, FaultPlan* plan = nullptr);
+  ~AtomicFileWriter();  ///< aborts (unlinks the tmp) if never committed
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Sweeps stale tmps for the target, then opens a fresh pid/seq-unique
+  /// tmp file next to it.
+  IoResult open();
+
+  IoResult write(const void* data, std::size_t size);
+  IoResult write(std::string_view s) { return write(s.data(), s.size()); }
+
+  /// fdatasync(tmp) -> close -> rename over the target -> fsync(dir).
+  /// On any failure the tmp is unlinked (best-effort) and the target is
+  /// untouched.
+  IoResult commit();
+
+  /// Unlinks the tmp; the target is untouched.  Idempotent.
+  void abort();
+
+  const std::string& target_path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+  /// Removes `<target>.tmp.<pid>.<seq>` leftovers whose pid is no longer
+  /// alive (and the fixed-name `<target>.tmp` a pre-PR-10 writer used).
+  /// Returns how many files were removed.
+  static std::size_t sweep_stale_tmp(const std::string& target_path);
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  FaultPlan* plan_;
+  FileSink sink_;
+  bool open_ = false;
+  bool committed_ = false;
+};
+
+/// Convenience: atomically replace `path` with `content`.
+IoResult write_file_atomic(const std::string& path, std::string_view content,
+                           FaultPlan* plan = nullptr);
+
+/// Driver convenience for final artifacts (the fail-loudly plane): atomic
+/// replace; on failure prints the durable-plane diagnosis to stderr and
+/// returns false so the caller can exit with the I/O failure code.
+bool write_artifact_or_complain(const std::string& path,
+                                std::string_view content,
+                                FaultPlan* plan = nullptr);
+
+/// Framed append journal with tail-safe failure handling.
+class AppendJournalWriter {
+ public:
+  struct Options {
+    /// fdatasync after every Nth append (0 = never; close always syncs).
+    std::uint32_t sync_every_frames = 16;
+    FaultPlan* plan = nullptr;  ///< nullptr consults the ambient plan
+  };
+
+  AppendJournalWriter() = default;
+
+  /// Truncates and writes `header`, which is synced before success so a
+  /// resume never sees a header-less journal claiming frames.
+  IoResult open_fresh(const std::string& path, std::string_view header,
+                      Options options);
+  IoResult open_fresh(const std::string& path, std::string_view header) {
+    return open_fresh(path, header, Options());
+  }
+
+  /// Opens an existing journal positioned at its end (resume-append).
+  IoResult open_existing(const std::string& path, Options options);
+  IoResult open_existing(const std::string& path) {
+    return open_existing(path, Options());
+  }
+
+  bool is_open() const { return open_; }
+
+  /// True once any operation failed; the writer is closed and every
+  /// further append is a cheap no-op failure (the producing run keeps
+  /// computing -- journaling degrades, never aborts).
+  bool degraded() const { return degraded_; }
+  const IoError& last_error() const { return last_error_; }
+
+  /// Appends one complete frame.  On failure, truncates back to the last
+  /// committed frame boundary (best-effort) and degrades.
+  IoResult append(std::string_view frame);
+
+  /// Explicit fdatasync (phase boundaries).
+  IoResult sync();
+
+  /// Final sync + close.
+  IoResult close();
+
+  /// Bytes known to form complete frames on disk.
+  std::uint64_t committed_bytes() const { return committed_; }
+
+ private:
+  IoResult degrade(IoResult r);
+
+  FileSink sink_;
+  Options options_;
+  bool open_ = false;
+  bool degraded_ = false;
+  IoError last_error_;
+  std::uint64_t committed_ = 0;
+  std::uint32_t appends_since_sync_ = 0;
+};
+
+}  // namespace tracemod::sim::io

@@ -1,0 +1,260 @@
+#include "sim/io/fault_plan.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace tracemod::sim::io {
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen: return "open";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kRename: return "rename";
+    case IoOp::kTruncate: return "truncate";
+    case IoOp::kClose: return "close";
+    case IoOp::kUnlink: return "unlink";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kEnospc: return "enospc";
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kFsyncFail: return "fsync-fail";
+    case FaultKind::kRenameFail: return "rename-fail";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+// --- spec parsing -----------------------------------------------------------
+
+namespace {
+
+bool parse_u64(const std::string& v, std::uint64_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  *out = static_cast<std::uint64_t>(n);
+  return true;
+}
+
+bool parse_chance(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double d = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  if (!(d >= 0.0 && d <= 1.0)) return false;
+  *out = d;
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlanConfig> FaultPlanConfig::parse(const std::string& spec,
+                                                     std::string* error) {
+  FaultPlanConfig cfg;
+  auto fail = [&](const std::string& why) -> std::optional<FaultPlanConfig> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return fail("fault-plan item without '=': " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    bool ok = true;
+    if (key == "seed") {
+      ok = parse_u64(val, &cfg.seed);
+    } else if (key == "match") {
+      cfg.match = val;
+    } else if (key == "short-write-chance") {
+      ok = parse_chance(val, &cfg.short_write_chance);
+    } else if (key == "eintr-chance") {
+      ok = parse_chance(val, &cfg.eintr_chance);
+    } else if (key == "enospc-after-bytes") {
+      ok = parse_u64(val, &cfg.enospc_after_bytes);
+    } else if (key == "eio-at-op") {
+      ok = parse_u64(val, &cfg.eio_at_op);
+    } else if (key == "fsync-fail-at") {
+      ok = parse_u64(val, &cfg.fsync_fail_at);
+    } else if (key == "rename-fail-at") {
+      ok = parse_u64(val, &cfg.rename_fail_at);
+    } else if (key == "crash-at-op") {
+      ok = parse_u64(val, &cfg.crash_at_op);
+    } else if (key == "log") {
+      cfg.log_path = val;
+    } else {
+      return fail("unknown fault-plan key: " + key);
+    }
+    if (!ok) return fail("malformed fault-plan value: " + item);
+  }
+  return cfg;
+}
+
+std::string FaultPlanConfig::to_spec() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (!match.empty()) out << ";match=" << match;
+  if (short_write_chance > 0.0) {
+    out << ";short-write-chance=" << short_write_chance;
+  }
+  if (eintr_chance > 0.0) out << ";eintr-chance=" << eintr_chance;
+  if (enospc_after_bytes > 0) {
+    out << ";enospc-after-bytes=" << enospc_after_bytes;
+  }
+  if (eio_at_op > 0) out << ";eio-at-op=" << eio_at_op;
+  if (fsync_fail_at > 0) out << ";fsync-fail-at=" << fsync_fail_at;
+  if (rename_fail_at > 0) out << ";rename-fail-at=" << rename_fail_at;
+  if (crash_at_op > 0) out << ";crash-at-op=" << crash_at_op;
+  if (!log_path.empty()) out << ";log=" << log_path;
+  return out.str();
+}
+
+// --- schedule ---------------------------------------------------------------
+
+FaultDecision FaultPlan::next(IoOp op, const std::string& path,
+                              std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cfg_.match.empty() && path.find(cfg_.match) == std::string::npos) {
+    return {};
+  }
+  const std::uint64_t index = ++ops_;
+  auto inject = [&](FaultKind kind, int err,
+                    std::size_t write_len = 0) -> FaultDecision {
+    log_.push_back(InjectedFault{index, op, kind, path});
+    return FaultDecision{kind, err, write_len};
+  };
+
+  if (crashed_) return inject(FaultKind::kCrashed, ECANCELED);
+
+  if (cfg_.crash_at_op != 0 && index == cfg_.crash_at_op) {
+    crashed_ = true;
+    // A torn write lands a seeded strict prefix; every other op at the
+    // crash point simply never happens.
+    std::size_t landed = 0;
+    if (op == IoOp::kWrite && bytes > 0) {
+      landed = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(bytes) - 1));
+    }
+    return inject(FaultKind::kCrash, ECANCELED, landed);
+  }
+  if (cfg_.eio_at_op != 0 && index == cfg_.eio_at_op) {
+    return inject(FaultKind::kEio, EIO);
+  }
+  if (op == IoOp::kFsync && cfg_.fsync_fail_at != 0 &&
+      ++fsyncs_ == cfg_.fsync_fail_at) {
+    return inject(FaultKind::kFsyncFail, EIO);
+  }
+  if (op == IoOp::kRename && cfg_.rename_fail_at != 0 &&
+      ++renames_ == cfg_.rename_fail_at) {
+    return inject(FaultKind::kRenameFail, EIO);
+  }
+  // EINTR interrupts before any bytes transfer; the caller's retry is a
+  // fresh operation that rolls the schedule again.
+  if (cfg_.eintr_chance > 0.0 && rng_.chance(cfg_.eintr_chance)) {
+    return inject(FaultKind::kEintr, EINTR);
+  }
+  if (op == IoOp::kWrite) {
+    if (cfg_.enospc_after_bytes > 0 &&
+        bytes_written_ + bytes > cfg_.enospc_after_bytes) {
+      return inject(FaultKind::kEnospc, ENOSPC);
+    }
+    if (cfg_.short_write_chance > 0.0 && bytes > 1 &&
+        rng_.chance(cfg_.short_write_chance)) {
+      const std::size_t landed = static_cast<std::size_t>(
+          rng_.uniform_int(1, static_cast<std::int64_t>(bytes) - 1));
+      bytes_written_ += landed;
+      return inject(FaultKind::kShortWrite, ENOSPC, landed);
+    }
+    bytes_written_ += bytes;
+  }
+  return {};
+}
+
+bool FaultPlan::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t FaultPlan::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::vector<InjectedFault> FaultPlan::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+void FaultPlan::write_log(std::ostream& out) const {
+  for (const InjectedFault& f : log()) {
+    out << "op#" << f.op_index << " " << to_string(f.op) << " "
+        << to_string(f.kind) << " " << f.path << "\n";
+  }
+}
+
+// --- ambient plan -----------------------------------------------------------
+
+namespace {
+
+FaultPlan* g_ambient = nullptr;
+
+void dump_ambient_log() {
+  if (g_ambient == nullptr) return;
+  const std::string& path = g_ambient->config().log_path;
+  if (path.empty()) return;
+  // Plain ofstream on purpose: the fault log must never be subject to the
+  // plan it describes.
+  std::ofstream out(path, std::ios::trunc);
+  if (out) g_ambient->write_log(out);
+}
+
+FaultPlan* init_ambient() {
+  const char* spec = std::getenv("TRACEMOD_IO_FAULTS");
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  std::string error;
+  auto cfg = FaultPlanConfig::parse(spec, &error);
+  if (!cfg) {
+    std::fprintf(stderr,
+                 "fatal: TRACEMOD_IO_FAULTS is malformed (%s); refusing to "
+                 "run a drill that injects nothing\n",
+                 error.c_str());
+    std::abort();
+  }
+  // Leaked intentionally: sinks may consult the plan during static
+  // destruction; the log is flushed by atexit instead.
+  g_ambient = new FaultPlan(*cfg);
+  if (!cfg->log_path.empty()) std::atexit(dump_ambient_log);
+  return g_ambient;
+}
+
+}  // namespace
+
+FaultPlan* ambient_fault_plan() {
+  static FaultPlan* plan = init_ambient();
+  return plan;
+}
+
+}  // namespace tracemod::sim::io

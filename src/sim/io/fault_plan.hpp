@@ -1,0 +1,193 @@
+// Deterministic syscall-boundary fault injection for the durable-write
+// plane (DESIGN.md section 15).
+//
+// PR 2's trace::FaultInjector damages bytes that were already written;
+// FaultPlan damages the *writing* itself.  Every artifact producer in the
+// repo funnels its open/write/fsync/rename/close syscalls through
+// sim::io::FileSink (file_sink.hpp), and a FileSink consults a FaultPlan
+// before each syscall.  The plan deals faults from a seeded schedule --
+// short writes, ENOSPC, EIO, EINTR, fsync failure, rename failure, and
+// crash-point truncation -- so an ENOSPC-mid-sweep or power-loss-mid-
+// checkpoint run replays bit-identically from its seed, the same
+// discipline the read side has had since PR 2.
+//
+// Fault model:
+//   - kShortWrite: the write lands a seeded strict prefix of its bytes and
+//     reports failure (partial sector / interrupted buffer flush).
+//   - kEnospc: after a byte budget is exhausted, every further write on a
+//     matched path fails ENOSPC (disk filled mid-run).
+//   - kEio / kFsyncFail / kRenameFail: the scheduled operation fails EIO
+//     without side effects (media error; fsync failure additionally means
+//     previously written bytes may not be durable, which is why the
+//     durable writers never rename after a failed fsync).
+//   - kEintr: the operation is interrupted once; a correct caller retries
+//     (FileSink does) and the retry succeeds.  An EINTR schedule therefore
+//     changes nothing observable -- that is the assertion.
+//   - kCrash: the scheduled operation applies a seeded prefix of its side
+//     effects (a torn write; a suppressed fsync/rename) and then the plan
+//     is dead: every later operation fails without touching the
+//     filesystem, leaving exactly the bytes a SIGKILL or power loss at
+//     that syscall would leave.  Readers are then pointed at the wreckage.
+//
+// Scoping: `match` restricts the plan to paths containing a substring
+// (".journal", ".tmdj", ".status"), so a CI drill can starve one artifact
+// plane while the rest of the run writes normally.  Only matched
+// operations advance the op counter, which keeps schedules stable when
+// unrelated artifacts come and go.
+//
+// The ambient plan: `TRACEMOD_IO_FAULTS=<spec>` installs a process-wide
+// plan that every FileSink constructed without an explicit plan consults
+// (nullptr == ambient, and ambient is null unless the variable is set, so
+// production runs add one pointer load).  Spec grammar, semicolon- or
+// comma-separated `key=value`:
+//
+//   seed=N                 schedule RNG seed (default 1)
+//   match=SUBSTR           only paths containing SUBSTR are eligible
+//   short-write-chance=P   per-write Bernoulli short write
+//   eintr-chance=P         per-op Bernoulli single EINTR
+//   enospc-after-bytes=N   matched writes fail ENOSPC after N total bytes
+//   eio-at-op=N            matched op #N (1-based) fails EIO
+//   fsync-fail-at=N        the Nth matched fsync/fdatasync fails
+//   rename-fail-at=N       the Nth matched rename fails
+//   crash-at-op=N          matched op #N is the crash point (see above)
+//   log=PATH               dump the injected-fault log to PATH at exit
+//
+// Same seed, same spec, same (serial) workload => byte-identical fault
+// log; the io-chaos CI job diffs two runs to pin that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace tracemod::sim::io {
+
+/// The syscall vocabulary of the write plane.
+enum class IoOp : std::uint8_t {
+  kOpen,
+  kWrite,
+  kFsync,   ///< fsync and fdatasync (directory fsyncs included)
+  kRename,
+  kTruncate,
+  kClose,
+  kUnlink,
+};
+
+const char* to_string(IoOp op);
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kShortWrite,
+  kEnospc,
+  kEio,
+  kEintr,
+  kFsyncFail,
+  kRenameFail,
+  kCrash,    ///< this op is the crash point (partial side effects)
+  kCrashed,  ///< plan already crashed; op suppressed entirely
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  std::string match;  ///< path-substring scope; empty matches everything
+  double short_write_chance = 0.0;
+  double eintr_chance = 0.0;
+  std::uint64_t enospc_after_bytes = 0;  ///< 0 = off
+  std::uint64_t eio_at_op = 0;           ///< 0 = off (1-based op index)
+  std::uint64_t fsync_fail_at = 0;       ///< 0 = off (1-based fsync count)
+  std::uint64_t rename_fail_at = 0;      ///< 0 = off (1-based rename count)
+  std::uint64_t crash_at_op = 0;         ///< 0 = off (1-based op index)
+  std::string log_path;  ///< ambient plan dumps its log here at exit
+
+  bool any_fault() const {
+    return short_write_chance > 0.0 || eintr_chance > 0.0 ||
+           enospc_after_bytes > 0 || eio_at_op > 0 || fsync_fail_at > 0 ||
+           rename_fail_at > 0 || crash_at_op > 0;
+  }
+
+  /// Parses the spec grammar above.  Returns nullopt (with a diagnosis in
+  /// *error when non-null) on an unknown key or malformed value -- an
+  /// ambient spec typo must fail loudly, not silently inject nothing.
+  static std::optional<FaultPlanConfig> parse(const std::string& spec,
+                                              std::string* error = nullptr);
+
+  /// Round-trips back to a canonical spec string (tests, logs).
+  std::string to_spec() const;
+};
+
+/// What the plan decided for one operation.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int err = 0;                 ///< errno to surface (0 for kNone/kEintr)
+  std::size_t write_len = 0;   ///< kShortWrite/kCrash: bytes that land
+
+  bool fault() const { return kind != FaultKind::kNone; }
+};
+
+/// One log entry: what was injected, where, at which op index.
+struct InjectedFault {
+  std::uint64_t op_index = 0;
+  IoOp op = IoOp::kWrite;
+  FaultKind kind = FaultKind::kNone;
+  std::string path;
+};
+
+/// Thread-safe deterministic fault schedule.  One instance per drill (or
+/// per process via the ambient plan); FileSinks share it.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig cfg)
+      : cfg_(std::move(cfg)), rng_(cfg_.seed) {}
+
+  /// Consults the schedule for one operation.  `bytes` is the intended
+  /// write length (0 for non-writes).  Unmatched paths always return
+  /// kNone and do not advance the op counter.
+  FaultDecision next(IoOp op, const std::string& path, std::size_t bytes);
+
+  /// True once a kCrash fault fired; every subsequent matched op fails.
+  bool crashed() const;
+
+  std::uint64_t ops_seen() const;
+  const FaultPlanConfig& config() const { return cfg_; }
+
+  /// Injected faults so far (kNone decisions are not logged).
+  std::vector<InjectedFault> log() const;
+
+  /// One line per injected fault: "op#7 write enospc path".
+  void write_log(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlanConfig cfg_;
+  Rng rng_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t renames_ = 0;
+  bool crashed_ = false;
+  std::vector<InjectedFault> log_;
+};
+
+/// The process-wide plan parsed from TRACEMOD_IO_FAULTS, or nullptr when
+/// the variable is unset.  A malformed spec aborts the process with a
+/// diagnosis on stderr (a chaos drill whose faults silently do not inject
+/// is worse than no drill).  If the spec names log=PATH, the log is
+/// written there at normal process exit.
+FaultPlan* ambient_fault_plan();
+
+/// Resolves an explicit plan pointer: non-null passes through, null falls
+/// back to the ambient plan.  Every sim/io entry point routes through
+/// this, so tests inject locally and CI drills inject via environment.
+inline FaultPlan* resolve_plan(FaultPlan* plan) {
+  return plan != nullptr ? plan : ambient_fault_plan();
+}
+
+}  // namespace tracemod::sim::io

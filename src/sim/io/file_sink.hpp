@@ -1,0 +1,155 @@
+// The syscall boundary of the durable-write plane: every artifact
+// producer in the repo (status snapshots, sweep journals, distillation
+// checkpoints, trace files, JSON reports) writes through a FileSink
+// instead of a bare std::ofstream, for three reasons:
+//
+//   1. Explicit errors.  A stream badbit is a silent boolean; an IoResult
+//     carries the operation, the errno, and the path, so a producer can
+//     declare its degradation policy ("drop the snapshot", "stop
+//     journaling", "abort with exit 2") instead of discovering damage at
+//     read time.
+//
+//   2. One fault boundary.  Every syscall consults the attached FaultPlan
+//     (fault_plan.hpp; nullptr falls back to the process-ambient plan),
+//     so ENOSPC/EIO/torn-write/crash drills cover every producer without
+//     per-producer hooks.
+//
+//   3. Real durability.  std::ofstream has no fsync; FileSink exposes
+//     datasync() and the free helpers fsync the parent directory after a
+//     rename, which is what "the artifact survives power loss" actually
+//     requires on POSIX.
+//
+// Failures are additionally counted in process-global io counters
+// (write_errors, fsync_failures, degraded_planes) surfaced through
+// sim/metric_names.hpp via export_io_metrics, mirroring the perf plane's
+// process-global allocation telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/io/fault_plan.hpp"
+
+namespace tracemod::sim {
+class MetricsRegistry;
+}
+
+namespace tracemod::sim::io {
+
+/// One failed operation, with enough identity to diagnose it.
+struct IoError {
+  IoOp op = IoOp::kWrite;
+  int err = 0;  ///< errno (real or injected)
+  std::string path;
+  std::string detail;  ///< optional context ("short write: 3 of 128 bytes")
+
+  /// "write failed on foo.journal: No space left on device (short write)".
+  std::string describe() const;
+};
+
+/// Result of one operation; cheap to return and test.
+struct [[nodiscard]] IoResult {
+  bool ok = true;
+  IoError error;
+
+  explicit operator bool() const { return ok; }
+  static IoResult success() { return IoResult{}; }
+  static IoResult failure(IoOp op, int err, std::string path,
+                          std::string detail = {});
+};
+
+// --- process-global write-plane telemetry -----------------------------------
+
+struct IoCounters {
+  std::atomic<std::uint64_t> write_errors{0};   ///< failed write/open/rename
+  std::atomic<std::uint64_t> fsync_failures{0};
+  std::atomic<std::uint64_t> degraded_planes{0};  ///< planes that gave up
+  std::atomic<std::uint64_t> status_publish_failures{0};
+};
+
+IoCounters& io_counters();
+
+/// Marks one artifact plane (journal, checkpoint, ...) permanently
+/// degraded and remembers a one-line note for driver warnings.
+void note_degraded_plane(const std::string& plane, const IoError& error);
+
+/// Accumulated degradation notes, in occurrence order.
+std::vector<std::string> degraded_plane_notes();
+
+/// Publishes io.write_errors / io.fsync_failures / io.degraded_planes /
+/// status.publish_failed (sim/metric_names.hpp) onto a registry.
+void export_io_metrics(MetricsRegistry& metrics);
+
+// --- the sink ---------------------------------------------------------------
+
+/// A write-only file handle whose every syscall is checked and
+/// fault-injectable.  Not thread-safe; writers that share a sink
+/// serialize externally (the journal writers hold their own mutex).
+class FileSink {
+ public:
+  enum class Mode {
+    kTruncate,  ///< create or truncate
+    kAppend,    ///< create if absent, position at end
+  };
+
+  FileSink() = default;
+  ~FileSink();  ///< closes silently; durable writers close explicitly
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  /// Opens the file.  plan == nullptr consults the ambient plan.
+  IoResult open(const std::string& path, Mode mode,
+                FaultPlan* plan = nullptr);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Current append offset (bytes successfully written since open, plus
+  /// the pre-existing size in kAppend mode).
+  std::uint64_t offset() const { return offset_; }
+
+  /// Writes all `size` bytes (EINTR retried, partial writes continued).
+  /// On failure the sink stays open and reports how many bytes landed in
+  /// error.detail; the caller decides whether to truncate back or die.
+  IoResult write(const void* data, std::size_t size);
+  IoResult write(std::string_view s) { return write(s.data(), s.size()); }
+
+  /// Positional write (pwrite); does not move the append offset.  Used by
+  /// the trace stream writer to patch its header count on finalize.
+  IoResult write_at(std::uint64_t offset, const void* data,
+                    std::size_t size);
+
+  /// fdatasync: the payload bytes are on stable storage after success.
+  IoResult datasync();
+
+  /// ftruncate to `size` (tail-safe journal repair after a failed append).
+  IoResult truncate_to(std::uint64_t size);
+
+  IoResult close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  FaultPlan* plan_ = nullptr;
+  std::uint64_t offset_ = 0;
+};
+
+// --- fault-injectable path operations ---------------------------------------
+
+/// rename(2); atomic within a directory on POSIX.
+IoResult rename_path(const std::string& from, const std::string& to,
+                     FaultPlan* plan = nullptr);
+
+/// unlink(2); missing files are not an error (idempotent cleanup).
+IoResult remove_path(const std::string& path, FaultPlan* plan = nullptr);
+
+/// Opens the parent directory of `path` and fsyncs it, making a preceding
+/// rename durable.  A no-op success on platforms without directory fds.
+IoResult sync_parent_dir(const std::string& path, FaultPlan* plan = nullptr);
+
+}  // namespace tracemod::sim::io

@@ -180,6 +180,28 @@ inline constexpr const char* kSweepTrialsRetried = "sweep.trials_retried";
 /// or wall-clock stuck-trial detection).
 inline constexpr const char* kSweepTrialsTimedOut = "sweep.trials_timed_out";
 
+// --- durable-write-plane counters (src/sim/io/) ---
+//
+// Accumulated process-globally (like the perf plane's allocation
+// telemetry) and published by export_io_metrics onto whatever registry a
+// driver supplies; never emitted from inside a simulated world.
+
+/// Failed write-plane operations: open, write, rename, truncate, close
+/// (real or injected).
+inline constexpr const char* kIoWriteErrors = "io.write_errors";
+
+/// Failed fsync/fdatasync calls, counted separately because a failed sync
+/// forbids the subsequent rename under the atomic-replace contract.
+inline constexpr const char* kIoFsyncFailures = "io.fsync_failures";
+
+/// Artifact planes (sweep journal, distill checkpoint, ...) that gave up
+/// for the rest of the run after a write failure.
+inline constexpr const char* kIoDegradedPlanes = "io.degraded_planes";
+
+/// Status snapshots dropped because their atomic publish failed (the run
+/// itself continues; the status plane is droppable by contract).
+inline constexpr const char* kStatusPublishFailed = "status.publish_failed";
+
 /// Every counter name the simulation can emit.  The metric-name drift test
 /// snapshots a full end-to-end run and fails if it sees a counter that is
 /// not in this list.
@@ -193,7 +215,8 @@ inline constexpr const char* kAllCounterNames[] = {
     kSweepTrialsTimedOut, kDistillWindowsTotal, kDistillWindowsSalvaged,
     kDistillWindowsShed, kDistillWindowsResumed, kDistillRecordsStreamed,
     kPerfEventsProfiled, kPerfAllocs,           kPerfFrees,
-    kPerfAllocBytes,
+    kPerfAllocBytes,     kIoWriteErrors,        kIoFsyncFailures,
+    kIoDegradedPlanes,   kStatusPublishFailed,
 };
 
 /// Every series channel name, for the same drift test (audit divergence

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "sim/crc32c.hpp"
+#include "sim/io/durable.hpp"
 #include "version.hpp"
 
 #if defined(_WIN32)
@@ -468,21 +469,21 @@ StatusSnapshot StatusBoard::build_snapshot_locked() const {
 void StatusBoard::publish_locked() {
   const StatusSnapshot snap = build_snapshot_locked();
   const std::vector<std::uint8_t> image = encode_status(snap);
-  const std::string tmp = path_ + ".tmp";
-  bool ok = false;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(image.data()),
-              static_cast<std::streamsize>(image.size()));
-    out.flush();
-    ok = static_cast<bool>(out);
-  }
-  // rename(2) over the live path is atomic within a directory: readers see
-  // either the previous complete snapshot or this one, never a mix.
-  if (ok) ok = std::rename(tmp.c_str(), path_.c_str()) == 0;
-  if (!ok) {
+  // Atomic replace via a pid/seq-unique tmp: readers see either the
+  // previous complete snapshot or this one, never a mix, two boards
+  // publishing to one path never clobber each other's tmp, and tmp files
+  // orphaned by a killed run are swept on the next writer's open.
+  // Degradation policy: a failed publish drops this snapshot (counted in
+  // status.publish_failed) and the run continues -- the status plane must
+  // never abort or block the work it is describing.
+  const io::IoResult r =
+      io::write_file_atomic(path_, std::string_view(reinterpret_cast<const char*>(
+                                                        image.data()),
+                                                    image.size()));
+  if (!r.ok) {
     write_failures_.fetch_add(1, std::memory_order_relaxed);
-    std::remove(tmp.c_str());
+    io::io_counters().status_publish_failures.fetch_add(
+        1, std::memory_order_relaxed);
     return;
   }
   seq_.fetch_add(1, std::memory_order_relaxed);

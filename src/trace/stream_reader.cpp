@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "sim/metric_names.hpp"
 #include "sim/sim_context.hpp"
@@ -409,13 +410,16 @@ void TraceStreamReader::next_v1() {
 
 TraceStreamWriter::TraceStreamWriter(const std::string& path,
                                      std::uint16_t version)
-    : out_(path, std::ios::binary | std::ios::out | std::ios::trunc),
-      path_(path),
-      version_(version) {
-  if (!out_) throw std::runtime_error("cannot open for writing: " + path);
-  count_offset_ = wire::write_container_header(out_, version, 0);
+    : path_(path), version_(version) {
+  if (!sink_.open(path, sim::io::FileSink::Mode::kTruncate)) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  std::ostringstream header;
+  count_offset_ = wire::write_container_header(header, version, 0);
   bytes_ = count_offset_ + 8;
-  if (!out_) throw std::runtime_error("write failed: " + path);
+  if (!sink_.write(header.str())) {
+    throw std::runtime_error("write failed: " + path);
+  }
 }
 
 TraceStreamWriter::~TraceStreamWriter() {
@@ -429,22 +433,25 @@ TraceStreamWriter::~TraceStreamWriter() {
 
 void TraceStreamWriter::append(const TraceRecord& record) {
   const std::string frame = wire::encode_frame(record, version_);
-  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  if (!out_) throw std::runtime_error("write failed: " + path_);
+  if (!sink_.write(frame)) {
+    throw std::runtime_error("write failed: " + path_);
+  }
   ++records_;
   bytes_ += frame.size();
 }
 
 void TraceStreamWriter::finalize() {
   if (finalized_) return;
-  out_.seekp(static_cast<std::streamoff>(count_offset_));
+  // Patch the header count in place, then make the whole container
+  // durable before reporting success: after finalize() returns, the trace
+  // survives power loss.
   unsigned char raw[8];
   std::uint64_t v = records_;
   std::memcpy(raw, &v, sizeof(v));
-  out_.write(reinterpret_cast<const char*>(raw), sizeof(raw));
-  out_.flush();
-  if (!out_) throw std::runtime_error("finalize failed: " + path_);
-  out_.close();
+  sim::io::IoResult r = sink_.write_at(count_offset_, raw, sizeof(raw));
+  if (r.ok) r = sink_.datasync();
+  if (r.ok) r = sink_.close();
+  if (!r.ok) throw std::runtime_error("finalize failed: " + path_);
   finalized_ = true;
 }
 

@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/io/file_sink.hpp"
 #include "trace/records.hpp"
 #include "trace/trace_io.hpp"
 
@@ -142,6 +143,10 @@ class TraceStreamReader {
 
 /// Streaming v2 writer: header up front (count patched on finalize), one
 /// framed record per append.  File-based because finalize() must seek.
+/// Writes through the durable plane (sim/io/file_sink.hpp) directly --
+/// not via atomic replace, because a collection stream can be far larger
+/// than the free space a tmp copy would need, and an unfinalized file is
+/// already detectably invalid (zero count against a non-empty body).
 class TraceStreamWriter {
  public:
   explicit TraceStreamWriter(const std::string& path,
@@ -161,7 +166,7 @@ class TraceStreamWriter {
   void finalize();
 
  private:
-  std::fstream out_;
+  sim::io::FileSink sink_;
   std::string path_;
   std::uint16_t version_;
   std::uint64_t count_offset_ = 0;

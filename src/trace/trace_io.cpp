@@ -4,7 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "sim/io/durable.hpp"
 #include "trace/frame_format.hpp"
 #include "trace/stream_reader.hpp"
 
@@ -59,10 +61,21 @@ CollectedTrace read_trace(std::istream& in) {
 
 void save_trace(const std::string& path, const CollectedTrace& trace,
                 std::uint16_t version) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Atomic replace (sim/io/durable.hpp): a collected trace is a final
+  // artifact, so a crash or full disk mid-save leaves the previous file
+  // (or nothing), never a truncated container that replays short.
+  std::ostringstream out;
   write_trace(out, trace, version);
   if (!out) throw std::runtime_error("write failed: " + path);
+  const std::string bytes = out.str();
+  const sim::io::IoResult r = sim::io::write_file_atomic(path, bytes);
+  if (!r.ok) {
+    if (r.error.op == sim::io::IoOp::kOpen) {
+      throw std::runtime_error("cannot open for writing: " + path);
+    }
+    throw std::runtime_error("write failed: " + path + " (" +
+                             r.error.describe() + ")");
+  }
 }
 
 CollectedTrace load_trace(const std::string& path) {

@@ -19,6 +19,7 @@
 
 #include "audit/auditor.hpp"
 #include "core/distiller.hpp"
+#include "sim/io/fault_plan.hpp"
 #include "sim/random.hpp"
 #include "trace/fault_injector.hpp"
 #include "trace/stream_reader.hpp"
@@ -211,6 +212,92 @@ TEST(StreamDistiller, TruncatedJournalResumesByteIdentical) {
   std::filesystem::remove(path);
   std::filesystem::remove(other);
   std::filesystem::remove(journal);
+}
+
+TEST(StreamDistiller, CheckpointEnospcDegradesResumabilityNeverTheOutput) {
+  // The disk fills while the checkpoint journal is being written.  The
+  // degradation contract: the run keeps computing and its output is
+  // byte-identical to a checkpoint-less run; only resumability is lost,
+  // surfaced via stats.checkpoint_degraded (drivers exit 5).
+  const std::string path = make_corpus("enospc.tmtr");
+  const std::string reference = serialize(stream_distill(path).replay);
+
+  const std::string journal = tmp("enospc.tmdj");
+  sim::io::FaultPlanConfig fcfg;
+  fcfg.enospc_after_bytes = 64;  // the 10-byte header fits; no frame does
+  sim::io::FaultPlan plan(fcfg);
+  StreamDistillConfig cfg;
+  cfg.checkpoint_path = journal;
+  cfg.checkpoint_fault_plan = &plan;
+  const auto starved = stream_distill(path, cfg);
+
+  EXPECT_TRUE(starved.stats.checkpoint_degraded);
+  EXPECT_EQ(starved.status, DistillStatus::kOk);  // output fidelity intact
+  EXPECT_EQ(serialize(starved.replay), reference);
+
+  // What remains on disk is an intact prefix the tolerant reader accepts
+  // without reusing anything it cannot vouch for.
+  std::ifstream in(journal, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes.size(), 10u);  // header only; the failed frame truncated
+  EXPECT_EQ(probe_checkpoint_journal(bytes.data(), bytes.size()), 0u);
+
+  // A resume against the degraded journal recomputes and still agrees.
+  StreamDistillConfig rcfg;
+  rcfg.checkpoint_path = journal;
+  rcfg.resume = true;
+  const auto resumed = stream_distill(path, rcfg);
+  EXPECT_EQ(resumed.stats.windows_resumed, 0u);
+  EXPECT_EQ(serialize(resumed.replay), reference);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(journal);
+}
+
+TEST(StreamDistiller, CheckpointCrashAtEverySyscallNeverChangesTheOutput) {
+  // Kill the checkpoint plane at every syscall of its life.  For each
+  // crash point: the distilled output matches the reference bit for bit,
+  // the journal wreckage probes without crashing, and a resume against
+  // the wreckage reproduces the reference.
+  const std::string path = make_corpus("ckpt_crash.tmtr");
+  const std::string reference = serialize(stream_distill(path).replay);
+
+  for (std::uint64_t crash_at = 1; crash_at <= 10; ++crash_at) {
+    const std::string journal =
+        tmp("ckpt_crash_" + std::to_string(crash_at) + ".tmdj");
+    sim::io::FaultPlanConfig fcfg;
+    fcfg.seed = crash_at;
+    fcfg.crash_at_op = crash_at;
+    sim::io::FaultPlan plan(fcfg);
+
+    StreamDistillConfig cfg;
+    cfg.threads = 1;  // serial appends keep the op schedule deterministic
+    cfg.checkpoint_path = journal;
+    cfg.checkpoint_fault_plan = &plan;
+    const auto crashed = stream_distill(path, cfg);
+    EXPECT_EQ(serialize(crashed.replay), reference) << "op " << crash_at;
+    EXPECT_EQ(crashed.stats.checkpoint_degraded, plan.crashed())
+        << "op " << crash_at;
+
+    std::ifstream in(journal, std::ios::binary);
+    if (in.good()) {
+      const std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      // Must classify without crashing, throwing, or misreading frames.
+      (void)probe_checkpoint_journal(bytes.data(), bytes.size());
+    }
+
+    StreamDistillConfig rcfg;
+    rcfg.checkpoint_path = journal;
+    rcfg.resume = true;
+    const auto resumed = stream_distill(path, rcfg);
+    EXPECT_EQ(serialize(resumed.replay), reference) << "op " << crash_at;
+
+    std::filesystem::remove(journal);
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(StreamDistiller, BudgetSheddingDegradesButNeverPerturbsLoss) {

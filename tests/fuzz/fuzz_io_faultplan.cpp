@@ -1,0 +1,151 @@
+// libFuzzer harness for the durable-write plane (sim/io/, DESIGN.md
+// section 15): the input is a fault-plan spec string, so the fuzzer
+// mutates fault *schedules* -- short writes, ENOSPC budgets, EIO/fsync/
+// rename failures, crash points -- and every schedule is driven through
+// the two durability contracts:
+//
+//   1. Atomic replace: publish artifact v2 over a complete v1 under the
+//      mutated plan.  Invariant (trap on violation): the target always
+//      reads back as exactly v1 or exactly v2 -- a CRC-valid TMST
+//      snapshot, never a torn mix.
+//
+//   2. Append journal: append frames under the same plan.  Invariant:
+//      unless the plan simulated a crash (which legitimately leaves a
+//      torn tail for readers to drop), the file ends exactly at the
+//      writer's committed-frame boundary; and the tolerant checkpoint
+//      prober must classify whatever wreckage remains without crashing.
+//
+// The spec parser itself is the third surface: arbitrary bytes must parse
+// or be rejected, never crash.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/stream_distiller.hpp"
+#include "sim/io/durable.hpp"
+#include "sim/io/fault_plan.hpp"
+#include "sim/status/status.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace tracemod::sim::io;
+namespace status = tracemod::sim::status;
+
+const std::string& work_dir() {
+  static const std::string dir = [] {
+#if defined(_WIN32)
+    const unsigned long pid = 0;
+#else
+    const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+    std::string d = (fs::temp_directory_path() /
+                     ("tracemod_fuzz_io." + std::to_string(pid)))
+                        .string();
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+void clean_work_dir() {
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(work_dir(), ec)) {
+    fs::remove(e.path(), ec);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string_view view(const std::vector<std::uint8_t>& bytes) {
+  return std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size());
+}
+
+[[noreturn]] void die(const char* invariant) {
+  std::fprintf(stderr, "durability invariant violated: %s\n", invariant);
+  __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 512) size = 512;  // specs are short; cap parser input
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+
+  // Surface 1: the parser is total -- parse or reject, never crash.
+  auto cfg = FaultPlanConfig::parse(spec);
+  if (!cfg) return 0;
+  cfg->log_path.clear();  // never write to fuzzer-chosen paths
+  cfg->match.clear();     // every op below is eligible for faults
+  // eintr-chance=1 would livelock the retry loop by construction; real
+  // schedules interrupt with probability < 1.
+  if (cfg->eintr_chance > 0.9) cfg->eintr_chance = 0.9;
+
+  // Surface 2: atomic replace under the mutated schedule.
+  const std::string target = work_dir() + "/artifact.status";
+  status::StatusSnapshot v1;
+  v1.driver = "fuzz";
+  v1.seq = 1;
+  const std::vector<std::uint8_t> img1 = status::encode_status(v1);
+  if (!write_file_atomic(target, view(img1)).ok) {
+    clean_work_dir();  // real I/O trouble (not injected); skip this input
+    return 0;
+  }
+  status::StatusSnapshot v2;
+  v2.driver = "fuzz";
+  v2.phase = "a longer phase so v1 and v2 differ in length";
+  v2.seq = 2;
+  const std::vector<std::uint8_t> img2 = status::encode_status(v2);
+  FaultPlan plan(*cfg);
+  (void)write_file_atomic(target, view(img2), &plan);
+
+  const status::StatusReadResult read = status::read_status_file(target);
+  if (read.status != status::StatusReadStatus::kOk) {
+    die("status target must stay a complete CRC-valid snapshot");
+  }
+  if (read.snapshot.seq != 1 && read.snapshot.seq != 2) {
+    die("status target holds neither the previous nor the new snapshot");
+  }
+
+  // Surface 3: append journal under the same (possibly crashed) plan.
+  const std::string journal = work_dir() + "/ckpt.tmdj";
+  AppendJournalWriter writer;
+  AppendJournalWriter::Options options;
+  options.sync_every_frames = 2;
+  options.plan = &plan;
+  if (writer.open_fresh(journal, "FUZZHDR!", options).ok) {
+    for (int i = 0; i < 4; ++i) {
+      (void)writer.append("frame payload #" + std::to_string(i));
+    }
+    (void)writer.close();
+  }
+  const std::string bytes = slurp(journal);
+  if (!plan.crashed() && bytes.size() != writer.committed_bytes()) {
+    die("journal does not end at the committed-frame boundary");
+  }
+  // The tolerant checkpoint reader must classify any wreckage.
+  (void)tracemod::core::probe_checkpoint_journal(bytes.data(), bytes.size());
+
+  // Surface 4: the stale-tmp sweeper walks whatever the plan left behind.
+  (void)AtomicFileWriter::sweep_stale_tmp(target);
+
+  clean_work_dir();
+  return 0;
+}

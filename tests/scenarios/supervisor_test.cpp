@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenarios/parallel_runner.hpp"
+#include "sim/io/fault_plan.hpp"
+#include "sim/io/file_sink.hpp"
 #include "sim/metric_names.hpp"
 #include "sim/sim_context.hpp"
 #include "trace/fault_injector.hpp"
@@ -389,6 +392,89 @@ TEST(SweepJournal, BitFlipsNeverYieldDamagedRecords) {
     // that IS returned must be one of the originals, undamaged.
     EXPECT_NE(read.status, JournalStatus::kClean) << "seed " << seed;
     expect_record_prefix(read.records, records);
+  }
+}
+
+TEST(SweepJournal, FailedAppendIsNeverVisibleAsACommittedCell) {
+  namespace fs = std::filesystem;
+  const auto records = sample_records();
+  // Measure the on-disk size after one and after two records so the
+  // ENOSPC budget can be aimed exactly at the second append.
+  const std::string probe = tmp("enospc_probe.journal");
+  write_journal(probe, 7, {records[0]});
+  const std::uint64_t size_one = fs::file_size(probe);
+  write_journal(probe, 7, {records[0], records[1]});
+  const std::uint64_t size_two = fs::file_size(probe);
+
+  sim::io::FaultPlanConfig cfg;
+  cfg.enospc_after_bytes = size_two - 1;  // record 1's append must fail
+  sim::io::FaultPlan plan(cfg);
+
+  const std::string path = tmp("enospc.journal");
+  SweepJournalWriter writer;
+  ASSERT_TRUE(writer.open(path, 7, /*fresh=*/true, &plan));
+  writer.append(records[0]);
+  EXPECT_FALSE(writer.degraded());
+  writer.append(records[1]);  // hits the budget mid-run
+  EXPECT_TRUE(writer.degraded());
+  EXPECT_FALSE(writer.is_open());
+  EXPECT_NE(writer.degraded_reason().find("No space"), std::string::npos)
+      << writer.degraded_reason();
+  writer.append(records[2]);  // degraded writer: cheap no-op
+  writer.close();
+
+  // The failed append was truncated back: a resume sees exactly the
+  // acknowledged record, never a phantom cell.
+  EXPECT_EQ(fs::file_size(path), size_one);
+  const auto read = read_sweep_journal(path, 7);
+  EXPECT_EQ(read.status, JournalStatus::kClean);
+  ASSERT_EQ(read.records.size(), 1u);
+  expect_record_prefix(read.records, records);
+
+  // The degradation is observable in the shared io plane.
+  bool noted = false;
+  for (const std::string& note : sim::io::degraded_plane_notes()) {
+    if (note.find("sweep-journal") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(SweepJournal, CrashAtEverySyscallYieldsACleanPrefixNeverWrongRecords) {
+  // Kill the journal writer at every syscall of its life (open, header
+  // write+sync, per-record write+sync, final sync+close).  Whatever lands
+  // on disk, the reader must classify it as missing, clean, a dropped
+  // tail, or corrupt-with-zero-records -- and every record it does return
+  // must be an undamaged prefix of what was appended.  11 ops cover the
+  // full no-fault syscall sequence for three records; 12..13 prove the
+  // uncrashed run is clean end to end.
+  const auto records = sample_records();
+  for (std::uint64_t crash_at = 1; crash_at <= 13; ++crash_at) {
+    const std::string path =
+        tmp("crash_" + std::to_string(crash_at) + ".journal");
+    sim::io::FaultPlanConfig cfg;
+    cfg.seed = crash_at;
+    cfg.crash_at_op = crash_at;
+    sim::io::FaultPlan plan(cfg);
+
+    SweepJournalWriter writer;
+    if (writer.open(path, 7, /*fresh=*/true, &plan)) {
+      for (const auto& r : records) writer.append(r);
+      writer.close();
+    }
+
+    const auto read = read_sweep_journal(path, 7);
+    EXPECT_NE(read.status, JournalStatus::kMismatch) << "op " << crash_at;
+    if (read.status == JournalStatus::kCorrupt) {
+      // Only a torn header can be corrupt, and it yields no records.
+      EXPECT_TRUE(read.records.empty()) << "op " << crash_at;
+    } else {
+      expect_record_prefix(read.records, records);
+    }
+    if (crash_at >= 12) {
+      EXPECT_EQ(read.status, JournalStatus::kClean) << "op " << crash_at;
+      EXPECT_EQ(read.records.size(), records.size());
+      EXPECT_FALSE(writer.degraded());
+    }
   }
 }
 

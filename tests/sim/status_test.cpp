@@ -9,10 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "sim/io/durable.hpp"
+#include "sim/io/fault_plan.hpp"
+#include "sim/io/file_sink.hpp"
 
 namespace tracemod::sim::status {
 namespace {
@@ -258,6 +263,77 @@ TEST(StatusBoardContract, SimClockIsMonotoneAcrossWorlds) {
   ASSERT_EQ(read.status, StatusReadStatus::kOk);
   EXPECT_EQ(read.snapshot.sim_seconds, 50.0);
   EXPECT_EQ(read.snapshot.events_dispatched, 20u);
+}
+
+TEST(StatusBoardContract, CrashAtEverySyscallLeavesPreviousOrNewSnapshot) {
+  // The acceptance bar for the status plane: kill the publisher at ANY
+  // syscall of the publish sequence and a reader must see the previous
+  // complete snapshot or the new complete snapshot -- never kCorrupt,
+  // never a snapshot with wrong values.
+  StatusSnapshot v1 = sample_snapshot();
+  v1.seq = 1;
+  v1.phase = "previous";
+  StatusSnapshot v2 = sample_snapshot();
+  v2.seq = 2;
+  v2.phase = "next phase with a longer label";
+  v2.events_dispatched = 999999999;
+  const std::vector<std::uint8_t> img1 = encode_status(v1);
+  const std::vector<std::uint8_t> img2 = encode_status(v2);
+  const auto view = [](const std::vector<std::uint8_t>& img) {
+    return std::string_view(reinterpret_cast<const char*>(img.data()),
+                            img.size());
+  };
+
+  for (std::uint64_t crash_at = 1; crash_at <= 8; ++crash_at) {
+    const std::string path =
+        tmp("crash_sweep_" + std::to_string(crash_at) + ".status");
+    ASSERT_TRUE(io::write_file_atomic(path, view(img1)).ok);
+
+    io::FaultPlanConfig cfg;
+    cfg.seed = 100 + crash_at;
+    cfg.crash_at_op = crash_at;
+    io::FaultPlan plan(cfg);
+    (void)io::write_file_atomic(path, view(img2), &plan);
+
+    const StatusReadResult read = read_status_file(path);
+    ASSERT_EQ(read.status, StatusReadStatus::kOk)
+        << "crash at op " << crash_at << ": " << read.message;
+    ASSERT_TRUE(read.snapshot.seq == 1 || read.snapshot.seq == 2)
+        << "crash at op " << crash_at;
+    expect_equal(read.snapshot, read.snapshot.seq == 1 ? v1 : v2);
+  }
+}
+
+TEST(StatusBoardContract, FailedPublishDropsTheSnapshotNeverAborts) {
+  // Degradation policy (DESIGN.md section 15): a status publish that
+  // cannot land is dropped and counted; the run itself never aborts and
+  // the board keeps trying on later heartbeats.
+  namespace fs = std::filesystem;
+  const std::string dir = tmp("vanishing_dir");
+  fs::create_directory(dir);
+  StatusBoard board;
+  StatusBoard::Config cfg;
+  cfg.path = dir + "/run.status";
+  cfg.driver = "sweep";
+  cfg.min_publish_interval_s = 0.0;
+  ASSERT_TRUE(board.configure(cfg));
+
+  const std::uint64_t failures_before =
+      io::io_counters().status_publish_failures.load();
+  fs::remove_all(dir);  // the directory disappears mid-run
+  board.add_units_done(1);
+  board.publish_now();
+
+  EXPECT_TRUE(board.enabled());  // still trying, not aborted
+  EXPECT_GE(board.write_failures(), 1u);
+  EXPECT_GT(io::io_counters().status_publish_failures.load(),
+            failures_before);
+
+  // The plane heals when the directory comes back.
+  fs::create_directory(dir);
+  board.publish_now();
+  EXPECT_EQ(read_status_file(cfg.path).status, StatusReadStatus::kOk);
+  fs::remove_all(dir);
 }
 
 }  // namespace

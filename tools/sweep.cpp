@@ -60,11 +60,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenarios/campus.hpp"
 #include "scenarios/parallel_runner.hpp"
+#include "sim/io/durable.hpp"
 #include "sim/status/status.hpp"
 #include "tracemod_cli.hpp"
 #include "version.hpp"
@@ -454,12 +456,7 @@ int main(int argc, char** argv) {
                 breach, unauditable);
     audit_breach = breach > 0;
 
-    std::ofstream out(audit_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write fidelity trajectory '%s'\n",
-                   audit_path.c_str());
-      return 1;
-    }
+    std::ostringstream out;
     out << "{\n\"schema\": \"tracemod-fidelity-trajectory-v1\",\n"
         << "\"tool_version\": \"" << kToolVersion << "\",\n"
         << "\"reports\": [";
@@ -472,6 +469,9 @@ int main(int argc, char** argv) {
       }
     }
     out << "\n]\n}\n";
+    if (!sim::io::write_artifact_or_complain(audit_path, out.str())) {
+      return cli::kExitIo;
+    }
     std::printf("fidelity trajectory: -> %s\n", audit_path.c_str());
   }
 
@@ -497,36 +497,42 @@ int main(int argc, char** argv) {
 
     const std::string json_path = telemetry_prefix + ".perfetto.json";
     const std::string metrics_path = telemetry_prefix + ".metrics.txt";
-    std::ofstream json(json_path);
-    std::ofstream metrics(metrics_path);
-    if (!json || !metrics) {
-      std::fprintf(stderr, "cannot write telemetry files at prefix '%s'\n",
-                   telemetry_prefix.c_str());
-      return 1;
-    }
+    std::ostringstream json;
+    std::ostringstream metrics;
     sim::write_chrome_trace(json, snaps);
     sim::write_metrics_text(metrics, snaps);
+    if (!sim::io::write_artifact_or_complain(json_path, json.str()) ||
+        !sim::io::write_artifact_or_complain(metrics_path, metrics.str())) {
+      return cli::kExitIo;
+    }
     std::printf("\ntelemetry: %zu snapshot(s) -> %s (load in "
                 "ui.perfetto.dev) and %s\n",
                 snaps.size(), json_path.c_str(), metrics_path.c_str());
   }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write sweep json '%s'\n",
-                   json_path.c_str());
+    std::ostringstream out;
+    write_sweep_json(out, result, cfg, kinds);
+    if (!sim::io::write_artifact_or_complain(json_path, out.str())) {
       return cli::kExitIo;
     }
-    write_sweep_json(out, result, cfg, kinds);
     std::printf("\nsweep json: -> %s\n", json_path.c_str());
+  }
+
+  journal.close();
+  if (journal.degraded()) {
+    std::fprintf(stderr,
+                 "warning: sweep journal degraded mid-run (%s); results are "
+                 "complete but this run is not resumable\n",
+                 journal.degraded_reason().c_str());
   }
 
   std::printf("\ntotal wall clock: %.2f s\n", seconds_since(t0));
   // Degraded cells outrank an audit breach: exit 5 says "every cell ran,
   // but these trials carry error records" (the contract tracemod_cli.hpp
-  // pins as kExitDegraded).
-  const int exit_code = result.supervision.degraded()
+  // pins as kExitDegraded).  A journal plane that gave up mid-run is the
+  // same grade of outcome: the table is good, the crash-safety is not.
+  const int exit_code = result.supervision.degraded() || journal.degraded()
                             ? cli::kExitDegraded
                             : (audit_breach ? cli::kExitAudit : cli::kExitOk);
   board.finish(exit_code);

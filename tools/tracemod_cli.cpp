@@ -86,6 +86,7 @@
 #include "core/stream_distiller.hpp"
 #include "scenarios/campus.hpp"
 #include "scenarios/experiment.hpp"
+#include "sim/io/durable.hpp"
 #include "sim/perf/perf.hpp"
 #include "sim/perf/report.hpp"
 #include "sim/status/status.hpp"
@@ -321,19 +322,28 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
       static_cast<unsigned long long>(res.stats.retained_bytes),
       res.replay.size(), p.pos[1].c_str(), status);
 
+  if (res.stats.checkpoint_degraded) {
+    std::fprintf(stderr,
+                 "warning: checkpoint journal degraded mid-run (%s); results "
+                 "are complete but a killed re-run cannot resume past the "
+                 "journal's intact prefix\n",
+                 scfg.checkpoint_path.c_str());
+  }
+
   std::string json_path;
   if (p.str("--json", &json_path)) {
-    std::ofstream f(json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return kExitIo;
-    }
     const trace::TraceReadReport& r = res.read_report;
+    std::ostringstream f;
     f << "{\n"
       << "  \"schema\": \"tracemod-distill-v1\",\n"
       << "  \"tool_version\": \"" << kToolVersion << "\",\n"
-      << "  \"status\": \"" << status << "\",\n"
-      << "  \"records_streamed\": " << res.stats.records_streamed << ",\n"
+      << "  \"status\": \"" << status << "\",\n";
+    // Emitted only when true so an injection-off artifact stays
+    // byte-identical to earlier releases.
+    if (res.stats.checkpoint_degraded) {
+      f << "  \"checkpoint_degraded\": true,\n";
+    }
+    f << "  \"records_streamed\": " << res.stats.records_streamed << ",\n"
       << "  \"windows_total\": " << res.stats.windows_total << ",\n"
       << "  \"windows_damaged\": " << res.stats.windows_damaged << ",\n"
       << "  \"windows_shed\": " << res.stats.windows_shed << ",\n"
@@ -347,6 +357,9 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
       << "  \"lost_markers\": " << r.lost_markers_synthesized << ",\n"
       << "  \"truncated\": " << (r.truncated ? "true" : "false") << "\n"
       << "}\n";
+    if (!sim::io::write_artifact_or_complain(json_path, f.str())) {
+      return kExitIo;
+    }
     std::printf("wrote %s\n", json_path.c_str());
   }
   int exit_code = kExitIo;
@@ -355,6 +368,10 @@ int cmd_distill_stream(const Parsed& p, const core::DistillConfig& dcfg) {
     case core::DistillStatus::kSalvaged: exit_code = kExitSalvage; break;
     case core::DistillStatus::kDegraded: exit_code = kExitDegraded; break;
   }
+  // A degraded checkpoint plane outranks salvage: the artifact is good,
+  // but the crash-safety the flag promised is gone for the rest of the
+  // run (DESIGN.md section 15).
+  if (res.stats.checkpoint_degraded) exit_code = kExitDegraded;
   board.finish(exit_code);
   return exit_code;
 }
@@ -738,12 +755,11 @@ int cmd_audit(const std::vector<std::string>& args) {
 
   std::string json_path;
   if (p.str("--json", &json_path)) {
-    std::ofstream f(json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    std::ostringstream f;
+    audit::write_fidelity_json(f, report);
+    if (!sim::io::write_artifact_or_complain(json_path, f.str())) {
       return kExitIo;
     }
-    audit::write_fidelity_json(f, report);
     std::printf("wrote %s\n", json_path.c_str());
   }
   return report.passed() ? kExitOk : kExitAudit;
@@ -838,27 +854,25 @@ int cmd_report(const std::vector<std::string>& args) {
   const std::string trace_path = prefix + ".perfetto.json";
   const std::string metrics_path = prefix + ".metrics.txt";
   {
-    std::ofstream f(trace_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return kExitIo;
-    }
+    std::ostringstream f;
     if (audit_snap != nullptr) {
       sim::write_chrome_trace(f, {{"bench", tel}, {"audit", audit_snap}});
     } else {
       sim::write_chrome_trace(f, snap);
     }
-  }
-  {
-    std::ofstream f(metrics_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+    if (!sim::io::write_artifact_or_complain(trace_path, f.str())) {
       return kExitIo;
     }
+  }
+  {
+    std::ostringstream f;
     if (audit_snap != nullptr) {
       sim::write_metrics_text(f, {{"bench", tel}, {"audit", audit_snap}});
     } else {
       sim::write_metrics_text(f, snap);
+    }
+    if (!sim::io::write_artifact_or_complain(metrics_path, f.str())) {
+      return kExitIo;
     }
   }
 
@@ -939,11 +953,7 @@ int cmd_campus(const std::vector<std::string>& args) {
 
   std::string json_path;
   if (p.str("--json", &json_path)) {
-    std::ofstream f(json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return kExitIo;
-    }
+    std::ostringstream f;
     f << "{\n"
       << "  \"schema\": \"tracemod-campus-v1\",\n"
       << "  \"tool_version\": \"" << kToolVersion << "\",\n"
@@ -965,6 +975,9 @@ int cmd_campus(const std::vector<std::string>& args) {
       << "  \"occupied_cells\": " << r.occupied_cells << ",\n"
       << "  \"digest\": \"" << std::hex << r.digest << std::dec << "\"\n"
       << "}\n";
+    if (!sim::io::write_artifact_or_complain(json_path, f.str())) {
+      return kExitIo;
+    }
     std::printf("wrote %s\n", json_path.c_str());
   }
   const int exit_code = r.ok ? kExitOk : kExitDegraded;
@@ -1119,29 +1132,26 @@ int cmd_perf(const std::vector<std::string>& args) {
   const std::string folded_path = prefix + ".folded.txt";
   const std::string counters_path = prefix + ".perf-counters.json";
   {
-    std::ofstream f(json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return kExitIo;
-    }
+    std::ostringstream f;
     sim::perf::write_perf_json(f, snap, workload, sim_s,
                                static_cast<std::size_t>(top), extra);
-  }
-  {
-    std::ofstream f(folded_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", folded_path.c_str());
+    if (!sim::io::write_artifact_or_complain(json_path, f.str())) {
       return kExitIo;
     }
+  }
+  {
+    std::ostringstream f;
     sim::perf::write_flamegraph(f, snap);
-  }
-  {
-    std::ofstream f(counters_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", counters_path.c_str());
+    if (!sim::io::write_artifact_or_complain(folded_path, f.str())) {
       return kExitIo;
     }
+  }
+  {
+    std::ostringstream f;
     sim::perf::write_perf_chrome(f, snap);
+    if (!sim::io::write_artifact_or_complain(counters_path, f.str())) {
+      return kExitIo;
+    }
   }
 
   std::ostringstream report;

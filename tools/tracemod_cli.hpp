@@ -10,9 +10,11 @@
 //     unauditable;
 //   - kExitDegraded is returned by supervised sweeps that completed with
 //     degraded cells (tools/sweep.cpp: every cell ran, but at least one
-//     trial exhausted its retries and carries a TrialError record) and by
-//     `campus` runs that did not reach their virtual horizon (watchdog or
-//     drained queue);
+//     trial exhausted its retries and carries a TrialError record), by
+//     runs whose journal/checkpoint plane degraded after a write failure
+//     (the results are complete but no longer resumable; DESIGN.md
+//     section 15), and by `campus` runs that did not reach their virtual
+//     horizon (watchdog or drained queue);
 //   - exit code 6 is reserved by the benchmark build guard
 //     (bench/build_guard.hpp: refused to benchmark a non-Release build)
 //     and is never returned by tracemod itself.
